@@ -1,0 +1,99 @@
+"""Shared fixtures and reporting helpers for the experiment benches.
+
+Every bench regenerates one of the paper's quantitative claims (see
+DESIGN.md's experiment index) and reports *paper vs measured* rows.  Rows
+are printed to the live terminal (bypassing capture) and appended to
+``benchmarks/results/EXX.txt`` so the numbers survive into version control
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.match import HarmonyMatchEngine
+from repro.synthetic import case_study, extended_study, generate_clustered_corpus
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@dataclass
+class ExperimentReport:
+    """Collects and emits one experiment's paper-vs-measured rows."""
+
+    experiment_id: str
+    title: str
+    _lines: list[str]
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(text)
+
+    def row(self, label: str, paper: str, measured: str) -> None:
+        self._lines.append(f"  {label:<44} paper: {paper:<16} measured: {measured}")
+
+    def flush(self, capsys) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        header = f"[{self.experiment_id}] {self.title}"
+        body = "\n".join([header, "-" * len(header), *self._lines, ""])
+        with open(
+            os.path.join(RESULTS_DIR, f"{self.experiment_id}.txt"),
+            "w",
+            encoding="utf-8",
+        ) as handle:
+            handle.write(body + "\n")
+        with capsys.disabled():
+            print()
+            print(body)
+
+
+@pytest.fixture
+def report_factory(capsys):
+    reports: list[ExperimentReport] = []
+
+    def make(experiment_id: str, title: str) -> ExperimentReport:
+        report = ExperimentReport(experiment_id, title, [])
+        reports.append(report)
+        return report
+
+    yield make
+    for report in reports:
+        report.flush(capsys)
+
+
+@pytest.fixture(scope="session")
+def case_pair():
+    """The synthetic section-3 pair (1378 x 784, paper counts asserted)."""
+    return case_study(seed=2009)
+
+
+@pytest.fixture(scope="session")
+def engine():
+    return HarmonyMatchEngine()
+
+
+@pytest.fixture(scope="session")
+def case_result(case_pair, engine):
+    """One full engine run over the case-study pair, shared by benches."""
+    return engine.match(case_pair.source.schema, case_pair.target.schema)
+
+
+@pytest.fixture(scope="session")
+def case_summaries(case_pair):
+    return case_pair.source.truth_summary(), case_pair.target.truth_summary()
+
+
+@pytest.fixture(scope="session")
+def family():
+    """The {SA, SC, SD, SE, SF} comprehensive-vocabulary family."""
+    return extended_study(seed=2009)
+
+
+@pytest.fixture(scope="session")
+def registry_corpus():
+    """Planted-cluster corpus for the clustering and search benches."""
+    return generate_clustered_corpus(
+        n_domains=4, schemata_per_domain=6, seed=2009
+    )

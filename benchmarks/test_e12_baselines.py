@@ -1,0 +1,64 @@
+"""E12 -- Harmony vs conventional matcher architectures.
+
+Paper (section 3.2) positions Harmony against the conventional architecture
+line [COMA, Cupid, learning ensembles]; this bench scores the architectural
+comparators on the case study: naive exact-name matching, COMA-lite
+(average-combined matchers), Cupid-lite (linguistic+structural linear mix),
+Similarity-Flooding-lite (structural fixpoint), and the full Harmony-style
+engine -- all at their individual best-F1 operating points under a 1:1
+assignment (the standard basis for comparing matchers that are allowed a
+final selection step).
+"""
+
+from repro.baselines import SimilarityFloodingMatcher, baseline_engines
+from repro.metrics import best_f1_assignment
+
+
+def test_e12_baseline_comparison(benchmark, case_pair, report_factory):
+    source = case_pair.source.schema
+    target = case_pair.target.schema
+    truth = case_pair.truth_pairs
+
+    def run_comparison():
+        scores = {}
+        for name, engine in baseline_engines().items():
+            result = engine.match(source, target)
+            scores[name] = (
+                best_f1_assignment(result.matrix, truth),
+                result.elapsed_seconds,
+            )
+        flooding_result = SimilarityFloodingMatcher().match(source, target)
+        scores["similarity_flooding"] = (
+            best_f1_assignment(flooding_result.matrix, truth),
+            flooding_result.elapsed_seconds,
+        )
+        return scores
+
+    scores = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    report = report_factory("E12", "Matcher architecture comparison (section 3.2)")
+    report.line("  matcher               best-thr   P      R      F1     seconds")
+    for name, ((threshold, measurement), seconds) in scores.items():
+        report.line(
+            f"  {name:<20}  {threshold:>7.2f}  {measurement.precision:.3f}  "
+            f"{measurement.recall:.3f}  {measurement.f1:.3f}  {seconds:>7.2f}"
+        )
+
+    harmony_f1 = scores["harmony"][0][1].f1
+    naive_f1 = scores["naive"][0][1].f1
+    coma_f1 = scores["coma_lite"][0][1].f1
+    cupid_f1 = scores["cupid_lite"][0][1].f1
+    flooding_f1 = scores["similarity_flooding"][0][1].f1
+
+    report.line()
+    report.row(
+        "who wins", "Harmony-class engine",
+        f"harmony {harmony_f1:.3f} > coma {coma_f1:.3f}, cupid {cupid_f1:.3f}, "
+        f"SF {flooding_f1:.3f}, naive {naive_f1:.3f}",
+    )
+
+    # Shape claims: the full evidence-aware ensemble wins; naive exact-name
+    # matching is hopeless across naming conventions.
+    assert harmony_f1 >= max(coma_f1, cupid_f1, flooding_f1)
+    assert naive_f1 < 0.2
+    assert harmony_f1 > 2 * naive_f1

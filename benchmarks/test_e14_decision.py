@@ -1,0 +1,74 @@
+"""E14 -- the subsume-vs-bridge decision and its crossover.
+
+Paper (section 3.1): "Eliminating Sys(SB) was not the clear choice if a)
+the set of distinct SB elements were sufficiently large and b) the set of
+common elements ... were sufficiently small" -- and 3.4's outcome: with 517
+distinct elements, "subsuming Sys(SB) would be a challenging undertaking."
+
+The bench evaluates the decision model on the reproduced overlap analysis
+(the verdict must be BRIDGE, matching the paper's implication) and sweeps
+the distinct-element count to locate the crossover where subsuming becomes
+attractive.
+"""
+
+from repro.metrics import workflow_overlap
+from repro.metrics.overlap import OverlapReport
+from repro.planning import DecisionModel, Option
+
+
+def _report_with(n_common: int, n_distinct: int) -> OverlapReport:
+    return OverlapReport(
+        source_total=1378,
+        target_total=n_common + n_distinct,
+        intersection_source_ids={f"s{i}" for i in range(n_common)},
+        intersection_target_ids={f"t{i}" for i in range(n_common)},
+        source_only_ids=set(),
+        target_only_ids={f"u{i}" for i in range(n_distinct)},
+    )
+
+
+def test_e14_subsume_vs_bridge(
+    benchmark, case_result, case_summaries, report_factory
+):
+    source_summary, target_summary = case_summaries
+    model = DecisionModel()
+
+    def decide():
+        overlap = workflow_overlap(case_result, source_summary, target_summary)
+        verdict = model.evaluate(overlap)
+        sweep = []
+        for n_distinct in (0, 30, 60, 90, 150, 300, 517):
+            sweep.append(
+                (n_distinct, model.evaluate(_report_with(267, n_distinct)))
+            )
+        return overlap, verdict, sweep
+
+    overlap, verdict, sweep = benchmark.pedantic(decide, rounds=1, iterations=1)
+
+    report = report_factory("E14", "Subsume-vs-bridge decision (3.1, 3.4)")
+    report.row(
+        "case-study verdict",
+        "subsuming SB 'challenging' -> bridge",
+        verdict.describe(),
+    )
+    report.row(
+        "crossover (distinct elements)",
+        "exists; 517 is far above it",
+        f"{model.crossover_distinct_count():.0f}",
+    )
+    report.line()
+    report.line("  distinct SB elements   subsume(pd)   bridge(pd)   choice")
+    for n_distinct, recommendation in sweep:
+        report.line(
+            f"  {n_distinct:>19}   {recommendation.subsume.total:>10.0f}   "
+            f"{recommendation.bridge.total:>9.0f}   {recommendation.choice}"
+        )
+
+    # The paper's outcome: with ~2/3 of SB distinct, bridge wins.
+    assert verdict.choice is Option.BRIDGE
+    # The sweep crosses over exactly once, from subsume to bridge.
+    choices = [recommendation.choice for _, recommendation in sweep]
+    first_bridge = choices.index(Option.BRIDGE)
+    assert all(choice is Option.SUBSUME for choice in choices[:first_bridge])
+    assert all(choice is Option.BRIDGE for choice in choices[first_bridge:])
+    assert 0 < model.crossover_distinct_count() < 517

@@ -1,0 +1,67 @@
+"""E4 -- the headline overlap result: 34% of SB matched, 517 did not.
+
+Paper (section 3.4): "The result showed that only 34% of SB matched SA and
+66% of SB (or 517 elements) did not, indicating that subsuming Sys(SB)
+would be a challenging undertaking."
+
+The bench runs the faithful concept-at-a-time overlap computation
+(:func:`repro.metrics.workflow_overlap`) over the case-study match and
+checks both the recovered fraction and the quality of the recovered pairs
+against the generator's ground truth.
+"""
+
+from repro.metrics import prf_of_pairs, workflow_overlap
+from repro.synthetic import (
+    PAPER_SB_ELEMENTS,
+    PAPER_SB_MATCHED_ELEMENTS,
+    PAPER_SB_UNMATCHED_ELEMENTS,
+)
+
+
+def test_e4_overlap_partition(
+    benchmark, case_pair, case_result, case_summaries, report_factory
+):
+    source_summary, target_summary = case_summaries
+
+    overlap = benchmark.pedantic(
+        lambda: workflow_overlap(case_result, source_summary, target_summary),
+        rounds=3,
+        iterations=1,
+    )
+    quality = prf_of_pairs(overlap.matched_pairs, case_pair.truth_pairs)
+
+    report = report_factory("E4", "SB overlap partition (section 3.4)")
+    report.row(
+        "SB elements matched",
+        f"{PAPER_SB_MATCHED_ELEMENTS} (34%)",
+        f"{len(overlap.intersection_target_ids)} "
+        f"({overlap.target_matched_fraction:.1%})",
+    )
+    report.row(
+        "SB elements unmatched",
+        f"{PAPER_SB_UNMATCHED_ELEMENTS} (66%)",
+        f"{overlap.target_unmatched_count} "
+        f"({1 - overlap.target_matched_fraction:.1%})",
+    )
+    report.row(
+        "ground-truth overlap (generator)",
+        "n/a",
+        f"{len(case_pair.matched_target_ids)} "
+        f"({case_pair.overlap_fraction_target():.1%})",
+    )
+    report.row(
+        "element-pair quality vs truth",
+        "n/a",
+        f"P={quality.precision:.2f} R={quality.recall:.2f} F1={quality.f1:.2f}",
+    )
+
+    # Partition totality.
+    assert (
+        len(overlap.intersection_target_ids) + overlap.target_unmatched_count
+        == PAPER_SB_ELEMENTS
+    )
+    # Shape: recovered fraction within a few points of the paper's 34%.
+    assert 0.25 <= overlap.target_matched_fraction <= 0.45
+    # The recovered pairs are substantially real, not noise.
+    assert quality.precision > 0.6
+    assert quality.recall > 0.6

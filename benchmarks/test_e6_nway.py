@@ -1,0 +1,69 @@
+"""E6 -- N-way matching: the comprehensive vocabulary and its 2^N-1 cells.
+
+Paper (sections 3.4 and 4.5): "They gave us four additional large schemata:
+SC, SD, SE, and SF, and requested a comprehensive vocabulary ... for any
+non-empty subset of {SA, SC, SD, SE, SF}, the customer wanted to know the
+terms those schemata (and no others in that group) held in common" and
+"given N schemata there are 2^N - 1 such sets partitioning their N-way
+match".
+
+The bench builds the vocabulary from pairwise engine matches over the
+generated family, verifies the partition laws, and compares the populated
+cells against the generator's planted concept memberships.
+"""
+
+from repro.nway import nway_match
+
+
+def test_e6_comprehensive_vocabulary(benchmark, family, report_factory):
+    schemata = {name: generated.schema for name, generated in family.family.items()}
+
+    vocabulary, partition = benchmark.pedantic(
+        lambda: nway_match(schemata), rounds=1, iterations=1
+    )
+
+    # Ground truth: for every planted concept key, which schemata carry it.
+    truth_signatures = {}
+    for name, generated in family.family.items():
+        for key in generated.concept_keys:
+            truth_signatures.setdefault(key, set()).add(name)
+    truth_counts = {}
+    for members in truth_signatures.values():
+        signature = frozenset(members)
+        truth_counts[signature] = truth_counts.get(signature, 0) + 1
+
+    report = report_factory("E6", "N-way vocabulary over {SA,SC,SD,SE,SF} (3.4, 4.5)")
+    report.row("partition cells", "2^5 - 1 = 31", str(partition.n_cells))
+    report.row("vocabulary entries", "all terms of the group", f"{len(vocabulary):,}")
+    nonempty = partition.nonempty_cells()
+    report.row("non-empty cells", "n/a", str(len(nonempty)))
+    report.line()
+    report.line("  concept-level cells (planted vs matched containers):")
+    report.line("  signature                       planted   matched-cells-entries")
+    for signature in sorted(truth_counts, key=lambda s: (len(s), sorted(s))):
+        cell = partition.cell(*signature)
+        container_entries = sum(
+            1
+            for entry in cell.entries
+            if any(
+                schemata[schema_name].children(element_id)
+                for schema_name, ids in entry.members.items()
+                for element_id in ids
+            )
+        )
+        label = "{" + ",".join(sorted(signature)) + "}"
+        report.line(
+            f"  {label:<30}  {truth_counts[signature]:>7}   {container_entries:>6}"
+        )
+
+    partition.check_partition_laws()
+    assert partition.n_cells == 31
+    # Every element of every schema is accounted for exactly once.
+    total_elements = sum(len(schema) for schema in schemata.values())
+    assert sum(cell.n_elements for cell in partition.cells) == total_elements
+    # The family-core cell {SC,SD,SE,SF} and the per-schema unique cells
+    # must be populated -- the knowledge the customer asked for.
+    core_cell = partition.cell("SC", "SD", "SE", "SF")
+    assert core_cell.cardinality > 0
+    for name in schemata:
+        assert partition.cell(name).cardinality > 0

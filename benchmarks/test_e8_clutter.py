@@ -1,0 +1,113 @@
+"""E8 -- line-drawing clutter and what the filters recover.
+
+Paper (section 4.3 / Lesson #2): "'line-drawing' visualizations of schema
+match break down rapidly as schema size grows much larger than the user's
+screen.  While this was ameliorated by Harmony's sub-tree filter ..." and
+(3.3) the sub-tree workflow "allowed the integration engineers to keep
+entirely visible at least one side of the match ... This precluded a large
+mass of criss-crossing lines, denoting off-screen matches, from cluttering
+the display".
+
+Measurements:
+
+1. clutter growth: total candidate lines and line crossings as the source
+   schema grows (the breakdown claim);
+2. filter recovery on the full case study: lines, crossings, and the
+   *source-side row span* of the drawn lines -- the span must fit a screen
+   under the sub-tree filter (one side entirely visible), while the
+   unfiltered view spans the whole 1378-row schema.
+"""
+
+from repro.match import HarmonyMatchEngine, ThresholdSelection
+from repro.filters import ConfidenceFilter, FilterChain, SubtreeFilter
+from repro.viz import LineDrawing, count_crossings
+
+SCREEN_ROWS = 40  # a generous 2008-era screen: 40 schema rows per side
+THRESHOLD = 0.10
+
+
+def _view_stats(drawing, candidates):
+    positions = drawing.positions(candidates)
+    if positions:
+        source_rows = [row for row, _ in positions]
+        span = max(source_rows) - min(source_rows) + 1
+    else:
+        span = 0
+    return {
+        "lines": len(positions),
+        "crossings": count_crossings(positions),
+        "source_span": span,
+    }
+
+
+def test_e8_clutter_growth_and_filters(
+    benchmark, case_pair, case_result, report_factory
+):
+    source = case_pair.source.schema
+    target = case_pair.target.schema
+    all_ids = [element.element_id for element in source]
+    subtree_root = source.roots()[0].element_id
+
+    def measure():
+        engine = HarmonyMatchEngine()
+        growth = []
+        for size in (100, 400, 1378):
+            result = engine.match(source, target, source_element_ids=all_ids[:size])
+            drawing = LineDrawing(result.source, result.target)
+            candidates = result.candidates(ThresholdSelection(THRESHOLD))
+            growth.append((size, _view_stats(drawing, candidates)))
+
+        drawing = LineDrawing(source, target)
+        candidates = case_result.candidates(ThresholdSelection(THRESHOLD))
+        views = {}
+        chains = {
+            "unfiltered": FilterChain(),
+            "confidence>=0.15": FilterChain(link_filters=[ConfidenceFilter(0.15)]),
+            "subtree filter": FilterChain(source_filters=[SubtreeFilter(subtree_root)]),
+            "subtree + confidence": FilterChain(
+                link_filters=[ConfidenceFilter(0.15)],
+                source_filters=[SubtreeFilter(subtree_root)],
+            ),
+        }
+        for name, chain in chains.items():
+            views[name] = _view_stats(
+                drawing, chain.apply(candidates, source, target)
+            )
+        return growth, views
+
+    growth, views = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    report = report_factory("E8", "Line-drawing clutter vs scale and filters (4.3)")
+    report.line("  clutter growth (all candidate lines at the confidence filter):")
+    report.line("  source size    lines   crossings   source row span")
+    for size, stats in growth:
+        report.line(
+            f"  {size:>11}  {stats['lines']:>7,}  {stats['crossings']:>10,}  "
+            f"{stats['source_span']:>8,} rows"
+        )
+    report.line()
+    report.line(f"  filter recovery on the full match (screen = {SCREEN_ROWS} rows):")
+    report.line("  view                      lines   crossings   source row span")
+    for name, stats in views.items():
+        report.line(
+            f"  {name:<22}  {stats['lines']:>7,}  {stats['crossings']:>10,}  "
+            f"{stats['source_span']:>8,} rows"
+        )
+
+    unfiltered = views["unfiltered"]
+    subtree = views["subtree filter"]
+    both = views["subtree + confidence"]
+
+    # Breakdown: lines and crossings grow with scale, and the unfiltered
+    # drawing spans far more rows than any screen shows.
+    lines = [stats["lines"] for _, stats in growth]
+    assert lines == sorted(lines)
+    assert growth[-1][1]["source_span"] > 10 * SCREEN_ROWS
+    assert unfiltered.get("crossings") > 100_000  # the criss-crossing mass
+
+    # Amelioration: the sub-tree filter keeps one whole side of the match
+    # on screen (the paper's exact working practice) and collapses clutter.
+    assert subtree["source_span"] <= SCREEN_ROWS
+    assert subtree["lines"] < unfiltered["lines"] * 0.25
+    assert both["lines"] <= subtree["lines"]
+    assert both["crossings"] < unfiltered["crossings"] * 0.01

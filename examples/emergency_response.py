@@ -1,0 +1,160 @@
+"""Emergency response: distill a minimal mediated schema at the table.
+
+Run:  python examples/emergency_response.py
+
+The section-2 scenario: "in an emergency response scenario, many new data
+sharing partners (e.g., state and federal agencies, non-profits,
+corporations) may suddenly be thrust together ... to throw their data
+models into a giant beaker and to distill out a minimal mediated schema."
+
+Three agencies bring their own models of the same crisis; the N-way match
+plus :func:`distill_mediated_schema` produces the exchange schema they can
+agree on *while still at the negotiating table*.
+"""
+
+from repro import HarmonyMatchEngine, StableMarriageSelection, parse_ddl, parse_xsd
+from repro.matchers import (
+    DEFAULT_VOTER_WEIGHTS,
+    DataTypeVoter,
+    DocumentationVoter,
+    NameTokenVoter,
+    NgramVoter,
+    PathVoter,
+    StructuralVoter,
+    ThesaurusVoter,
+)
+from repro.nway import distill_mediated_schema, nway_match
+from repro.text import SynonymLexicon
+from repro.viz import render_tree
+from repro.voting import ConvictionLinearMerger
+
+STATE_AGENCY_DDL = """
+CREATE TABLE SHELTER (
+    SHELTER_ID NUMBER(10) PRIMARY KEY, -- unique shelter identifier
+    SHELTER_NM VARCHAR2(80),           -- name of the shelter
+    CAPACITY NUMBER(6),                -- capacity of the shelter in persons
+    ADDR_TXT VARCHAR2(200),            -- street address of the shelter
+    STATUS_CD VARCHAR2(8)              -- operating status of the shelter
+);
+CREATE TABLE EVACUEE (
+    EVACUEE_ID NUMBER(10) PRIMARY KEY, -- unique evacuee identifier
+    LAST_NM VARCHAR2(40),              -- family name of the evacuee
+    FIRST_NM VARCHAR2(40),             -- given name of the evacuee
+    MEDICAL_NEEDS VARCHAR2(200),       -- medical needs of the evacuee
+    SHELTER_ID NUMBER(10)              -- shelter where the evacuee stays
+);
+"""
+
+FEDERAL_AGENCY_XSD = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Facility">
+    <xs:sequence>
+      <xs:element name="FacilityIdentifier" type="xs:ID">
+        <xs:annotation><xs:documentation>unique identifier of the facility</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="FacilityName" type="xs:string">
+        <xs:annotation><xs:documentation>name of the shelter facility</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="Capacity" type="xs:integer">
+        <xs:annotation><xs:documentation>capacity of the facility in persons</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="OperatingStatus" type="xs:string"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="DisplacedPerson">
+    <xs:sequence>
+      <xs:element name="FamilyName" type="xs:string">
+        <xs:annotation><xs:documentation>family name of the displaced person</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="GivenName" type="xs:string">
+        <xs:annotation><xs:documentation>given name of the displaced person</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="MedicalCondition" type="xs:string">
+        <xs:annotation><xs:documentation>medical needs of the displaced person</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="AssignedFacility" type="xs:ID"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>
+"""
+
+NONPROFIT_DDL = """
+CREATE TABLE relief_site (
+    site_id INT PRIMARY KEY,      -- unique relief site identifier
+    site_name VARCHAR(80),        -- name of the relief site
+    beds_total INT,               -- capacity of the site in beds
+    street VARCHAR(200)           -- street address of the relief site
+);
+CREATE TABLE volunteer (
+    volunteer_id INT PRIMARY KEY, -- unique volunteer identifier
+    last_name VARCHAR(40),        -- family name of the volunteer
+    first_name VARCHAR(40),       -- given name of the volunteer
+    skill VARCHAR(80)             -- primary skill of the volunteer
+);
+"""
+
+
+def main() -> None:
+    schemata = {
+        "StateAgency": parse_ddl(STATE_AGENCY_DDL, name="StateAgency"),
+        "FederalAgency": parse_xsd(FEDERAL_AGENCY_XSD, name="FederalAgency"),
+        "NonProfit": parse_ddl(NONPROFIT_DDL, name="NonProfit"),
+    }
+    for name, schema in schemata.items():
+        print(f"{name}: {len(schema)} elements "
+              f"({', '.join(root.name for root in schema.roots())})")
+    print()
+
+    # The agencies' container names share no vocabulary (EVACUEE vs
+    # DisplacedPerson vs volunteer), so the first thing the negotiating
+    # table produces is a few lines of domain thesaurus.  That is a feature
+    # of the workbench, not a workaround: lexicons are extensible inputs.
+    lexicon = SynonymLexicon.default().extend(
+        [
+            ("shelter", "facility", "site"),
+            ("evacuee", "displaced", "refugee"),
+            ("bed", "capacity"),
+        ]
+    )
+    engine = HarmonyMatchEngine(
+        voters=[
+            NameTokenVoter(),
+            NgramVoter(),
+            ThesaurusVoter(lexicon=lexicon),
+            DocumentationVoter(),
+            DataTypeVoter(),
+            PathVoter(),
+            StructuralVoter(lexicon=lexicon),
+        ],
+        merger=ConvictionLinearMerger(voter_weights=DEFAULT_VOTER_WEIGHTS),
+    )
+
+    print("matching all pairs and building the comprehensive vocabulary...")
+    # Small schemata carry little evidence mass, so correspondences score
+    # low on the conviction-linear scale; gate the 1:1 selection at 0.02.
+    vocabulary, partition = nway_match(
+        schemata,
+        engine=engine,
+        selection=StableMarriageSelection(threshold=0.02),
+    )
+    print(f"  {len(vocabulary)} vocabulary entries across "
+          f"{partition.n_cells} partition cells\n")
+
+    for cell in partition.nonempty_cells():
+        if len(cell.signature) >= 2:
+            labels = ", ".join(sorted(entry.label for entry in cell.entries))
+            print(f"  shared by {cell.label()}: {labels}")
+    print()
+
+    mediated = distill_mediated_schema(
+        vocabulary, schemata, min_support=2, name="CrisisExchange"
+    )
+    print("the distilled minimal mediated schema:")
+    print(render_tree(mediated))
+    print()
+    print("each agency now maps to CrisisExchange instead of to every peer;")
+    print("concepts no partner shares (volunteers, evacuee-site links) stay")
+    print("out of scope -- the 'minimal' in minimal mediated schema.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Integration-team support: splitting a large match across engineers.
+
+Run:  python examples/team_matching.py
+
+The paper's section-5 agenda: "how can we divide very large matching
+workflows into modular task queues appropriate to each team member ... to
+support a team-based matching effort?"
+
+This example plans the case-study workload for teams of one to four
+engineers, shows the per-member queues, then *executes* two members' queues
+as independent sessions and merges their validated correspondences -- the
+mechanics behind the paper's "three days of effort, by two human
+integration engineers."
+"""
+
+from repro.match import HarmonyMatchEngine
+from repro.metrics import prf_of_pairs
+from repro.synthetic import case_study
+from repro.workflow import (
+    EffortModel,
+    GroundTruthOracle,
+    MatchingSession,
+    plan_team,
+)
+
+
+def main() -> None:
+    pair = case_study(seed=2009)
+    source, target = pair.source.schema, pair.target.schema
+    summary = pair.source.truth_summary()
+    model = EffortModel()
+
+    print("planning the 140-concept workload for different team sizes:\n")
+    print("  team size   makespan (days)   balance")
+    for size in (1, 2, 3, 4):
+        members = [f"eng{i}" for i in range(size)]
+        plan = plan_team(summary, len(target), members, model=model)
+        print(f"  {size:>9}   {plan.makespan_days:>15.1f}   {plan.balance:>7.2f}")
+    print()
+
+    members = ["ann", "bob"]
+    plan = plan_team(summary, len(target), members, model=model)
+    for member in members:
+        queue = plan.queue_of(member)
+        top = ", ".join(task.concept_label for task in queue.tasks[:4])
+        print(f"{member}'s queue: {len(queue.tasks)} concepts, "
+              f"{queue.total_pairs:,} estimated pairs (first: {top}, ...)")
+    print()
+
+    print("executing both queues as independent validation sessions...")
+    engine = HarmonyMatchEngine()
+    oracle = GroundTruthOracle(pair.truth_pairs)
+    accepted: set[tuple[str, str]] = set()
+    for member in members:
+        session = MatchingSession(
+            source, target, summary, oracle=oracle, engine=engine,
+            reviewer=member,
+        )
+        for task in plan.queue_of(member).tasks:
+            task.start()
+            session.run_concept(task.concept_id)
+            task.finish()
+        accepted |= session.accepted_pairs()
+        report = session.report
+        print(f"  {member}: {len(report.runs)} increments, "
+              f"{report.total_candidates_inspected:,} candidates inspected, "
+              f"{report.total_accepted:,} accepted")
+
+    quality = prf_of_pairs(accepted, pair.truth_pairs)
+    print(f"\nmerged team output: {len(accepted):,} validated correspondences "
+          f"(P={quality.precision:.2f}, R={quality.recall:.2f})")
+    print("every concept was owned by exactly one engineer, so the merge is")
+    print("conflict-free -- the modular task queues the paper asks for.")
+
+
+if __name__ == "__main__":
+    main()

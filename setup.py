@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The pinned environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs cannot build an editable wheel.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (configured
+globally in pip.conf) fall back to ``setup.py develop``, which needs no
+wheel support.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

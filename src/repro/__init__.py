@@ -1,0 +1,82 @@
+"""Harmonia: an enterprise-scale schema matching workbench.
+
+A faithful, from-scratch reproduction of the system behind *"The Role of
+Schema Matching in Large Enterprises"* (Smith, Mork, Seligman, Rosenthal,
+Morse, Wolf, Allen & Li -- CIDR Perspectives 2009): a Harmony-class match
+engine (evidence-aware voters + conviction-weighted merging + link/node
+filters), the SUMMARIZE operator and concept-at-a-time workflow, N-way
+comprehensive vocabularies with 2^N-1 partitions, overlap-based schema
+clustering, registry search, an enterprise metadata repository with match
+provenance, effort/decision models for planners, and the spreadsheet /
+match-centric deliverables -- plus a synthetic military-schema workload
+generator reproducing the paper's section-3 case study exactly.
+
+Quickstart::
+
+    from repro import HarmonyMatchEngine, parse_ddl, parse_xsd
+
+    engine = HarmonyMatchEngine()
+    result = engine.match(parse_ddl(open("a.sql").read()),
+                          parse_xsd(open("b.xsd").read()))
+    for c in result.candidates():
+        print(c.source_id, "<->", c.target_id, c.score)
+
+See ``examples/`` for the full case-study walkthroughs.
+"""
+
+from repro.match import (
+    Correspondence,
+    CorrespondenceSet,
+    HarmonyMatchEngine,
+    HungarianSelection,
+    IncrementalMatcher,
+    MatchMatrix,
+    MatchResult,
+    MatchStatus,
+    SemanticAnnotation,
+    StableMarriageSelection,
+    ThresholdSelection,
+    TopKSelection,
+)
+from repro.schema import (
+    DataType,
+    ElementKind,
+    Schema,
+    SchemaElement,
+    load_ddl_file,
+    load_schema,
+    load_xsd_file,
+    parse_ddl,
+    parse_xsd,
+)
+from repro.summarize import Summary, match_concepts, summarize_by_roots
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Correspondence",
+    "CorrespondenceSet",
+    "DataType",
+    "ElementKind",
+    "HarmonyMatchEngine",
+    "HungarianSelection",
+    "IncrementalMatcher",
+    "MatchMatrix",
+    "MatchResult",
+    "MatchStatus",
+    "Schema",
+    "SchemaElement",
+    "SemanticAnnotation",
+    "StableMarriageSelection",
+    "Summary",
+    "ThresholdSelection",
+    "TopKSelection",
+    "__version__",
+    "load_ddl_file",
+    "load_schema",
+    "load_xsd_file",
+    "match_concepts",
+    "parse_ddl",
+    "parse_xsd",
+    "summarize_by_roots",
+]

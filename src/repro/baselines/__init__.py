@@ -1,0 +1,19 @@
+"""Baseline matchers: naive, COMA-lite, Cupid-lite, Similarity-Flooding-lite."""
+
+from repro.baselines.engines import (
+    baseline_engines,
+    coma_lite_engine,
+    cupid_lite_engine,
+    harmony_engine,
+    naive_engine,
+)
+from repro.baselines.flooding import SimilarityFloodingMatcher
+
+__all__ = [
+    "SimilarityFloodingMatcher",
+    "baseline_engines",
+    "coma_lite_engine",
+    "cupid_lite_engine",
+    "harmony_engine",
+    "naive_engine",
+]

@@ -1,0 +1,84 @@
+"""Baseline matcher configurations: the comparators for E11/E12.
+
+The paper positions Harmony against the conventional architecture of COMA
+[7], the learning ensemble of [8] and Cupid [9].  We reproduce the *shape*
+of those comparators as engine configurations over the same voter substrate
+(plus a real similarity-flooding implementation in
+:mod:`repro.baselines.flooding`):
+
+* **naive** -- exact name equality only; the spreadsheet-jockey baseline.
+* **coma_lite** -- COMA's composite approach: several independent matchers
+  whose similarities are *averaged* (no evidence weighting).
+* **cupid_lite** -- Cupid's linguistic + structural split with a fixed
+  50/50 linear combination.
+* **harmony** -- the full ensemble with the conviction-linear merger and
+  calibrated voter weights (this library's default engine).
+
+Keeping every baseline on the same voter substrate isolates exactly the
+architectural difference the paper claims matters: how evidence is weighed,
+not which string metrics are available.
+"""
+
+from __future__ import annotations
+
+from repro.match.engine import HarmonyMatchEngine
+from repro.matchers import (
+    DataTypeVoter,
+    DocumentationVoter,
+    ExactNameVoter,
+    NameTokenVoter,
+    NgramVoter,
+    PathVoter,
+    StructuralVoter,
+    ThesaurusVoter,
+    default_voters,
+)
+from repro.voting.merger import AverageMerger, WeightedLinearMerger
+
+__all__ = ["naive_engine", "coma_lite_engine", "cupid_lite_engine", "harmony_engine", "baseline_engines"]
+
+
+def naive_engine() -> HarmonyMatchEngine:
+    """Exact (case-insensitive) name equality only."""
+    return HarmonyMatchEngine(voters=[ExactNameVoter()], merger=AverageMerger())
+
+
+def coma_lite_engine() -> HarmonyMatchEngine:
+    """COMA-style composite: independent matchers, plain average aggregation."""
+    return HarmonyMatchEngine(
+        voters=[
+            NameTokenVoter(),
+            NgramVoter(),
+            DocumentationVoter(),
+            DataTypeVoter(),
+            PathVoter(),
+        ],
+        merger=AverageMerger(),
+    )
+
+
+def cupid_lite_engine() -> HarmonyMatchEngine:
+    """Cupid-style: linguistic similarity + structural similarity, 50/50."""
+    return HarmonyMatchEngine(
+        voters=[
+            NameTokenVoter(),
+            ThesaurusVoter(),
+            StructuralVoter(),
+        ],
+        merger=WeightedLinearMerger([0.25, 0.25, 0.5]),
+    )
+
+
+def harmony_engine() -> HarmonyMatchEngine:
+    """The full Harmony-style configuration (library default)."""
+    return HarmonyMatchEngine()
+
+
+def baseline_engines() -> dict[str, HarmonyMatchEngine]:
+    """All engine-shaped baselines, keyed for bench tables."""
+    return {
+        "naive": naive_engine(),
+        "coma_lite": coma_lite_engine(),
+        "cupid_lite": cupid_lite_engine(),
+        "harmony": harmony_engine(),
+    }

@@ -1,0 +1,120 @@
+"""Similarity Flooding (lite): structural fixpoint propagation baseline.
+
+Melnik et al.'s similarity flooding propagates pair similarity along matched
+structural edges until a fixpoint.  This implementation keeps the essential
+mechanics on schema trees:
+
+* initial similarity sigma^0 = name-token Jaccard (same substrate as the
+  other baselines);
+* one propagation step adds, for every pair, a share of its *parent pair's*
+  similarity (downward flow) and, for container pairs, the mean of their
+  children-pair block (upward flow);
+* after each step the matrix is renormalised by its maximum;
+* iteration stops at ``n_iterations`` or when the residual drops below
+  ``epsilon``.
+
+The result is exposed through the same :class:`~repro.match.engine.MatchResult`
+interface as the engines, with scores in [0, 1].
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.match.engine import MatchResult
+from repro.match.matrix import MatchMatrix
+from repro.matchers.profile import SchemaProfile, build_profile
+from repro.matchers.setsim import jaccard_matrix
+from repro.schema.schema import Schema
+
+__all__ = ["SimilarityFloodingMatcher"]
+
+
+class SimilarityFloodingMatcher:
+    """The SF-lite baseline with an engine-compatible ``match`` method."""
+
+    def __init__(
+        self,
+        n_iterations: int = 8,
+        damping: float = 0.6,
+        epsilon: float = 1e-4,
+    ):
+        if n_iterations <= 0:
+            raise ValueError(f"n_iterations must be positive, got {n_iterations}")
+        if not 0.0 < damping <= 1.0:
+            raise ValueError(f"damping must be in (0, 1], got {damping}")
+        self.n_iterations = n_iterations
+        self.damping = damping
+        self.epsilon = epsilon
+
+    @staticmethod
+    def _padded_parent_gather(
+        matrix: np.ndarray,
+        source_parents: np.ndarray,
+        target_parents: np.ndarray,
+    ) -> np.ndarray:
+        """matrix[parent(i), parent(j)] with zeros for roots (parent == -1)."""
+        padded = np.zeros((matrix.shape[0] + 1, matrix.shape[1] + 1))
+        padded[:-1, :-1] = matrix
+        # Index -1 selects the zero pad row/column.
+        return padded[np.ix_(source_parents, target_parents)]
+
+    def _propagate(
+        self,
+        sigma: np.ndarray,
+        source: SchemaProfile,
+        target: SchemaProfile,
+    ) -> np.ndarray:
+        flow = np.zeros_like(sigma)
+
+        # Downward flow: every pair receives its parent pair's similarity.
+        flow += self._padded_parent_gather(
+            sigma, source.parent_index, target.parent_index
+        )
+
+        # Upward flow: container pairs receive their children block's mean.
+        source_containers = [
+            position for position, kids in enumerate(source.children_index) if kids
+        ]
+        target_containers = [
+            position for position, kids in enumerate(target.children_index) if kids
+        ]
+        for row in source_containers:
+            source_kids = source.children_index[row]
+            for col in target_containers:
+                target_kids = target.children_index[col]
+                flow[row, col] += sigma[np.ix_(source_kids, target_kids)].mean()
+
+        return flow
+
+    def match(self, source: Schema, target: Schema) -> MatchResult:
+        """Run the fixpoint and wrap the final sigma as a MatchResult."""
+        started = time.perf_counter()
+        source_profile = build_profile(source)
+        target_profile = build_profile(target)
+        sigma0 = jaccard_matrix(source_profile.name_terms, target_profile.name_terms)
+        sigma = sigma0.copy()
+
+        for _ in range(self.n_iterations):
+            flow = self._propagate(sigma, source_profile, target_profile)
+            updated = sigma0 + self.damping * flow
+            maximum = updated.max()
+            if maximum > 0:
+                updated = updated / maximum
+            residual = float(np.abs(updated - sigma).max())
+            sigma = updated
+            if residual < self.epsilon:
+                break
+
+        matrix = MatchMatrix(
+            source_profile.element_ids, target_profile.element_ids, sigma
+        )
+        return MatchResult(
+            source,
+            target,
+            matrix,
+            elapsed_seconds=time.perf_counter() - started,
+            voter_names=["similarity_flooding"],
+        )

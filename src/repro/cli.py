@@ -1,0 +1,253 @@
+"""Command-line interface: ``harmonia`` / ``python -m repro``.
+
+Subcommands mirror the library's main operations:
+
+* ``match A.sql B.xsd``      -- run the engine, print top candidates
+* ``overlap A.sql B.xsd``    -- the Lesson-#3 partition report
+* ``summarize A.sql``        -- SUMMARIZE(S) by root containers
+* ``tree A.sql``             -- ASCII schema tree
+* ``vocab A.sql B.xsd C.sql``-- N-way comprehensive vocabulary + partition
+* ``cluster A.sql B.xsd ...``-- cluster a registry, propose COIs
+* ``search QUERY A.sql ...`` -- keyword search over a registry
+* ``casestudy``              -- regenerate the paper's section-3 study
+
+Schema files are loaded by extension: ``.sql`` via the DDL importer,
+``.xsd`` via the XSD importer, ``.json`` via the serialiser.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.export.report import concept_match_text, overlap_report_text
+from repro.match.engine import HarmonyMatchEngine
+from repro.match.selection import ThresholdSelection
+from repro.metrics.overlap import matrix_overlap
+from repro.schema.relational import load_ddl_file
+from repro.schema.schema import Schema
+from repro.schema.serialize import load_schema
+from repro.schema.xmlschema import load_xsd_file
+from repro.summarize.manual import summarize_by_roots
+from repro.viz.ascii import render_tree
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> Schema:
+    if path.endswith(".sql"):
+        return load_ddl_file(path)
+    if path.endswith(".xsd"):
+        return load_xsd_file(path)
+    if path.endswith(".json"):
+        return load_schema(path)
+    raise SystemExit(f"cannot infer schema format of {path!r} (.sql/.xsd/.json)")
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    source = _load(args.source)
+    target = _load(args.target)
+    engine = HarmonyMatchEngine()
+    result = engine.match(source, target)
+    print(
+        f"matched {source.name} ({len(source)}) x {target.name} ({len(target)}): "
+        f"{result.n_pairs} pairs in {result.elapsed_seconds:.2f}s"
+    )
+    candidates = result.candidates(ThresholdSelection(args.threshold))
+    for candidate in candidates[: args.limit]:
+        print(
+            f"  {candidate.score:+.3f}  {source.path(candidate.source_id)}"
+            f"  <->  {target.path(candidate.target_id)}"
+        )
+    if len(candidates) > args.limit:
+        print(f"  ... ({len(candidates) - args.limit} more above {args.threshold})")
+    return 0
+
+
+def _cmd_overlap(args: argparse.Namespace) -> int:
+    source = _load(args.source)
+    target = _load(args.target)
+    result = HarmonyMatchEngine().match(source, target)
+    report = matrix_overlap(result, args.threshold)
+    print(overlap_report_text(report, source.name, target.name))
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    schema = _load(args.schema)
+    summary = summarize_by_roots(schema)
+    sizes = summary.concept_sizes()
+    print(f"{len(summary)} concepts over {len(schema)} elements "
+          f"(coverage {summary.coverage():.0%})")
+    for concept in summary.concepts:
+        print(f"  {concept.label}  ({sizes[concept.concept_id]} elements)")
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    print(render_tree(_load(args.schema), max_elements=args.limit))
+    return 0
+
+
+def _load_registry(paths: list[str]) -> dict[str, Schema]:
+    registry: dict[str, Schema] = {}
+    for path in paths:
+        schema = _load(path)
+        name = schema.name
+        suffix = 2
+        while name in registry:
+            name = f"{schema.name}_{suffix}"
+            suffix += 1
+        registry[name] = schema
+    return registry
+
+
+def _cmd_vocab(args: argparse.Namespace) -> int:
+    from repro.export.report import partition_table_text
+    from repro.nway import nway_match
+
+    registry = _load_registry(args.schemata)
+    if len(registry) < 2:
+        raise SystemExit("vocab needs at least two schemata")
+    vocabulary, partition = nway_match(registry)
+    print(
+        f"comprehensive vocabulary over {len(registry)} schemata: "
+        f"{len(vocabulary)} entries"
+    )
+    print(partition_table_text(partition))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import TermVectorDistance, propose_cois
+
+    registry = _load_registry(args.schemata)
+    if len(registry) < 2:
+        raise SystemExit("cluster needs at least two schemata")
+    distances = TermVectorDistance().matrix(registry)
+    proposals = propose_cois(
+        distances, n_clusters=args.clusters, min_cohesion=args.min_cohesion
+    )
+    if not proposals:
+        print("no communities of interest found at this cohesion level")
+        return 0
+    for proposal in proposals:
+        print(proposal.describe())
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.search import KeywordQuery, SchemaIndex, SchemaSearchEngine
+
+    registry = _load_registry(args.schemata)
+    index = SchemaIndex()
+    for schema in registry.values():
+        index.add(schema)
+    searcher = SchemaSearchEngine(index)
+    hits = searcher.search(KeywordQuery(args.query), limit=args.limit)
+    if not hits:
+        print(f"no schemata match {args.query!r}")
+        return 0
+    for hit in hits:
+        print(f"  {hit.score:8.2f}  {hit.schema_name}")
+    if args.fragments:
+        print("fragments:")
+        for hit in searcher.search_fragments(KeywordQuery(args.query), limit=args.limit):
+            print(f"  {hit.score:8.2f}  {hit.schema_name}/{hit.root_name}")
+    return 0
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    from repro.metrics.overlap import workflow_overlap
+    from repro.synthetic.casestudy import case_study
+
+    pair = case_study(seed=args.seed)
+    engine = HarmonyMatchEngine()
+    result = engine.match(pair.source.schema, pair.target.schema)
+    print(
+        f"SA: {len(pair.source.schema)} elements / "
+        f"{len(pair.source.schema.roots())} concepts; "
+        f"SB: {len(pair.target.schema)} elements / "
+        f"{len(pair.target.schema.roots())} concepts"
+    )
+    print(f"full automated match: {result.n_pairs} pairs in "
+          f"{result.elapsed_seconds:.2f}s (paper: 10.2s)")
+    report = workflow_overlap(
+        result, pair.source.truth_summary(), pair.target.truth_summary()
+    )
+    print()
+    print(overlap_report_text(report))
+    print()
+    print(f"concept-level matches ({len(report.concept_matches)}; paper: 24):")
+    print(concept_match_text(report.concept_matches, limit=10))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="harmonia",
+        description="Enterprise schema matching workbench (CIDR 2009 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    match_parser = subparsers.add_parser("match", help="match two schemata")
+    match_parser.add_argument("source")
+    match_parser.add_argument("target")
+    match_parser.add_argument("--threshold", type=float, default=0.10)
+    match_parser.add_argument("--limit", type=int, default=30)
+    match_parser.set_defaults(handler=_cmd_match)
+
+    overlap_parser = subparsers.add_parser("overlap", help="overlap partition report")
+    overlap_parser.add_argument("source")
+    overlap_parser.add_argument("target")
+    overlap_parser.add_argument("--threshold", type=float, default=0.15)
+    overlap_parser.set_defaults(handler=_cmd_overlap)
+
+    summarize_parser = subparsers.add_parser("summarize", help="SUMMARIZE(S) by roots")
+    summarize_parser.add_argument("schema")
+    summarize_parser.set_defaults(handler=_cmd_summarize)
+
+    tree_parser = subparsers.add_parser("tree", help="print a schema tree")
+    tree_parser.add_argument("schema")
+    tree_parser.add_argument("--limit", type=int, default=60)
+    tree_parser.set_defaults(handler=_cmd_tree)
+
+    vocab_parser = subparsers.add_parser(
+        "vocab", help="N-way comprehensive vocabulary and partition"
+    )
+    vocab_parser.add_argument("schemata", nargs="+")
+    vocab_parser.set_defaults(handler=_cmd_vocab)
+
+    cluster_parser = subparsers.add_parser(
+        "cluster", help="cluster a registry and propose COIs"
+    )
+    cluster_parser.add_argument("schemata", nargs="+")
+    cluster_parser.add_argument("--clusters", type=int, default=None)
+    cluster_parser.add_argument("--min-cohesion", type=float, default=0.0)
+    cluster_parser.set_defaults(handler=_cmd_cluster)
+
+    search_parser = subparsers.add_parser(
+        "search", help="keyword search over a registry of schema files"
+    )
+    search_parser.add_argument("query")
+    search_parser.add_argument("schemata", nargs="+")
+    search_parser.add_argument("--limit", type=int, default=10)
+    search_parser.add_argument("--fragments", action="store_true")
+    search_parser.set_defaults(handler=_cmd_search)
+
+    case_parser = subparsers.add_parser(
+        "casestudy", help="regenerate the paper's section-3 study"
+    )
+    case_parser.add_argument("--seed", type=int, default=2009)
+    case_parser.set_defaults(handler=_cmd_casestudy)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Schema clustering: overlap distances, clusterers, quality, COI proposal."""
+
+from repro.cluster.coi import CoiProposal, propose_cois
+from repro.cluster.distance import (
+    DistanceMatrix,
+    MatchOverlapDistance,
+    TermVectorDistance,
+)
+from repro.cluster.hierarchical import Dendrogram, Merge, agglomerative
+from repro.cluster.kmedoids import KMedoidsResult, k_medoids
+from repro.cluster.quality import adjusted_rand_index, cluster_purity, silhouette
+
+__all__ = [
+    "CoiProposal",
+    "Dendrogram",
+    "DistanceMatrix",
+    "KMedoidsResult",
+    "MatchOverlapDistance",
+    "Merge",
+    "TermVectorDistance",
+    "adjusted_rand_index",
+    "agglomerative",
+    "cluster_purity",
+    "k_medoids",
+    "propose_cois",
+    "silhouette",
+]

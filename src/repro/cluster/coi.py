@@ -1,0 +1,75 @@
+"""COI (community of interest) proposal from schema clusters.
+
+Section 2: "a schema repository such as the MDR could automatically propose
+new COIs by clustering the schemata into related groups"; section 5 adds
+that tight clusters reveal "the most promising ... candidates for
+integration".
+
+A cluster becomes a COI proposal when it is big enough to be worth convening
+and cohesive enough that a community vocabulary is feasible.  Cohesion is
+the mean intra-cluster similarity (1 - distance); the returned proposals are
+ranked most-cohesive first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.distance import DistanceMatrix
+from repro.cluster.hierarchical import agglomerative
+
+__all__ = ["CoiProposal", "propose_cois"]
+
+
+@dataclass(frozen=True)
+class CoiProposal:
+    """One proposed community of interest."""
+
+    members: frozenset[str]
+    cohesion: float
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def describe(self) -> str:
+        names = ", ".join(sorted(self.members))
+        return f"COI({self.size} systems, cohesion {self.cohesion:.2f}): {names}"
+
+
+def _cohesion(distances: DistanceMatrix, members: set[str]) -> float:
+    indices = [distances.names.index(name) for name in members]
+    if len(indices) < 2:
+        return 0.0
+    block = distances.values[np.ix_(indices, indices)]
+    upper = block[np.triu_indices(len(indices), k=1)]
+    return float(1.0 - upper.mean())
+
+
+def propose_cois(
+    distances: DistanceMatrix,
+    n_clusters: int | None = None,
+    min_size: int = 2,
+    min_cohesion: float = 0.3,
+    linkage: str = "average",
+) -> list[CoiProposal]:
+    """Cluster the registry and keep clusters worth convening.
+
+    ``n_clusters`` defaults to a heuristic sqrt(n); proposals below
+    ``min_size`` members or ``min_cohesion`` mean similarity are dropped.
+    """
+    n = len(distances)
+    if n == 0:
+        return []
+    k = n_clusters if n_clusters is not None else max(1, round(n ** 0.5))
+    dendrogram = agglomerative(distances, linkage=linkage)
+    clusters = dendrogram.cut_k(min(k, n))
+    proposals = [
+        CoiProposal(members=frozenset(cluster), cohesion=_cohesion(distances, cluster))
+        for cluster in clusters
+        if len(cluster) >= min_size
+    ]
+    proposals = [p for p in proposals if p.cohesion >= min_cohesion]
+    return sorted(proposals, key=lambda p: (-p.cohesion, sorted(p.members)[0]))

@@ -1,0 +1,119 @@
+"""Inter-schema distances from overlap: the clustering substrate.
+
+Section 5: "Numeric characterizations of overlap could also be used as
+inter-schema distance metrics by a clustering algorithm."
+
+Two distance families are provided:
+
+* :class:`TermVectorDistance` -- cheap: cosine distance between schema-level
+  TF-IDF vectors (each schema's names + documentation as one document).
+  This is what scales to "thousands of schemata" in a registry.
+* :class:`MatchOverlapDistance` -- faithful: run the match engine on each
+  pair and use ``1 - harmonic mean of matched fractions``.  Quadratic in
+  engine runs; intended for shortlists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.match.engine import HarmonyMatchEngine
+from repro.matchers.profile import build_profile
+from repro.schema.schema import Schema
+from repro.text.tfidf import TfidfModel
+
+__all__ = ["DistanceMatrix", "TermVectorDistance", "MatchOverlapDistance"]
+
+
+class DistanceMatrix:
+    """A labelled symmetric distance matrix with zero diagonal."""
+
+    def __init__(self, names: list[str], distances: np.ndarray):
+        distances = np.asarray(distances, dtype=float)
+        if distances.shape != (len(names), len(names)):
+            raise ValueError(
+                f"distance shape {distances.shape} does not match {len(names)} names"
+            )
+        if not np.allclose(distances, distances.T, atol=1e-9):
+            raise ValueError("distance matrix must be symmetric")
+        if not np.allclose(np.diag(distances), 0.0, atol=1e-9):
+            raise ValueError("distance matrix must have a zero diagonal")
+        if distances.size and distances.min() < -1e-9:
+            raise ValueError("distances must be non-negative")
+        self.names = list(names)
+        self.values = distances
+        self._index = {name: i for i, name in enumerate(self.names)}
+
+    def distance(self, left: str, right: str) -> float:
+        return float(self.values[self._index[left], self._index[right]])
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+class TermVectorDistance:
+    """Cosine distance between whole-schema TF-IDF term vectors."""
+
+    def __init__(self, include_documentation: bool = True):
+        self.include_documentation = include_documentation
+
+    def _document(self, schema: Schema) -> list[str]:
+        profile = build_profile(schema)
+        terms: list[str] = []
+        for name_terms in profile.name_terms:
+            terms.extend(name_terms)
+        if self.include_documentation:
+            for doc_terms in profile.doc_terms:
+                terms.extend(doc_terms)
+        return terms
+
+    def matrix(self, schemata: dict[str, Schema]) -> DistanceMatrix:
+        names = sorted(schemata)
+        documents = [self._document(schemata[name]) for name in names]
+        model = TfidfModel(documents)
+        vectors = model.matrix(documents)
+        similarity = np.asarray((vectors @ vectors.T).todense(), dtype=float)
+        np.clip(similarity, 0.0, 1.0, out=similarity)
+        distances = 1.0 - similarity
+        np.fill_diagonal(distances, 0.0)
+        # Numerical symmetry guard.
+        distances = 0.5 * (distances + distances.T)
+        return DistanceMatrix(names, distances)
+
+
+class MatchOverlapDistance:
+    """1 - harmonic mean of the two matched-element fractions per pair."""
+
+    def __init__(
+        self,
+        engine: HarmonyMatchEngine | None = None,
+        threshold: float = 0.13,
+    ):
+        self.engine = engine if engine is not None else HarmonyMatchEngine()
+        self.threshold = threshold
+
+    def pair_distance(self, left: Schema, right: Schema) -> float:
+        result = self.engine.match(left, right)
+        source_fraction = len(result.matched_source_ids(self.threshold)) / max(
+            len(left), 1
+        )
+        target_fraction = len(result.matched_target_ids(self.threshold)) / max(
+            len(right), 1
+        )
+        if source_fraction + target_fraction == 0:
+            return 1.0
+        harmonic = (
+            2 * source_fraction * target_fraction / (source_fraction + target_fraction)
+        )
+        return 1.0 - harmonic
+
+    def matrix(self, schemata: dict[str, Schema]) -> DistanceMatrix:
+        names = sorted(schemata)
+        size = len(names)
+        distances = np.zeros((size, size))
+        for i in range(size):
+            for j in range(i + 1, size):
+                value = self.pair_distance(schemata[names[i]], schemata[names[j]])
+                distances[i, j] = value
+                distances[j, i] = value
+        return DistanceMatrix(names, distances)

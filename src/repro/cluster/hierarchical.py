@@ -1,0 +1,111 @@
+"""Agglomerative hierarchical clustering, from scratch.
+
+Written against :class:`~repro.cluster.distance.DistanceMatrix` with
+single / complete / average linkage.  The full merge history (a dendrogram)
+is kept so callers can cut at any cluster count or height -- which is how a
+CIO explores "the big picture view of enterprise data sources" at several
+granularities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.distance import DistanceMatrix
+
+__all__ = ["Merge", "Dendrogram", "agglomerative"]
+
+_LINKAGES = ("single", "complete", "average")
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step: clusters ``left`` and ``right`` at ``height``."""
+
+    left: int
+    right: int
+    height: float
+    new_id: int
+
+
+class Dendrogram:
+    """The merge tree; supports cutting into flat clusterings."""
+
+    def __init__(self, names: list[str], merges: list[Merge]):
+        self.names = list(names)
+        self.merges = list(merges)
+
+    def cut_k(self, k: int) -> list[set[str]]:
+        """Flat clustering with exactly ``k`` clusters (1 <= k <= n)."""
+        n = len(self.names)
+        if not 1 <= k <= n:
+            raise ValueError(f"k must be in [1, {n}], got {k}")
+        members: dict[int, set[str]] = {
+            i: {name} for i, name in enumerate(self.names)
+        }
+        for merge in self.merges[: n - k]:
+            members[merge.new_id] = members.pop(merge.left) | members.pop(merge.right)
+        return sorted(members.values(), key=lambda cluster: sorted(cluster)[0])
+
+    def cut_height(self, height: float) -> list[set[str]]:
+        """Flat clustering keeping merges at or below ``height``."""
+        members: dict[int, set[str]] = {
+            i: {name} for i, name in enumerate(self.names)
+        }
+        for merge in self.merges:
+            if merge.height > height:
+                break
+            members[merge.new_id] = members.pop(merge.left) | members.pop(merge.right)
+        return sorted(members.values(), key=lambda cluster: sorted(cluster)[0])
+
+    def heights(self) -> list[float]:
+        return [merge.height for merge in self.merges]
+
+
+def agglomerative(
+    distances: DistanceMatrix, linkage: str = "average"
+) -> Dendrogram:
+    """Cluster a distance matrix agglomeratively.
+
+    O(n^3) in the naive formulation used here -- entirely adequate for
+    registry-shortlist scale (hundreds), and dependency-free.
+    """
+    if linkage not in _LINKAGES:
+        raise ValueError(f"unknown linkage {linkage!r}; options: {_LINKAGES}")
+    n = len(distances)
+    if n == 0:
+        return Dendrogram([], [])
+
+    # Active clusters: id -> member leaf indices; ids >= n are merged nodes.
+    members: dict[int, list[int]] = {i: [i] for i in range(n)}
+    base = distances.values
+    merges: list[Merge] = []
+    next_id = n
+
+    def cluster_distance(left_id: int, right_id: int) -> float:
+        block = base[np.ix_(members[left_id], members[right_id])]
+        if linkage == "single":
+            return float(block.min())
+        if linkage == "complete":
+            return float(block.max())
+        return float(block.mean())
+
+    while len(members) > 1:
+        best: tuple[float, int, int] | None = None
+        active = sorted(members)
+        for i, left_id in enumerate(active):
+            for right_id in active[i + 1 :]:
+                candidate = cluster_distance(left_id, right_id)
+                if best is None or candidate < best[0]:
+                    best = (candidate, left_id, right_id)
+        assert best is not None
+        height, left_id, right_id = best
+        members[next_id] = members.pop(left_id) + members.pop(right_id)
+        merges.append(
+            Merge(left=left_id, right=right_id, height=height, new_id=next_id)
+        )
+        next_id += 1
+
+    return Dendrogram(distances.names, merges)

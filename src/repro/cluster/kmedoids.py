@@ -1,0 +1,79 @@
+"""k-medoids clustering (PAM-style) over a distance matrix.
+
+An alternative flat clusterer for registry analysis: medoids are actual
+schemata, so each cluster comes with a natural exemplar ("this community
+looks like schema X") -- handy for CIO-facing reports.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.cluster.distance import DistanceMatrix
+
+__all__ = ["KMedoidsResult", "k_medoids"]
+
+
+class KMedoidsResult:
+    """Flat clustering with exemplar medoids."""
+
+    def __init__(
+        self, names: list[str], medoid_indices: list[int], assignment: list[int],
+        cost: float,
+    ):
+        self.names = list(names)
+        self.medoid_indices = list(medoid_indices)
+        self.assignment = list(assignment)
+        self.cost = cost
+
+    @property
+    def medoids(self) -> list[str]:
+        return [self.names[index] for index in self.medoid_indices]
+
+    def clusters(self) -> list[set[str]]:
+        grouped: dict[int, set[str]] = {m: set() for m in range(len(self.medoid_indices))}
+        for index, cluster in enumerate(self.assignment):
+            grouped[cluster].add(self.names[index])
+        return sorted(grouped.values(), key=lambda cluster: sorted(cluster)[0])
+
+
+def _total_cost(values: np.ndarray, medoids: list[int]) -> tuple[float, list[int]]:
+    block = values[:, medoids]
+    assignment = block.argmin(axis=1)
+    cost = float(block[np.arange(values.shape[0]), assignment].sum())
+    return cost, assignment.tolist()
+
+
+def k_medoids(
+    distances: DistanceMatrix,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 100,
+) -> KMedoidsResult:
+    """PAM with greedy swap improvement; deterministic given the seed."""
+    n = len(distances)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = random.Random(seed)
+    values = distances.values
+    medoids = sorted(rng.sample(range(n), k))
+    cost, assignment = _total_cost(values, medoids)
+
+    for _ in range(max_iterations):
+        improved = False
+        for position in range(k):
+            for candidate in range(n):
+                if candidate in medoids:
+                    continue
+                trial = list(medoids)
+                trial[position] = candidate
+                trial_cost, trial_assignment = _total_cost(values, trial)
+                if trial_cost + 1e-12 < cost:
+                    medoids, cost, assignment = trial, trial_cost, trial_assignment
+                    improved = True
+        if not improved:
+            break
+
+    return KMedoidsResult(distances.names, medoids, assignment, cost)

@@ -1,0 +1,96 @@
+"""Clustering quality: silhouette, purity, and agreement with planted labels."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.cluster.distance import DistanceMatrix
+
+__all__ = ["silhouette", "cluster_purity", "adjusted_rand_index"]
+
+
+def _assignment_of(clusters: list[set[str]], names: list[str]) -> list[int]:
+    of: dict[str, int] = {}
+    for index, cluster in enumerate(clusters):
+        for name in cluster:
+            of[name] = index
+    missing = [name for name in names if name not in of]
+    if missing:
+        raise ValueError(f"clustering does not cover: {missing[:5]}")
+    return [of[name] for name in names]
+
+
+def silhouette(distances: DistanceMatrix, clusters: list[set[str]]) -> float:
+    """Mean silhouette coefficient in [-1, 1]; higher is better separated.
+
+    Singleton clusters contribute 0 (the standard convention).
+    """
+    names = distances.names
+    assignment = np.array(_assignment_of(clusters, names))
+    values = distances.values
+    scores: list[float] = []
+    for i in range(len(names)):
+        own = assignment == assignment[i]
+        own[i] = False
+        if not own.any():
+            scores.append(0.0)
+            continue
+        a = values[i, own].mean()
+        b = np.inf
+        for other in set(assignment) - {assignment[i]}:
+            mask = assignment == other
+            b = min(b, values[i, mask].mean())
+        if not np.isfinite(b):
+            scores.append(0.0)
+            continue
+        denominator = max(a, b)
+        scores.append(0.0 if denominator == 0 else (b - a) / denominator)
+    if not scores:
+        return 0.0
+    return float(np.mean(scores))
+
+
+def cluster_purity(
+    clusters: list[set[str]], truth_label_of: dict[str, int]
+) -> float:
+    """Weighted majority-label purity against planted labels."""
+    total = 0
+    agreeing = 0
+    for cluster in clusters:
+        labels = Counter(truth_label_of[name] for name in cluster)
+        if not labels:
+            continue
+        agreeing += labels.most_common(1)[0][1]
+        total += sum(labels.values())
+    if total == 0:
+        return 0.0
+    return agreeing / total
+
+
+def adjusted_rand_index(
+    clusters: list[set[str]], truth_label_of: dict[str, int]
+) -> float:
+    """ARI between a clustering and planted labels (1 = identical)."""
+    names = sorted(truth_label_of)
+    predicted = _assignment_of(clusters, names)
+    actual = [truth_label_of[name] for name in names]
+
+    def comb2(value: int) -> float:
+        return value * (value - 1) / 2.0
+
+    contingency: Counter[tuple[int, int]] = Counter(zip(predicted, actual))
+    sum_cells = sum(comb2(count) for count in contingency.values())
+    predicted_counts = Counter(predicted)
+    actual_counts = Counter(actual)
+    sum_predicted = sum(comb2(count) for count in predicted_counts.values())
+    sum_actual = sum(comb2(count) for count in actual_counts.values())
+    n_pairs = comb2(len(names))
+    if n_pairs == 0:
+        return 1.0
+    expected = sum_predicted * sum_actual / n_pairs
+    maximum = 0.5 * (sum_predicted + sum_actual)
+    if maximum == expected:
+        return 1.0
+    return (sum_cells - expected) / (maximum - expected)

@@ -1,0 +1,28 @@
+"""Export: spreadsheet deliverables, match-centric views, decision reports."""
+
+from repro.export.matchcentric import MatchRow, MatchTable
+from repro.export.report import (
+    concept_match_text,
+    overlap_report_text,
+    partition_table_text,
+)
+from repro.export.spreadsheet import (
+    RowType,
+    Workbook,
+    concept_sheet,
+    element_sheet,
+    write_sheet,
+)
+
+__all__ = [
+    "MatchRow",
+    "MatchTable",
+    "RowType",
+    "Workbook",
+    "concept_match_text",
+    "concept_sheet",
+    "element_sheet",
+    "overlap_report_text",
+    "partition_table_text",
+    "write_sheet",
+]

@@ -1,0 +1,140 @@
+"""The match-centric view: matches as first-class, sortable rows.
+
+Lesson #2: "we need a match-centric view of matches in addition to the
+typical schema-centric view ... Spreadsheets allow users to flexibly sort
+matches (e.g., by status, team member assigned to investigate it, etc.)."
+
+:class:`MatchTable` is that view: one row per correspondence with the
+columns engineers sort and group by, plus text/CSV rendering.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+
+from repro.match.correspondence import Correspondence
+from repro.schema.schema import Schema
+from repro.summarize.concepts import Summary
+
+__all__ = ["MatchRow", "MatchTable"]
+
+_COLUMNS = (
+    "source",
+    "target",
+    "score",
+    "status",
+    "annotation",
+    "reviewer",
+    "source_concept",
+    "target_concept",
+)
+
+
+@dataclass(frozen=True)
+class MatchRow:
+    """One correspondence rendered for the match-centric view."""
+
+    source: str
+    target: str
+    score: float
+    status: str
+    annotation: str
+    reviewer: str
+    source_concept: str
+    target_concept: str
+
+    def value(self, column: str):
+        if column not in _COLUMNS:
+            raise KeyError(f"unknown column {column!r}; options: {_COLUMNS}")
+        return getattr(self, column)
+
+
+class MatchTable:
+    """Sortable, groupable table of correspondences."""
+
+    def __init__(self, rows: list[MatchRow]):
+        self.rows = list(rows)
+
+    @classmethod
+    def build(
+        cls,
+        correspondences,
+        source: Schema,
+        target: Schema,
+        source_summary: Summary | None = None,
+        target_summary: Summary | None = None,
+    ) -> "MatchTable":
+        def concept_label(summary: Summary | None, element_id: str) -> str:
+            if summary is None:
+                return ""
+            concept = summary.concept_of(element_id)
+            return concept.label if concept is not None else ""
+
+        rows = [
+            MatchRow(
+                source=source.path(c.source_id),
+                target=target.path(c.target_id),
+                score=round(c.score, 3),
+                status=str(c.status),
+                annotation=str(c.annotation),
+                reviewer=c.asserted_by,
+                source_concept=concept_label(source_summary, c.source_id),
+                target_concept=concept_label(target_summary, c.target_id),
+            )
+            for c in correspondences
+        ]
+        return cls(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def sorted_by(self, column: str, descending: bool = False) -> "MatchTable":
+        """A new table sorted on one column (stable)."""
+        return MatchTable(
+            sorted(self.rows, key=lambda row: row.value(column), reverse=descending)
+        )
+
+    def grouped_by(self, column: str) -> dict[str, "MatchTable"]:
+        """Partition rows by a column's value."""
+        groups: dict[str, list[MatchRow]] = {}
+        for row in self.rows:
+            groups.setdefault(str(row.value(column)), []).append(row)
+        return {key: MatchTable(rows) for key, rows in sorted(groups.items())}
+
+    def filtered(self, predicate) -> "MatchTable":
+        return MatchTable([row for row in self.rows if predicate(row)])
+
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(_COLUMNS)
+        for row in self.rows:
+            writer.writerow([row.value(column) for column in _COLUMNS])
+        return buffer.getvalue()
+
+    def to_text(self, limit: int | None = 40) -> str:
+        """Fixed-width text rendering (what a terminal review looks like)."""
+        shown = self.rows if limit is None else self.rows[:limit]
+        if not shown:
+            return "(no matches)"
+        widths = {
+            column: max(
+                len(column), *(len(str(row.value(column))) for row in shown)
+            )
+            for column in _COLUMNS
+        }
+        header = "  ".join(column.ljust(widths[column]) for column in _COLUMNS)
+        separator = "  ".join("-" * widths[column] for column in _COLUMNS)
+        lines = [header, separator]
+        for row in shown:
+            lines.append(
+                "  ".join(
+                    str(row.value(column)).ljust(widths[column]) for column in _COLUMNS
+                )
+            )
+        if limit is not None and len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Decision-maker reports: the narrative artifacts the paper's customer read.
+
+The customer never looked at a match matrix; they read an analysis of "what
+[the schemata] held in common, how and to what extent they differed" (3.1).
+These renderers produce that analysis as plain text: the overlap partition,
+the concept-match listing, and the N-way partition table.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.overlap import OverlapReport
+from repro.nway.partition import NWayPartition
+
+__all__ = ["overlap_report_text", "concept_match_text", "partition_table_text"]
+
+
+def overlap_report_text(
+    report: OverlapReport, source_name: str = "SA", target_name: str = "SB"
+) -> str:
+    """The section-3.4 style overlap narrative."""
+    matched_fraction = report.target_matched_fraction
+    lines = [
+        f"Overlap analysis: {source_name} vs {target_name}",
+        "=" * 46,
+        f"{source_name}: {report.source_total} elements; "
+        f"{target_name}: {report.target_total} elements",
+        "",
+        f"{source_name} ∩ {target_name}: "
+        f"{len(report.intersection_target_ids)} elements of {target_name} matched "
+        f"({matched_fraction:.0%})",
+        f"{target_name} − {source_name}: {report.target_unmatched_count} elements "
+        f"({1 - matched_fraction:.0%}) have no counterpart",
+        f"{source_name} − {target_name}: {len(report.source_only_ids)} elements "
+        f"are specific to {source_name}",
+    ]
+    if report.concept_matches:
+        lines.append("")
+        lines.append(f"Concept-level matches recorded: {len(report.concept_matches)}")
+    verdict = (
+        f"Subsuming {target_name} looks challenging: most of it has no "
+        f"counterpart in {source_name}."
+        if matched_fraction < 0.5
+        else f"Subsuming {target_name} looks tractable: most of it already "
+        f"overlaps {source_name}."
+    )
+    lines.extend(["", verdict])
+    return "\n".join(lines)
+
+
+def concept_match_text(concept_matches, limit: int | None = None) -> str:
+    """The concept-level match listing (sheet-1 narrative form)."""
+    shown = concept_matches if limit is None else concept_matches[:limit]
+    if not shown:
+        return "(no concept-level matches)"
+    width = max(len(match.source_label) for match in shown)
+    lines = [
+        f"{match.source_label.ljust(width)}  <=>  {match.target_label}"
+        f"  ({match.score:.2f})"
+        for match in shown
+    ]
+    if limit is not None and len(concept_matches) > limit:
+        lines.append(f"... ({len(concept_matches) - limit} more)")
+    return "\n".join(lines)
+
+
+def partition_table_text(partition: NWayPartition, nonempty_only: bool = True) -> str:
+    """The 2^N - 1 partition as a report table."""
+    rows = partition.table()
+    if nonempty_only:
+        rows = [row for row in rows if row[1] > 0]
+    if not rows:
+        return "(empty partition)"
+    label_width = max(len(label) for label, _, _ in rows)
+    lines = [
+        f"{'schemata'.ljust(label_width)}  concepts  elements",
+        f"{'-' * label_width}  --------  --------",
+    ]
+    for label, n_entries, n_elements in rows:
+        lines.append(f"{label.ljust(label_width)}  {n_entries:8d}  {n_elements:8d}")
+    lines.append(
+        f"({partition.n_cells} cells total for N={len(partition.schema_names)}; "
+        f"{len(rows)} shown)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Harmony's GUI filters as computable predicates: link + node filters."""
+
+from repro.filters.chain import FilterChain
+from repro.filters.link import (
+    ConfidenceFilter,
+    LinkFilter,
+    StatusFilter,
+    TopKPerSourceFilter,
+)
+from repro.filters.node import (
+    DepthFilter,
+    KindFilter,
+    NamePatternFilter,
+    NodeFilter,
+    SubtreeFilter,
+)
+
+__all__ = [
+    "ConfidenceFilter",
+    "DepthFilter",
+    "FilterChain",
+    "KindFilter",
+    "LinkFilter",
+    "NamePatternFilter",
+    "NodeFilter",
+    "StatusFilter",
+    "SubtreeFilter",
+    "TopKPerSourceFilter",
+]

@@ -1,0 +1,79 @@
+"""Filter chains: the composed view an integration engineer actually sees.
+
+A :class:`FilterChain` combines any number of link filters with node filters
+on each side.  Applying it to a list of candidate correspondences yields the
+visible subset -- the lines the Harmony GUI would draw.  The clutter model
+in :mod:`repro.viz` builds directly on this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.filters.link import LinkFilter
+from repro.filters.node import NodeFilter
+from repro.match.correspondence import Correspondence
+from repro.schema.schema import Schema
+
+__all__ = ["FilterChain"]
+
+
+class FilterChain:
+    """Composable view filter over a match between two schemata."""
+
+    def __init__(
+        self,
+        link_filters: Sequence[LinkFilter] = (),
+        source_filters: Sequence[NodeFilter] = (),
+        target_filters: Sequence[NodeFilter] = (),
+    ):
+        self.link_filters = list(link_filters)
+        self.source_filters = list(source_filters)
+        self.target_filters = list(target_filters)
+
+    def with_link(self, link_filter: LinkFilter) -> "FilterChain":
+        """New chain with one more link filter appended."""
+        return FilterChain(
+            self.link_filters + [link_filter], self.source_filters, self.target_filters
+        )
+
+    def with_source(self, node_filter: NodeFilter) -> "FilterChain":
+        return FilterChain(
+            self.link_filters, self.source_filters + [node_filter], self.target_filters
+        )
+
+    def with_target(self, node_filter: NodeFilter) -> "FilterChain":
+        return FilterChain(
+            self.link_filters, self.source_filters, self.target_filters + [node_filter]
+        )
+
+    def enabled_source_ids(self, source: Schema) -> set[str]:
+        """Elements enabled on the source side (intersection of node filters)."""
+        enabled = {element.element_id for element in source}
+        for node_filter in self.source_filters:
+            enabled &= node_filter.enabled_ids(source)
+        return enabled
+
+    def enabled_target_ids(self, target: Schema) -> set[str]:
+        enabled = {element.element_id for element in target}
+        for node_filter in self.target_filters:
+            enabled &= node_filter.enabled_ids(target)
+        return enabled
+
+    def apply(
+        self,
+        correspondences: Iterable[Correspondence],
+        source: Schema,
+        target: Schema,
+    ) -> list[Correspondence]:
+        """The visible correspondences under this chain."""
+        visible = list(correspondences)
+        for link_filter in self.link_filters:
+            visible = link_filter.apply(visible)
+        if self.source_filters:
+            enabled_source = self.enabled_source_ids(source)
+            visible = [c for c in visible if c.source_id in enabled_source]
+        if self.target_filters:
+            enabled_target = self.enabled_target_ids(target)
+            visible = [c for c in visible if c.target_id in enabled_target]
+        return visible

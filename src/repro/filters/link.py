@@ -1,0 +1,88 @@
+"""Link filters: predicates over candidate correspondences.
+
+"These filters are loosely categorized as link filters, which depend on the
+characteristics of a given candidate correspondence, and node filters, which
+depend on the characteristics of a given schema element" (CIDR 2009, 3.2).
+
+A link filter decides, per correspondence, whether it stays visible.  The
+most important one is the :class:`ConfidenceFilter`: "Only those
+correspondences whose match score falls within the specific range of values
+are displayed graphically."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.match.correspondence import Correspondence, MatchStatus
+
+__all__ = ["LinkFilter", "ConfidenceFilter", "StatusFilter", "TopKPerSourceFilter"]
+
+
+class LinkFilter:
+    """Base link filter; subclasses override :meth:`keep`."""
+
+    def keep(self, correspondence: Correspondence) -> bool:
+        raise NotImplementedError
+
+    def apply(self, correspondences: Iterable[Correspondence]) -> list[Correspondence]:
+        return [c for c in correspondences if self.keep(c)]
+
+
+class ConfidenceFilter(LinkFilter):
+    """Keep correspondences whose score lies in [minimum, maximum]."""
+
+    def __init__(self, minimum: float = 0.5, maximum: float = 1.0):
+        if minimum > maximum:
+            raise ValueError(
+                f"confidence filter range is empty: [{minimum}, {maximum}]"
+            )
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def keep(self, correspondence: Correspondence) -> bool:
+        return self.minimum <= correspondence.score <= self.maximum
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConfidenceFilter([{self.minimum}, {self.maximum}])"
+
+
+class StatusFilter(LinkFilter):
+    """Keep correspondences in any of the given lifecycle statuses."""
+
+    def __init__(self, *statuses: MatchStatus):
+        if not statuses:
+            raise ValueError("StatusFilter needs at least one status")
+        self.statuses = frozenset(statuses)
+
+    def keep(self, correspondence: Correspondence) -> bool:
+        return correspondence.status in self.statuses
+
+
+class TopKPerSourceFilter(LinkFilter):
+    """Keep only each source element's k best links (declutters the view).
+
+    Stateful over one application: :meth:`apply` ranks within the batch.
+    """
+
+    def __init__(self, k: int = 3):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+
+    def keep(self, correspondence: Correspondence) -> bool:
+        raise NotImplementedError(
+            "TopKPerSourceFilter ranks within a batch; use apply()"
+        )
+
+    def apply(self, correspondences: Iterable[Correspondence]) -> list[Correspondence]:
+        by_source: dict[str, list[Correspondence]] = {}
+        ordered = list(correspondences)
+        for correspondence in ordered:
+            by_source.setdefault(correspondence.source_id, []).append(correspondence)
+        kept: set[tuple[str, str]] = set()
+        for source_id, links in by_source.items():
+            links.sort(key=lambda c: -c.score)
+            for link in links[: self.k]:
+                kept.add(link.pair)
+        return [c for c in ordered if c.pair in kept]

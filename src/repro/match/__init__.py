@@ -1,0 +1,36 @@
+"""The match engine: matrices, correspondences, selection, incremental runs."""
+
+from repro.match.correspondence import (
+    Correspondence,
+    CorrespondenceSet,
+    MatchStatus,
+    SemanticAnnotation,
+)
+from repro.match.engine import HarmonyMatchEngine, MatchResult
+from repro.match.incremental import Increment, IncrementalMatcher
+from repro.match.matrix import MatchMatrix, ScoredPair
+from repro.match.selection import (
+    HungarianSelection,
+    SelectionStrategy,
+    StableMarriageSelection,
+    ThresholdSelection,
+    TopKSelection,
+)
+
+__all__ = [
+    "Correspondence",
+    "CorrespondenceSet",
+    "HarmonyMatchEngine",
+    "HungarianSelection",
+    "Increment",
+    "IncrementalMatcher",
+    "MatchMatrix",
+    "MatchResult",
+    "MatchStatus",
+    "ScoredPair",
+    "SelectionStrategy",
+    "SemanticAnnotation",
+    "StableMarriageSelection",
+    "ThresholdSelection",
+    "TopKSelection",
+]

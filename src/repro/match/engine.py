@@ -1,0 +1,228 @@
+"""The Harmony match engine: voters -> merger -> match matrix.
+
+This is the core MATCH(S1, S2) operator [Bernstein, CIDR 2003] as the paper's
+section 3.2 describes Harmony's realisation of it: linguistic preprocessing
+(done once per schema in :func:`~repro.matchers.profile.build_profile`),
+several match voters each emitting evidence-aware confidences, and a vote
+merger producing the final match score per pair.
+
+The engine is stateless apart from a profile cache, so one engine instance
+serves repeated (incremental) match operations over the same schemata --
+exactly the concept-at-a-time workflow of section 3.3.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.match.correspondence import Correspondence, CorrespondenceSet
+from repro.match.matrix import MatchMatrix
+from repro.match.selection import SelectionStrategy, ThresholdSelection
+from repro.matchers import DEFAULT_VOTER_WEIGHTS, MatchVoter, default_voters
+from repro.matchers.profile import SchemaProfile, build_profile
+from repro.schema.schema import Schema
+from repro.voting.merger import ConvictionLinearMerger, VoteMerger
+
+__all__ = ["MatchResult", "HarmonyMatchEngine"]
+
+
+class MatchResult:
+    """Outcome of one match operation: the matrix plus convenience queries."""
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        matrix: MatchMatrix,
+        elapsed_seconds: float,
+        voter_names: list[str],
+    ):
+        self.source = source
+        self.target = target
+        self.matrix = matrix
+        self.elapsed_seconds = elapsed_seconds
+        self.voter_names = voter_names
+
+    @property
+    def n_pairs(self) -> int:
+        """Candidate pairs considered (the paper's 10^4-10^6 scale numbers)."""
+        return self.matrix.n_pairs
+
+    def candidates(
+        self, selection: SelectionStrategy | None = None
+    ) -> list[Correspondence]:
+        """Materialise candidate correspondences under a selection strategy."""
+        strategy = selection if selection is not None else ThresholdSelection(0.15)
+        return strategy.select(self.matrix)
+
+    def candidate_set(
+        self, selection: SelectionStrategy | None = None
+    ) -> CorrespondenceSet:
+        return CorrespondenceSet(self.candidates(selection))
+
+    def matched_source_ids(self, threshold: float) -> set[str]:
+        """Source elements whose best score clears ``threshold``."""
+        row_max = self.matrix.row_max()
+        return {
+            source_id
+            for source_id, best in zip(self.matrix.source_ids, row_max)
+            if best >= threshold
+        }
+
+    def matched_target_ids(self, threshold: float) -> set[str]:
+        """Target elements whose best score clears ``threshold``."""
+        col_max = self.matrix.col_max()
+        return {
+            target_id
+            for target_id, best in zip(self.matrix.target_ids, col_max)
+            if best >= threshold
+        }
+
+    def unmatched_source_ids(self, threshold: float) -> set[str]:
+        """The {S1 - S2} knowledge of Lesson #3."""
+        return set(self.matrix.source_ids) - self.matched_source_ids(threshold)
+
+    def unmatched_target_ids(self, threshold: float) -> set[str]:
+        """The {S2 - S1} knowledge of Lesson #3."""
+        return set(self.matrix.target_ids) - self.matched_target_ids(threshold)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MatchResult({self.source.name!r} x {self.target.name!r}, "
+            f"pairs={self.n_pairs}, elapsed={self.elapsed_seconds:.2f}s)"
+        )
+
+
+class HarmonyMatchEngine:
+    """Composable match engine (voters + merger), with a profile cache.
+
+    Parameters
+    ----------
+    voters:
+        The voter ensemble; defaults to :func:`repro.matchers.default_voters`.
+    merger:
+        Vote merger; defaults to the conviction-linear merger with the
+        calibrated :data:`~repro.matchers.DEFAULT_VOTER_WEIGHTS` (only when
+        the default ensemble is used; custom voter lists get flat weights).
+    """
+
+    def __init__(
+        self,
+        voters: list[MatchVoter] | None = None,
+        merger: VoteMerger | None = None,
+    ):
+        if voters is None:
+            self.voters = default_voters()
+            default_weights: tuple[float, ...] | None = DEFAULT_VOTER_WEIGHTS
+        else:
+            self.voters = voters
+            default_weights = None
+        if not self.voters:
+            raise ValueError("engine needs at least one voter")
+        if merger is not None:
+            self.merger = merger
+        else:
+            self.merger = ConvictionLinearMerger(voter_weights=default_weights)
+        self._profiles: dict[int, SchemaProfile] = {}
+
+    def profile(self, schema: Schema) -> SchemaProfile:
+        """Profile a schema once; later calls reuse the cache."""
+        key = id(schema)
+        cached = self._profiles.get(key)
+        if cached is None or cached.schema is not schema or len(cached) != len(schema):
+            cached = build_profile(schema)
+            self._profiles[key] = cached
+        return cached
+
+    def match(
+        self,
+        source: Schema,
+        target: Schema,
+        source_element_ids: list[str] | None = None,
+        target_element_ids: list[str] | None = None,
+    ) -> MatchResult:
+        """Run all voters over the (optionally restricted) pair grid.
+
+        ``source_element_ids`` / ``target_element_ids`` restrict the grid --
+        this is how the sub-tree and depth filters become *match-time*
+        restrictions rather than mere display filters.
+        """
+        started = time.perf_counter()
+        source_profile = self.profile(source)
+        target_profile = self.profile(target)
+
+        source_positions = (
+            source_profile.positions_of(source_element_ids)
+            if source_element_ids is not None
+            else None
+        )
+        target_positions = (
+            target_profile.positions_of(target_element_ids)
+            if target_element_ids is not None
+            else None
+        )
+
+        stacked = np.stack(
+            [
+                voter.vote(
+                    source_profile, target_profile, source_positions, target_positions
+                ).confidence
+                for voter in self.voters
+            ]
+        )
+        merged = self.merger.merge(stacked)
+
+        source_ids = (
+            list(source_element_ids)
+            if source_element_ids is not None
+            else source_profile.element_ids
+        )
+        target_ids = (
+            list(target_element_ids)
+            if target_element_ids is not None
+            else target_profile.element_ids
+        )
+        matrix = MatchMatrix(source_ids, target_ids, merged)
+        elapsed = time.perf_counter() - started
+        return MatchResult(
+            source,
+            target,
+            matrix,
+            elapsed_seconds=elapsed,
+            voter_names=[voter.name for voter in self.voters],
+        )
+
+    def explain(
+        self, source: Schema, target: Schema, source_id: str, target_id: str
+    ) -> dict[str, dict[str, float]]:
+        """Per-voter breakdown for one pair (recomputed on a 1x1 grid).
+
+        Returns ``{voter: {"confidence", "similarity", "evidence"}}`` plus a
+        ``"merged"`` pseudo-voter with the final score -- the explanation a
+        GUI tooltip would show.
+        """
+        source_profile = self.profile(source)
+        target_profile = self.profile(target)
+        source_positions = source_profile.positions_of([source_id])
+        target_positions = target_profile.positions_of([target_id])
+        breakdown: dict[str, dict[str, float]] = {}
+        confidences = []
+        for voter in self.voters:
+            opinion = voter.vote(
+                source_profile, target_profile, source_positions, target_positions
+            )
+            confidences.append(opinion.confidence)
+            breakdown[voter.name] = {
+                "confidence": float(opinion.confidence[0, 0]),
+                "similarity": float(opinion.similarity[0, 0]),
+                "evidence": float(opinion.evidence[0, 0]),
+            }
+        merged = self.merger.merge(np.stack(confidences))
+        breakdown["merged"] = {
+            "confidence": float(merged[0, 0]),
+            "similarity": float("nan"),
+            "evidence": float("nan"),
+        }
+        return breakdown

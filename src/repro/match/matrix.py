@@ -1,0 +1,147 @@
+"""The match matrix: merged scores for every source x target element pair.
+
+"the matcher's output (a match matrix)" -- CIDR 2009, section 3.3.  A
+:class:`MatchMatrix` pairs a dense numpy score array with the element-id
+labelling of its rows and columns, and provides the queries the rest of the
+system needs: thresholding, top-k, sub-grid extraction, and pair iteration.
+Scores are merged confidences in [-1, +1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["MatchMatrix", "ScoredPair"]
+
+
+@dataclass(frozen=True)
+class ScoredPair:
+    """One (source element, target element, score) triple."""
+
+    source_id: str
+    target_id: str
+    score: float
+
+
+class MatchMatrix:
+    """Dense merged-score matrix labelled by element ids.
+
+    Rows are source elements, columns target elements, in the order given at
+    construction (importers keep source order, so matrices are stable).
+    """
+
+    def __init__(
+        self, source_ids: list[str], target_ids: list[str], scores: np.ndarray
+    ):
+        scores = np.asarray(scores, dtype=float)
+        if scores.shape != (len(source_ids), len(target_ids)):
+            raise ValueError(
+                f"score shape {scores.shape} does not match labels "
+                f"({len(source_ids)}, {len(target_ids)})"
+            )
+        if scores.size and (scores.min() < -1.0 - 1e-9 or scores.max() > 1.0 + 1e-9):
+            raise ValueError("scores must lie in [-1, 1]")
+        self.source_ids = list(source_ids)
+        self.target_ids = list(target_ids)
+        self._scores = scores
+        self._source_index = {sid: i for i, sid in enumerate(self.source_ids)}
+        self._target_index = {tid: j for j, tid in enumerate(self.target_ids)}
+
+    # ------------------------------------------------------------------
+    @property
+    def scores(self) -> np.ndarray:
+        """The raw (n_source, n_target) score array (do not mutate)."""
+        return self._scores
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._scores.shape
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of potential matches -- the paper's 'scale' measure."""
+        return self._scores.size
+
+    def score(self, source_id: str, target_id: str) -> float:
+        """Merged score of one labelled pair."""
+        return float(
+            self._scores[self._source_index[source_id], self._target_index[target_id]]
+        )
+
+    # ------------------------------------------------------------------
+    def pairs_above(self, threshold: float) -> list[ScoredPair]:
+        """All pairs with score >= threshold, best first."""
+        rows, cols = np.nonzero(self._scores >= threshold)
+        order = np.argsort(-self._scores[rows, cols], kind="stable")
+        return [
+            ScoredPair(
+                self.source_ids[rows[k]],
+                self.target_ids[cols[k]],
+                float(self._scores[rows[k], cols[k]]),
+            )
+            for k in order
+        ]
+
+    def top_pairs(self, k: int) -> list[ScoredPair]:
+        """The k best-scoring pairs overall."""
+        if k <= 0:
+            return []
+        flat = self._scores.ravel()
+        k = min(k, flat.size)
+        candidate_index = np.argpartition(-flat, k - 1)[:k]
+        candidate_index = candidate_index[np.argsort(-flat[candidate_index], kind="stable")]
+        n_targets = len(self.target_ids)
+        return [
+            ScoredPair(
+                self.source_ids[index // n_targets],
+                self.target_ids[index % n_targets],
+                float(flat[index]),
+            )
+            for index in candidate_index
+        ]
+
+    def best_for_source(self, source_id: str) -> ScoredPair:
+        """The best target for one source element."""
+        row = self._source_index[source_id]
+        col = int(np.argmax(self._scores[row]))
+        return ScoredPair(source_id, self.target_ids[col], float(self._scores[row, col]))
+
+    def best_for_target(self, target_id: str) -> ScoredPair:
+        """The best source for one target element."""
+        col = self._target_index[target_id]
+        row = int(np.argmax(self._scores[:, col]))
+        return ScoredPair(self.source_ids[row], target_id, float(self._scores[row, col]))
+
+    def row_max(self) -> np.ndarray:
+        """Best score per source element."""
+        return self._scores.max(axis=1) if self._scores.size else np.zeros(0)
+
+    def col_max(self) -> np.ndarray:
+        """Best score per target element."""
+        return self._scores.max(axis=0) if self._scores.size else np.zeros(0)
+
+    def submatrix(
+        self, source_ids: list[str] | None = None, target_ids: list[str] | None = None
+    ) -> "MatchMatrix":
+        """Restrict to the given row/column labels (order preserved)."""
+        chosen_sources = source_ids if source_ids is not None else self.source_ids
+        chosen_targets = target_ids if target_ids is not None else self.target_ids
+        rows = [self._source_index[sid] for sid in chosen_sources]
+        cols = [self._target_index[tid] for tid in chosen_targets]
+        if rows and cols:
+            block = self._scores[np.ix_(rows, cols)]
+        else:
+            block = np.zeros((len(rows), len(cols)))
+        return MatchMatrix(list(chosen_sources), list(chosen_targets), block)
+
+    def iter_pairs(self) -> Iterator[ScoredPair]:
+        """Iterate all pairs in row-major order (testing/small matrices)."""
+        for row, source_id in enumerate(self.source_ids):
+            for col, target_id in enumerate(self.target_ids):
+                yield ScoredPair(source_id, target_id, float(self._scores[row, col]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MatchMatrix(shape={self.shape}, n_pairs={self.n_pairs})"

@@ -1,0 +1,174 @@
+"""Selection strategies: from a match matrix to a set of candidate pairs.
+
+The engine produces a dense score matrix; a *selection strategy* decides
+which cells become candidate correspondences.  Strategies differ in the
+cardinality constraints they enforce:
+
+* :class:`ThresholdSelection` -- every pair above a score threshold (n:m);
+  this is what Harmony's confidence filter shows the engineer.
+* :class:`TopKSelection` -- the best k targets per source element (1:k).
+* :class:`StableMarriageSelection` -- a stable 1:1 matching (Gale-Shapley
+  over score preferences, threshold-gated).
+* :class:`HungarianSelection` -- the maximum-total-score 1:1 assignment
+  (scipy's linear_sum_assignment), threshold-gated.
+
+All strategies return :class:`~repro.match.correspondence.Correspondence`
+candidates sorted best-first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.match.correspondence import Correspondence, MatchStatus
+from repro.match.matrix import MatchMatrix
+
+__all__ = [
+    "SelectionStrategy",
+    "ThresholdSelection",
+    "TopKSelection",
+    "StableMarriageSelection",
+    "HungarianSelection",
+]
+
+
+class SelectionStrategy:
+    """Base class; subclasses implement :meth:`select`."""
+
+    name = "selection"
+
+    def select(self, matrix: MatchMatrix) -> list[Correspondence]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _sorted(correspondences: list[Correspondence]) -> list[Correspondence]:
+        return sorted(
+            correspondences, key=lambda c: (-c.score, c.source_id, c.target_id)
+        )
+
+
+class ThresholdSelection(SelectionStrategy):
+    """All pairs scoring at or above ``threshold`` (many-to-many)."""
+
+    name = "threshold"
+
+    def __init__(self, threshold: float = 0.5):
+        if not -1.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [-1, 1], got {threshold}")
+        self.threshold = threshold
+
+    def select(self, matrix: MatchMatrix) -> list[Correspondence]:
+        return [
+            Correspondence(pair.source_id, pair.target_id, pair.score)
+            for pair in matrix.pairs_above(self.threshold)
+        ]
+
+
+class TopKSelection(SelectionStrategy):
+    """The best ``k`` targets per source element, optionally thresholded."""
+
+    name = "top_k"
+
+    def __init__(self, k: int = 1, threshold: float = 0.0):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.threshold = threshold
+
+    def select(self, matrix: MatchMatrix) -> list[Correspondence]:
+        scores = matrix.scores
+        selected: list[Correspondence] = []
+        if scores.size == 0:
+            return selected
+        k = min(self.k, scores.shape[1])
+        top_cols = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+        for row, source_id in enumerate(matrix.source_ids):
+            for col in top_cols[row]:
+                score = float(scores[row, col])
+                if score >= self.threshold:
+                    selected.append(
+                        Correspondence(source_id, matrix.target_ids[col], score)
+                    )
+        return self._sorted(selected)
+
+
+class StableMarriageSelection(SelectionStrategy):
+    """Gale-Shapley stable 1:1 matching over score preferences.
+
+    Sources propose in descending score order; targets hold their best
+    proposal.  Pairs below ``threshold`` are never formed.  The result is
+    stable: no unmatched source-target pair prefers each other over their
+    assigned partners.
+    """
+
+    name = "stable_marriage"
+
+    def __init__(self, threshold: float = 0.0):
+        self.threshold = threshold
+
+    def select(self, matrix: MatchMatrix) -> list[Correspondence]:
+        scores = matrix.scores
+        n_sources, n_targets = scores.shape
+        if n_sources == 0 or n_targets == 0:
+            return []
+        # Preference lists: target columns in descending score order, gated.
+        preferences: list[list[int]] = []
+        for row in range(n_sources):
+            order = np.argsort(-scores[row], kind="stable")
+            preferences.append(
+                [int(col) for col in order if scores[row, col] >= self.threshold]
+            )
+        next_choice = [0] * n_sources
+        engaged_to: dict[int, int] = {}  # target col -> source row
+        free = list(range(n_sources))
+        while free:
+            row = free.pop()
+            prefs = preferences[row]
+            while next_choice[row] < len(prefs):
+                col = prefs[next_choice[row]]
+                next_choice[row] += 1
+                holder = engaged_to.get(col)
+                if holder is None:
+                    engaged_to[col] = row
+                    break
+                if scores[row, col] > scores[holder, col]:
+                    engaged_to[col] = row
+                    free.append(holder)
+                    break
+            # else: row exhausts its list and stays unmatched.
+        return self._sorted(
+            [
+                Correspondence(
+                    matrix.source_ids[row],
+                    matrix.target_ids[col],
+                    float(scores[row, col]),
+                )
+                for col, row in engaged_to.items()
+            ]
+        )
+
+
+class HungarianSelection(SelectionStrategy):
+    """Maximum-total-score 1:1 assignment (Kuhn-Munkres via scipy)."""
+
+    name = "hungarian"
+
+    def __init__(self, threshold: float = 0.0):
+        self.threshold = threshold
+
+    def select(self, matrix: MatchMatrix) -> list[Correspondence]:
+        scores = matrix.scores
+        if scores.size == 0:
+            return []
+        rows, cols = linear_sum_assignment(-scores)
+        selected = [
+            Correspondence(
+                matrix.source_ids[row],
+                matrix.target_ids[col],
+                float(scores[row, col]),
+            )
+            for row, col in zip(rows, cols)
+            if scores[row, col] >= self.threshold
+        ]
+        return self._sorted(selected)

@@ -1,0 +1,66 @@
+"""Match voters: the per-strategy scorers of the Harmony architecture.
+
+Each voter scores every (source element, target element) pair with an
+evidence-aware confidence in (-1, +1); the engine merges their opinions.
+``default_voters`` is the ensemble used throughout the benchmarks.
+"""
+
+from repro.matchers.base import MatchVoter, VoterOpinion
+from repro.matchers.datatype import DataTypeVoter
+from repro.matchers.documentation import DescribingTextVoter, DocumentationVoter
+from repro.matchers.instance import InstanceTable, InstanceVoter
+from repro.matchers.name import (
+    EditDistanceVoter,
+    ExactNameVoter,
+    NameTokenVoter,
+    NgramVoter,
+)
+from repro.matchers.path import PathVoter
+from repro.matchers.profile import SchemaProfile, build_profile
+from repro.matchers.structure import StructuralVoter
+from repro.matchers.thesaurus import ThesaurusVoter
+
+__all__ = [
+    "DataTypeVoter",
+    "DescribingTextVoter",
+    "DocumentationVoter",
+    "EditDistanceVoter",
+    "ExactNameVoter",
+    "InstanceTable",
+    "InstanceVoter",
+    "MatchVoter",
+    "NameTokenVoter",
+    "NgramVoter",
+    "PathVoter",
+    "SchemaProfile",
+    "StructuralVoter",
+    "ThesaurusVoter",
+    "VoterOpinion",
+    "build_profile",
+    "DEFAULT_VOTER_WEIGHTS",
+    "default_voters",
+]
+
+#: Importance priors aligned with :func:`default_voters` order.  Context
+#: voters (path, structure) carry the most weight: they are what separates
+#: the audit columns recurring under every container (calibrated on the
+#: case-study workload; see DESIGN.md and bench E11).
+DEFAULT_VOTER_WEIGHTS: tuple[float, ...] = (0.8, 0.8, 1.0, 1.5, 0.5, 2.0, 3.0)
+
+
+def default_voters() -> list[MatchVoter]:
+    """The standard Harmony-style ensemble used by the engine and benches.
+
+    Vectorised voters only (safe at the paper's 10^6-pair scale): name
+    tokens, character n-grams, thesaurus, documentation, data types, paths
+    and structure.
+    """
+    return [
+        NameTokenVoter(),
+        NgramVoter(),
+        ThesaurusVoter(),
+        DocumentationVoter(),
+        DataTypeVoter(),
+        PathVoter(),
+        StructuralVoter(),
+    ]

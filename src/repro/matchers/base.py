@@ -1,0 +1,162 @@
+"""Voter interface: every matcher strategy emits an evidence-aware opinion.
+
+A voter looks at all (restricted) source x target element pairs and returns a
+:class:`VoterOpinion` holding three aligned matrices:
+
+* ``similarity`` -- the evidence *ratio* in [0, 1],
+* ``evidence``   -- the evidence *mass* (>= 0) behind each ratio,
+* ``confidence`` -- the (-1, +1) confidence derived from both via
+  :func:`repro.voting.confidence_array`.
+
+Keeping all three lets the engine merge confidences while explanations and
+ablations can still reach the raw ingredients.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from repro.matchers.profile import SchemaProfile
+from repro.voting.confidence import DEFAULT_TAU, confidence_array
+
+__all__ = ["VoterOpinion", "MatchVoter", "subset"]
+
+_ItemT = TypeVar("_ItemT")
+
+
+@dataclass(frozen=True)
+class VoterOpinion:
+    """One voter's full opinion over a pair grid."""
+
+    voter: str
+    confidence: np.ndarray
+    similarity: np.ndarray
+    evidence: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            self.confidence.shape == self.similarity.shape == self.evidence.shape
+        ):
+            raise ValueError(
+                f"misaligned opinion matrices from voter {self.voter!r}: "
+                f"{self.confidence.shape} / {self.similarity.shape} / "
+                f"{self.evidence.shape}"
+            )
+        if self.confidence.size and (
+            self.confidence.min() < -1.0 or self.confidence.max() > 1.0
+        ):
+            raise ValueError(f"voter {self.voter!r} produced confidence outside [-1, 1]")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.confidence.shape
+
+
+def subset(items: Sequence[_ItemT], positions: np.ndarray | None) -> list[_ItemT]:
+    """Restrict a per-element list to the requested positions (or keep all)."""
+    if positions is None:
+        return list(items)
+    return [items[position] for position in positions]
+
+
+class MatchVoter(ABC):
+    """Base class for match voters.
+
+    Subclasses implement :meth:`ratios` returning (similarity, evidence)
+    matrices; the base class derives confidences with the shared tau so all
+    voters speak the same evidence dialect.
+
+    Calibration
+    -----------
+    Raw similarity ratios are not probabilities: random name pairs score a
+    Jaccard near 0.05, so a Jaccard of 0.5 is *strong* positive evidence,
+    not a coin flip.  Each voter therefore declares:
+
+    ``neutral``
+        The similarity level that constitutes even evidence.  The base class
+        maps similarity piecewise-linearly so that ``neutral`` lands at
+        calibrated 0.5 (confidence 0), 1.0 stays 1.0 and 0.0 stays 0.0.
+    ``negative_scale``
+        Multiplier in [0, 1] applied to negative confidences.  For most
+        linguistic voters, *absence* of shared tokens is far weaker evidence
+        of a non-match than presence is of a match (independently developed
+        schemata disagree on names all the time) -- so their negative votes
+        are damped.
+    """
+
+    #: Short stable identifier used in reports, ablations and provenance.
+    name: str = "voter"
+
+    def __init__(
+        self,
+        tau: float = DEFAULT_TAU,
+        neutral: float = 0.5,
+        negative_scale: float = 1.0,
+    ):
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        if not 0.0 < neutral < 1.0:
+            raise ValueError(f"neutral must be in (0, 1), got {neutral}")
+        if not 0.0 <= negative_scale <= 1.0:
+            raise ValueError(
+                f"negative_scale must be in [0, 1], got {negative_scale}"
+            )
+        self.tau = tau
+        self.neutral = neutral
+        self.negative_scale = negative_scale
+        #: Ablation switch (bench E11): when True, the evidence *mass* is
+        #: ignored -- any pair with nonzero evidence votes at full strength
+        #: (2*calibrated - 1), exactly the conventional evidence-ratio-only
+        #: behaviour the paper contrasts Harmony against.
+        self.evidence_blind = False
+
+    def calibrate(self, similarity: np.ndarray) -> np.ndarray:
+        """Map raw similarity through the voter's neutral point."""
+        clipped = np.clip(similarity, 0.0, 1.0)
+        below = 0.5 * clipped / self.neutral
+        above = 0.5 + 0.5 * (clipped - self.neutral) / (1.0 - self.neutral)
+        return np.where(clipped < self.neutral, below, above)
+
+    @abstractmethod
+    def ratios(
+        self,
+        source: SchemaProfile,
+        target: SchemaProfile,
+        source_positions: np.ndarray | None = None,
+        target_positions: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (similarity, evidence) matrices for the restricted grid."""
+
+    def vote(
+        self,
+        source: SchemaProfile,
+        target: SchemaProfile,
+        source_positions: np.ndarray | None = None,
+        target_positions: np.ndarray | None = None,
+    ) -> VoterOpinion:
+        """Produce the full evidence-aware opinion for the pair grid."""
+        similarity, evidence = self.ratios(
+            source, target, source_positions, target_positions
+        )
+        calibrated = self.calibrate(similarity)
+        if self.evidence_blind:
+            confidence = np.where(evidence > 0, 2.0 * calibrated - 1.0, 0.0)
+        else:
+            confidence = confidence_array(calibrated, evidence, tau=self.tau)
+        if self.negative_scale != 1.0:
+            confidence = np.where(
+                confidence < 0, confidence * self.negative_scale, confidence
+            )
+        return VoterOpinion(
+            voter=self.name,
+            confidence=confidence,
+            similarity=similarity,
+            evidence=evidence,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, tau={self.tau})"

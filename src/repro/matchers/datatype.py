@@ -1,0 +1,49 @@
+"""Data-type voter: soft compatibility of normalised type families.
+
+Type agreement alone never confirms a match (every schema has hundreds of
+strings), so this voter's *evidence mass is deliberately small*: it can veto
+(a DATE against a BOOLEAN drags the merged score down) and mildly reinforce,
+but it cannot overpower linguistic voters.  Pairs where either side's type is
+UNKNOWN vote exactly 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matchers.base import MatchVoter, subset
+from repro.schema.datatypes import DataType, compatibility_matrix
+
+__all__ = ["DataTypeVoter"]
+
+
+class DataTypeVoter(MatchVoter):
+    """Pairwise type-family compatibility with low evidence mass."""
+
+    name = "datatype"
+
+    def __init__(
+        self,
+        tau: float = 3.0,
+        neutral: float = 0.5,
+        negative_scale: float = 1.0,
+        evidence_mass: float = 1.2,
+    ):
+        super().__init__(tau=tau, neutral=neutral, negative_scale=negative_scale)
+        if evidence_mass <= 0:
+            raise ValueError(f"evidence_mass must be positive, got {evidence_mass}")
+        self.evidence_mass = evidence_mass
+
+    def ratios(self, source, target, source_positions=None, target_positions=None):
+        source_types = subset(source.data_types, source_positions)
+        target_types = subset(target.data_types, target_positions)
+        similarity = compatibility_matrix(source_types, target_types)
+        source_known = np.array(
+            [data_type is not DataType.UNKNOWN for data_type in source_types]
+        )
+        target_known = np.array(
+            [data_type is not DataType.UNKNOWN for data_type in target_types]
+        )
+        both_known = source_known[:, None] & target_known[None, :]
+        evidence = np.where(both_known, self.evidence_mass, 0.0)
+        return similarity, evidence

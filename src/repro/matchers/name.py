@@ -1,0 +1,132 @@
+"""Name-based match voters.
+
+Three strategies over element names, in increasing tolerance:
+
+* :class:`ExactNameVoter` -- case-insensitive equality (the naive baseline a
+  spreadsheet jockey would start from).
+* :class:`NameTokenVoter` -- Jaccard over pipeline-normalised name terms;
+  robust to word order and convention (``DATE_BEGIN`` vs ``BeginDate``).
+* :class:`NgramVoter` -- Dice over character 3-grams of the raw name; robust
+  to truncation and fused words (``REGNO`` vs ``RegistrationNumber`` scores
+  low here but non-zero, where token overlap sees nothing).
+* :class:`EditDistanceVoter` -- normalised Levenshtein over raw names.
+  Exact but O(|a|x|b|) per pair, so intended for small grids and validation;
+  the engine's default ensemble uses the vectorised voters above.
+
+Evidence semantics: the mass is the token (or gram) count actually compared;
+one shared two-token name is weaker evidence than a six-token agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matchers.base import MatchVoter, subset
+from repro.matchers.profile import SchemaProfile
+from repro.matchers.setsim import dice_matrix, jaccard_matrix
+from repro.text.similarity import levenshtein_similarity
+
+__all__ = ["ExactNameVoter", "NameTokenVoter", "NgramVoter", "EditDistanceVoter"]
+
+
+class ExactNameVoter(MatchVoter):
+    """Case-insensitive exact name equality."""
+
+    name = "exact_name"
+
+    def __init__(self, tau: float = 3.0, neutral: float = 0.5, negative_scale: float = 0.15):
+        super().__init__(tau=tau, neutral=neutral, negative_scale=negative_scale)
+
+    def ratios(self, source, target, source_positions=None, target_positions=None):
+        source_names = subset(source.raw_names, source_positions)
+        target_names = subset(target.raw_names, target_positions)
+        similarity = np.zeros((len(source_names), len(target_names)))
+        target_index: dict[str, list[int]] = {}
+        for col, target_name in enumerate(target_names):
+            target_index.setdefault(target_name, []).append(col)
+        for row, source_name in enumerate(source_names):
+            for col in target_index.get(source_name, ()):
+                similarity[row, col] = 1.0
+        # An exact full-name equality is strong evidence; a mere inequality
+        # says little (names differ across conventions all the time), so the
+        # evidence mass is high only where names coincide.
+        evidence = np.where(similarity == 1.0, 8.0, 0.5)
+        return similarity, evidence
+
+
+class NameTokenVoter(MatchVoter):
+    """Jaccard over normalised name terms (the workhorse linguistic voter)."""
+
+    name = "name_token"
+
+    def __init__(self, tau: float = 3.0, neutral: float = 0.2, negative_scale: float = 0.4):
+        super().__init__(tau=tau, neutral=neutral, negative_scale=negative_scale)
+
+    def ratios(self, source, target, source_positions=None, target_positions=None):
+        source_terms = subset(source.name_terms, source_positions)
+        target_terms = subset(target.name_terms, target_positions)
+        similarity = jaccard_matrix(source_terms, target_terms)
+        source_sizes = np.array([len(set(terms)) for terms in source_terms], dtype=float)
+        target_sizes = np.array([len(set(terms)) for terms in target_terms], dtype=float)
+        # Evidence is the smaller token-set size: a pair can only agree on as
+        # many tokens as its terser name has.  Pairs with an empty side carry
+        # zero evidence and therefore vote 0 (complete uncertainty).
+        evidence = np.minimum(source_sizes[:, None], target_sizes[None, :])
+        return similarity, evidence
+
+
+class NgramVoter(MatchVoter):
+    """Dice over character 3-grams of raw names (typo/truncation tolerant)."""
+
+    name = "name_ngram"
+
+    def __init__(self, tau: float = 12.0, neutral: float = 0.3, negative_scale: float = 0.25):
+        # Gram counts are larger than token counts, so saturation is slower.
+        super().__init__(tau=tau, neutral=neutral, negative_scale=negative_scale)
+
+    def ratios(self, source, target, source_positions=None, target_positions=None):
+        source_grams = subset(source.name_grams, source_positions)
+        target_grams = subset(target.name_grams, target_positions)
+        similarity = dice_matrix(source_grams, target_grams)
+        source_sizes = np.array([len(set(grams)) for grams in source_grams], dtype=float)
+        target_sizes = np.array([len(set(grams)) for grams in target_grams], dtype=float)
+        evidence = np.minimum(source_sizes[:, None], target_sizes[None, :])
+        return similarity, evidence
+
+
+class EditDistanceVoter(MatchVoter):
+    """Normalised Levenshtein similarity over raw names (exact, per-pair).
+
+    Quadratic per pair; use on small grids, validation panels, or blocked
+    candidate sets -- not inside the full 10^6-pair engine run.
+    """
+
+    name = "edit_distance"
+
+    def __init__(
+        self,
+        tau: float = 10.0,
+        neutral: float = 0.55,
+        negative_scale: float = 0.4,
+        max_pairs: int = 2_000_000,
+    ):
+        super().__init__(tau=tau, neutral=neutral, negative_scale=negative_scale)
+        self.max_pairs = max_pairs
+
+    def ratios(self, source, target, source_positions=None, target_positions=None):
+        source_names = subset(source.raw_names, source_positions)
+        target_names = subset(target.raw_names, target_positions)
+        n_pairs = len(source_names) * len(target_names)
+        if n_pairs > self.max_pairs:
+            raise ValueError(
+                f"EditDistanceVoter asked for {n_pairs} pairs "
+                f"(cap {self.max_pairs}); use the vectorised name voters at scale"
+            )
+        similarity = np.zeros((len(source_names), len(target_names)))
+        for row, source_name in enumerate(source_names):
+            for col, target_name in enumerate(target_names):
+                similarity[row, col] = levenshtein_similarity(source_name, target_name)
+        source_sizes = np.array([len(name) for name in source_names], dtype=float)
+        target_sizes = np.array([len(name) for name in target_names], dtype=float)
+        evidence = np.minimum(source_sizes[:, None], target_sizes[None, :]) / 2.0
+        return similarity, evidence

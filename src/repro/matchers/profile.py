@@ -1,0 +1,140 @@
+"""Precomputed linguistic/structural profiles of a schema.
+
+Running voters over a 1378x784 match means ~10^6 pairs (CIDR 2009, section
+3.1); re-tokenizing names per pair would be quadratic waste.  A
+:class:`SchemaProfile` runs the linguistic pipeline **once per element** and
+caches everything voters need, keyed by element position:
+
+* stemmed name terms and documentation terms
+* combined describing-text terms
+* character 3-grams of the raw name
+* normalised data types, depths, parent/child indexes
+
+Profiles are cheap to slice: voters accept an optional index array so that
+incremental (sub-tree) matching reuses the same profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.schema.datatypes import DataType
+from repro.schema.element import SchemaElement
+from repro.schema.schema import Schema
+from repro.text.pipeline import LinguisticPipeline
+from repro.text.tokenize import char_ngrams
+
+__all__ = ["SchemaProfile", "build_profile"]
+
+
+@dataclass
+class SchemaProfile:
+    """Cached per-element features for one schema (see module docstring).
+
+    All list attributes are indexed by element *position* -- the index of the
+    element in schema iteration order -- and ``index_of`` maps element ids to
+    positions.
+    """
+
+    schema: Schema
+    element_ids: list[str]
+    index_of: dict[str, int]
+    name_terms: list[list[str]]
+    doc_terms: list[list[str]]
+    text_terms: list[list[str]]
+    name_grams: list[list[str]]
+    raw_names: list[str]
+    data_types: list[DataType]
+    depths: np.ndarray
+    parent_index: np.ndarray  # -1 for roots
+    children_index: list[list[int]]
+
+    def __len__(self) -> int:
+        return len(self.element_ids)
+
+    def element(self, position: int) -> SchemaElement:
+        return self.schema.element(self.element_ids[position])
+
+    def positions_of(self, element_ids: list[str]) -> np.ndarray:
+        """Positions for a list of element ids (for sub-tree restriction)."""
+        return np.array([self.index_of[element_id] for element_id in element_ids], dtype=int)
+
+    def subtree_positions(self, root_id: str) -> np.ndarray:
+        """Positions of a sub-tree (the unit of incremental matching)."""
+        ids = [element.element_id for element in self.schema.subtree(root_id)]
+        return self.positions_of(ids)
+
+    def leaf_positions(self) -> np.ndarray:
+        return np.array(
+            [
+                position
+                for position, children in enumerate(self.children_index)
+                if not children
+            ],
+            dtype=int,
+        )
+
+
+def build_profile(
+    schema: Schema,
+    name_pipeline: LinguisticPipeline | None = None,
+    doc_pipeline: LinguisticPipeline | None = None,
+) -> SchemaProfile:
+    """Run the linguistic pipeline over every element of ``schema``.
+
+    ``name_pipeline`` defaults to the schema-stopword-aware name pipeline and
+    ``doc_pipeline`` to the prose pipeline, matching Harmony's preprocessing.
+    """
+    names = name_pipeline if name_pipeline is not None else LinguisticPipeline.for_names()
+    docs = doc_pipeline if doc_pipeline is not None else LinguisticPipeline.for_documentation()
+
+    element_ids: list[str] = []
+    index_of: dict[str, int] = {}
+    name_terms: list[list[str]] = []
+    doc_terms: list[list[str]] = []
+    text_terms: list[list[str]] = []
+    name_grams: list[list[str]] = []
+    raw_names: list[str] = []
+    data_types: list[DataType] = []
+    depths: list[int] = []
+    parent_positions: list[int] = []
+    children_index: list[list[int]] = []
+
+    for position, element in enumerate(schema):
+        element_ids.append(element.element_id)
+        index_of[element.element_id] = position
+        element_name_terms = names.terms(element.name)
+        element_doc_terms = docs.terms(element.documentation) if element.documentation else []
+        name_terms.append(element_name_terms)
+        doc_terms.append(element_doc_terms)
+        text_terms.append(element_name_terms + element_doc_terms)
+        raw_names.append(element.name.lower())
+        name_grams.append(char_ngrams(element.name.lower(), 3))
+        data_types.append(element.data_type)
+        depths.append(schema.depth(element))
+        children_index.append([])
+
+    for position, element in enumerate(schema):
+        if element.parent_id is None:
+            parent_positions.append(-1)
+        else:
+            parent_position = index_of[element.parent_id]
+            parent_positions.append(parent_position)
+            children_index[parent_position].append(position)
+
+    return SchemaProfile(
+        schema=schema,
+        element_ids=element_ids,
+        index_of=index_of,
+        name_terms=name_terms,
+        doc_terms=doc_terms,
+        text_terms=text_terms,
+        name_grams=name_grams,
+        raw_names=raw_names,
+        data_types=data_types,
+        depths=np.array(depths, dtype=int),
+        parent_index=np.array(parent_positions, dtype=int),
+        children_index=children_index,
+    )

@@ -1,0 +1,103 @@
+"""Vectorised set-similarity matrices over token collections.
+
+The voters need Jaccard / Dice / containment between *every* pair of source
+and target token sets.  Computing those pairwise in Python is O(pairs x set
+ops); instead we build binary incidence matrices (documents x vocabulary) in
+``scipy.sparse`` and obtain all pairwise intersection sizes with one sparse
+product.  For the paper's 1378x784 case this turns minutes into milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+__all__ = [
+    "binary_incidence",
+    "intersection_counts",
+    "jaccard_matrix",
+    "dice_matrix",
+    "containment_matrix",
+]
+
+
+def _shared_vocabulary(
+    source_docs: Sequence[Sequence[str]], target_docs: Sequence[Sequence[str]]
+) -> dict[str, int]:
+    vocabulary: dict[str, int] = {}
+    for documents in (source_docs, target_docs):
+        for document in documents:
+            for token in document:
+                if token not in vocabulary:
+                    vocabulary[token] = len(vocabulary)
+    return vocabulary
+
+
+def binary_incidence(
+    documents: Sequence[Sequence[str]], vocabulary: dict[str, int]
+) -> sparse.csr_matrix:
+    """Binary documents-by-vocabulary incidence matrix (sets, not bags)."""
+    rows: list[int] = []
+    cols: list[int] = []
+    for row, document in enumerate(documents):
+        for token in set(document):
+            token_id = vocabulary.get(token)
+            if token_id is not None:
+                rows.append(row)
+                cols.append(token_id)
+    data = np.ones(len(rows), dtype=np.float64)
+    return sparse.csr_matrix(
+        (data, (rows, cols)), shape=(len(documents), max(len(vocabulary), 1))
+    )
+
+
+def intersection_counts(
+    source_docs: Sequence[Sequence[str]], target_docs: Sequence[Sequence[str]]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All pairwise intersection sizes plus per-document set sizes.
+
+    Returns ``(counts, source_sizes, target_sizes)`` where ``counts`` has
+    shape (n_source, n_target).
+    """
+    vocabulary = _shared_vocabulary(source_docs, target_docs)
+    source_matrix = binary_incidence(source_docs, vocabulary)
+    target_matrix = binary_incidence(target_docs, vocabulary)
+    counts = np.asarray((source_matrix @ target_matrix.T).todense(), dtype=float)
+    source_sizes = np.asarray(source_matrix.sum(axis=1)).ravel()
+    target_sizes = np.asarray(target_matrix.sum(axis=1)).ravel()
+    return counts, source_sizes, target_sizes
+
+
+def jaccard_matrix(
+    source_docs: Sequence[Sequence[str]], target_docs: Sequence[Sequence[str]]
+) -> np.ndarray:
+    """Pairwise Jaccard; empty-vs-empty is 0 (no evidence, not identity)."""
+    counts, source_sizes, target_sizes = intersection_counts(source_docs, target_docs)
+    unions = source_sizes[:, None] + target_sizes[None, :] - counts
+    with np.errstate(invalid="ignore", divide="ignore"):
+        result = np.where(unions > 0, counts / unions, 0.0)
+    return result
+
+
+def dice_matrix(
+    source_docs: Sequence[Sequence[str]], target_docs: Sequence[Sequence[str]]
+) -> np.ndarray:
+    """Pairwise Sorensen-Dice; empty-vs-empty is 0."""
+    counts, source_sizes, target_sizes = intersection_counts(source_docs, target_docs)
+    totals = source_sizes[:, None] + target_sizes[None, :]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        result = np.where(totals > 0, 2.0 * counts / totals, 0.0)
+    return result
+
+
+def containment_matrix(
+    source_docs: Sequence[Sequence[str]], target_docs: Sequence[Sequence[str]]
+) -> np.ndarray:
+    """Pairwise overlap coefficient |A∩B| / min(|A|,|B|); empty pairs are 0."""
+    counts, source_sizes, target_sizes = intersection_counts(source_docs, target_docs)
+    minima = np.minimum(source_sizes[:, None], target_sizes[None, :])
+    with np.errstate(invalid="ignore", divide="ignore"):
+        result = np.where(minima > 0, counts / minima, 0.0)
+    return result

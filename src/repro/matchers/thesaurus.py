@@ -1,0 +1,62 @@
+"""Thesaurus voter: synonym-expanded name-token overlap.
+
+``DATE_BEGIN`` and ``DATETIME_FIRST_INFO`` share no stems, yet the paper
+presents them as a (hard) true correspondence.  This voter expands every
+name term into its synonym class with a :class:`~repro.text.thesaurus.SynonymLexicon`
+before measuring Jaccard, so convention-level synonymy (begin/first,
+date/datetime) becomes visible overlap.
+
+Expansion happens on *canonical representatives* -- each term is replaced by
+the lexicographically smallest member of its synonym class -- so two
+different synonyms of the same class map to the same token and overlap
+exactly once (raw expansion would inflate set sizes asymmetrically).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matchers.base import MatchVoter
+from repro.matchers.profile import SchemaProfile
+from repro.matchers.setsim import jaccard_matrix
+from repro.text.thesaurus import SynonymLexicon
+
+__all__ = ["ThesaurusVoter"]
+
+
+class ThesaurusVoter(MatchVoter):
+    """Jaccard over canonicalised (synonym-classed) name terms."""
+
+    name = "thesaurus"
+
+    def __init__(
+        self,
+        lexicon: SynonymLexicon | None = None,
+        tau: float = 3.0,
+        neutral: float = 0.2,
+        negative_scale: float = 0.4,
+    ):
+        super().__init__(tau=tau, neutral=neutral, negative_scale=negative_scale)
+        self.lexicon = lexicon if lexicon is not None else SynonymLexicon.default()
+
+    def _canonical_terms(
+        self, profile: SchemaProfile, positions: np.ndarray | None
+    ) -> list[list[str]]:
+        chosen = (
+            positions if positions is not None else np.arange(len(profile), dtype=int)
+        )
+        documents: list[list[str]] = []
+        for position in chosen:
+            documents.append(
+                [self.lexicon.canonical(term) for term in profile.name_terms[position]]
+            )
+        return documents
+
+    def ratios(self, source, target, source_positions=None, target_positions=None):
+        source_terms = self._canonical_terms(source, source_positions)
+        target_terms = self._canonical_terms(target, target_positions)
+        similarity = jaccard_matrix(source_terms, target_terms)
+        source_sizes = np.array([len(set(terms)) for terms in source_terms], dtype=float)
+        target_sizes = np.array([len(set(terms)) for terms in target_terms], dtype=float)
+        evidence = np.minimum(source_sizes[:, None], target_sizes[None, :])
+        return similarity, evidence

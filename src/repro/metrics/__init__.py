@@ -1,0 +1,33 @@
+"""Evaluation metrics: match P/R/F1, overlap partitions, ranking quality."""
+
+from repro.metrics.overlap import OverlapReport, matrix_overlap, workflow_overlap
+from repro.metrics.prf import (
+    PRF,
+    best_f1,
+    best_f1_assignment,
+    prf,
+    prf_of_pairs,
+    threshold_sweep,
+)
+from repro.metrics.ranking import (
+    average_precision,
+    mean_of,
+    precision_at_k,
+    reciprocal_rank,
+)
+
+__all__ = [
+    "OverlapReport",
+    "PRF",
+    "average_precision",
+    "best_f1",
+    "best_f1_assignment",
+    "matrix_overlap",
+    "mean_of",
+    "precision_at_k",
+    "prf",
+    "prf_of_pairs",
+    "reciprocal_rank",
+    "threshold_sweep",
+    "workflow_overlap",
+]

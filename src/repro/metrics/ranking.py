@@ -1,0 +1,58 @@
+"""Ranking quality metrics for schema search (E10).
+
+Standard IR measures over ranked schema lists: precision@k, mean reciprocal
+rank, and average precision, against a relevance oracle (in the benches, the
+planted corpus domain labels).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["precision_at_k", "reciprocal_rank", "average_precision", "mean_of"]
+
+
+def precision_at_k(ranked: Sequence[str], relevant: set[str], k: int) -> float:
+    """Fraction of the top-k ranked items that are relevant."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    top = ranked[:k]
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in relevant) / len(top)
+
+
+def reciprocal_rank(ranked: Sequence[str], relevant: set[str]) -> float:
+    """1 / rank of the first relevant item (0 when none appears)."""
+    for position, item in enumerate(ranked, start=1):
+        if item in relevant:
+            return 1.0 / position
+    return 0.0
+
+
+def average_precision(ranked: Sequence[str], relevant: set[str]) -> float:
+    """Mean of precision@hit over all relevant hits in the ranking."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for position, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+            precision_sum += hits / position
+    if hits == 0:
+        return 0.0
+    return precision_sum / len(relevant)
+
+
+def mean_of(
+    queries: Iterable, metric: Callable[..., float], *metric_args
+) -> float:
+    """Mean of a per-query metric over an iterable of argument tuples.
+
+    Each element of ``queries`` is a tuple unpacked into ``metric``.
+    """
+    values = [metric(*query, *metric_args) for query in queries]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

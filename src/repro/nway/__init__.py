@@ -1,0 +1,30 @@
+"""N-way matching: comprehensive vocabularies, 2^N-1 partitions, mediation."""
+
+from repro.nway.mediated import distill_mediated_schema
+from repro.nway.pairwise import nway_match, pairwise_matches
+from repro.nway.partition import (
+    NWayPartition,
+    PartitionCell,
+    all_signatures,
+    partition_vocabulary,
+)
+from repro.nway.vocabulary import (
+    ComprehensiveVocabulary,
+    UnionFind,
+    VocabularyEntry,
+    build_vocabulary,
+)
+
+__all__ = [
+    "ComprehensiveVocabulary",
+    "NWayPartition",
+    "PartitionCell",
+    "UnionFind",
+    "VocabularyEntry",
+    "all_signatures",
+    "build_vocabulary",
+    "distill_mediated_schema",
+    "nway_match",
+    "pairwise_matches",
+    "partition_vocabulary",
+]

@@ -1,0 +1,131 @@
+"""Minimal mediated-schema distillation (the emergency-response scenario).
+
+Section 2: "The various agencies need to be able to throw their data models
+into a giant beaker and to distill out a minimal mediated schema that will
+serve as the basis for their collaboration."
+
+Given a comprehensive vocabulary over the agencies' schemata, the minimal
+mediated schema keeps the vocabulary entries shared by at least
+``min_support`` schemata -- the information the group can actually exchange
+-- and materialises them as a fresh :class:`~repro.schema.schema.Schema`
+(entries whose members are containers become containers; leaf entries attach
+under a mediated container when all their members agree on one).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.nway.vocabulary import ComprehensiveVocabulary, VocabularyEntry
+from repro.schema.datatypes import DataType
+from repro.schema.element import ElementKind
+from repro.schema.schema import Schema
+
+__all__ = ["distill_mediated_schema"]
+
+
+def _representative_name(
+    entry: VocabularyEntry, schemata
+) -> str:
+    """Majority surface name across member elements (ties: lexicographic)."""
+    names = Counter()
+    for schema_name, element_ids in entry.members.items():
+        schema = schemata[schema_name]
+        for element_id in element_ids:
+            names[schema.element(element_id).name.lower()] += 1
+    best_count = max(names.values())
+    return min(name for name, count in names.items() if count == best_count)
+
+
+def distill_mediated_schema(
+    vocabulary: ComprehensiveVocabulary,
+    schemata,
+    min_support: int = 2,
+    name: str = "mediated",
+) -> Schema:
+    """Distill the minimal mediated schema from a vocabulary.
+
+    Parameters
+    ----------
+    vocabulary:
+        Comprehensive vocabulary over the group.
+    schemata:
+        ``{schema_name: Schema}`` -- the same mapping the vocabulary was
+        built from.
+    min_support:
+        Keep entries used by at least this many schemata (default 2: any
+        shared concept earns a place at the negotiating table).
+
+    Container entries (any member is a container) become mediated roots;
+    leaf entries attach under the mediated container their member elements'
+    parents map to, when that container was kept -- otherwise they join a
+    catch-all ``SharedElements`` root, keeping the result a valid schema.
+    """
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+    kept = [
+        entry
+        for entry in vocabulary.entries
+        if len(entry.signature) >= min_support
+    ]
+
+    mediated = Schema(name, kind="mediated")
+    entry_is_container: dict[str, bool] = {}
+    member_to_entry: dict[tuple[str, str], str] = {}
+    for entry in kept:
+        is_container = False
+        for schema_name, element_ids in entry.members.items():
+            schema = schemata[schema_name]
+            for element_id in element_ids:
+                member_to_entry[(schema_name, element_id)] = entry.entry_id
+                if schema.children(element_id):
+                    is_container = True
+        entry_is_container[entry.entry_id] = is_container
+
+    roots: dict[str, str] = {}  # entry id -> mediated element id
+    for entry in kept:
+        if entry_is_container[entry.entry_id]:
+            element = mediated.add_root(
+                _representative_name(entry, schemata),
+                kind=ElementKind.GENERIC,
+                data_type=DataType.COMPLEX,
+                documentation=f"mediated concept covering {sorted(entry.signature)}",
+            )
+            roots[entry.entry_id] = element.element_id
+
+    catchall_id: str | None = None
+    for entry in kept:
+        if entry_is_container[entry.entry_id]:
+            continue
+        # Find the mediated container via the members' parents.
+        parent_entry_ids = set()
+        for schema_name, element_ids in entry.members.items():
+            schema = schemata[schema_name]
+            for element_id in element_ids:
+                parent = schema.parent(element_id)
+                if parent is not None:
+                    parent_entry = member_to_entry.get(
+                        (schema_name, parent.element_id)
+                    )
+                    if parent_entry is not None and parent_entry in roots:
+                        parent_entry_ids.add(parent_entry)
+        if len(parent_entry_ids) == 1:
+            parent_id = roots[next(iter(parent_entry_ids))]
+        else:
+            if catchall_id is None:
+                catchall = mediated.add_root(
+                    "SharedElements",
+                    kind=ElementKind.GENERIC,
+                    data_type=DataType.COMPLEX,
+                    documentation="shared leaf concepts without an agreed container",
+                )
+                catchall_id = catchall.element_id
+            parent_id = catchall_id
+        mediated.add_child(
+            parent_id,
+            _representative_name(entry, schemata),
+            kind=ElementKind.GENERIC,
+            documentation=f"shared by {sorted(entry.signature)}",
+        )
+    mediated.validate()
+    return mediated

@@ -1,0 +1,58 @@
+"""N-way match orchestration: pairwise engine runs feeding the vocabulary.
+
+The practical route to an N-way match with a binary engine is to run the
+C(N,2) pairwise matches and cluster the accepted correspondences.  This
+module packages that loop: it matches every schema pair, selects
+correspondences 1:1 (stable marriage, thresholded), and emits the
+``(schema_a, element_a, schema_b, element_b)`` tuples
+:func:`repro.nway.vocabulary.build_vocabulary` consumes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+from repro.match.engine import HarmonyMatchEngine
+from repro.match.selection import SelectionStrategy, StableMarriageSelection
+from repro.schema.schema import Schema
+
+__all__ = ["pairwise_matches", "nway_match"]
+
+
+def pairwise_matches(
+    schemata: dict[str, Schema],
+    engine: HarmonyMatchEngine | None = None,
+    selection: SelectionStrategy | None = None,
+) -> Iterator[tuple[str, str, str, str]]:
+    """Yield accepted correspondences for every pair of schemata.
+
+    Pairs are processed in sorted-name order so results are deterministic
+    regardless of dict insertion order.
+    """
+    engine = engine if engine is not None else HarmonyMatchEngine()
+    selection = (
+        selection if selection is not None else StableMarriageSelection(threshold=0.13)
+    )
+    for name_a, name_b in combinations(sorted(schemata), 2):
+        result = engine.match(schemata[name_a], schemata[name_b])
+        for correspondence in result.candidates(selection):
+            yield (name_a, correspondence.source_id, name_b, correspondence.target_id)
+
+
+def nway_match(
+    schemata: dict[str, Schema],
+    engine: HarmonyMatchEngine | None = None,
+    selection: SelectionStrategy | None = None,
+):
+    """Run the full N-way pipeline: pairwise matches -> vocabulary -> partition.
+
+    Returns ``(vocabulary, partition)``.
+    """
+    from repro.nway.partition import partition_vocabulary
+    from repro.nway.vocabulary import build_vocabulary
+
+    pairs = list(pairwise_matches(schemata, engine=engine, selection=selection))
+    vocabulary = build_vocabulary(schemata, pairs)
+    partition = partition_vocabulary(vocabulary)
+    return vocabulary, partition

@@ -1,0 +1,107 @@
+"""The 2^N - 1 partition of an N-way match.
+
+Section 4.5: "given N schemata there are 2^N - 1 such sets partitioning
+their N-way match; each of which supplies a potentially valuable piece of
+knowledge to information system decision makers."
+
+A :class:`PartitionCell` is one non-empty subset of the schema group; the
+cell's population is the vocabulary entries whose signature equals exactly
+that subset.  Cells are computed from a
+:class:`~repro.nway.vocabulary.ComprehensiveVocabulary`, so the laws hold by
+construction: cells are disjoint and their union is the whole vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.nway.vocabulary import ComprehensiveVocabulary, VocabularyEntry
+
+__all__ = ["PartitionCell", "NWayPartition", "partition_vocabulary", "all_signatures"]
+
+
+@dataclass
+class PartitionCell:
+    """One of the 2^N - 1 cells: concepts held by exactly this subset."""
+
+    signature: frozenset[str]
+    entries: list[VocabularyEntry]
+
+    @property
+    def cardinality(self) -> int:
+        """Number of vocabulary entries in the cell."""
+        return len(self.entries)
+
+    @property
+    def n_elements(self) -> int:
+        """Total schema elements covered by this cell's entries."""
+        return sum(entry.n_elements for entry in self.entries)
+
+    def label(self) -> str:
+        return "{" + ", ".join(sorted(self.signature)) + "}"
+
+
+def all_signatures(schema_names: list[str]) -> list[frozenset[str]]:
+    """All 2^N - 1 non-empty subsets, smallest first, deterministic order."""
+    signatures: list[frozenset[str]] = []
+    ordered = sorted(schema_names)
+    for size in range(1, len(ordered) + 1):
+        for subset in combinations(ordered, size):
+            signatures.append(frozenset(subset))
+    return signatures
+
+
+class NWayPartition:
+    """The full 2^N - 1 cell family for one vocabulary."""
+
+    def __init__(self, vocabulary: ComprehensiveVocabulary):
+        self.vocabulary = vocabulary
+        self.schema_names = sorted(vocabulary.schema_names)
+        by_signature: dict[frozenset[str], list[VocabularyEntry]] = {}
+        for entry in vocabulary.entries:
+            by_signature.setdefault(entry.signature, []).append(entry)
+        self.cells: list[PartitionCell] = [
+            PartitionCell(signature=signature, entries=by_signature.get(signature, []))
+            for signature in all_signatures(self.schema_names)
+        ]
+
+    @property
+    def n_cells(self) -> int:
+        """Always 2^N - 1."""
+        return len(self.cells)
+
+    def cell(self, *schema_names: str) -> PartitionCell:
+        """The cell for exactly this subset of schemata."""
+        wanted = frozenset(schema_names)
+        for cell in self.cells:
+            if cell.signature == wanted:
+                return cell
+        raise KeyError(f"no cell for signature {sorted(wanted)}")
+
+    def nonempty_cells(self) -> list[PartitionCell]:
+        return [cell for cell in self.cells if cell.cardinality > 0]
+
+    def table(self) -> list[tuple[str, int, int]]:
+        """(cell label, entry count, element count) rows, report-ready."""
+        return [
+            (cell.label(), cell.cardinality, cell.n_elements) for cell in self.cells
+        ]
+
+    def check_partition_laws(self) -> None:
+        """Disjointness + totality; raises AssertionError on violation."""
+        seen: set[str] = set()
+        total = 0
+        for cell in self.cells:
+            for entry in cell.entries:
+                assert entry.entry_id not in seen, "cells are not disjoint"
+                seen.add(entry.entry_id)
+                total += 1
+        assert total == len(self.vocabulary), "cells do not cover the vocabulary"
+
+
+def partition_vocabulary(vocabulary: ComprehensiveVocabulary) -> NWayPartition:
+    """Build (and law-check) the 2^N - 1 partition of a vocabulary."""
+    partition = NWayPartition(vocabulary)
+    partition.check_partition_laws()
+    return partition

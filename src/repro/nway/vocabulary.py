@@ -1,0 +1,163 @@
+"""Comprehensive vocabulary: N-way concept clusters via union-find.
+
+Section 3.4: "the customer wanted to know the terms those schemata (and no
+others in that group) held in common" -- i.e. a *comprehensive vocabulary*:
+every concept appearing in any schema of the group, with the exact subset of
+schemata using it.
+
+Construction: run pairwise matches (or accept externally validated
+correspondences), then union-find the element-level matches into cross-schema
+clusters.  Each cluster becomes a :class:`VocabularyEntry`; the entry's
+*signature* is the frozenset of schema names it touches, which drives the
+2^N - 1 partition of :mod:`repro.nway.partition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.schema.schema import Schema
+
+__all__ = ["UnionFind", "VocabularyEntry", "ComprehensiveVocabulary", "build_vocabulary"]
+
+
+class UnionFind:
+    """Classic disjoint-set forest with path compression and union by size."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+        self._size: dict[str, int] = {}
+
+    def add(self, item: str) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: str) -> str:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: str, right: str) -> str:
+        """Merge the two classes; returns the surviving root."""
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return left_root
+        if self._size[left_root] < self._size[right_root]:
+            left_root, right_root = right_root, left_root
+        self._parent[right_root] = left_root
+        self._size[left_root] += self._size[right_root]
+        return left_root
+
+    def groups(self) -> dict[str, list[str]]:
+        """All classes as {root: sorted members}."""
+        result: dict[str, list[str]] = {}
+        for item in self._parent:
+            result.setdefault(self.find(item), []).append(item)
+        for members in result.values():
+            members.sort()
+        return result
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+@dataclass
+class VocabularyEntry:
+    """One cross-schema concept: member elements grouped by schema."""
+
+    entry_id: str
+    members: dict[str, list[str]]             # schema name -> element ids
+    label: str = ""
+
+    @property
+    def signature(self) -> frozenset[str]:
+        """The set of schemata using this concept (the partition key)."""
+        return frozenset(self.members)
+
+    @property
+    def n_elements(self) -> int:
+        return sum(len(ids) for ids in self.members.values())
+
+
+class ComprehensiveVocabulary:
+    """The full vocabulary of a schema group with signature queries."""
+
+    def __init__(self, schema_names: list[str], entries: list[VocabularyEntry]):
+        self.schema_names = list(schema_names)
+        self.entries = list(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entries_with_signature(self, signature: frozenset[str]) -> list[VocabularyEntry]:
+        """Entries used by *exactly* this subset of schemata and no others."""
+        return [entry for entry in self.entries if entry.signature == signature]
+
+    def entries_covering(self, schema_names: Iterable[str]) -> list[VocabularyEntry]:
+        """Entries used by *at least* these schemata."""
+        needed = frozenset(schema_names)
+        return [entry for entry in self.entries if needed <= entry.signature]
+
+    def shared_by_all(self) -> list[VocabularyEntry]:
+        return self.entries_covering(self.schema_names)
+
+    def unique_to(self, schema_name: str) -> list[VocabularyEntry]:
+        return self.entries_with_signature(frozenset([schema_name]))
+
+
+def build_vocabulary(
+    schemata: dict[str, Schema],
+    matched_pairs: Iterable[tuple[str, str, str, str]],
+    element_label: str = "name",
+) -> ComprehensiveVocabulary:
+    """Union-find elements across schemata into a comprehensive vocabulary.
+
+    Parameters
+    ----------
+    schemata:
+        ``{schema_name: Schema}`` for the whole group.
+    matched_pairs:
+        Validated correspondences as ``(schema_a, element_a, schema_b,
+        element_b)`` tuples (typically the accepted output of pairwise
+        matches between group members).
+    element_label:
+        Labels for entries: the name of the lexicographically first member.
+
+    Every element of every schema appears in exactly one entry (singleton
+    entries for unmatched elements), so entry signatures partition the
+    group's whole element population.
+    """
+    forest = UnionFind()
+
+    def node(schema_name: str, element_id: str) -> str:
+        return f"{schema_name}::{element_id}"
+
+    for schema_name, schema in schemata.items():
+        for element in schema:
+            forest.add(node(schema_name, element.element_id))
+    for schema_a, element_a, schema_b, element_b in matched_pairs:
+        forest.union(node(schema_a, element_a), node(schema_b, element_b))
+
+    entries: list[VocabularyEntry] = []
+    for index, (root, members) in enumerate(sorted(forest.groups().items())):
+        grouped: dict[str, list[str]] = {}
+        for member in members:
+            schema_name, _, element_id = member.partition("::")
+            grouped.setdefault(schema_name, []).append(element_id)
+        first_schema = min(grouped)
+        first_element = grouped[first_schema][0]
+        label = (
+            schemata[first_schema].element(first_element).name
+            if element_label == "name"
+            else first_element
+        )
+        entries.append(
+            VocabularyEntry(entry_id=f"v{index}", members=grouped, label=label)
+        )
+    return ComprehensiveVocabulary(list(schemata), entries)

@@ -1,0 +1,27 @@
+"""Decision support: COI feasibility, subsume-vs-bridge, cost estimation."""
+
+from repro.planning.cost import CostParameters, IntegrationEstimate, estimate_integration
+from repro.planning.decision import (
+    CostBreakdown,
+    DecisionModel,
+    Option,
+    Recommendation,
+)
+from repro.planning.feasibility import (
+    FeasibilityReport,
+    PairOverlap,
+    assess_coi_feasibility,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "CostParameters",
+    "DecisionModel",
+    "FeasibilityReport",
+    "IntegrationEstimate",
+    "Option",
+    "PairOverlap",
+    "Recommendation",
+    "assess_coi_feasibility",
+    "estimate_integration",
+]

@@ -1,0 +1,86 @@
+"""Integration cost estimation: from match results to a contract number.
+
+Section 2 (project planning): "how much time and money should be allocated
+to these projects? ... to help the COI planners estimate the level of
+programming effort required to establish the actual mappings so an
+appropriate contract can be written with realistic cost estimates."
+
+The estimate decomposes into the matching phase (priced by the
+:class:`~repro.workflow.effort.EffortModel`) and the mapping-development
+phase (priced per validated mapping and per coverage-gap element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.overlap import OverlapReport
+from repro.workflow.effort import SECONDS_PER_PERSON_DAY, EffortEstimate, EffortModel
+
+__all__ = ["CostParameters", "IntegrationEstimate", "estimate_integration"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Unit prices for the mapping-development phase."""
+
+    hours_per_mapping: float = 1.5            # code + test one element mapping
+    hours_per_gap_element: float = 0.75       # decide/extend for an unmatched element
+    daily_rate_dollars: float = 1200.0
+
+    def __post_init__(self) -> None:
+        for name in ("hours_per_mapping", "hours_per_gap_element", "daily_rate_dollars"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class IntegrationEstimate:
+    """The full level-of-effort estimate."""
+
+    matching_person_days: float
+    mapping_person_days: float
+    gap_person_days: float
+
+    @property
+    def total_person_days(self) -> float:
+        return self.matching_person_days + self.mapping_person_days + self.gap_person_days
+
+    def cost_dollars(self, parameters: CostParameters) -> float:
+        return self.total_person_days * parameters.daily_rate_dollars
+
+    def describe(self, parameters: CostParameters) -> str:
+        return (
+            f"matching {self.matching_person_days:.1f}pd + mapping "
+            f"{self.mapping_person_days:.1f}pd + gaps {self.gap_person_days:.1f}pd "
+            f"= {self.total_person_days:.1f} person-days "
+            f"(~${self.cost_dollars(parameters):,.0f})"
+        )
+
+
+def estimate_integration(
+    overlap: OverlapReport,
+    matching_effort: EffortEstimate,
+    parameters: CostParameters | None = None,
+) -> IntegrationEstimate:
+    """Price an integration project from its overlap analysis.
+
+    ``matching_effort`` is the already-spent (or projected) matching phase;
+    mapping development is priced per matched pair; coverage gaps (target
+    elements without a counterpart) are priced per element, since each needs
+    a vocabulary-extension or out-of-scope decision.
+    """
+    parameters = parameters if parameters is not None else CostParameters()
+    n_mappings = len(overlap.matched_pairs) or len(overlap.intersection_target_ids)
+    mapping_days = n_mappings * parameters.hours_per_mapping * 3600 / SECONDS_PER_PERSON_DAY
+    gap_days = (
+        overlap.target_unmatched_count
+        * parameters.hours_per_gap_element
+        * 3600
+        / SECONDS_PER_PERSON_DAY
+    )
+    return IntegrationEstimate(
+        matching_person_days=matching_effort.person_days,
+        mapping_person_days=mapping_days,
+        gap_person_days=gap_days,
+    )

@@ -1,0 +1,115 @@
+"""The subsume-vs-bridge decision model of section 3.1.
+
+The customer's choice: augment Sys(SA) to *subsume* Sys(SB), or *retain*
+Sys(SB) and build an ETL bridge.  The paper states the decision logic:
+"Eliminating Sys(SB) was not the clear choice if a) the set of distinct SB
+elements were sufficiently large and b) the set of common elements ... were
+sufficiently small."
+
+The model prices both options from the overlap partition:
+
+* **subsume**: every distinct SB element must be added to SA (schema change
+  + migration), every common element must be mapped once for the data
+  move, and SB's operations must be re-homed (fixed cost).
+* **bridge**: every common element needs a mapping in the ETL bridge, plus
+  bridge construction (fixed) and recurring maintenance over a planning
+  horizon; distinct SB elements cost nothing (SB keeps serving them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.metrics.overlap import OverlapReport
+
+__all__ = ["Option", "CostBreakdown", "Recommendation", "DecisionModel"]
+
+
+class Option(Enum):
+    SUBSUME = "subsume"
+    BRIDGE = "bridge"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Priced components of one option, in person-days."""
+
+    option: Option
+    fixed: float
+    per_common: float
+    per_distinct: float
+    recurring: float
+
+    @property
+    def total(self) -> float:
+        return self.fixed + self.per_common + self.per_distinct + self.recurring
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The model's verdict with both priced options."""
+
+    choice: Option
+    subsume: CostBreakdown
+    bridge: CostBreakdown
+
+    @property
+    def margin(self) -> float:
+        """How much cheaper the chosen option is (person-days)."""
+        return abs(self.subsume.total - self.bridge.total)
+
+    def describe(self) -> str:
+        return (
+            f"recommend {self.choice}: subsume={self.subsume.total:.0f}pd, "
+            f"bridge={self.bridge.total:.0f}pd (margin {self.margin:.0f}pd)"
+        )
+
+
+@dataclass(frozen=True)
+class DecisionModel:
+    """Unit costs in person-days; defaults are plausible integration rates."""
+
+    days_per_added_element: float = 0.5        # schema change + migration, subsume
+    days_per_mapping: float = 0.2              # one validated mapping, either option
+    subsume_fixed_days: float = 60.0           # re-homing Sys(SB) operations
+    bridge_fixed_days: float = 30.0            # ETL bridge construction
+    bridge_yearly_maintenance_days: float = 20.0
+    horizon_years: float = 3.0
+
+    def evaluate(self, report: OverlapReport) -> Recommendation:
+        """Price both options from an overlap partition and recommend."""
+        n_common = len(report.intersection_target_ids)
+        n_distinct = report.target_unmatched_count
+
+        subsume = CostBreakdown(
+            option=Option.SUBSUME,
+            fixed=self.subsume_fixed_days,
+            per_common=n_common * self.days_per_mapping,
+            per_distinct=n_distinct * self.days_per_added_element,
+            recurring=0.0,
+        )
+        bridge = CostBreakdown(
+            option=Option.BRIDGE,
+            fixed=self.bridge_fixed_days,
+            per_common=n_common * self.days_per_mapping,
+            per_distinct=0.0,
+            recurring=self.bridge_yearly_maintenance_days * self.horizon_years,
+        )
+        choice = Option.SUBSUME if subsume.total <= bridge.total else Option.BRIDGE
+        return Recommendation(choice=choice, subsume=subsume, bridge=bridge)
+
+    def crossover_distinct_count(self) -> float:
+        """The distinct-element count where the two options break even.
+
+        Below this many distinct SB elements, subsuming wins; above it, the
+        bridge wins -- the quantitative form of the paper's condition (a).
+        """
+        return (
+            self.bridge_fixed_days
+            + self.bridge_yearly_maintenance_days * self.horizon_years
+            - self.subsume_fixed_days
+        ) / self.days_per_added_element

@@ -1,0 +1,90 @@
+"""COI feasibility: should a decision maker convene this community?
+
+Section 2: "Schema matching tools are needed to quickly estimate the extent
+to which it will be feasible to generate a community vocabulary from a
+collection of data sources."
+
+Feasibility here is the mean pairwise overlap across the candidate members
+(harmonic matched fractions, as in the clustering distance), with the
+minimum pair reported too -- one non-overlapping member can sink a COI even
+when the average looks fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.match.engine import HarmonyMatchEngine
+from repro.schema.schema import Schema
+
+__all__ = ["PairOverlap", "FeasibilityReport", "assess_coi_feasibility"]
+
+
+@dataclass(frozen=True)
+class PairOverlap:
+    """Overlap of one candidate pair."""
+
+    left: str
+    right: str
+    overlap: float
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """The feasibility assessment for a candidate COI."""
+
+    members: tuple[str, ...]
+    pair_overlaps: tuple[PairOverlap, ...]
+    mean_overlap: float
+    min_overlap: float
+
+    def feasible(self, threshold: float = 0.25) -> bool:
+        """A COI is worth convening when the average member pair overlaps."""
+        return self.mean_overlap >= threshold
+
+    def weakest_pair(self) -> PairOverlap:
+        return min(self.pair_overlaps, key=lambda pair: pair.overlap)
+
+    def describe(self) -> str:
+        verdict = "feasible" if self.feasible() else "not feasible"
+        return (
+            f"COI over {len(self.members)} systems: mean overlap "
+            f"{self.mean_overlap:.0%}, weakest pair {self.min_overlap:.0%} "
+            f"-> {verdict}"
+        )
+
+
+def assess_coi_feasibility(
+    schemata: dict[str, Schema],
+    engine: HarmonyMatchEngine | None = None,
+    threshold: float = 0.13,
+) -> FeasibilityReport:
+    """Estimate community-vocabulary feasibility from pairwise overlaps."""
+    if len(schemata) < 2:
+        raise ValueError("a COI needs at least two candidate members")
+    engine = engine if engine is not None else HarmonyMatchEngine()
+    overlaps: list[PairOverlap] = []
+    for left, right in combinations(sorted(schemata), 2):
+        result = engine.match(schemata[left], schemata[right])
+        source_fraction = len(result.matched_source_ids(threshold)) / max(
+            len(schemata[left]), 1
+        )
+        target_fraction = len(result.matched_target_ids(threshold)) / max(
+            len(schemata[right]), 1
+        )
+        if source_fraction + target_fraction == 0:
+            harmonic = 0.0
+        else:
+            harmonic = (
+                2 * source_fraction * target_fraction
+                / (source_fraction + target_fraction)
+            )
+        overlaps.append(PairOverlap(left=left, right=right, overlap=harmonic))
+    values = [pair.overlap for pair in overlaps]
+    return FeasibilityReport(
+        members=tuple(sorted(schemata)),
+        pair_overlaps=tuple(overlaps),
+        mean_overlap=sum(values) / len(values),
+        min_overlap=min(values),
+    )

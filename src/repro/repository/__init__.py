@@ -1,0 +1,15 @@
+"""Enterprise metadata repository: schemata + match knowledge + provenance."""
+
+from repro.repository.provenance import AssertionMethod, ProvenanceRecord, TrustPolicy
+from repro.repository.reuse import compose_matches, reuse_candidates
+from repro.repository.store import MetadataRepository, StoredMatch
+
+__all__ = [
+    "AssertionMethod",
+    "MetadataRepository",
+    "ProvenanceRecord",
+    "StoredMatch",
+    "TrustPolicy",
+    "compose_matches",
+    "reuse_candidates",
+]

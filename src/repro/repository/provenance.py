@@ -1,0 +1,95 @@
+"""Match provenance: who said X matches Y, and should you trust them?
+
+Section 5: "A related research topic is managing matching provenance --
+i.e., who said that X is the same as Y, and should I trust that assertion in
+my application?"
+
+Every stored match carries a :class:`ProvenanceRecord`; a :class:`TrustPolicy`
+decides, per consuming context, whether the assertion is usable.  Timestamps
+are logical sequence numbers assigned by the repository, keeping the whole
+system deterministic and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["AssertionMethod", "ProvenanceRecord", "TrustPolicy"]
+
+
+class AssertionMethod(Enum):
+    """How a correspondence came to be asserted."""
+
+    AUTOMATIC = "automatic"        # straight from a match engine
+    HUMAN_VALIDATED = "human"      # reviewed by an integration engineer
+    IMPORTED = "imported"          # loaded from an external artifact
+    COMPOSED = "composed"          # derived by transitive reuse (A->B->C)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """The provenance of one match assertion."""
+
+    asserted_by: str
+    method: AssertionMethod
+    confidence: float
+    sequence: int = 0                      # logical time, assigned by the store
+    context: str = "general"               # the context the match was made for
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.asserted_by:
+            raise ValueError("asserted_by must be non-empty")
+        if not -1.0 <= self.confidence <= 1.0:
+            raise ValueError(
+                f"confidence must be in [-1, 1], got {self.confidence}"
+            )
+        if self.sequence < 0:
+            raise ValueError(f"sequence must be >= 0, got {self.sequence}")
+
+
+@dataclass(frozen=True)
+class TrustPolicy:
+    """Context-dependent trust: "a match that supports search may not have
+    sufficient precision to support a business intelligence application."
+
+    ``min_confidence`` gates by score; ``require_human`` restricts to
+    human-validated assertions; ``trusted_asserters`` (when non-empty)
+    whitelists sources; ``allow_composed`` admits transitively derived
+    matches.
+    """
+
+    min_confidence: float = 0.0
+    require_human: bool = False
+    trusted_asserters: frozenset[str] = frozenset()
+    allow_composed: bool = True
+
+    def trusts(self, record: ProvenanceRecord) -> bool:
+        if record.confidence < self.min_confidence:
+            return False
+        if self.require_human and record.method is not AssertionMethod.HUMAN_VALIDATED:
+            return False
+        if self.trusted_asserters and record.asserted_by not in self.trusted_asserters:
+            return False
+        if not self.allow_composed and record.method is AssertionMethod.COMPOSED:
+            return False
+        return True
+
+    @classmethod
+    def for_search(cls) -> "TrustPolicy":
+        """Permissive: recall matters more than precision for discovery."""
+        return cls(min_confidence=0.1)
+
+    @classmethod
+    def for_business_intelligence(cls) -> "TrustPolicy":
+        """Strict: only high-confidence, human-validated direct assertions.
+
+        The 0.25 gate is calibrated to the conviction-linear score scale
+        (signed-square votes compress magnitudes; 0.25 corresponds to a
+        decisive ensemble agreement).
+        """
+        return cls(min_confidence=0.25, require_human=True, allow_composed=False)

@@ -1,0 +1,116 @@
+"""Transitive match reuse: composing stored matches into new candidates.
+
+Section 5 (after [7, 18]): "other developers should be able to benefit from
+previous matches."  If the repository knows A.x = B.y (0.8) and B.y = C.z
+(0.7), a new A-to-C matching effort should start from the composed candidate
+A.x = C.z rather than from nothing.  Composition takes the *minimum* of the
+leg scores (a chain is only as strong as its weakest assertion) and records
+:class:`~repro.repository.provenance.AssertionMethod.COMPOSED` provenance.
+"""
+
+from __future__ import annotations
+
+from repro.match.correspondence import Correspondence, MatchStatus
+from repro.repository.provenance import AssertionMethod, TrustPolicy
+from repro.repository.store import MetadataRepository, StoredMatch
+
+__all__ = ["compose_matches", "reuse_candidates"]
+
+
+def _directed_legs(
+    repository: MetadataRepository, schema_name: str, policy: TrustPolicy | None
+) -> list[tuple[str, str, str, float]]:
+    """Matches touching ``schema_name`` as (other_schema, own_el, other_el, score)."""
+    legs: list[tuple[str, str, str, float]] = []
+    for match in repository.matches_touching(schema_name):
+        if policy is not None and not policy.trusts(match.provenance):
+            continue
+        correspondence = match.correspondence
+        if correspondence.status is MatchStatus.REJECTED:
+            continue
+        if match.source_schema == schema_name:
+            legs.append(
+                (
+                    match.target_schema,
+                    correspondence.source_id,
+                    correspondence.target_id,
+                    correspondence.score,
+                )
+            )
+        else:
+            legs.append(
+                (
+                    match.source_schema,
+                    correspondence.target_id,
+                    correspondence.source_id,
+                    correspondence.score,
+                )
+            )
+    return legs
+
+
+def compose_matches(
+    repository: MetadataRepository,
+    source_schema: str,
+    target_schema: str,
+    policy: TrustPolicy | None = None,
+) -> list[Correspondence]:
+    """Candidates for source->target composed through any pivot schema.
+
+    For every pivot P with stored matches source<->P and P<->target sharing
+    a pivot element, emit the composed correspondence with min leg score.
+    Duplicate compositions keep the strongest score.
+    """
+    source_legs = _directed_legs(repository, source_schema, policy)
+    target_legs = _directed_legs(repository, target_schema, policy)
+
+    # pivot (schema, element) -> list of (source element, score)
+    via: dict[tuple[str, str], list[tuple[str, float]]] = {}
+    for pivot_schema, own_element, pivot_element, score in source_legs:
+        if pivot_schema == target_schema:
+            continue
+        via.setdefault((pivot_schema, pivot_element), []).append((own_element, score))
+
+    best: dict[tuple[str, str], float] = {}
+    for pivot_schema, own_element, pivot_element, score in target_legs:
+        if pivot_schema == source_schema:
+            continue
+        for source_element, source_score in via.get((pivot_schema, pivot_element), []):
+            pair = (source_element, own_element)
+            composed = min(source_score, score)
+            if composed > best.get(pair, float("-inf")):
+                best[pair] = composed
+
+    return [
+        Correspondence(
+            source_id=source_element,
+            target_id=target_element,
+            score=score,
+            status=MatchStatus.CANDIDATE,
+            asserted_by="composer",
+        )
+        for (source_element, target_element), score in sorted(
+            best.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+
+
+def reuse_candidates(
+    repository: MetadataRepository,
+    source_schema: str,
+    target_schema: str,
+    asserted_by: str = "composer",
+    policy: TrustPolicy | None = None,
+    store: bool = False,
+) -> list[Correspondence]:
+    """Compose candidates and optionally store them with COMPOSED provenance."""
+    candidates = compose_matches(repository, source_schema, target_schema, policy)
+    if store:
+        repository.store_matches(
+            source_schema,
+            target_schema,
+            candidates,
+            asserted_by=asserted_by,
+            method=AssertionMethod.COMPOSED,
+        )
+    return candidates

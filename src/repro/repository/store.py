@@ -1,0 +1,318 @@
+"""The enterprise metadata repository: schemata and matches as knowledge.
+
+Section 5: "Large enterprises can have hundreds to thousands of schemata,
+illustrating the need to manage schemata as data themselves ... Several
+commercial repository tools are available, but these ignore the importance
+of schema matches as knowledge artifacts."
+
+:class:`MetadataRepository` stores both: registered schemata and asserted
+matches with full provenance, filterable by trust policy.  Two backends
+share one interface: in-memory (default) and SQLite (persistent, stdlib
+``sqlite3``).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+
+from repro.match.correspondence import (
+    Correspondence,
+    MatchStatus,
+    SemanticAnnotation,
+)
+from repro.repository.provenance import AssertionMethod, ProvenanceRecord, TrustPolicy
+from repro.schema.schema import Schema
+from repro.schema.serialize import schema_from_dict, schema_to_dict
+
+__all__ = ["StoredMatch", "MetadataRepository"]
+
+
+@dataclass(frozen=True)
+class StoredMatch:
+    """One match assertion between elements of two registered schemata."""
+
+    source_schema: str
+    target_schema: str
+    correspondence: Correspondence
+    provenance: ProvenanceRecord
+
+
+class _InMemoryBackend:
+    """Dict-backed storage (the default)."""
+
+    def __init__(self) -> None:
+        self.schemata: dict[str, dict] = {}
+        self.matches: list[StoredMatch] = []
+
+    def put_schema(self, name: str, payload: dict) -> None:
+        self.schemata[name] = payload
+
+    def get_schema(self, name: str) -> dict | None:
+        return self.schemata.get(name)
+
+    def schema_names(self) -> list[str]:
+        return list(self.schemata)
+
+    def delete_schema(self, name: str) -> None:
+        self.schemata.pop(name, None)
+        self.matches = [
+            match
+            for match in self.matches
+            if name not in (match.source_schema, match.target_schema)
+        ]
+
+    def add_match(self, match: StoredMatch) -> None:
+        self.matches.append(match)
+
+    def all_matches(self) -> list[StoredMatch]:
+        return list(self.matches)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        return None
+
+
+class _SqliteBackend:
+    """SQLite-backed storage; single-file, stdlib-only persistence."""
+
+    def __init__(self, path: str):
+        self._connection = sqlite3.connect(path)
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS schemata ("
+            " name TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+        )
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS matches ("
+            " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " source_schema TEXT NOT NULL, target_schema TEXT NOT NULL,"
+            " source_element TEXT NOT NULL, target_element TEXT NOT NULL,"
+            " score REAL NOT NULL, status TEXT NOT NULL,"
+            " annotation TEXT NOT NULL, note TEXT NOT NULL,"
+            " asserted_by TEXT NOT NULL, method TEXT NOT NULL,"
+            " confidence REAL NOT NULL, sequence INTEGER NOT NULL,"
+            " context TEXT NOT NULL, prov_note TEXT NOT NULL)"
+        )
+        self._connection.commit()
+
+    def put_schema(self, name: str, payload: dict) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO schemata (name, payload) VALUES (?, ?)",
+            (name, json.dumps(payload)),
+        )
+        self._connection.commit()
+
+    def get_schema(self, name: str) -> dict | None:
+        row = self._connection.execute(
+            "SELECT payload FROM schemata WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0])
+
+    def schema_names(self) -> list[str]:
+        rows = self._connection.execute(
+            "SELECT name FROM schemata ORDER BY name"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def delete_schema(self, name: str) -> None:
+        self._connection.execute("DELETE FROM schemata WHERE name = ?", (name,))
+        self._connection.execute(
+            "DELETE FROM matches WHERE source_schema = ? OR target_schema = ?",
+            (name, name),
+        )
+        self._connection.commit()
+
+    def add_match(self, match: StoredMatch) -> None:
+        correspondence = match.correspondence
+        provenance = match.provenance
+        self._connection.execute(
+            "INSERT INTO matches (source_schema, target_schema, source_element,"
+            " target_element, score, status, annotation, note, asserted_by,"
+            " method, confidence, sequence, context, prov_note)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                match.source_schema,
+                match.target_schema,
+                correspondence.source_id,
+                correspondence.target_id,
+                correspondence.score,
+                correspondence.status.value,
+                correspondence.annotation.value,
+                correspondence.note,
+                provenance.asserted_by,
+                provenance.method.value,
+                provenance.confidence,
+                provenance.sequence,
+                provenance.context,
+                provenance.note,
+            ),
+        )
+        self._connection.commit()
+
+    def all_matches(self) -> list[StoredMatch]:
+        rows = self._connection.execute(
+            "SELECT source_schema, target_schema, source_element, target_element,"
+            " score, status, annotation, note, asserted_by, method, confidence,"
+            " sequence, context, prov_note FROM matches ORDER BY id"
+        ).fetchall()
+        stored: list[StoredMatch] = []
+        for row in rows:
+            stored.append(
+                StoredMatch(
+                    source_schema=row[0],
+                    target_schema=row[1],
+                    correspondence=Correspondence(
+                        source_id=row[2],
+                        target_id=row[3],
+                        score=row[4],
+                        status=MatchStatus(row[5]),
+                        annotation=SemanticAnnotation(row[6]),
+                        note=row[7],
+                        asserted_by=row[8],
+                    ),
+                    provenance=ProvenanceRecord(
+                        asserted_by=row[8],
+                        method=AssertionMethod(row[9]),
+                        confidence=row[10],
+                        sequence=row[11],
+                        context=row[12],
+                        note=row[13],
+                    ),
+                )
+            )
+        return stored
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+class MetadataRepository:
+    """Schemata + match knowledge with provenance and trust filtering."""
+
+    def __init__(self, path: str | None = None):
+        """In-memory by default; pass a file path for SQLite persistence."""
+        self._backend = _SqliteBackend(path) if path is not None else _InMemoryBackend()
+        self._sequence = max(
+            (match.provenance.sequence for match in self._backend.all_matches()),
+            default=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Schemata
+    # ------------------------------------------------------------------
+    def register(self, schema: Schema, name: str | None = None) -> str:
+        """Store a schema (serialised); returns the registered name."""
+        schema_name = name if name is not None else schema.name
+        self._backend.put_schema(schema_name, schema_to_dict(schema))
+        return schema_name
+
+    def schema(self, name: str) -> Schema:
+        payload = self._backend.get_schema(name)
+        if payload is None:
+            raise KeyError(f"schema {name!r} is not registered")
+        return schema_from_dict(payload)
+
+    def schema_names(self) -> list[str]:
+        return self._backend.schema_names()
+
+    def unregister(self, name: str) -> None:
+        """Remove a schema and every match touching it."""
+        self._backend.delete_schema(name)
+
+    def __contains__(self, name: str) -> bool:
+        return self._backend.get_schema(name) is not None
+
+    def __len__(self) -> int:
+        return len(self._backend.schema_names())
+
+    # ------------------------------------------------------------------
+    # Matches as knowledge artifacts
+    # ------------------------------------------------------------------
+    def store_match(
+        self,
+        source_schema: str,
+        target_schema: str,
+        correspondence: Correspondence,
+        asserted_by: str,
+        method: AssertionMethod = AssertionMethod.AUTOMATIC,
+        context: str = "general",
+        note: str = "",
+    ) -> StoredMatch:
+        """Assert one correspondence with provenance (sequence = logical time)."""
+        for name in (source_schema, target_schema):
+            if name not in self:
+                raise KeyError(f"schema {name!r} is not registered")
+        self._sequence += 1
+        stored = StoredMatch(
+            source_schema=source_schema,
+            target_schema=target_schema,
+            correspondence=correspondence,
+            provenance=ProvenanceRecord(
+                asserted_by=asserted_by,
+                method=method,
+                confidence=correspondence.score,
+                sequence=self._sequence,
+                context=context,
+                note=note,
+            ),
+        )
+        self._backend.add_match(stored)
+        return stored
+
+    def store_matches(
+        self,
+        source_schema: str,
+        target_schema: str,
+        correspondences,
+        asserted_by: str,
+        method: AssertionMethod = AssertionMethod.AUTOMATIC,
+        context: str = "general",
+    ) -> int:
+        """Bulk variant of :meth:`store_match`; returns the count stored."""
+        count = 0
+        for correspondence in correspondences:
+            self.store_match(
+                source_schema,
+                target_schema,
+                correspondence,
+                asserted_by=asserted_by,
+                method=method,
+                context=context,
+            )
+            count += 1
+        return count
+
+    def matches(
+        self,
+        source_schema: str | None = None,
+        target_schema: str | None = None,
+        policy: TrustPolicy | None = None,
+    ) -> list[StoredMatch]:
+        """Query stored matches, optionally trust-filtered."""
+        found = self._backend.all_matches()
+        if source_schema is not None:
+            found = [m for m in found if m.source_schema == source_schema]
+        if target_schema is not None:
+            found = [m for m in found if m.target_schema == target_schema]
+        if policy is not None:
+            found = [m for m in found if policy.trusts(m.provenance)]
+        return found
+
+    def matches_touching(self, schema_name: str) -> list[StoredMatch]:
+        """All matches with this schema on either side."""
+        return [
+            match
+            for match in self._backend.all_matches()
+            if schema_name in (match.source_schema, match.target_schema)
+        ]
+
+    def close(self) -> None:
+        self._backend.close()
+
+    def __enter__(self) -> "MetadataRepository":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,46 @@
+"""Schema model: elements, schemata, type lattice, and importers.
+
+A :class:`~repro.schema.schema.Schema` is an ordered forest of
+:class:`~repro.schema.element.SchemaElement` nodes.  Importers build them
+from SQL DDL (:func:`parse_ddl`) and XML Schema (:func:`parse_xsd`);
+:mod:`repro.synthetic` generates them programmatically.
+"""
+
+from repro.schema.datatypes import DataType, compatibility, parse_sql_type, parse_xsd_type
+from repro.schema.diff import RenamedElement, SchemaDiff, diff_schemas
+from repro.schema.element import ElementKind, SchemaElement
+from repro.schema.errors import (
+    DuplicateElementError,
+    ParseError,
+    SchemaError,
+    UnknownElementError,
+)
+from repro.schema.relational import load_ddl_file, parse_ddl
+from repro.schema.schema import Schema
+from repro.schema.serialize import dump_schema, load_schema, schema_from_dict, schema_to_dict
+from repro.schema.xmlschema import load_xsd_file, parse_xsd
+
+__all__ = [
+    "DataType",
+    "DuplicateElementError",
+    "RenamedElement",
+    "SchemaDiff",
+    "ElementKind",
+    "ParseError",
+    "Schema",
+    "SchemaElement",
+    "SchemaError",
+    "UnknownElementError",
+    "compatibility",
+    "diff_schemas",
+    "dump_schema",
+    "load_ddl_file",
+    "load_schema",
+    "load_xsd_file",
+    "parse_ddl",
+    "parse_sql_type",
+    "parse_xsd",
+    "parse_xsd_type",
+    "schema_from_dict",
+    "schema_to_dict",
+]

@@ -1,0 +1,144 @@
+"""Schema version diffing: what changed between Sys(SA).v3 and Sys(SA).v4?
+
+The case study's trigger is a version transition: "Sys(SA) is currently
+being redesigned into version 4" (section 3.1) -- and planners need to know
+what the redesign adds, drops and renames before deciding what the new
+version can subsume.  :func:`diff_schemas` produces exactly that inventory:
+
+* **added** / **removed** -- elements present in only one version;
+* **renamed** -- removed/added pairs whose *match score* clears a threshold
+  (the match engine doing rename detection);
+* **retyped** -- same id, different normalised type family;
+* **redocumented** -- same id, changed documentation.
+
+Elements are aligned by id first (ids are stable within a system's
+lineage); the engine only arbitrates the leftovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.schema.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (schema <- match)
+    from repro.match.engine import HarmonyMatchEngine
+
+__all__ = ["SchemaDiff", "RenamedElement", "diff_schemas"]
+
+
+@dataclass(frozen=True)
+class RenamedElement:
+    """A probable rename: old element, new element, and the match score."""
+
+    old_id: str
+    new_id: str
+    old_name: str
+    new_name: str
+    score: float
+
+
+@dataclass
+class SchemaDiff:
+    """The change inventory between two schema versions."""
+
+    old_version: str
+    new_version: str
+    added_ids: list[str] = field(default_factory=list)
+    removed_ids: list[str] = field(default_factory=list)
+    renamed: list[RenamedElement] = field(default_factory=list)
+    retyped_ids: list[str] = field(default_factory=list)
+    redocumented_ids: list[str] = field(default_factory=list)
+    unchanged_ids: list[str] = field(default_factory=list)
+
+    @property
+    def churn(self) -> int:
+        """Total changed elements (a planning workload indicator)."""
+        return (
+            len(self.added_ids)
+            + len(self.removed_ids)
+            + len(self.renamed)
+            + len(self.retyped_ids)
+        )
+
+    def summary_lines(self) -> list[str]:
+        return [
+            f"{self.old_version} -> {self.new_version}:",
+            f"  unchanged:     {len(self.unchanged_ids)}",
+            f"  added:         {len(self.added_ids)}",
+            f"  removed:       {len(self.removed_ids)}",
+            f"  renamed:       {len(self.renamed)}",
+            f"  retyped:       {len(self.retyped_ids)}",
+            f"  redocumented:  {len(self.redocumented_ids)}",
+        ]
+
+
+def diff_schemas(
+    old: Schema,
+    new: Schema,
+    engine: "HarmonyMatchEngine | None" = None,
+    rename_threshold: float = 0.03,
+) -> SchemaDiff:
+    """Diff two versions of a schema (see module docstring).
+
+    ``rename_threshold`` gates the engine-backed rename detection between
+    the id-orphaned elements; renames must also agree on tree depth (a
+    column does not become a table in a rename).
+    """
+    # Imported here to keep the schema package import-cycle free (the match
+    # package builds on schema, not the other way around).
+    from repro.match.engine import HarmonyMatchEngine
+    from repro.match.selection import StableMarriageSelection
+
+    old_ids = {element.element_id for element in old}
+    new_ids = {element.element_id for element in new}
+
+    diff = SchemaDiff(old_version=old.name, new_version=new.name)
+
+    for element_id in sorted(old_ids & new_ids):
+        old_element = old.element(element_id)
+        new_element = new.element(element_id)
+        changed = False
+        if old_element.data_type is not new_element.data_type:
+            diff.retyped_ids.append(element_id)
+            changed = True
+        if old_element.documentation != new_element.documentation:
+            diff.redocumented_ids.append(element_id)
+            changed = True
+        if not changed:
+            diff.unchanged_ids.append(element_id)
+
+    removed = sorted(old_ids - new_ids)
+    added = sorted(new_ids - old_ids)
+    if removed and added:
+        engine = engine if engine is not None else HarmonyMatchEngine()
+        result = engine.match(
+            old, new, source_element_ids=removed, target_element_ids=added
+        )
+        candidates = StableMarriageSelection(threshold=rename_threshold).select(
+            result.matrix
+        )
+        matched_old: set[str] = set()
+        matched_new: set[str] = set()
+        for candidate in candidates:
+            if old.depth(candidate.source_id) != new.depth(candidate.target_id):
+                continue
+            diff.renamed.append(
+                RenamedElement(
+                    old_id=candidate.source_id,
+                    new_id=candidate.target_id,
+                    old_name=old.element(candidate.source_id).name,
+                    new_name=new.element(candidate.target_id).name,
+                    score=candidate.score,
+                )
+            )
+            matched_old.add(candidate.source_id)
+            matched_new.add(candidate.target_id)
+        diff.removed_ids = [eid for eid in removed if eid not in matched_old]
+        diff.added_ids = [eid for eid in added if eid not in matched_new]
+    else:
+        diff.removed_ids = removed
+        diff.added_ids = added
+
+    return diff

@@ -1,0 +1,95 @@
+"""Schema elements: the atoms that match voters compare.
+
+An element is anything nameable in a schema: a relation, a column, an XSD
+complex type, an element declaration, an attribute.  The CIDR 2009 paper
+counts all of these uniformly ("Schema A ... contains 1378 elements"), so the
+model makes no structural distinction beyond the parent/child tree and an
+:class:`ElementKind` tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.schema.datatypes import DataType
+
+__all__ = ["ElementKind", "SchemaElement"]
+
+
+class ElementKind(Enum):
+    """What role the element plays in its host schema."""
+
+    TABLE = "table"
+    VIEW = "view"
+    COLUMN = "column"
+    COMPLEX_TYPE = "complex_type"
+    ELEMENT = "element"        # XSD element declaration
+    ATTRIBUTE = "attribute"    # XSD attribute
+    GENERIC = "generic"
+
+    def is_container(self) -> bool:
+        """Containers hold other elements; leaves carry values."""
+        return self in (ElementKind.TABLE, ElementKind.VIEW, ElementKind.COMPLEX_TYPE)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SchemaElement:
+    """One node in a schema tree.
+
+    Attributes
+    ----------
+    element_id:
+        Unique within the host schema.  Importers derive it from the path
+        (e.g. ``all_event_vitals.date_begin_156``); generators assign it.
+    name:
+        The surface name as written in the schema source.
+    kind:
+        Structural role (table, column, XSD element...).
+    parent_id:
+        Id of the containing element, or None for a root.
+    documentation:
+        Free-text description (DDL comments, ``xs:documentation``).  Harmony
+        leans on this text heavily, see CIDR 2009 section 3.2.
+    data_type:
+        Normalised type family; COMPLEX for containers.
+    declared_type:
+        The raw type string from the source (``VARCHAR(30)``, ``xs:date``).
+    nullable / is_key:
+        Constraint hints; neutral defaults when unknown.
+    """
+
+    element_id: str
+    name: str
+    kind: ElementKind = ElementKind.GENERIC
+    parent_id: str | None = None
+    documentation: str = ""
+    data_type: DataType = DataType.UNKNOWN
+    declared_type: str = ""
+    nullable: bool = True
+    is_key: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.element_id:
+            raise ValueError("element_id must be non-empty")
+        if not self.name:
+            raise ValueError(f"element {self.element_id!r} must have a name")
+        if self.parent_id == self.element_id:
+            raise ValueError(f"element {self.element_id!r} cannot be its own parent")
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    def with_documentation(self, documentation: str) -> "SchemaElement":
+        """Return a copy carrying new documentation text."""
+        return replace(self, documentation=documentation)
+
+    def describing_text(self) -> str:
+        """Name plus documentation -- the full linguistic evidence string."""
+        if self.documentation:
+            return f"{self.name} {self.documentation}"
+        return self.name

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the schema model and importers."""
+
+from __future__ import annotations
+
+__all__ = ["SchemaError", "DuplicateElementError", "UnknownElementError", "ParseError"]
+
+
+class SchemaError(Exception):
+    """Base class for all schema-model errors."""
+
+
+class DuplicateElementError(SchemaError):
+    """An element id or path was registered twice within one schema."""
+
+
+class UnknownElementError(SchemaError, KeyError):
+    """A lookup referenced an element id that does not exist in the schema."""
+
+
+class ParseError(SchemaError):
+    """An importer could not parse its input (DDL, XSD, JSON...)."""
+
+    def __init__(self, message: str, line: int | None = None):
+        location = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line

@@ -1,0 +1,297 @@
+"""SQL DDL importer: ``CREATE TABLE`` scripts -> :class:`Schema`.
+
+The case study's Schema A "is relational, contains 1378 elements" (CIDR 2009,
+section 3.1).  This importer accepts the practical dialect-neutral subset of
+DDL that schema dumps in large organisations actually contain:
+
+* ``CREATE TABLE name (col TYPE [constraints], ... [, PRIMARY KEY (...)])``
+* ``CREATE VIEW name AS SELECT col [, col ...] FROM ...`` (columns shallow)
+* trailing ``--`` line comments attached as documentation to the element they
+  follow
+* ``COMMENT ON TABLE|COLUMN x IS '...'`` statements (Oracle/Postgres style)
+
+It is a tolerant recursive-descent-ish parser over statements split on
+semicolons outside string literals; anything unrecognised raises
+:class:`~repro.schema.errors.ParseError` with the offending line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.schema.datatypes import DataType, parse_sql_type
+from repro.schema.element import ElementKind, SchemaElement
+from repro.schema.errors import ParseError
+from repro.schema.schema import Schema
+
+__all__ = ["parse_ddl", "load_ddl_file"]
+
+_CREATE_TABLE_RE = re.compile(
+    r"^\s*CREATE\s+TABLE\s+(?P<name>[\w$#.]+)\s*\((?P<body>.*)\)\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_CREATE_VIEW_RE = re.compile(
+    r"^\s*CREATE\s+(?:OR\s+REPLACE\s+)?VIEW\s+(?P<name>[\w$#.]+)\s+AS\s+"
+    r"SELECT\s+(?P<cols>.*?)\s+FROM\s+",
+    re.IGNORECASE | re.DOTALL,
+)
+_COMMENT_ON_RE = re.compile(
+    r"^\s*COMMENT\s+ON\s+(?P<scope>TABLE|COLUMN)\s+(?P<target>[\w$#.]+)\s+IS\s+"
+    r"'(?P<text>(?:[^']|'')*)'\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_CONSTRAINT_PREFIXES = (
+    "primary key",
+    "foreign key",
+    "unique",
+    "check",
+    "constraint",
+    "key ",
+    "index ",
+)
+_COLUMN_RE = re.compile(
+    r"^(?P<name>[\w$#]+)\s+(?P<type>[\w]+(?:\s*\([^)]*\))?)(?P<rest>.*)$",
+    re.DOTALL,
+)
+
+
+def _split_statements(ddl: str) -> list[tuple[str, int]]:
+    """Split on semicolons outside single-quoted strings.
+
+    Returns (statement_text, starting_line_number) pairs; line numbers are
+    1-based and refer to the original input for error reporting.
+    """
+    statements: list[tuple[str, int]] = []
+    buffer: list[str] = []
+    in_string = False
+    line = 1
+    start_line = 1
+    for char in ddl:
+        if char == "\n":
+            line += 1
+        if char == "'":
+            in_string = not in_string
+        if char == ";" and not in_string:
+            text = "".join(buffer)
+            if text.strip():
+                statements.append((text, start_line))
+            buffer = []
+            start_line = line
+            continue
+        buffer.append(char)
+    tail = "".join(buffer)
+    if tail.strip():
+        statements.append((tail, start_line))
+    return statements
+
+
+def _extract_line_comments(body: str) -> tuple[str, dict[int, str]]:
+    """Strip ``--`` comments, returning cleaned text and comments per line.
+
+    The comment on physical line *i* of the body documents whatever column
+    definition occupies that line.
+    """
+    cleaned_lines: list[str] = []
+    comments: dict[int, str] = {}
+    for index, raw_line in enumerate(body.split("\n")):
+        if "--" in raw_line:
+            code, _, comment = raw_line.partition("--")
+            cleaned_lines.append(code)
+            text = comment.strip()
+            if text:
+                comments[index] = text
+        else:
+            cleaned_lines.append(raw_line)
+    return "\n".join(cleaned_lines), comments
+
+
+def _split_columns(body: str) -> list[str]:
+    """Split a CREATE TABLE body on commas outside parentheses/strings."""
+    parts: list[str] = []
+    depth = 0
+    in_string = False
+    buffer: list[str] = []
+    for char in body:
+        if char == "'":
+            in_string = not in_string
+        if not in_string:
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            elif char == "," and depth == 0:
+                parts.append("".join(buffer))
+                buffer = []
+                continue
+        buffer.append(char)
+    parts.append("".join(buffer))
+    return [part for part in parts if part.strip()]
+
+
+def _primary_key_columns(definition: str) -> list[str]:
+    match = re.search(r"primary\s+key\s*\(([^)]*)\)", definition, re.IGNORECASE)
+    if not match:
+        return []
+    return [col.strip().lower() for col in match.group(1).split(",") if col.strip()]
+
+
+def _parse_table(
+    schema: Schema, name: str, body: str, line: int
+) -> None:
+    cleaned, _ = _extract_line_comments(body)
+    # Re-run comment extraction per column chunk: map comments by searching
+    # the original body for each column's source line.
+    table_name = name.split(".")[-1]
+    table = schema.add_root(
+        table_name,
+        kind=ElementKind.TABLE,
+        data_type=DataType.COMPLEX,
+    )
+
+    deferred_keys: list[str] = []
+    for chunk in _split_columns(cleaned):
+        stripped = chunk.strip()
+        lowered = stripped.lower()
+        if any(lowered.startswith(prefix) for prefix in _CONSTRAINT_PREFIXES):
+            deferred_keys.extend(_primary_key_columns(stripped))
+            continue
+        column_match = _COLUMN_RE.match(stripped)
+        if not column_match:
+            raise ParseError(
+                f"cannot parse column definition {stripped[:60]!r} "
+                f"in table {table_name}",
+                line=line,
+            )
+        column_name = column_match.group("name")
+        declared = column_match.group("type").strip()
+        rest = column_match.group("rest").lower()
+        documentation = _documentation_for_column(body, column_name)
+        schema.add_child(
+            table,
+            column_name,
+            kind=ElementKind.COLUMN,
+            documentation=documentation,
+            data_type=parse_sql_type(declared),
+            declared_type=declared,
+            nullable="not null" not in rest and "primary key" not in rest,
+            is_key="primary key" in rest,
+        )
+
+    for key_column in deferred_keys:
+        for child in schema.children(table):
+            if child.name.lower() == key_column:
+                schema.replace_element(
+                    SchemaElement(
+                        element_id=child.element_id,
+                        name=child.name,
+                        kind=child.kind,
+                        parent_id=child.parent_id,
+                        documentation=child.documentation,
+                        data_type=child.data_type,
+                        declared_type=child.declared_type,
+                        nullable=False,
+                        is_key=True,
+                    )
+                )
+
+
+def _documentation_for_column(body: str, column_name: str) -> str:
+    """Find a trailing ``--`` comment on the line defining ``column_name``."""
+    pattern = re.compile(
+        rf"^\s*{re.escape(column_name)}\s+.*?--\s*(?P<text>.+?)\s*$",
+        re.IGNORECASE | re.MULTILINE,
+    )
+    match = pattern.search(body)
+    if match:
+        return match.group("text").rstrip(",").strip()
+    return ""
+
+
+def _parse_view(schema: Schema, name: str, columns_clause: str) -> None:
+    view_name = name.split(".")[-1]
+    view = schema.add_root(
+        view_name,
+        kind=ElementKind.VIEW,
+        data_type=DataType.COMPLEX,
+    )
+    if columns_clause.strip() == "*":
+        return
+    for column_expression in columns_clause.split(","):
+        expression = column_expression.strip()
+        if not expression:
+            continue
+        alias_match = re.search(r"\bas\s+([\w$#]+)\s*$", expression, re.IGNORECASE)
+        if alias_match:
+            column_name = alias_match.group(1)
+        else:
+            column_name = expression.split(".")[-1].strip()
+        if not re.fullmatch(r"[\w$#]+", column_name):
+            continue
+        schema.add_child(view, column_name, kind=ElementKind.COLUMN)
+
+
+def _apply_comment(schema: Schema, scope: str, target: str, text: str) -> None:
+    text = text.replace("''", "'")
+    parts = target.split(".")
+    if scope.upper() == "TABLE":
+        table_name = parts[-1]
+        for element in schema.find_by_name(table_name):
+            if element.kind in (ElementKind.TABLE, ElementKind.VIEW):
+                schema.replace_element(element.with_documentation(text))
+                return
+        raise ParseError(f"COMMENT ON TABLE references unknown table {target!r}")
+    # COLUMN scope: last two parts are table.column
+    if len(parts) < 2:
+        raise ParseError(f"COMMENT ON COLUMN needs table.column, got {target!r}")
+    table_name, column_name = parts[-2], parts[-1]
+    for element in schema.find_by_name(column_name):
+        parent = schema.parent(element)
+        if parent is not None and parent.name.lower() == table_name.lower():
+            schema.replace_element(element.with_documentation(text))
+            return
+    raise ParseError(f"COMMENT ON COLUMN references unknown column {target!r}")
+
+
+def parse_ddl(ddl: str, name: str = "relational_schema") -> Schema:
+    """Parse a DDL script into a :class:`Schema`.
+
+    >>> schema = parse_ddl("CREATE TABLE t (a INT, b VARCHAR(10));")
+    >>> [e.name for e in schema]
+    ['t', 'a', 'b']
+    """
+    schema = Schema(name, kind="relational")
+    for statement, line in _split_statements(ddl):
+        table_match = _CREATE_TABLE_RE.match(statement)
+        if table_match:
+            _parse_table(
+                schema, table_match.group("name"), table_match.group("body"), line
+            )
+            continue
+        view_match = _CREATE_VIEW_RE.match(statement)
+        if view_match:
+            _parse_view(schema, view_match.group("name"), view_match.group("cols"))
+            continue
+        comment_match = _COMMENT_ON_RE.match(statement)
+        if comment_match:
+            _apply_comment(
+                schema,
+                comment_match.group("scope"),
+                comment_match.group("target"),
+                comment_match.group("text"),
+            )
+            continue
+        head = statement.strip().split(None, 2)[:2]
+        raise ParseError(
+            f"unsupported DDL statement starting with {' '.join(head)!r}", line=line
+        )
+    schema.validate()
+    return schema
+
+
+def load_ddl_file(path: str, name: str | None = None) -> Schema:
+    """Read a ``.sql`` file and parse it; schema name defaults to the stem."""
+    with open(path, "r", encoding="utf-8") as handle:
+        ddl = handle.read()
+    if name is None:
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return parse_ddl(ddl, name=name)

@@ -1,0 +1,303 @@
+"""The :class:`Schema` container: an ordered forest of schema elements.
+
+A schema is a named collection of :class:`~repro.schema.element.SchemaElement`
+nodes arranged in a forest (tables/types at depth 1, columns/sub-elements at
+depth 2 and below -- matching the paper's depth-filter semantics: "in a
+relational model, relations appear at a depth of one and attributes at a
+depth of two").
+
+The container maintains parent/child indexes and supports the traversals the
+rest of the system is built on: depth queries (depth filter), subtree
+extraction (sub-tree filter / incremental matching), leaf iteration
+(structural voters) and stable element ordering (similarity matrices index
+rows and columns by this order).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable, Iterator
+
+from repro.schema.element import ElementKind, SchemaElement
+from repro.schema.errors import DuplicateElementError, SchemaError, UnknownElementError
+
+__all__ = ["Schema", "SchemaKind"]
+
+# Schema "kind" is a free-form tag, but these two matter to importers/benches.
+SchemaKind = str
+_ID_SANITIZE_RE = re.compile(r"[^a-z0-9_.]+")
+
+
+def _sanitize(fragment: str) -> str:
+    return _ID_SANITIZE_RE.sub("_", fragment.lower()).strip("_") or "x"
+
+
+class Schema:
+    """An ordered forest of schema elements with parent/child indexes.
+
+    Elements must be added parents-first; ids are unique.  Iteration order is
+    insertion order, which importers keep equal to source order so matrices
+    and exports are stable and reproducible.
+    """
+
+    def __init__(self, name: str, kind: SchemaKind = "generic", documentation: str = ""):
+        if not name:
+            raise ValueError("schema name must be non-empty")
+        self.name = name
+        self.kind = kind
+        self.documentation = documentation
+        self._elements: dict[str, SchemaElement] = {}
+        self._children: dict[str, list[str]] = {}
+        self._roots: list[str] = []
+        self._depths: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, element: SchemaElement) -> SchemaElement:
+        """Add an element; its parent (if any) must already be present."""
+        if element.element_id in self._elements:
+            raise DuplicateElementError(
+                f"duplicate element id {element.element_id!r} in schema {self.name!r}"
+            )
+        if element.parent_id is not None:
+            if element.parent_id not in self._elements:
+                raise SchemaError(
+                    f"parent {element.parent_id!r} of {element.element_id!r} "
+                    f"not found in schema {self.name!r} (add parents first)"
+                )
+            self._children.setdefault(element.parent_id, []).append(element.element_id)
+            self._depths[element.element_id] = self._depths[element.parent_id] + 1
+        else:
+            self._roots.append(element.element_id)
+            self._depths[element.element_id] = 1
+        self._elements[element.element_id] = element
+        self._children.setdefault(element.element_id, [])
+        return element
+
+    def add_root(
+        self,
+        name: str,
+        kind: ElementKind = ElementKind.GENERIC,
+        documentation: str = "",
+        element_id: str | None = None,
+        **extra,
+    ) -> SchemaElement:
+        """Convenience: create and add a root element, deriving its id."""
+        derived = element_id if element_id is not None else self._unique_id(_sanitize(name))
+        return self.add(
+            SchemaElement(
+                element_id=derived,
+                name=name,
+                kind=kind,
+                documentation=documentation,
+                **extra,
+            )
+        )
+
+    def add_child(
+        self,
+        parent: SchemaElement | str,
+        name: str,
+        kind: ElementKind = ElementKind.GENERIC,
+        documentation: str = "",
+        element_id: str | None = None,
+        **extra,
+    ) -> SchemaElement:
+        """Convenience: create and add a child under ``parent``."""
+        parent_id = parent.element_id if isinstance(parent, SchemaElement) else parent
+        if parent_id not in self._elements:
+            raise UnknownElementError(parent_id)
+        derived = (
+            element_id
+            if element_id is not None
+            else self._unique_id(f"{parent_id}.{_sanitize(name)}")
+        )
+        return self.add(
+            SchemaElement(
+                element_id=derived,
+                name=name,
+                kind=kind,
+                parent_id=parent_id,
+                documentation=documentation,
+                **extra,
+            )
+        )
+
+    def _unique_id(self, base: str) -> str:
+        if base not in self._elements:
+            return base
+        suffix = 2
+        while f"{base}_{suffix}" in self._elements:
+            suffix += 1
+        return f"{base}_{suffix}"
+
+    def replace_element(self, element: SchemaElement) -> None:
+        """Swap in a modified copy of an existing element (same id/parent)."""
+        current = self.element(element.element_id)
+        if current.parent_id != element.parent_id:
+            raise SchemaError(
+                f"replace_element cannot re-parent {element.element_id!r}"
+            )
+        self._elements[element.element_id] = element
+
+    # ------------------------------------------------------------------
+    # Lookup / traversal
+    # ------------------------------------------------------------------
+    def element(self, element_id: str) -> SchemaElement:
+        try:
+            return self._elements[element_id]
+        except KeyError:
+            raise UnknownElementError(
+                f"no element {element_id!r} in schema {self.name!r}"
+            ) from None
+
+    def __contains__(self, element_id: str) -> bool:
+        return element_id in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[SchemaElement]:
+        return iter(self._elements.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schema({self.name!r}, kind={self.kind!r}, elements={len(self)})"
+
+    @property
+    def element_ids(self) -> list[str]:
+        """All element ids in insertion order."""
+        return list(self._elements)
+
+    def roots(self) -> list[SchemaElement]:
+        """Depth-1 elements (tables, views, top-level types) in order."""
+        return [self._elements[element_id] for element_id in self._roots]
+
+    def children(self, element: SchemaElement | str) -> list[SchemaElement]:
+        element_id = element.element_id if isinstance(element, SchemaElement) else element
+        if element_id not in self._elements:
+            raise UnknownElementError(element_id)
+        return [self._elements[child_id] for child_id in self._children[element_id]]
+
+    def parent(self, element: SchemaElement | str) -> SchemaElement | None:
+        element_id = element.element_id if isinstance(element, SchemaElement) else element
+        parent_id = self.element(element_id).parent_id
+        if parent_id is None:
+            return None
+        return self._elements[parent_id]
+
+    def depth(self, element: SchemaElement | str) -> int:
+        """Depth of an element; roots are depth 1 (the paper's convention)."""
+        element_id = element.element_id if isinstance(element, SchemaElement) else element
+        if element_id not in self._depths:
+            raise UnknownElementError(element_id)
+        return self._depths[element_id]
+
+    def max_depth(self) -> int:
+        return max(self._depths.values(), default=0)
+
+    def elements_at_depth(self, depth: int) -> list[SchemaElement]:
+        return [
+            self._elements[element_id]
+            for element_id, element_depth in self._depths.items()
+            if element_depth == depth
+        ]
+
+    def subtree(self, root: SchemaElement | str) -> list[SchemaElement]:
+        """The element and all descendants, in depth-first pre-order.
+
+        This is the unit of the paper's sub-tree filter and of incremental
+        concept-at-a-time matching.
+        """
+        root_id = root.element_id if isinstance(root, SchemaElement) else root
+        if root_id not in self._elements:
+            raise UnknownElementError(root_id)
+        ordered: list[SchemaElement] = []
+        stack = [root_id]
+        while stack:
+            current = stack.pop()
+            ordered.append(self._elements[current])
+            stack.extend(reversed(self._children[current]))
+        return ordered
+
+    def descendants(self, root: SchemaElement | str) -> list[SchemaElement]:
+        """Strict descendants of ``root`` (subtree minus the root itself)."""
+        return self.subtree(root)[1:]
+
+    def ancestors(self, element: SchemaElement | str) -> list[SchemaElement]:
+        """Ancestors from immediate parent up to the root."""
+        chain: list[SchemaElement] = []
+        current = self.parent(element)
+        while current is not None:
+            chain.append(current)
+            current = self.parent(current)
+        return chain
+
+    def leaves(self) -> list[SchemaElement]:
+        """Elements without children (columns, scalar XSD elements)."""
+        return [
+            element
+            for element in self
+            if not self._children[element.element_id]
+        ]
+
+    def path(self, element: SchemaElement | str) -> str:
+        """Human-readable root-to-element path, e.g. ``Vehicle/Reg/No``."""
+        element_id = element.element_id if isinstance(element, SchemaElement) else element
+        node = self.element(element_id)
+        parts = [node.name]
+        parts.extend(ancestor.name for ancestor in self.ancestors(element_id))
+        return "/".join(reversed(parts))
+
+    def find_by_name(self, name: str) -> list[SchemaElement]:
+        """All elements whose surface name equals ``name`` (case-insensitive)."""
+        needle = name.lower()
+        return [element for element in self if element.name.lower() == needle]
+
+    def filter_elements(
+        self, predicate: Callable[[SchemaElement], bool]
+    ) -> list[SchemaElement]:
+        return [element for element in self if predicate(element)]
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`SchemaError` on failure.
+
+        Invariants: every non-root parent exists; depths are consistent;
+        the child index matches parent pointers; no cycles (guaranteed by
+        parents-first construction but re-checked here for safety).
+        """
+        for element in self:
+            if element.parent_id is not None:
+                if element.parent_id not in self._elements:
+                    raise SchemaError(
+                        f"dangling parent {element.parent_id!r} for "
+                        f"{element.element_id!r}"
+                    )
+                parent_depth = self._depths[element.parent_id]
+                if self._depths[element.element_id] != parent_depth + 1:
+                    raise SchemaError(
+                        f"inconsistent depth for {element.element_id!r}"
+                    )
+                if element.element_id not in self._children[element.parent_id]:
+                    raise SchemaError(
+                        f"child index missing {element.element_id!r}"
+                    )
+            seen: set[str] = set()
+            cursor: str | None = element.element_id
+            while cursor is not None:
+                if cursor in seen:
+                    raise SchemaError(f"cycle through {cursor!r}")
+                seen.add(cursor)
+                cursor = self._elements[cursor].parent_id
+
+    def stats(self) -> dict[str, int]:
+        """Size summary used in reports: total, roots, leaves, max depth."""
+        return {
+            "elements": len(self),
+            "roots": len(self._roots),
+            "leaves": len(self.leaves()),
+            "max_depth": self.max_depth(),
+        }

@@ -1,0 +1,85 @@
+"""JSON serialization for schemata.
+
+The metadata repository persists schemata as JSON documents; this module
+defines the canonical dict form and round-trip helpers.  The format is
+versioned so stored repositories stay readable across library upgrades.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.schema.datatypes import DataType
+from repro.schema.element import ElementKind, SchemaElement
+from repro.schema.errors import ParseError
+from repro.schema.schema import Schema
+
+__all__ = ["schema_to_dict", "schema_from_dict", "dump_schema", "load_schema"]
+
+_FORMAT_VERSION = 1
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """Canonical JSON-compatible dict for a schema (stable element order)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": schema.name,
+        "kind": schema.kind,
+        "documentation": schema.documentation,
+        "elements": [
+            {
+                "id": element.element_id,
+                "name": element.name,
+                "kind": element.kind.value,
+                "parent": element.parent_id,
+                "documentation": element.documentation,
+                "data_type": element.data_type.value,
+                "declared_type": element.declared_type,
+                "nullable": element.nullable,
+                "is_key": element.is_key,
+            }
+            for element in schema
+        ],
+    }
+
+
+def schema_from_dict(payload: dict[str, Any]) -> Schema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ParseError(f"unsupported schema format version {version!r}")
+    schema = Schema(
+        payload["name"],
+        kind=payload.get("kind", "generic"),
+        documentation=payload.get("documentation", ""),
+    )
+    for entry in payload["elements"]:
+        schema.add(
+            SchemaElement(
+                element_id=entry["id"],
+                name=entry["name"],
+                kind=ElementKind(entry.get("kind", "generic")),
+                parent_id=entry.get("parent"),
+                documentation=entry.get("documentation", ""),
+                data_type=DataType(entry.get("data_type", "unknown")),
+                declared_type=entry.get("declared_type", ""),
+                nullable=entry.get("nullable", True),
+                is_key=entry.get("is_key", False),
+            )
+        )
+    schema.validate()
+    return schema
+
+
+def dump_schema(schema: Schema, path: str) -> None:
+    """Write a schema to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(schema_to_dict(schema), handle, indent=2, sort_keys=False)
+
+
+def load_schema(path: str) -> Schema:
+    """Read a schema from a JSON file produced by :func:`dump_schema`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return schema_from_dict(payload)

@@ -1,0 +1,196 @@
+"""XML Schema (XSD) importer -> :class:`Schema`.
+
+The case study's Schema B "is an XML Schema, contains 784 elements" (CIDR
+2009, section 3.1).  This importer covers the subset of XSD that data-model
+dumps use in practice:
+
+* global ``xs:element`` declarations (anonymous or named complex types)
+* global named ``xs:complexType`` definitions
+* ``xs:sequence`` / ``xs:all`` / ``xs:choice`` content models (flattened)
+* ``xs:attribute`` declarations
+* ``xs:annotation`` / ``xs:documentation`` text attached as documentation
+* ``type="..."`` references to global complex types -- the *reference is
+  expanded one level*: the referring element gains the referenced type's
+  children as its own children (sufficient for matching; recursive types are
+  cut off rather than infinitely expanded)
+
+Namespaces are handled by local-name matching, so ``xsd:``/``xs:``/default
+namespace documents all parse identically.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.schema.datatypes import DataType, parse_xsd_type
+from repro.schema.element import ElementKind
+from repro.schema.errors import ParseError
+from repro.schema.schema import Schema
+
+__all__ = ["parse_xsd", "load_xsd_file"]
+
+_XS = "{http://www.w3.org/2001/XMLSchema}"
+
+
+def _local(tag: str) -> str:
+    """Local name of a possibly namespace-qualified tag."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def _documentation_of(node: ET.Element) -> str:
+    """Collect xs:annotation/xs:documentation text under ``node``."""
+    texts: list[str] = []
+    for child in node:
+        if _local(child.tag) != "annotation":
+            continue
+        for doc in child:
+            if _local(doc.tag) == "documentation" and doc.text:
+                texts.append(" ".join(doc.text.split()))
+    return " ".join(texts)
+
+
+def _content_particles(type_node: ET.Element) -> list[ET.Element]:
+    """Element/attribute declarations inside a complexType, flattened.
+
+    Walks sequence/all/choice groups recursively; ignores annotations.
+    """
+    particles: list[ET.Element] = []
+    for child in type_node:
+        local = _local(child.tag)
+        if local in ("sequence", "all", "choice"):
+            particles.extend(_content_particles(child))
+        elif local in ("element", "attribute"):
+            particles.append(child)
+        elif local in ("complexContent", "simpleContent"):
+            for grandchild in child:
+                if _local(grandchild.tag) in ("extension", "restriction"):
+                    particles.extend(_content_particles(grandchild))
+    return particles
+
+
+class _XsdBuilder:
+    """Stateful walk over a parsed XSD document building a Schema."""
+
+    def __init__(self, root: ET.Element, schema: Schema):
+        self._schema = schema
+        self._global_types: dict[str, ET.Element] = {}
+        for child in root:
+            if _local(child.tag) == "complexType" and child.get("name"):
+                self._global_types[child.get("name")] = child
+        self._root_node = root
+
+    def build(self) -> None:
+        for child in self._root_node:
+            local = _local(child.tag)
+            if local == "element":
+                self._add_global_element(child)
+            elif local == "complexType" and child.get("name"):
+                self._add_global_type(child)
+            elif local in ("annotation", "import", "include", "simpleType", "attribute"):
+                continue
+
+    def _add_global_element(self, node: ET.Element) -> None:
+        name = node.get("name")
+        if not name:
+            raise ParseError("global xs:element without a name")
+        root = self._schema.add_root(
+            name,
+            kind=ElementKind.ELEMENT,
+            documentation=_documentation_of(node),
+            data_type=DataType.COMPLEX,
+        )
+        self._add_children(root.element_id, node, expanded=set())
+
+    def _add_global_type(self, node: ET.Element) -> None:
+        name = node.get("name")
+        root = self._schema.add_root(
+            name,
+            kind=ElementKind.COMPLEX_TYPE,
+            documentation=_documentation_of(node),
+            data_type=DataType.COMPLEX,
+        )
+        self._add_particles(root.element_id, node, expanded={name})
+
+    def _add_children(
+        self, parent_id: str, element_node: ET.Element, expanded: set[str]
+    ) -> None:
+        """Children of an xs:element: inline complexType or type reference."""
+        type_ref = element_node.get("type")
+        if type_ref is not None:
+            local_type = type_ref.split(":")[-1]
+            referenced = self._global_types.get(local_type)
+            if referenced is not None and local_type not in expanded:
+                self._add_particles(
+                    parent_id, referenced, expanded | {local_type}
+                )
+            return
+        for child in element_node:
+            if _local(child.tag) == "complexType":
+                self._add_particles(parent_id, child, expanded)
+
+    def _add_particles(
+        self, parent_id: str, type_node: ET.Element, expanded: set[str]
+    ) -> None:
+        for particle in _content_particles(type_node):
+            local = _local(particle.tag)
+            name = particle.get("name") or particle.get("ref", "").split(":")[-1]
+            if not name:
+                continue
+            declared = particle.get("type", "")
+            is_attribute = local == "attribute"
+            type_is_complex = (
+                not is_attribute
+                and (
+                    declared.split(":")[-1] in self._global_types
+                    or any(_local(c.tag) == "complexType" for c in particle)
+                )
+            )
+            data_type = (
+                DataType.COMPLEX if type_is_complex else parse_xsd_type(declared)
+            )
+            element = self._schema.add_child(
+                parent_id,
+                name,
+                kind=ElementKind.ATTRIBUTE if is_attribute else ElementKind.ELEMENT,
+                documentation=_documentation_of(particle),
+                data_type=data_type,
+                declared_type=declared,
+                nullable=particle.get("minOccurs", "1") == "0"
+                or particle.get("use", "") == "optional",
+            )
+            if type_is_complex and not is_attribute:
+                self._add_children(element.element_id, particle, expanded)
+
+
+def parse_xsd(document: str, name: str = "xml_schema") -> Schema:
+    """Parse an XSD document string into a :class:`Schema`.
+
+    >>> xsd = '''<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    ...   <xs:element name="Person">
+    ...     <xs:complexType><xs:sequence>
+    ...       <xs:element name="Name" type="xs:string"/>
+    ...     </xs:sequence></xs:complexType>
+    ...   </xs:element>
+    ... </xs:schema>'''
+    >>> [e.name for e in parse_xsd(xsd)]
+    ['Person', 'Name']
+    """
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed XML: {exc}") from exc
+    if _local(root.tag) != "schema":
+        raise ParseError(f"root element is {_local(root.tag)!r}, expected 'schema'")
+    schema = Schema(name, kind="xml")
+    _XsdBuilder(root, schema).build()
+    schema.validate()
+    return schema
+
+
+def load_xsd_file(path: str, name: str | None = None) -> Schema:
+    """Read an ``.xsd`` file and parse it; schema name defaults to the stem."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = handle.read()
+    if name is None:
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return parse_xsd(document, name=name)

@@ -1,0 +1,16 @@
+"""Schema search: registry indexing, query forms, BM25 ranking."""
+
+from repro.search.index import IndexedSchema, SchemaIndex
+from repro.search.query import KeywordQuery, PredicateQuery, SchemaQuery
+from repro.search.rank import FragmentHit, SchemaSearchEngine, SearchHit
+
+__all__ = [
+    "FragmentHit",
+    "IndexedSchema",
+    "KeywordQuery",
+    "PredicateQuery",
+    "SchemaIndex",
+    "SchemaQuery",
+    "SchemaSearchEngine",
+    "SearchHit",
+]

@@ -1,0 +1,112 @@
+"""Inverted index over schema term bags: the registry search substrate.
+
+Section 5: "Complementary search tools are needed to locate potential match
+candidates from a larger pool of schemata."  The index treats each schema as
+a document of pipeline-normalised terms (names + documentation) and keeps
+per-root sub-documents so fragment search can return schema *sub-trees*,
+which the paper calls out as the more sophisticated variant.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.matchers.profile import build_profile
+from repro.schema.schema import Schema
+
+__all__ = ["IndexedSchema", "SchemaIndex"]
+
+
+@dataclass
+class IndexedSchema:
+    """Cached term statistics for one registered schema."""
+
+    name: str
+    schema: Schema
+    terms: Counter
+    n_terms: int
+    root_terms: dict[str, Counter]            # root element id -> term counts
+
+
+class SchemaIndex:
+    """An inverted index from terms to the schemata (and roots) using them."""
+
+    def __init__(self) -> None:
+        self._schemata: dict[str, IndexedSchema] = {}
+        self._postings: dict[str, set[str]] = {}
+
+    def add(self, schema: Schema, name: str | None = None) -> IndexedSchema:
+        """Index one schema; re-adding a name replaces the old entry."""
+        schema_name = name if name is not None else schema.name
+        if schema_name in self._schemata:
+            self.remove(schema_name)
+        profile = build_profile(schema)
+        terms: Counter = Counter()
+        root_terms: dict[str, Counter] = {}
+        root_of_position: list[str | None] = []
+        for position, element_id in enumerate(profile.element_ids):
+            cursor = position
+            while profile.parent_index[cursor] != -1:
+                cursor = profile.parent_index[cursor]
+            root_of_position.append(profile.element_ids[cursor])
+        for position in range(len(profile)):
+            element_terms = profile.text_terms[position]
+            terms.update(element_terms)
+            root_id = root_of_position[position]
+            root_terms.setdefault(root_id, Counter()).update(element_terms)
+        entry = IndexedSchema(
+            name=schema_name,
+            schema=schema,
+            terms=terms,
+            n_terms=sum(terms.values()),
+            root_terms=root_terms,
+        )
+        self._schemata[schema_name] = entry
+        for term in terms:
+            self._postings.setdefault(term, set()).add(schema_name)
+        return entry
+
+    def remove(self, name: str) -> None:
+        entry = self._schemata.pop(name, None)
+        if entry is None:
+            return
+        for term in entry.terms:
+            posting = self._postings.get(term)
+            if posting is not None:
+                posting.discard(name)
+                if not posting:
+                    del self._postings[term]
+
+    def entry(self, name: str) -> IndexedSchema:
+        try:
+            return self._schemata[name]
+        except KeyError:
+            raise KeyError(f"schema {name!r} is not indexed") from None
+
+    def __len__(self) -> int:
+        return len(self._schemata)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemata
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._schemata)
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def candidates(self, terms: Counter) -> set[str]:
+        """Schemata sharing at least one query term (posting union)."""
+        found: set[str] = set()
+        for term in terms:
+            found |= self._postings.get(term, set())
+        return found
+
+    def average_length(self) -> float:
+        if not self._schemata:
+            return 0.0
+        return sum(entry.n_terms for entry in self._schemata.values()) / len(
+            self._schemata
+        )

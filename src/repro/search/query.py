@@ -1,0 +1,70 @@
+"""Query specifications for schema search.
+
+Section 5: "These would take, as input, a query specification (e.g., an
+example schema, predicates over schema characteristics, example instance
+values)."  Three query forms:
+
+* :class:`KeywordQuery` -- free text ("blood test patient");
+* :class:`SchemaQuery` -- schema-as-query: "simply use one's target schema
+  as the 'query term'" (section 2);
+* :class:`PredicateQuery` -- structural predicates (size band, kind) that
+  gate the candidate set before ranking.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.matchers.profile import build_profile
+from repro.schema.schema import Schema
+from repro.text.pipeline import LinguisticPipeline
+
+__all__ = ["KeywordQuery", "SchemaQuery", "PredicateQuery"]
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """Free-text search terms, run through the documentation pipeline."""
+
+    text: str
+
+    def terms(self) -> Counter:
+        pipeline = LinguisticPipeline.for_documentation()
+        return Counter(pipeline.terms(self.text))
+
+
+class SchemaQuery:
+    """Use a whole schema (names + documentation) as the query term."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+
+    def terms(self) -> Counter:
+        profile = build_profile(self.schema)
+        counts: Counter = Counter()
+        for element_terms in profile.text_terms:
+            counts.update(element_terms)
+        return counts
+
+
+@dataclass(frozen=True)
+class PredicateQuery:
+    """Structural predicates over schema characteristics.
+
+    Any field left at None is unconstrained.  Used to gate candidates, not
+    to rank them; combine with a keyword or schema query for ranking.
+    """
+
+    min_elements: int | None = None
+    max_elements: int | None = None
+    kind: str | None = None
+
+    def admits(self, schema: Schema) -> bool:
+        if self.min_elements is not None and len(schema) < self.min_elements:
+            return False
+        if self.max_elements is not None and len(schema) > self.max_elements:
+            return False
+        if self.kind is not None and schema.kind != self.kind:
+            return False
+        return True

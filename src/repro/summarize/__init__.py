@@ -1,0 +1,34 @@
+"""The SUMMARIZE(S) operator: concepts, summaries, and concept-level matching."""
+
+from repro.summarize.auto import ImportanceSummarizer, TokenClusterSummarizer
+from repro.summarize.conceptmatch import (
+    ConceptMatch,
+    concept_match_matrix,
+    match_concepts,
+)
+from repro.summarize.concepts import Concept, Summary
+from repro.summarize.manual import summarize_by_roots, summarize_with_labels
+from repro.summarize.quality import (
+    coverage,
+    inverse_purity,
+    pairwise_f1,
+    purity,
+    summary_agreement,
+)
+
+__all__ = [
+    "Concept",
+    "ConceptMatch",
+    "ImportanceSummarizer",
+    "Summary",
+    "TokenClusterSummarizer",
+    "concept_match_matrix",
+    "coverage",
+    "inverse_purity",
+    "match_concepts",
+    "pairwise_f1",
+    "purity",
+    "summarize_by_roots",
+    "summarize_with_labels",
+    "summary_agreement",
+]

@@ -1,0 +1,142 @@
+"""Concepts and summaries: the SUMMARIZE(S) operator's data model.
+
+Lesson #1 (CIDR 2009, section 4.2): "industrial-scale schema matching
+systems must also support summarization.  This operator would take a schema
+S as its input and generate a simpler representation S' as its output.  The
+operator must also generate a mapping that relates the elements of S to
+those of S'."
+
+Here S' is a :class:`Summary`: a flat list of :class:`Concept` labels (as the
+paper's engineers used) plus the element->concept mapping, where each element
+maps to **at most one** concept (also the paper's convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema.schema import Schema
+
+__all__ = ["Concept", "Summary"]
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A domain concept label ("Event", "Person") within one summary."""
+
+    concept_id: str
+    label: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.concept_id:
+            raise ValueError("concept_id must be non-empty")
+        if not self.label:
+            raise ValueError(f"concept {self.concept_id!r} must have a label")
+
+
+class Summary:
+    """S' -- a set of concepts plus the S -> S' element mapping.
+
+    The summary is bound to one schema; assignments must reference existing
+    elements, and each element carries at most one concept label.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._concepts: dict[str, Concept] = {}
+        self._element_to_concept: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Concept management
+    # ------------------------------------------------------------------
+    def add_concept(self, label: str, description: str = "", concept_id: str | None = None) -> Concept:
+        """Register a concept; ids derive from labels unless given."""
+        derived = concept_id if concept_id is not None else label.lower().replace(" ", "_")
+        if derived in self._concepts:
+            raise ValueError(f"duplicate concept id {derived!r}")
+        concept = Concept(concept_id=derived, label=label, description=description)
+        self._concepts[derived] = concept
+        return concept
+
+    def concept(self, concept_id: str) -> Concept:
+        try:
+            return self._concepts[concept_id]
+        except KeyError:
+            raise KeyError(f"no concept {concept_id!r} in summary of {self.schema.name!r}") from None
+
+    @property
+    def concepts(self) -> list[Concept]:
+        return list(self._concepts.values())
+
+    def __len__(self) -> int:
+        """Number of concepts (the paper's 140 / 51 counts)."""
+        return len(self._concepts)
+
+    def __contains__(self, concept_id: str) -> bool:
+        return concept_id in self._concepts
+
+    # ------------------------------------------------------------------
+    # Element assignment
+    # ------------------------------------------------------------------
+    def assign(self, element_id: str, concept_id: str) -> None:
+        """Label one element with one concept (reassignment overwrites)."""
+        if element_id not in self.schema:
+            raise KeyError(f"element {element_id!r} not in schema {self.schema.name!r}")
+        if concept_id not in self._concepts:
+            raise KeyError(f"concept {concept_id!r} not registered")
+        self._element_to_concept[element_id] = concept_id
+
+    def assign_subtree(self, root_id: str, concept_id: str) -> int:
+        """Label a whole sub-tree; returns the number of elements labelled.
+
+        This is how the engineers worked: "the 'All_Event_Vitals' table of SA
+        consisted of attributes corresponding to a concept they labeled
+        'Event'".
+        """
+        count = 0
+        for element in self.schema.subtree(root_id):
+            self.assign(element.element_id, concept_id)
+            count += 1
+        return count
+
+    def concept_of(self, element_id: str) -> Concept | None:
+        concept_id = self._element_to_concept.get(element_id)
+        if concept_id is None:
+            return None
+        return self._concepts[concept_id]
+
+    def elements_of(self, concept_id: str) -> list[str]:
+        """All element ids labelled with ``concept_id`` (schema order)."""
+        if concept_id not in self._concepts:
+            raise KeyError(f"concept {concept_id!r} not registered")
+        return [
+            element.element_id
+            for element in self.schema
+            if self._element_to_concept.get(element.element_id) == concept_id
+        ]
+
+    def assigned_ids(self) -> set[str]:
+        return set(self._element_to_concept)
+
+    def unassigned_ids(self) -> set[str]:
+        return {element.element_id for element in self.schema} - self.assigned_ids()
+
+    def coverage(self) -> float:
+        """Fraction of schema elements carrying a concept label."""
+        if len(self.schema) == 0:
+            return 0.0
+        return len(self._element_to_concept) / len(self.schema)
+
+    def concept_sizes(self) -> dict[str, int]:
+        """Elements per concept (for reports and effort estimation)."""
+        sizes = {concept_id: 0 for concept_id in self._concepts}
+        for concept_id in self._element_to_concept.values():
+            sizes[concept_id] += 1
+        return sizes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Summary({self.schema.name!r}, concepts={len(self)}, "
+            f"coverage={self.coverage():.0%})"
+        )

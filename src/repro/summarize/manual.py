@@ -1,0 +1,84 @@
+"""Manual summarization helpers: how the paper's engineers actually worked.
+
+"Through inspection, they identified 140 schema elements corresponding to
+useful abstract concepts in SA and 51 in SB" -- i.e. top-level containers
+became concepts and their sub-trees inherited the label.  These helpers
+mechanise that workflow so scripted "engineers" (and tests) can reproduce it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.schema.element import SchemaElement
+from repro.schema.schema import Schema
+from repro.summarize.concepts import Summary
+from repro.text.pipeline import LinguisticPipeline
+
+__all__ = ["summarize_by_roots", "summarize_with_labels"]
+
+
+def _default_labeler(element: SchemaElement) -> str:
+    """Humanise a container name into a concept label.
+
+    ``ALL_EVENT_VITALS`` -> ``All Event Vitals`` -- close to what an engineer
+    would type, and stable for grouping.
+    """
+    pipeline = LinguisticPipeline(
+        use_stemming=False, schema_stopwords=False, drop_digits=True
+    )
+    words = pipeline.terms(element.name)
+    if not words:
+        words = [element.name.lower()]
+    return " ".join(word.capitalize() for word in words)
+
+
+def summarize_by_roots(
+    schema: Schema,
+    labeler: Callable[[SchemaElement], str] | None = None,
+    roots: Iterable[str] | None = None,
+) -> Summary:
+    """One concept per root container, sub-trees inherit the label.
+
+    Parameters
+    ----------
+    labeler:
+        Maps a root element to its concept label; defaults to a humanised
+        version of the element name.
+    roots:
+        Restrict to these root element ids (defaults to all roots) -- the
+        engineers only kept the "useful abstract" containers.
+    """
+    label_of = labeler if labeler is not None else _default_labeler
+    summary = Summary(schema)
+    chosen = (
+        [schema.element(root_id) for root_id in roots]
+        if roots is not None
+        else schema.roots()
+    )
+    for root in chosen:
+        label = label_of(root)
+        concept_id = f"{root.element_id}#concept"
+        summary.add_concept(label, description=root.documentation, concept_id=concept_id)
+        summary.assign_subtree(root.element_id, concept_id)
+    return summary
+
+
+def summarize_with_labels(
+    schema: Schema, assignments: dict[str, str]
+) -> Summary:
+    """Build a summary from explicit ``{root_element_id: label}`` decisions.
+
+    Multiple roots may share a label (PERSON_MASTER and PERSON_ADDRESS both
+    "Person"); the concept is created once and both sub-trees inherit it.
+    """
+    summary = Summary(schema)
+    label_to_concept: dict[str, str] = {}
+    for root_id, label in assignments.items():
+        concept_id = label_to_concept.get(label)
+        if concept_id is None:
+            concept = summary.add_concept(label)
+            concept_id = concept.concept_id
+            label_to_concept[label] = concept_id
+        summary.assign_subtree(root_id, concept_id)
+    return summary

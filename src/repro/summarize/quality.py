@@ -1,0 +1,102 @@
+"""Summary quality: scoring a summarization against reference concepts.
+
+Bench E13 measures how well automatic summarizers approximate the concepts
+the (scripted) engineers produced.  Standard clustering-agreement measures
+apply, treating concept assignments as a clustering of elements:
+
+* coverage      -- fraction of elements the candidate labels at all;
+* purity        -- majority-reference-concept mass of candidate concepts;
+* inverse purity-- the symmetric counterpart (reference against candidate);
+* pairwise F1   -- precision/recall over co-labelled element pairs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+from repro.summarize.concepts import Summary
+
+__all__ = ["coverage", "purity", "inverse_purity", "pairwise_f1", "summary_agreement"]
+
+
+def _assignments(summary: Summary) -> dict[str, str]:
+    return {
+        element_id: summary.concept_of(element_id).concept_id
+        for element_id in summary.assigned_ids()
+    }
+
+
+def coverage(candidate: Summary) -> float:
+    """Fraction of schema elements the candidate labels."""
+    return candidate.coverage()
+
+
+def purity(candidate: Summary, reference: Summary) -> float:
+    """Mean majority-overlap of candidate concepts with reference concepts.
+
+    For each candidate concept, the largest fraction of its elements that a
+    single reference concept accounts for, weighted by concept size.  Only
+    elements labelled by both summaries participate.
+    """
+    reference_of = _assignments(reference)
+    total = 0
+    agreeing = 0
+    for concept in candidate.concepts:
+        members = [
+            element_id
+            for element_id in candidate.elements_of(concept.concept_id)
+            if element_id in reference_of
+        ]
+        if not members:
+            continue
+        counts = Counter(reference_of[element_id] for element_id in members)
+        agreeing += counts.most_common(1)[0][1]
+        total += len(members)
+    if total == 0:
+        return 0.0
+    return agreeing / total
+
+
+def inverse_purity(candidate: Summary, reference: Summary) -> float:
+    """Purity with the roles swapped (does the candidate split concepts?)."""
+    return purity(reference, candidate)
+
+
+def pairwise_f1(candidate: Summary, reference: Summary) -> float:
+    """F1 over element pairs co-labelled by each summary.
+
+    A pair is positive in a summary when both elements carry the same
+    concept.  Quadratic in concept sizes; intended for evaluation scale.
+    """
+    candidate_of = _assignments(candidate)
+    reference_of = _assignments(reference)
+    shared = sorted(set(candidate_of) & set(reference_of))
+    true_positive = 0
+    candidate_positive = 0
+    reference_positive = 0
+    for left, right in combinations(shared, 2):
+        same_candidate = candidate_of[left] == candidate_of[right]
+        same_reference = reference_of[left] == reference_of[right]
+        candidate_positive += same_candidate
+        reference_positive += same_reference
+        true_positive += same_candidate and same_reference
+    if candidate_positive == 0 or reference_positive == 0:
+        return 0.0
+    precision = true_positive / candidate_positive
+    recall = true_positive / reference_positive
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def summary_agreement(candidate: Summary, reference: Summary) -> dict[str, float]:
+    """All quality measures in one report dict."""
+    return {
+        "coverage": coverage(candidate),
+        "purity": purity(candidate, reference),
+        "inverse_purity": inverse_purity(candidate, reference),
+        "pairwise_f1": pairwise_f1(candidate, reference),
+        "n_concepts": float(len(candidate)),
+        "n_reference_concepts": float(len(reference)),
+    }

@@ -1,0 +1,63 @@
+"""Synthetic workloads: the stand-ins for the paper's military schemata."""
+
+from repro.synthetic.casestudy import (
+    PAPER_MATCH_SECONDS,
+    PAPER_SA_CONCEPTS,
+    PAPER_SA_ELEMENTS,
+    PAPER_SB_CONCEPTS,
+    PAPER_SB_ELEMENTS,
+    PAPER_SB_MATCHED_ELEMENTS,
+    PAPER_SB_UNMATCHED_ELEMENTS,
+    PAPER_SHARED_CONCEPTS,
+    PAPER_SPREADSHEET_CONCEPT_ROWS,
+    ExtendedStudy,
+    case_study,
+    case_study_spec,
+    extended_study,
+)
+from repro.synthetic.corpus import ClusteredCorpus, generate_clustered_corpus
+from repro.synthetic.domain import ConceptSpec, DomainOntology, Entity, Facet, Qualifier
+from repro.synthetic.instances import InstanceTable, generate_instances
+from repro.synthetic.generator import (
+    GeneratedSchema,
+    PairSpec,
+    SchemaPair,
+    allocate,
+    generate_pair,
+    generate_schema,
+)
+from repro.synthetic.naming import NamingStyle, perturb_gloss, render_name
+
+__all__ = [
+    "ClusteredCorpus",
+    "ConceptSpec",
+    "DomainOntology",
+    "Entity",
+    "ExtendedStudy",
+    "Facet",
+    "GeneratedSchema",
+    "InstanceTable",
+    "NamingStyle",
+    "PAPER_MATCH_SECONDS",
+    "PAPER_SA_CONCEPTS",
+    "PAPER_SA_ELEMENTS",
+    "PAPER_SB_CONCEPTS",
+    "PAPER_SB_ELEMENTS",
+    "PAPER_SB_MATCHED_ELEMENTS",
+    "PAPER_SB_UNMATCHED_ELEMENTS",
+    "PAPER_SHARED_CONCEPTS",
+    "PAPER_SPREADSHEET_CONCEPT_ROWS",
+    "PairSpec",
+    "Qualifier",
+    "SchemaPair",
+    "allocate",
+    "case_study",
+    "case_study_spec",
+    "extended_study",
+    "generate_clustered_corpus",
+    "generate_instances",
+    "generate_pair",
+    "generate_schema",
+    "perturb_gloss",
+    "render_name",
+]

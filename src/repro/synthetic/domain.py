@@ -1,0 +1,527 @@
+"""A military/enterprise domain ontology for synthetic schema generation.
+
+The paper's customer schemata (SA, SB) are unavailable -- they were internal
+military systems.  Per the reproduction's substitution rule, we generate
+synthetic stand-ins from a domain ontology whose vocabulary matches the
+paper's domain hints: "information about persons, vehicles, and military
+units", concepts like "Event", elements like ``DATE_BEGIN_156`` and
+``DATETIME_FIRST_INFO``, and an HMO example mentioning "blood test".
+
+The ontology is three-layered:
+
+* **entities** -- person, vehicle, unit, event ... each with entity-specific
+  attribute *facets* (canonical token sequences + type + gloss);
+* **qualifiers** -- master, address, status, history ... sub-aspects that
+  combine with entities into concepts (``PERSON_ADDRESS``); each contributes
+  its own facets;
+* **common facets** -- identifiers, names, remarks, audit dates that appear
+  everywhere.
+
+A *concept* is an (entity, qualifier) combination; its facet universe is the
+union of the three layers.  Generators sample concepts and facets from this
+ontology and render them through differing naming conventions, producing
+schema pairs with controlled, ground-truth-known overlap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["Facet", "Entity", "Qualifier", "ConceptSpec", "DomainOntology"]
+
+
+@dataclass(frozen=True)
+class Facet:
+    """One attribute concept: canonical tokens, a type family, and a gloss.
+
+    ``gloss`` may contain ``{entity}`` which is filled with the owning
+    concept's entity name at generation time.
+    """
+
+    tokens: tuple[str, ...]
+    type_family: str
+    gloss: str
+
+    def __post_init__(self) -> None:
+        if not self.tokens:
+            raise ValueError("facet needs at least one token")
+
+
+def _facets(*rows: tuple[str, str, str]) -> tuple[Facet, ...]:
+    return tuple(
+        Facet(tuple(tokens.split()), type_family, gloss)
+        for tokens, type_family, gloss in rows
+    )
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A core domain entity with its specific facets."""
+
+    name: str
+    gloss: str
+    facets: tuple[Facet, ...]
+
+
+@dataclass(frozen=True)
+class Qualifier:
+    """A sub-aspect combinable with entities (``PERSON_ADDRESS`` etc.)."""
+
+    name: str
+    gloss: str
+    facets: tuple[Facet, ...]
+
+
+COMMON_FACETS: tuple[Facet, ...] = _facets(
+    ("identifier", "identifier", "unique identifier assigned to the {entity} record"),
+    ("name", "string", "name of the {entity}"),
+    ("short name", "string", "abbreviated name of the {entity}"),
+    ("description text", "string", "free text description of the {entity}"),
+    ("remarks", "string", "additional remarks recorded about the {entity}"),
+    ("category code", "string", "code categorizing the {entity}"),
+    ("status code", "string", "code giving the current status of the {entity}"),
+    ("priority level", "integer", "priority level assigned to the {entity}"),
+    ("security classification", "string", "security classification of the {entity} record"),
+    ("source system", "string", "system from which the {entity} record originated"),
+    ("date created", "datetime", "date and time the {entity} record was created"),
+    ("date updated", "datetime", "date and time the {entity} record was last updated"),
+    ("date begin", "date", "date on which the {entity} became effective"),
+    ("date end", "date", "date on which the {entity} ceased to be effective"),
+    ("reporting organization", "string", "organization that reported the {entity}"),
+    ("version number", "integer", "version number of the {entity} record"),
+)
+
+_ENTITY_ROWS: tuple[tuple[str, str, tuple[Facet, ...]], ...] = (
+    ("person", "an individual person tracked by the system", _facets(
+        ("family name", "string", "family name of the person"),
+        ("given name", "string", "given name of the person"),
+        ("middle name", "string", "middle name of the person"),
+        ("birth date", "date", "date of birth of the person"),
+        ("gender code", "string", "code for the gender of the person"),
+        ("nationality code", "string", "code for the nationality of the person"),
+        ("blood type", "string", "blood type of the person"),
+        ("height", "decimal", "height of the person in centimeters"),
+        ("weight", "decimal", "weight of the person in kilograms"),
+        ("eye color", "string", "eye color of the person"),
+        ("marital status", "string", "marital status of the person"),
+        ("rank code", "string", "military rank code of the person"),
+    )),
+    ("vehicle", "a ground vehicle owned or observed", _facets(
+        ("registration number", "identifier", "registration number of the vehicle"),
+        ("make", "string", "manufacturer of the vehicle"),
+        ("model", "string", "model designation of the vehicle"),
+        ("model year", "integer", "model year of the vehicle"),
+        ("color", "string", "exterior color of the vehicle"),
+        ("fuel type", "string", "fuel type used by the vehicle"),
+        ("engine number", "identifier", "engine serial number of the vehicle"),
+        ("seating capacity", "integer", "seating capacity of the vehicle"),
+        ("cargo capacity", "decimal", "cargo capacity of the vehicle in tons"),
+        ("armor level", "string", "armor protection level of the vehicle"),
+    )),
+    ("unit", "a military unit or formation", _facets(
+        ("unit identification code", "identifier", "unit identification code"),
+        ("echelon code", "string", "echelon level of the unit"),
+        ("branch code", "string", "service branch of the unit"),
+        ("strength", "integer", "authorized personnel strength of the unit"),
+        ("readiness level", "string", "readiness level of the unit"),
+        ("parent unit", "identifier", "identifier of the parent unit"),
+        ("home station", "string", "home station of the unit"),
+        ("activation date", "date", "date the unit was activated"),
+    )),
+    ("event", "an operationally significant event", _facets(
+        ("event type", "string", "type of the event"),
+        ("date begin", "datetime", "date and time the event began"),
+        ("date end", "datetime", "date and time the event ended"),
+        ("severity code", "string", "severity code of the event"),
+        ("casualty count", "integer", "number of casualties in the event"),
+        ("cause code", "string", "code for the cause of the event"),
+        ("verified indicator", "boolean", "whether the event has been verified"),
+        ("related event", "identifier", "identifier of a related event"),
+    )),
+    ("location", "a geographic location", _facets(
+        ("latitude", "decimal", "latitude of the location in decimal degrees"),
+        ("longitude", "decimal", "longitude of the location in decimal degrees"),
+        ("elevation", "decimal", "elevation of the location in meters"),
+        ("country code", "string", "country code of the location"),
+        ("region name", "string", "region containing the location"),
+        ("grid reference", "string", "military grid reference of the location"),
+        ("place name", "string", "common place name of the location"),
+        ("terrain type", "string", "terrain classification at the location"),
+    )),
+    ("weapon", "a weapon system", _facets(
+        ("serial number", "identifier", "serial number of the weapon"),
+        ("caliber", "decimal", "caliber of the weapon in millimeters"),
+        ("range", "decimal", "effective range of the weapon in meters"),
+        ("ammunition type", "string", "ammunition type used by the weapon"),
+        ("manufacturer", "string", "manufacturer of the weapon"),
+        ("condition code", "string", "condition code of the weapon"),
+        ("assigned person", "identifier", "person the weapon is assigned to"),
+    )),
+    ("aircraft", "a fixed or rotary wing aircraft", _facets(
+        ("tail number", "identifier", "tail number of the aircraft"),
+        ("airframe type", "string", "airframe type of the aircraft"),
+        ("squadron", "string", "squadron operating the aircraft"),
+        ("flight hours", "decimal", "total flight hours of the aircraft"),
+        ("fuel capacity", "decimal", "fuel capacity of the aircraft in liters"),
+        ("maximum altitude", "decimal", "service ceiling of the aircraft in meters"),
+        ("crew size", "integer", "standard crew size of the aircraft"),
+    )),
+    ("vessel", "a naval vessel or watercraft", _facets(
+        ("hull number", "identifier", "hull number of the vessel"),
+        ("vessel class", "string", "class of the vessel"),
+        ("displacement", "decimal", "displacement of the vessel in tons"),
+        ("draft", "decimal", "draft of the vessel in meters"),
+        ("home port", "string", "home port of the vessel"),
+        ("flag country", "string", "flag country of the vessel"),
+        ("crew complement", "integer", "crew complement of the vessel"),
+    )),
+    ("facility", "a fixed facility or installation", _facets(
+        ("facility type", "string", "type of the facility"),
+        ("capacity", "integer", "capacity of the facility"),
+        ("operating status", "string", "operating status of the facility"),
+        ("owner organization", "string", "organization that owns the facility"),
+        ("construction date", "date", "date construction of the facility completed"),
+        ("floor area", "decimal", "floor area of the facility in square meters"),
+        ("power source", "string", "primary power source of the facility"),
+    )),
+    ("equipment", "a piece of equipment or materiel", _facets(
+        ("serial number", "identifier", "serial number of the equipment item"),
+        ("stock number", "identifier", "national stock number of the equipment"),
+        ("condition code", "string", "condition code of the equipment"),
+        ("acquisition cost", "decimal", "acquisition cost of the equipment"),
+        ("warranty date", "date", "warranty expiration date of the equipment"),
+        ("weight", "decimal", "weight of the equipment in kilograms"),
+        ("custodian", "identifier", "custodian responsible for the equipment"),
+    )),
+    ("supply", "a supply item or consumable stock", _facets(
+        ("stock number", "identifier", "stock number of the supply item"),
+        ("quantity on hand", "integer", "quantity of the supply item on hand"),
+        ("unit of issue", "string", "unit of issue for the supply item"),
+        ("reorder point", "integer", "reorder point quantity for the supply item"),
+        ("storage location", "string", "storage location of the supply item"),
+        ("expiration date", "date", "expiration date of the supply item"),
+        ("hazard class", "string", "hazardous material class of the supply item"),
+    )),
+    ("mission", "a planned or executed mission", _facets(
+        ("mission type", "string", "type of the mission"),
+        ("objective text", "string", "objective of the mission"),
+        ("launch time", "datetime", "launch time of the mission"),
+        ("recovery time", "datetime", "recovery time of the mission"),
+        ("commander", "identifier", "commander responsible for the mission"),
+        ("success indicator", "boolean", "whether the mission succeeded"),
+        ("assigned unit", "identifier", "unit assigned to the mission"),
+    )),
+    ("message", "a transmitted message or communication", _facets(
+        ("message type", "string", "type of the message"),
+        ("transmission time", "datetime", "time the message was transmitted"),
+        ("sender", "string", "sender of the message"),
+        ("recipient", "string", "recipient of the message"),
+        ("subject text", "string", "subject line of the message"),
+        ("body text", "string", "body text of the message"),
+        ("precedence code", "string", "precedence code of the message"),
+    )),
+    ("sensor", "a sensor or detection system", _facets(
+        ("sensor type", "string", "type of the sensor"),
+        ("detection range", "decimal", "detection range of the sensor in meters"),
+        ("frequency band", "string", "frequency band of the sensor"),
+        ("sweep rate", "decimal", "sweep rate of the sensor"),
+        ("platform", "identifier", "platform carrying the sensor"),
+        ("calibration date", "date", "last calibration date of the sensor"),
+    )),
+    ("target", "a designated target", _facets(
+        ("target type", "string", "type of the target"),
+        ("target number", "identifier", "assigned number of the target"),
+        ("hardness code", "string", "hardness classification of the target"),
+        ("collateral risk", "string", "collateral damage risk of the target"),
+        ("engagement status", "string", "engagement status of the target"),
+        ("assessed damage", "string", "assessed battle damage of the target"),
+    )),
+    ("route", "a movement route or corridor", _facets(
+        ("route designator", "identifier", "designator of the route"),
+        ("start point", "string", "start point of the route"),
+        ("end point", "string", "end point of the route"),
+        ("length", "decimal", "length of the route in kilometers"),
+        ("trafficability", "string", "trafficability classification of the route"),
+        ("checkpoint count", "integer", "number of checkpoints along the route"),
+    )),
+    ("order", "a command directive or order", _facets(
+        ("order type", "string", "type of the order"),
+        ("issuing authority", "string", "authority that issued the order"),
+        ("effective time", "datetime", "time the order becomes effective"),
+        ("expiration time", "datetime", "time the order expires"),
+        ("reference number", "identifier", "reference number of the order"),
+        ("acknowledged indicator", "boolean", "whether the order was acknowledged"),
+    )),
+    ("report", "an operational report", _facets(
+        ("report type", "string", "type of the report"),
+        ("reporting period", "string", "period covered by the report"),
+        ("submitted time", "datetime", "time the report was submitted"),
+        ("author", "string", "author of the report"),
+        ("summary text", "string", "summary text of the report"),
+        ("confidence level", "string", "confidence level of the reported information"),
+    )),
+    ("organization", "an organization or agency", _facets(
+        ("organization type", "string", "type of the organization"),
+        ("parent organization", "identifier", "parent of the organization"),
+        ("point of contact", "string", "point of contact for the organization"),
+        ("phone number", "string", "phone number of the organization"),
+        ("web address", "string", "web address of the organization"),
+        ("budget amount", "decimal", "annual budget of the organization"),
+    )),
+    ("casualty", "a casualty or medical case", _facets(
+        ("injury type", "string", "type of injury sustained"),
+        ("triage category", "string", "triage category assigned"),
+        ("evacuation priority", "string", "evacuation priority of the casualty"),
+        ("treatment facility", "identifier", "facility treating the casualty"),
+        ("incident time", "datetime", "time the casualty occurred"),
+        ("disposition", "string", "final disposition of the casualty"),
+        ("blood test result", "string", "result of the casualty's blood test"),
+    )),
+    ("detainee", "a detained person", _facets(
+        ("internment number", "identifier", "internment serial number of the detainee"),
+        ("capture date", "date", "date the detainee was captured"),
+        ("capture location", "string", "location where the detainee was captured"),
+        ("holding facility", "identifier", "facility holding the detainee"),
+        ("legal status", "string", "legal status of the detainee"),
+        ("release date", "date", "date the detainee was released"),
+    )),
+    ("incident", "a reportable incident", _facets(
+        ("incident type", "string", "type of the incident"),
+        ("occurrence time", "datetime", "time the incident occurred"),
+        ("severity level", "string", "severity level of the incident"),
+        ("responder", "string", "first responder to the incident"),
+        ("resolution text", "string", "resolution of the incident"),
+        ("followup required", "boolean", "whether follow up action is required"),
+    )),
+    ("exercise", "a training exercise", _facets(
+        ("exercise name", "string", "name of the exercise"),
+        ("exercise type", "string", "type of the exercise"),
+        ("participant count", "integer", "number of participants in the exercise"),
+        ("scenario text", "string", "scenario description of the exercise"),
+        ("start date", "date", "start date of the exercise"),
+        ("completion date", "date", "completion date of the exercise"),
+    )),
+    ("contract", "a procurement contract", _facets(
+        ("contract number", "identifier", "number of the contract"),
+        ("vendor name", "string", "vendor awarded the contract"),
+        ("award amount", "decimal", "award amount of the contract"),
+        ("award date", "date", "date the contract was awarded"),
+        ("completion date", "date", "scheduled completion date of the contract"),
+        ("contracting officer", "string", "contracting officer responsible"),
+    )),
+    ("communication", "a communications link or channel", _facets(
+        ("channel designator", "identifier", "designator of the communications channel"),
+        ("frequency", "decimal", "operating frequency in megahertz"),
+        ("encryption type", "string", "encryption type of the channel"),
+        ("bandwidth", "decimal", "bandwidth of the channel"),
+        ("net control station", "string", "net control station of the channel"),
+    )),
+    ("fuel", "a fuel stock or issue", _facets(
+        ("fuel grade", "string", "grade of the fuel"),
+        ("quantity", "decimal", "quantity of fuel in liters"),
+        ("storage tank", "identifier", "tank where the fuel is stored"),
+        ("issue date", "date", "date the fuel was issued"),
+        ("receiving unit", "identifier", "unit receiving the fuel"),
+    )),
+    ("observation", "an intelligence observation or sighting", _facets(
+        ("observation time", "datetime", "time of the observation"),
+        ("observer", "string", "observer who made the observation"),
+        ("reliability code", "string", "reliability code of the observation"),
+        ("observed activity", "string", "activity observed"),
+        ("equipment sighted", "string", "equipment sighted in the observation"),
+        ("count estimate", "integer", "estimated count of observed entities"),
+    )),
+    ("task", "an assigned task or activity", _facets(
+        ("task type", "string", "type of the task"),
+        ("assigned to", "identifier", "who the task is assigned to"),
+        ("due time", "datetime", "time the task is due"),
+        ("completion status", "string", "completion status of the task"),
+        ("estimated effort", "decimal", "estimated effort for the task in hours"),
+    )),
+    ("alert", "a warning or alert notification", _facets(
+        ("alert type", "string", "type of the alert"),
+        ("issue time", "datetime", "time the alert was issued"),
+        ("expiry time", "datetime", "time the alert expires"),
+        ("affected area", "string", "area affected by the alert"),
+        ("alert level", "string", "level of the alert"),
+    )),
+    ("boundary", "a control boundary or zone", _facets(
+        ("boundary type", "string", "type of the boundary"),
+        ("controlling unit", "identifier", "unit controlling the boundary"),
+        ("effective date", "date", "date the boundary becomes effective"),
+        ("geometry text", "string", "geometry of the boundary"),
+        ("restriction level", "string", "restriction level inside the boundary"),
+    )),
+)
+
+_QUALIFIER_ROWS: tuple[tuple[str, str, tuple[Facet, ...]], ...] = (
+    ("master", "the authoritative master record", _facets(
+        ("record owner", "string", "owner of the master {entity} record"),
+        ("validation status", "string", "validation status of the {entity} record"),
+        ("merge candidate", "boolean", "whether the {entity} record is a merge candidate"),
+    )),
+    ("address", "postal and physical addresses", _facets(
+        ("street address", "string", "street address of the {entity}"),
+        ("city name", "string", "city of the {entity} address"),
+        ("postal code", "string", "postal code of the {entity} address"),
+        ("address type", "string", "type of the {entity} address"),
+        ("state province", "string", "state or province of the {entity} address"),
+    )),
+    ("contact", "communication contact details", _facets(
+        ("phone number", "string", "contact phone number for the {entity}"),
+        ("email address", "string", "contact email address for the {entity}"),
+        ("contact type", "string", "type of contact information"),
+        ("preferred indicator", "boolean", "whether this is the preferred contact"),
+    )),
+    ("status", "status tracking over time", _facets(
+        ("status time", "datetime", "time the {entity} status was recorded"),
+        ("previous status", "string", "previous status of the {entity}"),
+        ("status reason", "string", "reason for the {entity} status change"),
+        ("recorded by", "string", "who recorded the {entity} status"),
+    )),
+    ("history", "historical change records", _facets(
+        ("change time", "datetime", "time the {entity} change occurred"),
+        ("changed field", "string", "field of the {entity} that changed"),
+        ("old value", "string", "value before the {entity} change"),
+        ("new value", "string", "value after the {entity} change"),
+    )),
+    ("assignment", "assignments and attachments", _facets(
+        ("assignment start", "date", "start date of the {entity} assignment"),
+        ("assignment end", "date", "end date of the {entity} assignment"),
+        ("assignment role", "string", "role in the {entity} assignment"),
+        ("assigning authority", "string", "authority making the {entity} assignment"),
+    )),
+    ("schedule", "planned schedules", _facets(
+        ("scheduled start", "datetime", "scheduled start for the {entity}"),
+        ("scheduled end", "datetime", "scheduled end for the {entity}"),
+        ("recurrence rule", "string", "recurrence rule of the {entity} schedule"),
+        ("timezone", "string", "timezone of the {entity} schedule"),
+    )),
+    ("maintenance", "maintenance and repair records", _facets(
+        ("maintenance type", "string", "type of maintenance performed on the {entity}"),
+        ("maintenance date", "date", "date maintenance was performed on the {entity}"),
+        ("labor hours", "decimal", "labor hours spent maintaining the {entity}"),
+        ("parts cost", "decimal", "parts cost for the {entity} maintenance"),
+        ("next service date", "date", "next scheduled service date for the {entity}"),
+    )),
+    ("inventory", "inventory and accountability", _facets(
+        ("inventory date", "date", "date the {entity} inventory was taken"),
+        ("counted quantity", "integer", "counted quantity of the {entity}"),
+        ("variance", "integer", "inventory variance for the {entity}"),
+        ("inventoried by", "string", "who performed the {entity} inventory"),
+    )),
+    ("qualification", "skills and certifications", _facets(
+        ("qualification type", "string", "type of {entity} qualification"),
+        ("qualification date", "date", "date the {entity} qualification was earned"),
+        ("expiration date", "date", "expiration date of the {entity} qualification"),
+        ("certifying authority", "string", "authority certifying the {entity} qualification"),
+    )),
+    ("medical", "medical and health records", _facets(
+        ("examination date", "date", "date of the {entity} medical examination"),
+        ("fitness category", "string", "medical fitness category of the {entity}"),
+        ("immunization status", "string", "immunization status of the {entity}"),
+        ("physician", "string", "physician responsible for the {entity}"),
+        ("blood test", "string", "blood test result for the {entity}"),
+    )),
+    ("movement", "movement and transport records", _facets(
+        ("departure time", "datetime", "departure time of the {entity} movement"),
+        ("arrival time", "datetime", "arrival time of the {entity} movement"),
+        ("origin", "string", "origin of the {entity} movement"),
+        ("destination", "string", "destination of the {entity} movement"),
+        ("transport mode", "string", "transport mode of the {entity} movement"),
+    )),
+)
+
+
+@dataclass(frozen=True)
+class ConceptSpec:
+    """A sampled abstract concept: (entity, qualifier?) plus chosen facets."""
+
+    entity: Entity
+    qualifier: Qualifier | None
+    facets: tuple[Facet, ...]
+
+    @property
+    def tokens(self) -> tuple[str, ...]:
+        if self.qualifier is None:
+            return (self.entity.name,)
+        return (self.entity.name, self.qualifier.name)
+
+    @property
+    def key(self) -> str:
+        """Stable identity: entity[.qualifier]."""
+        return ".".join(self.tokens)
+
+    @property
+    def gloss(self) -> str:
+        if self.qualifier is None:
+            return self.entity.gloss
+        return f"{self.qualifier.gloss} for {self.entity.gloss}"
+
+    def fill(self, gloss: str) -> str:
+        """Instantiate a facet gloss template for this concept's entity."""
+        return gloss.replace("{entity}", self.entity.name)
+
+
+class DomainOntology:
+    """The sampling interface over entities, qualifiers and facets."""
+
+    def __init__(self) -> None:
+        self.entities = tuple(
+            Entity(name, gloss, facets) for name, gloss, facets in _ENTITY_ROWS
+        )
+        self.qualifiers = tuple(
+            Qualifier(name, gloss, facets) for name, gloss, facets in _QUALIFIER_ROWS
+        )
+        self.common_facets = COMMON_FACETS
+        self._by_name = {entity.name: entity for entity in self.entities}
+
+    def entity(self, name: str) -> Entity:
+        return self._by_name[name]
+
+    @property
+    def n_combinations(self) -> int:
+        """Distinct (entity, qualifier?) concept identities available."""
+        return len(self.entities) * (len(self.qualifiers) + 1)
+
+    def concept_keys(self) -> list[str]:
+        """All concept identities, deterministic order."""
+        keys = [entity.name for entity in self.entities]
+        keys.extend(
+            f"{entity.name}.{qualifier.name}"
+            for entity in self.entities
+            for qualifier in self.qualifiers
+        )
+        return keys
+
+    def facet_universe(self, key: str) -> list[Facet]:
+        """All facets available to a concept identity, deterministic order."""
+        entity_name, _, qualifier_name = key.partition(".")
+        entity = self._by_name[entity_name]
+        facets = list(entity.facets)
+        if qualifier_name:
+            qualifier = next(
+                q for q in self.qualifiers if q.name == qualifier_name
+            )
+            facets.extend(qualifier.facets)
+        facets.extend(self.common_facets)
+        # Deduplicate by token sequence, keeping the most specific first.
+        seen: set[tuple[str, ...]] = set()
+        unique: list[Facet] = []
+        for facet in facets:
+            if facet.tokens not in seen:
+                seen.add(facet.tokens)
+                unique.append(facet)
+        return unique
+
+    def sample_concepts(
+        self, n: int, rng: random.Random, exclude: set[str] = frozenset()
+    ) -> list[str]:
+        """Sample ``n`` distinct concept identities not in ``exclude``."""
+        available = [key for key in self.concept_keys() if key not in exclude]
+        if n > len(available):
+            raise ValueError(
+                f"requested {n} concepts but only {len(available)} identities remain"
+            )
+        return rng.sample(available, n)

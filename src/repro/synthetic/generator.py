@@ -1,0 +1,459 @@
+"""Schema-pair generator with controlled, ground-truth-known overlap.
+
+The core of the synthetic substrate: given target element counts, concept
+counts and an overlap budget (all taken from the paper's section 3 numbers
+by :mod:`repro.synthetic.casestudy`), emit two schemata that
+
+* render the *same* abstract facets through *different* naming conventions
+  on the shared concepts (these are the ground-truth correspondences), and
+* fill the rest with concept- and facet-disjoint material (the ground-truth
+  non-matches).
+
+Facet order per concept is fixed by a concept-key-seeded shuffle, so any two
+schemata built over the same ontology agree on which facets of a concept are
+"first" -- which keeps multi-schema (N-way) ground truth consistent without
+global coordination.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.schema.datatypes import DataType
+from repro.schema.element import ElementKind
+from repro.schema.schema import Schema
+from repro.summarize.concepts import Summary
+from repro.synthetic.domain import ConceptSpec, DomainOntology, Facet
+from repro.synthetic.naming import NamingStyle, perturb_gloss, render_name
+
+__all__ = ["GeneratedSchema", "SchemaPair", "PairSpec", "generate_pair", "generate_schema", "allocate"]
+
+_RELATIONAL_DECLARED: dict[str, str] = {
+    "string": "VARCHAR2(80)",
+    "integer": "NUMBER(10)",
+    "decimal": "NUMBER(12,2)",
+    "date": "DATE",
+    "datetime": "TIMESTAMP",
+    "time": "TIMESTAMP",
+    "boolean": "CHAR(1)",
+    "identifier": "NUMBER(10)",
+}
+
+_XSD_DECLARED: dict[str, str] = {
+    "string": "xs:string",
+    "integer": "xs:integer",
+    "decimal": "xs:decimal",
+    "date": "xs:date",
+    "datetime": "xs:dateTime",
+    "time": "xs:time",
+    "boolean": "xs:boolean",
+    "identifier": "xs:ID",
+}
+
+_DATA_TYPE: dict[str, DataType] = {
+    "string": DataType.STRING,
+    "integer": DataType.INTEGER,
+    "decimal": DataType.DECIMAL,
+    "date": DataType.DATE,
+    "datetime": DataType.DATETIME,
+    "time": DataType.TIME,
+    "boolean": DataType.BOOLEAN,
+    "identifier": DataType.IDENTIFIER,
+}
+
+
+def allocate(
+    total: int,
+    capacities: list[int],
+    minimum: int = 0,
+) -> list[int]:
+    """Distribute ``total`` units over buckets with per-bucket capacities.
+
+    Every bucket receives at least ``minimum`` (capacity permitting), the
+    remainder is spread as evenly as the caps allow, deterministically.
+    Raises ``ValueError`` when the caps cannot absorb the total or the
+    minimums cannot be met.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if any(cap < 0 for cap in capacities):
+        raise ValueError("capacities must be non-negative")
+    if sum(capacities) < total:
+        raise ValueError(
+            f"cannot allocate {total} units into capacity {sum(capacities)}"
+        )
+    shares = [min(minimum, cap) for cap in capacities]
+    if sum(shares) > total:
+        raise ValueError(
+            f"minimum allocation {sum(shares)} already exceeds total {total}"
+        )
+    remaining = total - sum(shares)
+    open_buckets = [i for i in range(len(capacities)) if shares[i] < capacities[i]]
+    while remaining > 0 and open_buckets:
+        per_bucket = max(1, remaining // len(open_buckets))
+        next_open: list[int] = []
+        for index in open_buckets:
+            if remaining <= 0:
+                break
+            room = capacities[index] - shares[index]
+            grant = min(per_bucket, room, remaining)
+            shares[index] += grant
+            remaining -= grant
+            if shares[index] < capacities[index]:
+                next_open.append(index)
+        open_buckets = next_open
+    if remaining > 0:
+        raise ValueError(f"allocation failed with {remaining} units left over")
+    return shares
+
+
+def facet_order(ontology: DomainOntology, concept_key: str) -> list[Facet]:
+    """The globally agreed facet order for one concept.
+
+    Seeded by the concept key alone, so every generator call over the same
+    ontology sees the same order -- the basis of cross-schema ground truth.
+
+    Entity/qualifier-specific facets are biased toward the front of the
+    order (real tables are mostly specific columns with a few audit/common
+    ones), so generated concepts are discriminable rather than dominated by
+    the common facets every concept shares.
+    """
+    universe = ontology.facet_universe(concept_key)
+    common_tokens = {facet.tokens for facet in ontology.common_facets}
+    specific = [facet for facet in universe if facet.tokens not in common_tokens]
+    common = [facet for facet in universe if facet.tokens in common_tokens]
+    rng = random.Random(f"facets::{concept_key}")
+    rng.shuffle(specific)
+    rng.shuffle(common)
+    ordered: list[Facet] = []
+    while specific or common:
+        take_specific = specific and (not common or rng.random() < 0.7)
+        ordered.append(specific.pop() if take_specific else common.pop())
+    return ordered
+
+
+@dataclass
+class GeneratedSchema:
+    """A generated schema plus its generation-time ground truth."""
+
+    schema: Schema
+    concept_of_root: dict[str, str]          # root element id -> concept key
+    facet_of_element: dict[str, tuple[str, tuple[str, ...]]]
+    # element id -> (concept key, facet tokens); roots map to (key, ())
+
+    @property
+    def concept_keys(self) -> set[str]:
+        return set(self.concept_of_root.values())
+
+    def root_of_concept(self, concept_key: str) -> str:
+        for root_id, key in self.concept_of_root.items():
+            if key == concept_key:
+                return root_id
+        raise KeyError(f"concept {concept_key!r} not in schema {self.schema.name!r}")
+
+    def truth_summary(self) -> Summary:
+        """The ground-truth summary: one concept per generated root."""
+        summary = Summary(self.schema)
+        for root_id, key in self.concept_of_root.items():
+            label = " ".join(part.capitalize() for part in key.split("."))
+            concept_id = f"{key}#truth"
+            if concept_id not in summary:
+                summary.add_concept(label, concept_id=concept_id)
+            summary.assign_subtree(root_id, concept_id)
+        return summary
+
+
+@dataclass
+class SchemaPair:
+    """Two generated schemata plus the element-level ground truth."""
+
+    source: GeneratedSchema
+    target: GeneratedSchema
+    shared_concepts: list[str]
+    truth_pairs: set[tuple[str, str]]        # (source element id, target element id)
+
+    @property
+    def matched_target_ids(self) -> set[str]:
+        return {target_id for _, target_id in self.truth_pairs}
+
+    @property
+    def matched_source_ids(self) -> set[str]:
+        return {source_id for source_id, _ in self.truth_pairs}
+
+    @property
+    def unmatched_target_ids(self) -> set[str]:
+        all_ids = {element.element_id for element in self.target.schema}
+        return all_ids - self.matched_target_ids
+
+    @property
+    def unmatched_source_ids(self) -> set[str]:
+        all_ids = {element.element_id for element in self.source.schema}
+        return all_ids - self.matched_source_ids
+
+    def overlap_fraction_target(self) -> float:
+        """Fraction of target elements with a ground-truth match (paper: 34%)."""
+        return len(self.matched_target_ids) / len(self.target.schema)
+
+
+@dataclass(frozen=True)
+class PairSpec:
+    """Targets for :func:`generate_pair` (defaults are modest test sizes)."""
+
+    n_source_concepts: int = 20
+    n_target_concepts: int = 10
+    n_shared_concepts: int = 5
+    source_elements: int = 180
+    target_elements: int = 100
+    matched_target_elements: int = 40        # includes the shared roots
+    source_style: NamingStyle = field(default_factory=NamingStyle.legacy_relational)
+    target_style: NamingStyle = field(default_factory=NamingStyle.xml_exchange)
+    source_kind: str = "relational"
+    target_kind: str = "xml"
+    source_doc_coverage: float = 0.9
+    target_doc_coverage: float = 0.75
+    source_name: str = "SA"
+    target_name: str = "SB"
+
+    def __post_init__(self) -> None:
+        if self.n_shared_concepts > min(self.n_source_concepts, self.n_target_concepts):
+            raise ValueError("shared concepts exceed a side's concept count")
+        if self.matched_target_elements < self.n_shared_concepts:
+            raise ValueError(
+                "matched_target_elements must cover at least the shared roots"
+            )
+        if self.source_elements <= self.n_source_concepts:
+            raise ValueError("source_elements must exceed source concept count")
+        if self.target_elements <= self.n_target_concepts:
+            raise ValueError("target_elements must exceed target concept count")
+
+
+def _kinds(schema_kind: str) -> tuple[ElementKind, ElementKind, dict[str, str]]:
+    if schema_kind == "relational":
+        return ElementKind.TABLE, ElementKind.COLUMN, _RELATIONAL_DECLARED
+    if schema_kind == "xml":
+        return ElementKind.COMPLEX_TYPE, ElementKind.ELEMENT, _XSD_DECLARED
+    raise ValueError(f"unknown schema kind {schema_kind!r}")
+
+
+def _build_schema(
+    name: str,
+    kind: str,
+    concept_facets: list[tuple[ConceptSpec, list[Facet]]],
+    style: NamingStyle,
+    doc_coverage: float,
+    rng: random.Random,
+) -> GeneratedSchema:
+    root_kind, child_kind, declared_map = _kinds(kind)
+    schema = Schema(name, kind=kind)
+    concept_of_root: dict[str, str] = {}
+    facet_of_element: dict[str, tuple[str, tuple[str, ...]]] = {}
+
+    for spec, facets in concept_facets:
+        root_name = render_name(spec.tokens, style, rng)
+        root_doc = (
+            perturb_gloss(spec.gloss, style, rng)
+            if rng.random() < doc_coverage
+            else ""
+        )
+        root = schema.add_root(
+            root_name,
+            kind=root_kind,
+            documentation=root_doc,
+            data_type=DataType.COMPLEX,
+        )
+        concept_of_root[root.element_id] = spec.key
+        facet_of_element[root.element_id] = (spec.key, ())
+        for facet in facets:
+            child_name = render_name(facet.tokens, style, rng)
+            child_doc = (
+                perturb_gloss(spec.fill(facet.gloss), style, rng)
+                if rng.random() < doc_coverage
+                else ""
+            )
+            child = schema.add_child(
+                root,
+                child_name,
+                kind=child_kind,
+                documentation=child_doc,
+                data_type=_DATA_TYPE[facet.type_family],
+                declared_type=declared_map[facet.type_family],
+            )
+            facet_of_element[child.element_id] = (spec.key, facet.tokens)
+    schema.validate()
+    return GeneratedSchema(
+        schema=schema,
+        concept_of_root=concept_of_root,
+        facet_of_element=facet_of_element,
+    )
+
+
+def generate_schema(
+    name: str,
+    concept_keys: list[str],
+    children_per_concept: list[int],
+    style: NamingStyle,
+    kind: str,
+    seed: int | str,
+    ontology: DomainOntology | None = None,
+    doc_coverage: float = 0.85,
+) -> GeneratedSchema:
+    """Generate one schema taking a facet *prefix* for each concept.
+
+    Prefix selection means any two schemata sharing a concept automatically
+    share its first ``min(n, m)`` facets -- the N-way ground truth.
+    """
+    if len(concept_keys) != len(children_per_concept):
+        raise ValueError("concept_keys and children_per_concept must align")
+    ontology = ontology if ontology is not None else DomainOntology()
+    rng = random.Random(seed)
+    concept_facets: list[tuple[ConceptSpec, list[Facet]]] = []
+    for key, n_children in zip(concept_keys, children_per_concept):
+        order = facet_order(ontology, key)
+        if n_children > len(order):
+            raise ValueError(
+                f"concept {key!r} has only {len(order)} facets, need {n_children}"
+            )
+        entity_name, _, qualifier_name = key.partition(".")
+        entity = ontology.entity(entity_name)
+        qualifier = (
+            next(q for q in ontology.qualifiers if q.name == qualifier_name)
+            if qualifier_name
+            else None
+        )
+        spec = ConceptSpec(entity=entity, qualifier=qualifier, facets=tuple(order))
+        concept_facets.append((spec, order[:n_children]))
+    return _build_schema(name, kind, concept_facets, style, doc_coverage, rng)
+
+
+def generate_pair(
+    spec: PairSpec, seed: int | str = 2009, ontology: DomainOntology | None = None
+) -> SchemaPair:
+    """Generate a schema pair hitting the spec's counts exactly.
+
+    The allocation is deterministic given (spec, seed): shared concepts get
+    their matched facets first, then each side receives disjoint extra
+    facets, then concept-only material fills the remaining element budget.
+    """
+    ontology = ontology if ontology is not None else DomainOntology()
+    rng = random.Random(seed)
+
+    shared = ontology.sample_concepts(spec.n_shared_concepts, rng)
+    source_only = ontology.sample_concepts(
+        spec.n_source_concepts - spec.n_shared_concepts, rng, exclude=set(shared)
+    )
+    target_only = ontology.sample_concepts(
+        spec.n_target_concepts - spec.n_shared_concepts,
+        rng,
+        exclude=set(shared) | set(source_only),
+    )
+
+    orders = {key: facet_order(ontology, key) for key in shared + source_only + target_only}
+
+    # --- matched children over shared concepts ------------------------------
+    matched_children_total = spec.matched_target_elements - spec.n_shared_concepts
+    matched_caps = [max(len(orders[key]) - 8, 1) for key in shared]
+    matched_counts = allocate(matched_children_total, matched_caps, minimum=1)
+
+    # --- source children ------------------------------------------------------
+    source_children_total = spec.source_elements - spec.n_source_concepts
+    source_extra_total = source_children_total - matched_children_total
+    # Shared concepts: extras capped to leave >= 2 facets for target extras.
+    source_buckets = shared + source_only
+    source_caps = [
+        (len(orders[key]) - matched_counts[index] - 2)
+        if index < len(shared)
+        else len(orders[key])
+        for index, key in enumerate(source_buckets)
+    ]
+    source_extras = allocate(
+        source_extra_total, [max(cap, 0) for cap in source_caps], minimum=0
+    )
+
+    # --- target children ------------------------------------------------------
+    target_children_total = spec.target_elements - spec.n_target_concepts
+    target_extra_total = target_children_total - matched_children_total
+    target_buckets = shared + target_only
+    target_caps = [
+        (len(orders[key]) - matched_counts[index] - source_extras[index])
+        if index < len(shared)
+        else len(orders[key])
+        for index, key in enumerate(target_buckets)
+    ]
+    target_extras = allocate(
+        target_extra_total, [max(cap, 0) for cap in target_caps], minimum=0
+    )
+
+    # --- carve facet slices ----------------------------------------------------
+    def concept_spec(key: str) -> ConceptSpec:
+        entity_name, _, qualifier_name = key.partition(".")
+        entity = ontology.entity(entity_name)
+        qualifier = (
+            next(q for q in ontology.qualifiers if q.name == qualifier_name)
+            if qualifier_name
+            else None
+        )
+        return ConceptSpec(entity=entity, qualifier=qualifier, facets=tuple(orders[key]))
+
+    source_concepts: list[tuple[ConceptSpec, list[Facet]]] = []
+    target_concepts: list[tuple[ConceptSpec, list[Facet]]] = []
+    matched_facets_of: dict[str, list[Facet]] = {}
+
+    for index, key in enumerate(shared):
+        order = orders[key]
+        m = matched_counts[index]
+        es = source_extras[index]
+        et = target_extras[index]
+        matched = order[:m]
+        matched_facets_of[key] = matched
+        source_concepts.append((concept_spec(key), matched + order[m : m + es]))
+        target_concepts.append((concept_spec(key), matched + order[m + es : m + es + et]))
+
+    for offset, key in enumerate(source_only):
+        n = source_extras[len(shared) + offset]
+        source_concepts.append((concept_spec(key), orders[key][:n]))
+    for offset, key in enumerate(target_only):
+        n = target_extras[len(shared) + offset]
+        target_concepts.append((concept_spec(key), orders[key][:n]))
+
+    # Shuffle concept order so shared concepts are not clustered at the top.
+    rng.shuffle(source_concepts)
+    rng.shuffle(target_concepts)
+
+    source = _build_schema(
+        spec.source_name,
+        spec.source_kind,
+        source_concepts,
+        spec.source_style,
+        spec.source_doc_coverage,
+        random.Random(f"{seed}::source"),
+    )
+    target = _build_schema(
+        spec.target_name,
+        spec.target_kind,
+        target_concepts,
+        spec.target_style,
+        spec.target_doc_coverage,
+        random.Random(f"{seed}::target"),
+    )
+
+    # --- ground truth -----------------------------------------------------------
+    truth_pairs: set[tuple[str, str]] = set()
+    source_by_identity = {
+        identity: element_id for element_id, identity in source.facet_of_element.items()
+    }
+    for element_id, identity in target.facet_of_element.items():
+        key, tokens = identity
+        if key not in matched_facets_of:
+            continue
+        if tokens == () or any(facet.tokens == tokens for facet in matched_facets_of[key]):
+            source_id = source_by_identity.get(identity)
+            if source_id is not None:
+                truth_pairs.add((source_id, element_id))
+
+    return SchemaPair(
+        source=source,
+        target=target,
+        shared_concepts=list(shared),
+        truth_pairs=truth_pairs,
+    )

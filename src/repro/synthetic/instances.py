@@ -1,0 +1,101 @@
+"""Synthetic data instances for generated schemata.
+
+Section 3.2: Harmony leans on documentation "instead of data instances
+because ... schema documentation is easier to obtain than data (which may
+not yet exist, or may be sensitive)".  To make that trade-off *measurable*
+(bench/ablation: what would instances add when they are available?), this
+module synthesises plausible column values for generated schemata.
+
+Values are driven by the element's type family and name tokens, seeded per
+element, so two elements generated from the same facet produce overlapping
+value populations across schemata -- the signal an instance matcher feeds
+on -- while unrelated elements of the same type overlap far less.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.matchers.instance import InstanceTable
+from repro.schema.datatypes import DataType
+from repro.schema.schema import Schema
+
+__all__ = ["InstanceTable", "generate_instances"]
+
+_WORD_POOL = (
+    "alpha bravo charlie delta echo foxtrot golf hotel india juliet kilo".split()
+    + "lima mike november oscar papa quebec romeo sierra tango uniform".split()
+)
+
+_CODE_ALPHABET = "ABCDEFGHKMNPRSTUWXYZ"
+
+
+def _facet_rng(tokens: Iterable[str], data_type: DataType) -> random.Random:
+    """Seeded by the element's *semantic identity*, not its rendered name.
+
+    Elements sharing canonical tokens + type produce overlapping value
+    populations across schemata; the naming convention noise is invisible
+    at the instance level, exactly as in real systems.
+    """
+    key = "::".join(sorted(set(tokens))) + f"::{data_type.value}"
+    return random.Random(f"instances::{key}")
+
+
+def _draw_value(rng: random.Random, data_type: DataType) -> str:
+    if data_type is DataType.INTEGER:
+        return str(rng.randint(0, 5000))
+    if data_type is DataType.DECIMAL:
+        return f"{rng.uniform(0, 1000):.2f}"
+    if data_type is DataType.BOOLEAN:
+        return rng.choice(("Y", "N"))
+    if data_type is DataType.DATE:
+        return (
+            f"{rng.randint(1990, 2008):04d}-{rng.randint(1, 12):02d}-"
+            f"{rng.randint(1, 28):02d}"
+        )
+    if data_type is DataType.DATETIME:
+        return (
+            f"{rng.randint(1990, 2008):04d}-{rng.randint(1, 12):02d}-"
+            f"{rng.randint(1, 28):02d}T{rng.randint(0, 23):02d}:"
+            f"{rng.randint(0, 59):02d}:00"
+        )
+    if data_type is DataType.TIME:
+        return f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}"
+    if data_type is DataType.IDENTIFIER:
+        return f"{rng.choice(_CODE_ALPHABET)}{rng.randint(10000, 99999)}"
+    # STRING and UNKNOWN: short categorical phrases from a per-facet pool.
+    return " ".join(rng.sample(_WORD_POOL, rng.randint(1, 2)))
+
+
+def generate_instances(
+    schema: Schema,
+    rows: int = 40,
+    tokens_of: dict[str, tuple[str, ...]] | None = None,
+) -> InstanceTable:
+    """Synthesize ``rows`` values for every leaf element of ``schema``.
+
+    ``tokens_of`` optionally maps element ids to canonical facet tokens
+    (available from :class:`~repro.synthetic.generator.GeneratedSchema`'s
+    ``facet_of_element``); without it, the element's own lowercased name is
+    the identity, which still aligns exactly-equal names across schemata.
+    """
+    if rows <= 0:
+        raise ValueError(f"rows must be positive, got {rows}")
+    values: dict[str, list[str]] = {}
+    for element in schema:
+        if schema.children(element.element_id):
+            continue
+        if tokens_of is not None and element.element_id in tokens_of:
+            identity: tuple[str, ...] = tokens_of[element.element_id]
+        else:
+            identity = (element.name.lower(),)
+        rng = _facet_rng(identity, element.data_type)
+        # A bounded per-facet population makes overlap possible: the same
+        # facet yields draws from the same population in every schema.
+        population = [_draw_value(rng, element.data_type) for _ in range(rows * 3)]
+        sampler = random.Random(f"sample::{schema.name}::{element.element_id}")
+        values[element.element_id] = [
+            sampler.choice(population) for _ in range(rows)
+        ]
+    return InstanceTable(schema, values)

@@ -1,0 +1,235 @@
+"""Naming conventions: rendering canonical tokens as realistic identifiers.
+
+The paper's hard pair ``DATE_BEGIN_156`` vs ``DATETIME_FIRST_INFO`` shows what
+independent development does to a shared concept: different word choices
+(begin/first), different granularity words (date/datetime), filler tokens
+(info), numeric suffixes, and different case conventions.  A
+:class:`NamingStyle` models those transformations as sampled perturbations of
+a facet's canonical tokens:
+
+* synonym substitution (generator-side synonym table -- intentionally a
+  superset of the matcher's lexicon, so the matcher does not get a free ride);
+* abbreviation (quantity -> QTY) using the inverse of the matcher's table;
+* token dropping and filler insertion;
+* numeric suffixes (system-assigned column numbers);
+* case rendering (UPPER_SNAKE, PascalCase, camelCase, lower_snake).
+
+All randomness flows through the caller's ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.text.abbrev import DEFAULT_ABBREVIATIONS
+
+__all__ = ["NamingStyle", "render_name", "perturb_gloss", "GENERATOR_SYNONYMS"]
+
+# Canonical token -> surface alternatives.  Deliberately broader than
+# repro.text.thesaurus.DEFAULT_SYNSETS: some substitutions (e.g. appellation)
+# are outside the matcher's lexicon, keeping the matching task honest.
+GENERATOR_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "begin": ("start", "first", "initial", "onset"),
+    "end": ("stop", "last", "final", "cease"),
+    "person": ("individual", "people", "human"),
+    "organization": ("agency", "institution"),
+    "vehicle": ("conveyance", "transport"),
+    "vessel": ("ship", "boat"),
+    "aircraft": ("plane", "airframe"),
+    "event": ("occurrence", "incident", "activity"),
+    "location": ("place", "position", "site"),
+    "date": ("datetime", "day"),
+    "time": ("datetime", "timestamp", "instant"),
+    "information": ("info", "data", "detail"),
+    "weapon": ("armament", "munition", "ordnance"),
+    "mission": ("operation", "sortie", "tasking"),
+    "report": ("record", "log", "account"),
+    "status": ("state", "condition", "disposition"),
+    "quantity": ("amount", "count", "total"),
+    "name": ("designation", "title", "appellation"),
+    "identifier": ("identification", "key", "designator"),
+    "address": ("residence", "domicile"),
+    "country": ("nation",),
+    "group": ("team", "squad", "party"),
+    "commander": ("leader", "chief"),
+    "facility": ("installation", "structure"),
+    "equipment": ("gear", "materiel"),
+    "route": ("path", "course", "track"),
+    "destination": ("target", "objective"),
+    "origin": ("source",),
+    "speed": ("velocity", "rate"),
+    "height": ("altitude", "stature"),
+    "weight": ("mass",),
+    "category": ("class", "kind", "type"),
+    "message": ("communication", "transmission"),
+    "injury": ("wound", "trauma"),
+    "physician": ("doctor", "medic"),
+    "hospital": ("clinic", "infirmary"),
+    "supply": ("provision", "stock"),
+    "fuel": ("petroleum", "gasoline"),
+    "capture": ("seizure", "apprehension"),
+    "observation": ("sighting", "detection"),
+    "priority": ("precedence", "urgency"),
+    "schedule": ("timetable", "calendar"),
+    "contract": ("agreement", "arrangement"),
+    "cost": ("price", "expense"),
+    "owner": ("holder", "custodian"),
+    "registration": ("enrollment", "license"),
+    "test": ("exam", "screening", "assay"),
+    "result": ("outcome", "finding"),
+    "remarks": ("comments", "notes"),
+    "description": ("narrative", "summary"),
+    "created": ("entered", "recorded"),
+    "updated": ("modified", "revised"),
+    "family": ("last", "surname"),
+    "given": ("first", "forename"),
+    "code": ("indicator", "flag"),
+    "number": ("numeral", "no"),
+}
+
+_FILLER_TOKENS = ("info", "data", "text", "value", "detail", "entry")
+
+# Inverse abbreviation map: canonical word -> short form, from the shared
+# table (single-word expansions only); when several abbreviations expand to
+# the same word the shortest wins, deterministically.
+_REVERSE_ABBREVIATIONS: dict[str, str] = {}
+for _abbr, _expansion in sorted(DEFAULT_ABBREVIATIONS.items()):
+    if " " in _expansion:
+        continue
+    current = _REVERSE_ABBREVIATIONS.get(_expansion)
+    if current is None or len(_abbr) < len(current):
+        _REVERSE_ABBREVIATIONS[_expansion] = _abbr
+
+_CASES = ("upper_snake", "lower_snake", "pascal", "camel")
+
+
+@dataclass(frozen=True)
+class NamingStyle:
+    """One schema's naming convention, as perturbation probabilities."""
+
+    case: str = "upper_snake"
+    synonym_probability: float = 0.25
+    abbreviate_probability: float = 0.3
+    drop_probability: float = 0.05
+    filler_probability: float = 0.08
+    numeric_suffix_probability: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.case not in _CASES:
+            raise ValueError(f"unknown case {self.case!r}; options: {_CASES}")
+        for name in (
+            "synonym_probability",
+            "abbreviate_probability",
+            "drop_probability",
+            "filler_probability",
+            "numeric_suffix_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+    @classmethod
+    def legacy_relational(cls) -> "NamingStyle":
+        """Oracle-era UPPER_SNAKE with heavy abbreviation and suffixes (SA)."""
+        return cls(
+            case="upper_snake",
+            synonym_probability=0.15,
+            abbreviate_probability=0.4,
+            drop_probability=0.04,
+            filler_probability=0.05,
+            numeric_suffix_probability=0.25,
+        )
+
+    @classmethod
+    def xml_exchange(cls) -> "NamingStyle":
+        """PascalCase XML exchange style with synonym drift (SB)."""
+        return cls(
+            case="pascal",
+            synonym_probability=0.35,
+            abbreviate_probability=0.08,
+            drop_probability=0.05,
+            filler_probability=0.12,
+            numeric_suffix_probability=0.0,
+        )
+
+    @classmethod
+    def clean(cls) -> "NamingStyle":
+        """No perturbation at all (for tests and easy baselines)."""
+        return cls(
+            case="lower_snake",
+            synonym_probability=0.0,
+            abbreviate_probability=0.0,
+            drop_probability=0.0,
+            filler_probability=0.0,
+            numeric_suffix_probability=0.0,
+        )
+
+
+def _render_case(tokens: list[str], case: str) -> str:
+    if case == "upper_snake":
+        return "_".join(token.upper() for token in tokens)
+    if case == "lower_snake":
+        return "_".join(token.lower() for token in tokens)
+    if case == "pascal":
+        return "".join(token.capitalize() for token in tokens)
+    # camel
+    head, *rest = tokens
+    return head.lower() + "".join(token.capitalize() for token in rest)
+
+
+def render_name(
+    tokens: tuple[str, ...], style: NamingStyle, rng: random.Random
+) -> str:
+    """Render canonical tokens through a naming style.
+
+    At least one token always survives dropping, so names are never empty.
+    """
+    working = list(tokens)
+
+    # Synonym substitution (token-wise, independent draws).
+    for index, token in enumerate(working):
+        alternatives = GENERATOR_SYNONYMS.get(token)
+        if alternatives and rng.random() < style.synonym_probability:
+            working[index] = rng.choice(alternatives)
+
+    # Token dropping (keep at least one).
+    if len(working) > 1:
+        working = [
+            token
+            for token in working
+            if rng.random() >= style.drop_probability
+        ] or [working[0]]
+
+    # Abbreviation.
+    for index, token in enumerate(working):
+        short = _REVERSE_ABBREVIATIONS.get(token)
+        if short and rng.random() < style.abbreviate_probability:
+            working[index] = short
+
+    # Filler insertion (one token, at the end -- DATETIME_FIRST_INFO style).
+    if rng.random() < style.filler_probability:
+        working.append(rng.choice(_FILLER_TOKENS))
+
+    # Numeric suffix (system-assigned column numbers -- DATE_BEGIN_156).
+    if rng.random() < style.numeric_suffix_probability:
+        working.append(str(rng.randint(100, 999)))
+
+    return _render_case(working, style.case)
+
+
+def perturb_gloss(gloss: str, style: NamingStyle, rng: random.Random) -> str:
+    """Paraphrase a documentation gloss in the same spirit as names.
+
+    Word-level synonym substitution at the style's synonym probability, plus
+    occasional tail truncation; glosses keep their leading words so they stay
+    readable.
+    """
+    words = gloss.split()
+    for index, word in enumerate(words):
+        alternatives = GENERATOR_SYNONYMS.get(word)
+        if alternatives and rng.random() < style.synonym_probability:
+            words[index] = rng.choice(alternatives)
+    if len(words) > 6 and rng.random() < 0.15:
+        words = words[: rng.randint(5, len(words) - 1)]
+    return " ".join(words)

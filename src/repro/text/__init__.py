@@ -1,0 +1,45 @@
+"""Linguistic substrate: tokenization, stemming, string metrics, TF-IDF.
+
+This package implements the "linguistic preprocessing" half of the Harmony
+architecture from the CIDR 2009 paper plus the string/set similarity metrics
+the match voters are built on.
+"""
+
+from repro.text.abbrev import AbbreviationTable
+from repro.text.pipeline import LinguisticPipeline, TermBag
+from repro.text.similarity import (
+    dice_coefficient,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    monge_elkan,
+    ngram_similarity,
+)
+from repro.text.stem import stem
+from repro.text.tfidf import TfidfModel, cosine, tfidf_similarity_matrix
+from repro.text.thesaurus import SynonymLexicon
+from repro.text.tokenize import char_ngrams, split_identifier, tokenize
+
+__all__ = [
+    "AbbreviationTable",
+    "LinguisticPipeline",
+    "SynonymLexicon",
+    "TermBag",
+    "TfidfModel",
+    "char_ngrams",
+    "cosine",
+    "dice_coefficient",
+    "jaccard",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_similarity",
+    "monge_elkan",
+    "ngram_similarity",
+    "split_identifier",
+    "stem",
+    "tfidf_similarity_matrix",
+    "tokenize",
+]

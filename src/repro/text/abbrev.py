@@ -1,0 +1,198 @@
+"""Abbreviation expansion for schema identifiers.
+
+Enterprise schemata -- the military schemata of the CIDR 2009 case study
+included -- abbreviate aggressively: ``QTY`` for quantity, ``DT`` for date,
+``ORG`` for organization.  Expanding abbreviations to canonical words before
+stemming dramatically improves token-overlap evidence between schemata that
+follow different conventions.
+
+The default table below covers common database/military-enterprise
+abbreviations.  Deployments can extend it::
+
+    table = AbbreviationTable.default().extend({"posn": "position"})
+    table.expand("posn")        # -> ["position"]
+
+Multi-word expansions are supported (``dob`` -> ``date of birth`` yields the
+tokens ``["date", "of", "birth"]``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["AbbreviationTable", "DEFAULT_ABBREVIATIONS"]
+
+DEFAULT_ABBREVIATIONS: dict[str, str] = {
+    "abbr": "abbreviation",
+    "acct": "account",
+    "addr": "address",
+    "adm": "administration",
+    "alt": "altitude",
+    "amt": "amount",
+    "appt": "appointment",
+    "arr": "arrival",
+    "asgn": "assignment",
+    "assoc": "association",
+    "auth": "authorization",
+    "avg": "average",
+    "bday": "birth date",
+    "bldg": "building",
+    "bgn": "begin",
+    "cap": "capacity",
+    "cat": "category",
+    "chg": "change",
+    "cmd": "command",
+    "cnt": "count",
+    "comm": "communication",
+    "coord": "coordinate",
+    "ctry": "country",
+    "curr": "current",
+    "decl": "declaration",
+    "dep": "departure",
+    "dept": "department",
+    "dest": "destination",
+    "dim": "dimension",
+    "dist": "distance",
+    "dob": "date of birth",
+    "doc": "document",
+    "dsg": "designation",
+    "dt": "date",
+    "datetime": "date time",
+    "dtg": "date time group",
+    "dttm": "date time",
+    "eff": "effective",
+    "elev": "elevation",
+    "eqp": "equipment",
+    "equip": "equipment",
+    "est": "estimate",
+    "evt": "event",
+    "exp": "expiration",
+    "fac": "facility",
+    "freq": "frequency",
+    "geo": "geographic",
+    "gov": "government",
+    "gp": "group",
+    "grp": "group",
+    "hosp": "hospital",
+    "hq": "headquarters",
+    "ht": "height",
+    "info": "information",
+    "jur": "jurisdiction",
+    "lang": "language",
+    "lat": "latitude",
+    "loc": "location",
+    "lon": "longitude",
+    "lvl": "level",
+    "max": "maximum",
+    "med": "medical",
+    "mfr": "manufacturer",
+    "mgr": "manager",
+    "mil": "military",
+    "min": "minimum",
+    "msg": "message",
+    "msn": "mission",
+    "mun": "munition",
+    "nat": "national",
+    "nav": "navigation",
+    "obj": "objective",
+    "obs": "observation",
+    "op": "operation",
+    "opr": "operator",
+    "ord": "order",
+    "org": "organization",
+    "orig": "origin",
+    "pct": "percent",
+    "per": "person",
+    "pers": "person",
+    "phys": "physical",
+    "pos": "position",
+    "prec": "precision",
+    "prim": "primary",
+    "prio": "priority",
+    "proc": "procedure",
+    "prof": "profession",
+    "pt": "point",
+    "qty": "quantity",
+    "qual": "qualification",
+    "rec": "record",
+    "reg": "registration",
+    "rel": "relationship",
+    "rpt": "report",
+    "rte": "route",
+    "sched": "schedule",
+    "sec": "security",
+    "sig": "signal",
+    "spec": "specification",
+    "sqd": "squad",
+    "src": "source",
+    "sta": "station",
+    "stat": "status",
+    "std": "standard",
+    "sts": "status",
+    "svc": "service",
+    "tm": "team",
+    "tgt": "target",
+    "tran": "transaction",
+    "trk": "track",
+    "trn": "transport",
+    "uic": "unit identification code",
+    "veh": "vehicle",
+    "vsl": "vessel",
+    "wgt": "weight",
+    "wpn": "weapon",
+    "wt": "weight",
+    "xfer": "transfer",
+    "xmit": "transmit",
+}
+
+
+class AbbreviationTable:
+    """An immutable-by-convention lookup from abbreviation to expansion.
+
+    Instances are cheap wrappers around a dict; :meth:`extend` returns a new
+    table so the module-level default is never mutated by callers.
+    """
+
+    def __init__(self, entries: Mapping[str, str]):
+        self._entries = {key.lower(): value.lower() for key, value in entries.items()}
+
+    @classmethod
+    def default(cls) -> "AbbreviationTable":
+        """The built-in enterprise/military abbreviation table."""
+        return cls(DEFAULT_ABBREVIATIONS)
+
+    @classmethod
+    def empty(cls) -> "AbbreviationTable":
+        return cls({})
+
+    def extend(self, extra: Mapping[str, str]) -> "AbbreviationTable":
+        """Return a new table with ``extra`` entries merged in (extra wins)."""
+        merged = dict(self._entries)
+        merged.update({key.lower(): value.lower() for key, value in extra.items()})
+        return AbbreviationTable(merged)
+
+    def expand(self, token: str) -> list[str]:
+        """Expand one token; unknown tokens pass through unchanged.
+
+        >>> AbbreviationTable.default().expand("qty")
+        ['quantity']
+        >>> AbbreviationTable.default().expand("dob")
+        ['date', 'of', 'birth']
+        """
+        expansion = self._entries.get(token.lower())
+        if expansion is None:
+            return [token.lower()]
+        return expansion.split()
+
+    def expand_all(self, tokens: Iterable[str]) -> list[str]:
+        """Expand every token in sequence, flattening multi-word expansions."""
+        result: list[str] = []
+        for token in tokens:
+            result.extend(self.expand(token))
+        return result
+
+    def __contains__(self, token: str) -> bool:
+        return token.lower() in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,50 @@
+"""Stopword lists for linguistic preprocessing.
+
+Two tiers are provided:
+
+* :data:`ENGLISH_STOPWORDS` -- ordinary English function words, removed from
+  documentation text before TF-IDF weighting.
+* :data:`SCHEMA_STOPWORDS` -- words that carry no discriminating power in
+  *schema element names* specifically ("id", "code", "type", "value", ...).
+  Virtually every table has an ``ID`` column, so sharing the token "id" is
+  not evidence of a semantic correspondence.  Name-based voters subtract
+  these; documentation voters keep them (they are rare enough in prose).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ENGLISH_STOPWORDS", "SCHEMA_STOPWORDS", "is_stopword"]
+
+ENGLISH_STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are as at be because
+    been before being below between both but by could did do does doing down
+    during each few for from further had has have having he her here hers
+    him his how i if in into is it its itself just me more most my myself no
+    nor not of off on once only or other our ours out over own same she
+    should so some such than that the their theirs them then there these
+    they this those through to too under until up very was we were what when
+    where which while who whom why will with you your yours
+    """.split()
+)
+
+SCHEMA_STOPWORDS: frozenset[str] = frozenset(
+    """
+    id ident identifier cd code type typ val value txt text num number no
+    nbr desc descr description name nm flag flg ind indicator sys system
+    rec record row tbl table col column fld field elem element attr
+    attribute ref reference key pk fk seq sequence idx index
+    """.split()
+)
+
+
+def is_stopword(token: str, schema_mode: bool = False) -> bool:
+    """Return True if ``token`` should be dropped.
+
+    ``schema_mode`` additionally filters schema-noise words; it is what the
+    name voters use, while prose processing uses the plain English list.
+    """
+    lowered = token.lower()
+    if lowered in ENGLISH_STOPWORDS:
+        return True
+    return schema_mode and lowered in SCHEMA_STOPWORDS

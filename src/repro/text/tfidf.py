@@ -1,0 +1,166 @@
+"""TF-IDF weighting and cosine similarity over token bags.
+
+Harmony "relies heavily on textual documentation to identify candidate
+correspondences" (CIDR 2009, section 3.2).  The documentation voter builds a
+TF-IDF vector per schema element from its documentation tokens and compares
+elements by cosine similarity.  This module provides the corpus statistics,
+per-document vectors, and a vectorised corpus-to-corpus similarity matrix
+built on ``scipy.sparse``.
+
+Terminology: a "document" is any bag of (already preprocessed) tokens; the
+caller decides whether that is an element name, its documentation, or a whole
+schema (schema-level TF-IDF drives schema search and clustering).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["Vocabulary", "TfidfModel", "cosine", "tfidf_similarity_matrix"]
+
+
+class Vocabulary:
+    """A stable token -> integer-id mapping built from a token corpus."""
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+
+    @classmethod
+    def from_documents(cls, documents: Iterable[Sequence[str]]) -> "Vocabulary":
+        vocab = cls()
+        for document in documents:
+            for token in document:
+                vocab.add(token)
+        return vocab
+
+    def add(self, token: str) -> int:
+        """Intern ``token`` and return its id."""
+        existing = self._index.get(token)
+        if existing is not None:
+            return existing
+        new_id = len(self._index)
+        self._index[token] = new_id
+        return new_id
+
+    def id_of(self, token: str) -> int | None:
+        """The id for ``token``, or None if out-of-vocabulary."""
+        return self._index.get(token)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order."""
+        ordered = sorted(self._index.items(), key=lambda item: item[1])
+        return [token for token, _ in ordered]
+
+
+class TfidfModel:
+    """Corpus-level IDF statistics plus document vectorisation.
+
+    IDF uses the smoothed form ``log((1 + N) / (1 + df)) + 1`` so that terms
+    present in every document still carry a small positive weight and unseen
+    terms cannot divide by zero.  Vectors are L2-normalised, making cosine a
+    plain dot product.
+    """
+
+    def __init__(self, documents: Sequence[Sequence[str]]):
+        self.vocabulary = Vocabulary.from_documents(documents)
+        self._n_documents = len(documents)
+        document_frequency = Counter()
+        for document in documents:
+            document_frequency.update(set(document))
+        self._idf = np.ones(len(self.vocabulary))
+        for token, frequency in document_frequency.items():
+            token_id = self.vocabulary.id_of(token)
+            self._idf[token_id] = (
+                math.log((1 + self._n_documents) / (1 + frequency)) + 1.0
+            )
+
+    @property
+    def n_documents(self) -> int:
+        return self._n_documents
+
+    def idf(self, token: str) -> float:
+        """IDF weight of ``token`` (0 when out-of-vocabulary)."""
+        token_id = self.vocabulary.id_of(token)
+        if token_id is None:
+            return 0.0
+        return float(self._idf[token_id])
+
+    def vector(self, document: Sequence[str]) -> dict[int, float]:
+        """Sparse L2-normalised TF-IDF vector as ``{token_id: weight}``."""
+        counts = Counter(
+            token for token in document if token in self.vocabulary
+        )
+        if not counts:
+            return {}
+        weights = {
+            self.vocabulary.id_of(token): count * self._idf[self.vocabulary.id_of(token)]
+            for token, count in counts.items()
+        }
+        norm = math.sqrt(sum(weight * weight for weight in weights.values()))
+        if norm == 0.0:
+            return {}
+        return {token_id: weight / norm for token_id, weight in weights.items()}
+
+    def matrix(self, documents: Sequence[Sequence[str]]) -> sparse.csr_matrix:
+        """Stack document vectors into a CSR matrix (rows are documents)."""
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for row, document in enumerate(documents):
+            for token_id, weight in self.vector(document).items():
+                rows.append(row)
+                cols.append(token_id)
+                data.append(weight)
+        return sparse.csr_matrix(
+            (data, (rows, cols)),
+            shape=(len(documents), max(len(self.vocabulary), 1)),
+        )
+
+
+def cosine(left: Mapping[int, float], right: Mapping[int, float]) -> float:
+    """Cosine of two sparse vectors given as ``{id: weight}`` mappings.
+
+    Vectors from :meth:`TfidfModel.vector` are already normalised, so this is
+    their dot product; un-normalised inputs are normalised here for safety.
+    """
+    if not left or not right:
+        return 0.0
+    if len(right) < len(left):
+        left, right = right, left
+    dot = sum(weight * right.get(token_id, 0.0) for token_id, weight in left.items())
+    left_norm = math.sqrt(sum(w * w for w in left.values()))
+    right_norm = math.sqrt(sum(w * w for w in right.values()))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return dot / (left_norm * right_norm)
+
+
+def tfidf_similarity_matrix(
+    source_documents: Sequence[Sequence[str]],
+    target_documents: Sequence[Sequence[str]],
+) -> np.ndarray:
+    """Dense cosine-similarity matrix between two document collections.
+
+    The model is fit on the union of both sides so IDF reflects the joint
+    corpus -- matching how Harmony weighs shared documentation words by how
+    unusual they are across *both* schemata.
+    """
+    model = TfidfModel(list(source_documents) + list(target_documents))
+    source_matrix = model.matrix(source_documents)
+    target_matrix = model.matrix(target_documents)
+    product = source_matrix @ target_matrix.T
+    result = np.asarray(product.todense(), dtype=float)
+    # Guard against floating point drift outside [0, 1].
+    np.clip(result, 0.0, 1.0, out=result)
+    return result

@@ -1,0 +1,16 @@
+"""Visualization analytics: the line-drawing clutter model and ASCII views."""
+
+from repro.viz.ascii import render_match_view, render_tree
+from repro.viz.clutter import ViewState, clutter_for_result, compare_views
+from repro.viz.linedrawing import LineDrawing, Viewport, count_crossings
+
+__all__ = [
+    "LineDrawing",
+    "ViewState",
+    "Viewport",
+    "clutter_for_result",
+    "compare_views",
+    "count_crossings",
+    "render_match_view",
+    "render_tree",
+]

@@ -1,0 +1,76 @@
+"""ASCII renderers: schema trees and small side-by-side match views.
+
+Not a GUI -- these renderers exist so examples, the CLI and tests can *show*
+schemata and matches in a terminal, and so humans can eyeball small cases.
+"""
+
+from __future__ import annotations
+
+from repro.match.correspondence import Correspondence
+from repro.schema.schema import Schema
+
+__all__ = ["render_tree", "render_match_view"]
+
+
+def render_tree(schema: Schema, max_elements: int | None = 60) -> str:
+    """Indented tree rendering of a schema."""
+    lines = [f"{schema.name} ({schema.kind}, {len(schema)} elements)"]
+    count = 0
+    truncated = False
+    for root in schema.roots():
+        for element in schema.subtree(root.element_id):
+            if max_elements is not None and count >= max_elements:
+                truncated = True
+                break
+            indent = "  " * schema.depth(element)
+            suffix = f" : {element.declared_type}" if element.declared_type else ""
+            lines.append(f"{indent}{element.name}{suffix}")
+            count += 1
+        if truncated:
+            break
+    if truncated:
+        lines.append(f"  ... ({len(schema) - count} more elements)")
+    return "\n".join(lines)
+
+
+def render_match_view(
+    source: Schema,
+    target: Schema,
+    correspondences: list[Correspondence],
+    max_rows: int | None = 40,
+) -> str:
+    """Side-by-side element lists with numbered match lines.
+
+    Matched pairs share a line number marker (the closest a terminal gets to
+    the canonical line-drawing view); the marker column makes fan-out and
+    cross-concept matches visible at a glance.
+    """
+    marker_of_source: dict[str, list[int]] = {}
+    marker_of_target: dict[str, list[int]] = {}
+    for number, correspondence in enumerate(correspondences, start=1):
+        marker_of_source.setdefault(correspondence.source_id, []).append(number)
+        marker_of_target.setdefault(correspondence.target_id, []).append(number)
+
+    def rows(schema: Schema, markers: dict[str, list[int]]) -> list[str]:
+        rendered = []
+        for element in schema:
+            indent = "  " * (schema.depth(element) - 1)
+            tags = markers.get(element.element_id)
+            tag_text = f" [{','.join(map(str, tags))}]" if tags else ""
+            rendered.append(f"{indent}{element.name}{tag_text}")
+        return rendered
+
+    left_rows = rows(source, marker_of_source)
+    right_rows = rows(target, marker_of_target)
+    if max_rows is not None:
+        left_rows = left_rows[:max_rows]
+        right_rows = right_rows[:max_rows]
+    width = max((len(row) for row in left_rows), default=10) + 2
+    lines = [f"{source.name:<{width}}| {target.name}"]
+    lines.append("-" * width + "+" + "-" * max(len(target.name) + 1, 10))
+    for index in range(max(len(left_rows), len(right_rows))):
+        left = left_rows[index] if index < len(left_rows) else ""
+        right = right_rows[index] if index < len(right_rows) else ""
+        lines.append(f"{left:<{width}}| {right}")
+    lines.append(f"({len(correspondences)} match lines)")
+    return "\n".join(lines)

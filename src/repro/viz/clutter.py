@@ -1,0 +1,101 @@
+"""Clutter analysis across view states: the E8 experiment's machinery.
+
+Measures how the line-drawing view degrades with scale and how much the
+paper's filters (confidence, sub-tree) recover -- the quantitative form of
+Lesson #2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.filters.chain import FilterChain
+from repro.filters.link import ConfidenceFilter
+from repro.filters.node import SubtreeFilter
+from repro.match.engine import MatchResult
+from repro.match.selection import ThresholdSelection
+from repro.viz.linedrawing import LineDrawing, Viewport
+
+__all__ = ["ViewState", "compare_views", "clutter_for_result"]
+
+
+@dataclass(frozen=True)
+class ViewState:
+    """One named view configuration and its clutter numbers."""
+
+    name: str
+    total_lines: float
+    visible_lines: float
+    dangling_lines: float
+    visible_crossings: float
+    offscreen_fraction: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.name:<28} lines={self.total_lines:>7.0f} "
+            f"visible={self.visible_lines:>6.0f} dangling={self.dangling_lines:>6.0f} "
+            f"crossings={self.visible_crossings:>8.0f} "
+            f"offscreen={self.offscreen_fraction:.0%}"
+        )
+
+
+def clutter_for_result(
+    result: MatchResult,
+    threshold: float,
+    viewport: Viewport,
+    chain: FilterChain | None = None,
+    name: str = "view",
+) -> ViewState:
+    """Measure one view state: thresholded candidates, optional filters."""
+    drawing = LineDrawing(result.source, result.target)
+    candidates = result.candidates(ThresholdSelection(threshold))
+    if chain is not None:
+        candidates = chain.apply(candidates, result.source, result.target)
+    numbers = drawing.clutter(candidates, viewport)
+    return ViewState(name=name, **{key: numbers[key] for key in (
+        "total_lines", "visible_lines", "dangling_lines",
+        "visible_crossings", "offscreen_fraction",
+    )})
+
+
+def compare_views(
+    result: MatchResult,
+    threshold: float,
+    viewport: Viewport,
+    subtree_root_id: str,
+    confidence_minimum: float = 0.4,
+) -> list[ViewState]:
+    """The Lesson-#2 comparison: raw view vs confidence vs sub-tree filters.
+
+    Returns view states for: unfiltered, confidence-filtered, sub-tree
+    filtered, and both filters together -- the progression an engineer walks
+    through when the raw view is unusable.
+    """
+    states = [
+        clutter_for_result(result, threshold, viewport, name="unfiltered"),
+        clutter_for_result(
+            result,
+            threshold,
+            viewport,
+            chain=FilterChain(link_filters=[ConfidenceFilter(confidence_minimum)]),
+            name=f"confidence>={confidence_minimum}",
+        ),
+        clutter_for_result(
+            result,
+            threshold,
+            viewport,
+            chain=FilterChain(source_filters=[SubtreeFilter(subtree_root_id)]),
+            name="subtree filter",
+        ),
+        clutter_for_result(
+            result,
+            threshold,
+            viewport,
+            chain=FilterChain(
+                link_filters=[ConfidenceFilter(confidence_minimum)],
+                source_filters=[SubtreeFilter(subtree_root_id)],
+            ),
+            name="subtree + confidence",
+        ),
+    ]
+    return states

@@ -1,0 +1,163 @@
+"""A quantitative model of the canonical line-drawing match UI.
+
+Lesson #2: "'line-drawing' visualizations of schema match break down rapidly
+as schema size grows much larger than the user's screen" and filters help by
+"reducing the number of lines shown at any one time".  To reproduce that
+claim without pixels we model the UI's measurable quantities:
+
+* each schema is a vertical list of rows (display order = schema order);
+* a viewport shows ``height`` consecutive rows per side;
+* a correspondence is a line between its endpoints' row positions;
+* **visible** lines have both endpoints inside the viewport, **dangling**
+  lines have exactly one (the paper's "off-screen matches ... cluttering the
+  display"), and **crossings** count intersecting line pairs -- the standard
+  visual-clutter measure for bipartite layouts.
+
+Crossings are counted exactly as inversions of the target positions when
+lines are sorted by source position: O(n log n) via merge sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.match.correspondence import Correspondence
+from repro.schema.schema import Schema
+
+__all__ = ["Viewport", "LineDrawing", "count_crossings"]
+
+
+def count_crossings(positions: Sequence[tuple[int, int]]) -> int:
+    """Crossing pairs among lines given as (source_row, target_row).
+
+    Two lines cross iff their source order and target order disagree.  Ties
+    on either coordinate (fan-in/fan-out from one row) do not count as
+    crossings.
+    """
+    ordered = sorted(positions)
+    targets = [target for _, target in ordered]
+
+    # Merge-sort inversion count over the target sequence; equal elements do
+    # not count (stable merge takes from the left run first).
+    def sort_count(sequence: list[int]) -> tuple[list[int], int]:
+        if len(sequence) <= 1:
+            return sequence, 0
+        middle = len(sequence) // 2
+        left, left_count = sort_count(sequence[:middle])
+        right, right_count = sort_count(sequence[middle:])
+        merged: list[int] = []
+        inversions = left_count + right_count
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i] <= right[j]:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                j += 1
+                inversions += len(left) - i
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged, inversions
+
+    # Lines sharing a source row cannot cross each other by the definition
+    # above, but the plain inversion count would count them when their
+    # target rows are decreasing.  Sorting by (source, target) makes equal-
+    # source groups ascending in target, so they contribute no inversions.
+    _, crossings = sort_count(targets)
+    return crossings
+
+
+@dataclass(frozen=True)
+class Viewport:
+    """A window of ``height`` consecutive rows starting at ``offset``."""
+
+    height: int
+    source_offset: int = 0
+    target_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.height <= 0:
+            raise ValueError(f"viewport height must be positive, got {self.height}")
+        if self.source_offset < 0 or self.target_offset < 0:
+            raise ValueError("viewport offsets must be non-negative")
+
+    def shows_source(self, row: int) -> bool:
+        return self.source_offset <= row < self.source_offset + self.height
+
+    def shows_target(self, row: int) -> bool:
+        return self.target_offset <= row < self.target_offset + self.height
+
+
+class LineDrawing:
+    """The measurable state of a line-drawing view over one match."""
+
+    def __init__(self, source: Schema, target: Schema):
+        self.source = source
+        self.target = target
+        self._source_row = {
+            element.element_id: row for row, element in enumerate(source)
+        }
+        self._target_row = {
+            element.element_id: row for row, element in enumerate(target)
+        }
+
+    def positions(
+        self, correspondences: Iterable[Correspondence]
+    ) -> list[tuple[int, int]]:
+        """(source_row, target_row) for every drawable line."""
+        return [
+            (self._source_row[c.source_id], self._target_row[c.target_id])
+            for c in correspondences
+        ]
+
+    def total_lines(self, correspondences: Iterable[Correspondence]) -> int:
+        return len(self.positions(correspondences))
+
+    def crossings(self, correspondences: Iterable[Correspondence]) -> int:
+        """Intersecting line pairs over the whole drawing."""
+        return count_crossings(self.positions(correspondences))
+
+    def visible_lines(
+        self, correspondences: Iterable[Correspondence], viewport: Viewport
+    ) -> list[tuple[int, int]]:
+        """Lines with both endpoints inside the viewport."""
+        return [
+            (source_row, target_row)
+            for source_row, target_row in self.positions(correspondences)
+            if viewport.shows_source(source_row) and viewport.shows_target(target_row)
+        ]
+
+    def dangling_lines(
+        self, correspondences: Iterable[Correspondence], viewport: Viewport
+    ) -> int:
+        """Lines with exactly one endpoint on screen -- the clutter the
+        paper's engineers worked to avoid ('criss-crossing lines, denoting
+        off-screen matches')."""
+        count = 0
+        for source_row, target_row in self.positions(correspondences):
+            source_shown = viewport.shows_source(source_row)
+            target_shown = viewport.shows_target(target_row)
+            if source_shown != target_shown:
+                count += 1
+        return count
+
+    def clutter(
+        self, correspondences: Iterable[Correspondence], viewport: Viewport
+    ) -> dict[str, float]:
+        """The full clutter report for one view state."""
+        positions = self.positions(correspondences)
+        visible = self.visible_lines(correspondences, viewport)
+        dangling = self.dangling_lines(correspondences, viewport)
+        return {
+            "total_lines": float(len(positions)),
+            "visible_lines": float(len(visible)),
+            "dangling_lines": float(dangling),
+            "visible_crossings": float(count_crossings(visible)),
+            "offscreen_fraction": (
+                (len(positions) - len(visible)) / len(positions)
+                if positions
+                else 0.0
+            ),
+        }

@@ -1,0 +1,28 @@
+"""Harmony's confidence model: evidence-aware votes and vote mergers."""
+
+from repro.voting.confidence import DEFAULT_TAU, Vote, confidence, confidence_array
+from repro.voting.merger import (
+    AverageMerger,
+    ConvictionLinearMerger,
+    ConvictionWeightedMerger,
+    MaxMerger,
+    MinMerger,
+    VoteMerger,
+    WeightedLinearMerger,
+    merger_by_name,
+)
+
+__all__ = [
+    "AverageMerger",
+    "ConvictionLinearMerger",
+    "ConvictionWeightedMerger",
+    "DEFAULT_TAU",
+    "MaxMerger",
+    "MinMerger",
+    "Vote",
+    "VoteMerger",
+    "WeightedLinearMerger",
+    "confidence",
+    "confidence_array",
+    "merger_by_name",
+]

@@ -1,0 +1,102 @@
+"""Harmony's evidence-aware confidence model.
+
+Section 3.2 of the CIDR 2009 paper specifies the contract precisely:
+
+    "For each [source element, target element] pair, each match voter
+    establishes a confidence score in the range (-1, +1) where -1 indicates
+    that there is definitely no correspondence, +1 indicates a definite
+    correspondence and 0 indicates complete uncertainty. ... As a match voter
+    observes more evidence, the confidence score is pushed towards -1 or +1.
+    Compared to conventional schema matching tools, Harmony is novel in that
+    it considers both the standard evidence ratio (e.g., number of shared
+    words in the documentation) as well as the total amount of available
+    evidence when calculating confidence scores."
+
+We realise that with two inputs per vote:
+
+* ``similarity`` s in [0, 1] -- the *evidence ratio* (shared-token fraction,
+  cosine, type compatibility...).
+* ``evidence`` e >= 0 -- the *total evidence mass* (how many tokens/characters
+  were actually observed).
+
+and the mapping::
+
+    confidence(s, e) = (2s - 1) * saturation(e)
+    saturation(e)    = 1 - exp(-e / tau)
+
+so a vote with no evidence is exactly 0 (complete uncertainty), and the same
+similarity ratio grows more assertive -- towards +1 or -1 -- as evidence
+accumulates.  ``tau`` controls how much evidence counts as "a lot".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["confidence", "confidence_array", "Vote", "DEFAULT_TAU"]
+
+DEFAULT_TAU = 3.0
+
+
+def saturation(evidence: float, tau: float = DEFAULT_TAU) -> float:
+    """How assertive a vote may be given ``evidence`` observations, in [0, 1)."""
+    if evidence < 0:
+        raise ValueError(f"evidence must be non-negative, got {evidence}")
+    if tau <= 0:
+        raise ValueError(f"tau must be positive, got {tau}")
+    return 1.0 - math.exp(-evidence / tau)
+
+
+def confidence(similarity: float, evidence: float, tau: float = DEFAULT_TAU) -> float:
+    """Map (similarity ratio, evidence mass) to a confidence in (-1, +1).
+
+    >>> confidence(1.0, 0.0)
+    0.0
+    >>> confidence(1.0, 100.0) > 0.99
+    True
+    >>> confidence(0.0, 100.0) < -0.99
+    True
+    """
+    if not 0.0 <= similarity <= 1.0:
+        raise ValueError(f"similarity must be in [0, 1], got {similarity}")
+    return (2.0 * similarity - 1.0) * saturation(evidence, tau)
+
+
+def confidence_array(
+    similarity: np.ndarray, evidence: np.ndarray, tau: float = DEFAULT_TAU
+) -> np.ndarray:
+    """Vectorised :func:`confidence` over whole similarity/evidence matrices."""
+    if tau <= 0:
+        raise ValueError(f"tau must be positive, got {tau}")
+    if np.any(evidence < 0):
+        raise ValueError("evidence must be non-negative")
+    clipped = np.clip(similarity, 0.0, 1.0)
+    return (2.0 * clipped - 1.0) * (1.0 - np.exp(-evidence / tau))
+
+
+@dataclass(frozen=True)
+class Vote:
+    """A single voter's opinion about one element pair.
+
+    ``score`` is the confidence in (-1, +1); ``evidence`` is the evidence
+    mass that produced it (kept for explanation and for evidence-aware
+    merging); ``voter`` names the producer.
+    """
+
+    voter: str
+    score: float
+    evidence: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.score <= 1.0:
+            raise ValueError(f"vote score must be in [-1, 1], got {self.score}")
+        if self.evidence < 0:
+            raise ValueError(f"vote evidence must be >= 0, got {self.evidence}")
+
+    @property
+    def conviction(self) -> float:
+        """|score| -- how far from 'complete uncertainty' this vote is."""
+        return abs(self.score)

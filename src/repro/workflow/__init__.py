@@ -1,0 +1,29 @@
+"""Human workflow: sessions, validation oracles, team planning, effort."""
+
+from repro.workflow.effort import (
+    SECONDS_PER_PERSON_DAY,
+    EffortEstimate,
+    EffortModel,
+    calibrate,
+)
+from repro.workflow.session import ConceptRun, MatchingSession, SessionReport
+from repro.workflow.tasks import MatchTask, MemberQueue, TaskState, TeamPlan, plan_team
+from repro.workflow.validation import GroundTruthOracle, NoisyOracle, ValidationOracle
+
+__all__ = [
+    "ConceptRun",
+    "EffortEstimate",
+    "EffortModel",
+    "GroundTruthOracle",
+    "MatchTask",
+    "MatchingSession",
+    "MemberQueue",
+    "NoisyOracle",
+    "SECONDS_PER_PERSON_DAY",
+    "SessionReport",
+    "TaskState",
+    "TeamPlan",
+    "ValidationOracle",
+    "calibrate",
+    "plan_team",
+]

@@ -1,0 +1,119 @@
+"""Human effort model: candidate counts -> person-days.
+
+The case study "required three days of effort, by two human integration
+engineers" (section 3.3) -- six person-days for roughly a thousand inspected
+candidates plus 191 concepts of summarization work.  The model below prices
+the workflow's atoms:
+
+* inspecting one surfaced candidate (read both elements, decide, annotate);
+* setting up one increment (choose the sub-tree, adjust filters, export);
+* labelling one concept during SUMMARIZE.
+
+Defaults are calibrated so the reproduced case-study session lands near the
+paper's six person-days; :func:`calibrate` re-fits the per-candidate price
+to any observed anchor.  The same model prices the *naive* alternative
+(reviewing every thresholded cell of the full matrix with no summarization),
+which is what E7 compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.workflow.session import SessionReport
+
+__all__ = ["EffortModel", "EffortEstimate", "calibrate"]
+
+SECONDS_PER_PERSON_DAY = 8 * 3600.0
+
+
+@dataclass(frozen=True)
+class EffortEstimate:
+    """A priced activity breakdown."""
+
+    inspection_seconds: float
+    increment_overhead_seconds: float
+    summarization_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.inspection_seconds
+            + self.increment_overhead_seconds
+            + self.summarization_seconds
+        )
+
+    @property
+    def person_days(self) -> float:
+        return self.total_seconds / SECONDS_PER_PERSON_DAY
+
+    def wall_days(self, team_size: int) -> float:
+        """Calendar days for a perfectly parallel team of ``team_size``."""
+        if team_size <= 0:
+            raise ValueError(f"team_size must be positive, got {team_size}")
+        return self.person_days / team_size
+
+
+@dataclass(frozen=True)
+class EffortModel:
+    """Per-activity prices in seconds."""
+
+    seconds_per_candidate: float = 18.0
+    seconds_per_increment: float = 180.0
+    seconds_per_concept_label: float = 45.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "seconds_per_candidate",
+            "seconds_per_increment",
+            "seconds_per_concept_label",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def session_estimate(
+        self, report: SessionReport, n_concepts_labelled: int
+    ) -> EffortEstimate:
+        """Price a finished concept-at-a-time session."""
+        return EffortEstimate(
+            inspection_seconds=(
+                report.total_candidates_inspected * self.seconds_per_candidate
+            ),
+            increment_overhead_seconds=len(report.runs) * self.seconds_per_increment,
+            summarization_seconds=n_concepts_labelled * self.seconds_per_concept_label,
+        )
+
+    def naive_estimate(self, n_candidates: int) -> EffortEstimate:
+        """Price the no-summarization alternative: one giant review queue."""
+        return EffortEstimate(
+            inspection_seconds=n_candidates * self.seconds_per_candidate,
+            increment_overhead_seconds=self.seconds_per_increment,
+            summarization_seconds=0.0,
+        )
+
+
+def calibrate(
+    model: EffortModel,
+    report: SessionReport,
+    n_concepts_labelled: int,
+    anchor_person_days: float = 6.0,
+) -> EffortModel:
+    """Re-fit ``seconds_per_candidate`` so the session prices at the anchor.
+
+    The paper gives one anchor -- 2 engineers x 3 days -- so only the
+    dominant price (candidate inspection) is re-fit; overheads keep their
+    defaults.  Returns a new model.
+    """
+    if anchor_person_days <= 0:
+        raise ValueError("anchor_person_days must be positive")
+    fixed = (
+        len(report.runs) * model.seconds_per_increment
+        + n_concepts_labelled * model.seconds_per_concept_label
+    )
+    target_inspection = anchor_person_days * SECONDS_PER_PERSON_DAY - fixed
+    if report.total_candidates_inspected == 0 or target_inspection <= 0:
+        return model
+    return replace(
+        model,
+        seconds_per_candidate=target_inspection / report.total_candidates_inspected,
+    )

@@ -1,0 +1,199 @@
+"""The concept-at-a-time matching session: the paper's section 3.3 workflow.
+
+    summarize -> (per concept) incremental match -> threshold filter ->
+    human validation -> record matches and annotations -> next concept
+
+:class:`MatchingSession` drives that loop over a source summary, an
+incremental matcher, and a validation oracle, collecting everything the
+paper's deliverable needed: validated correspondences, per-increment
+statistics (the 10^4-10^5 pair counts), inspection counts (the effort
+model's input) and concept-level matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.match.correspondence import Correspondence, CorrespondenceSet, MatchStatus
+from repro.match.engine import HarmonyMatchEngine, MatchResult
+from repro.match.incremental import IncrementalMatcher
+from repro.match.selection import ThresholdSelection
+from repro.schema.schema import Schema
+from repro.summarize.conceptmatch import ConceptMatch, match_concepts
+from repro.summarize.concepts import Summary
+from repro.workflow.validation import ValidationOracle
+
+__all__ = ["ConceptRun", "SessionReport", "MatchingSession"]
+
+
+@dataclass
+class ConceptRun:
+    """Statistics for one concept increment."""
+
+    concept_id: str
+    concept_label: str
+    n_subtree_elements: int
+    n_pairs_considered: int
+    n_candidates_inspected: int
+    n_accepted: int
+    elapsed_seconds: float
+
+
+@dataclass
+class SessionReport:
+    """Everything a finished session knows."""
+
+    runs: list[ConceptRun] = field(default_factory=list)
+    validated: CorrespondenceSet = field(default_factory=CorrespondenceSet)
+    concept_matches: list[ConceptMatch] = field(default_factory=list)
+
+    @property
+    def total_pairs_considered(self) -> int:
+        return sum(run.n_pairs_considered for run in self.runs)
+
+    @property
+    def total_candidates_inspected(self) -> int:
+        return sum(run.n_candidates_inspected for run in self.runs)
+
+    @property
+    def total_accepted(self) -> int:
+        return sum(run.n_accepted for run in self.runs)
+
+    def pairs_per_increment(self) -> list[int]:
+        """The section-3.3 series: candidate pairs per concept increment."""
+        return [run.n_pairs_considered for run in self.runs]
+
+
+class MatchingSession:
+    """Drive the full concept-at-a-time workflow over one schema pair.
+
+    Parameters
+    ----------
+    source, target:
+        The schema pair (source carries the summary being iterated).
+    source_summary:
+        The SUMMARIZE(source) output organising the session.
+    oracle:
+        The validating engineer (ground-truth or noisy).
+    engine:
+        Match engine; a fresh Harmony engine by default.
+    candidate_threshold:
+        Score above which a candidate is surfaced for inspection -- the
+        confidence filter setting of section 3.3.
+    reviewer:
+        Name recorded on accepted/rejected correspondences.
+    """
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        source_summary: Summary,
+        oracle: ValidationOracle,
+        engine: HarmonyMatchEngine | None = None,
+        candidate_threshold: float = 0.10,
+        reviewer: str = "engineer",
+    ):
+        if source_summary.schema is not source:
+            raise ValueError("source_summary must summarise the source schema")
+        self.source = source
+        self.target = target
+        self.summary = source_summary
+        self.oracle = oracle
+        self.engine = engine if engine is not None else HarmonyMatchEngine()
+        self.candidate_threshold = candidate_threshold
+        self.reviewer = reviewer
+        self._incremental = IncrementalMatcher(source, target, engine=self.engine)
+        self.report = SessionReport()
+        self._full_result: MatchResult | None = None
+
+    # ------------------------------------------------------------------
+    def concept_queue(self) -> list[str]:
+        """Concepts in descending size order (engineers did big ones first)."""
+        sizes = self.summary.concept_sizes()
+        return sorted(sizes, key=lambda concept_id: (-sizes[concept_id], concept_id))
+
+    def run_concept(self, concept_id: str) -> ConceptRun:
+        """One increment: match the concept's elements against all of target."""
+        concept = self.summary.concept(concept_id)
+        element_ids = self.summary.elements_of(concept_id)
+        if not element_ids:
+            run = ConceptRun(
+                concept_id=concept_id,
+                concept_label=concept.label,
+                n_subtree_elements=0,
+                n_pairs_considered=0,
+                n_candidates_inspected=0,
+                n_accepted=0,
+                elapsed_seconds=0.0,
+            )
+            self.report.runs.append(run)
+            return run
+
+        result = self.engine.match(
+            self.source, self.target, source_element_ids=element_ids
+        )
+        candidates = result.candidates(ThresholdSelection(self.candidate_threshold))
+        accepted = 0
+        for candidate in candidates:
+            if self.oracle.judge(candidate.source_id, candidate.target_id):
+                self.report.validated.add(
+                    candidate.accept(
+                        by=self.reviewer,
+                        annotation=self.oracle.annotation(
+                            candidate.source_id, candidate.target_id
+                        ),
+                    )
+                )
+                accepted += 1
+            else:
+                self.report.validated.add(candidate.reject(by=self.reviewer))
+
+        run = ConceptRun(
+            concept_id=concept_id,
+            concept_label=concept.label,
+            n_subtree_elements=len(element_ids),
+            n_pairs_considered=result.n_pairs,
+            n_candidates_inspected=len(candidates),
+            n_accepted=accepted,
+            elapsed_seconds=result.elapsed_seconds,
+        )
+        self.report.runs.append(run)
+        return run
+
+    def run_all(self, target_summary: Summary | None = None) -> SessionReport:
+        """Run every concept, then record concept-level matches.
+
+        ``target_summary`` (when given) enables the concept-level match pass
+        that produced the paper's 24 label-to-label matches.
+        """
+        for concept_id in self.concept_queue():
+            self.run_concept(concept_id)
+        if target_summary is not None:
+            self.report.concept_matches = match_concepts(
+                self.summary,
+                target_summary,
+                self._full_match(),
+            )
+        return self.report
+
+    def _full_match(self) -> MatchResult:
+        if self._full_result is None:
+            self._full_result = self.engine.match(self.source, self.target)
+        return self._full_result
+
+    # ------------------------------------------------------------------
+    def accepted_pairs(self) -> set[tuple[str, str]]:
+        return {
+            correspondence.pair
+            for correspondence in self.report.validated
+            if correspondence.status is MatchStatus.ACCEPTED
+        }
+
+    def matched_target_ids(self) -> set[str]:
+        """Target elements the session validated (the 34% numerator)."""
+        return {
+            correspondence.target_id
+            for correspondence in self.report.validated
+            if correspondence.status is MatchStatus.ACCEPTED
+        }

@@ -1,0 +1,91 @@
+"""Validation oracles: scripted stand-ins for the human integration engineer.
+
+The paper's workflow has humans examining candidates above a threshold and
+recording valid matches.  Reproducing that loop needs a *judge*; we provide:
+
+* :class:`GroundTruthOracle` -- perfect judgement from the generator's truth
+  (an idealised engineer);
+* :class:`NoisyOracle` -- human-like: misses some true matches and accepts
+  some spurious ones, at configurable deterministic rates.
+
+Both also assign the semantic annotation recorded on acceptance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Protocol
+
+from repro.match.correspondence import SemanticAnnotation
+
+__all__ = ["ValidationOracle", "GroundTruthOracle", "NoisyOracle"]
+
+
+class ValidationOracle(Protocol):
+    """Anything that can play the validating engineer."""
+
+    def judge(self, source_id: str, target_id: str) -> bool:
+        """True = record the correspondence as valid."""
+        ...
+
+    def annotation(self, source_id: str, target_id: str) -> SemanticAnnotation:
+        """The semantics to record when accepting."""
+        ...
+
+
+class GroundTruthOracle:
+    """Accept exactly the generator's ground-truth pairs."""
+
+    def __init__(self, truth_pairs: Iterable[tuple[str, str]]):
+        self._truth = set(truth_pairs)
+
+    def judge(self, source_id: str, target_id: str) -> bool:
+        return (source_id, target_id) in self._truth
+
+    def annotation(self, source_id: str, target_id: str) -> SemanticAnnotation:
+        return SemanticAnnotation.EQUIVALENT
+
+
+class NoisyOracle:
+    """A fallible engineer: false-negative and false-positive rates.
+
+    Decisions are deterministic per pair (hash-seeded), so repeated
+    judgements of the same pair agree -- like a human with consistent blind
+    spots rather than a coin flipper.
+    """
+
+    def __init__(
+        self,
+        truth_pairs: Iterable[tuple[str, str]],
+        false_negative_rate: float = 0.1,
+        false_positive_rate: float = 0.02,
+        seed: int = 0,
+    ):
+        for name, rate in (
+            ("false_negative_rate", false_negative_rate),
+            ("false_positive_rate", false_positive_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {rate}")
+        self._truth = set(truth_pairs)
+        self.false_negative_rate = false_negative_rate
+        self.false_positive_rate = false_positive_rate
+        self.seed = seed
+
+    def _roll(self, source_id: str, target_id: str) -> float:
+        return random.Random(f"{self.seed}::{source_id}::{target_id}").random()
+
+    def judge(self, source_id: str, target_id: str) -> bool:
+        roll = self._roll(source_id, target_id)
+        if (source_id, target_id) in self._truth:
+            return roll >= self.false_negative_rate
+        return roll < self.false_positive_rate
+
+    def annotation(self, source_id: str, target_id: str) -> SemanticAnnotation:
+        # A fallible engineer occasionally records weaker semantics.
+        roll = self._roll(f"ann::{source_id}", target_id)
+        if roll < 0.08:
+            return SemanticAnnotation.RELATED
+        if roll < 0.12:
+            return SemanticAnnotation.IS_A
+        return SemanticAnnotation.EQUIVALENT

@@ -1,0 +1,85 @@
+"""Shared fixtures: small hand-written schemata and generated pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema import parse_ddl, parse_xsd
+from repro.synthetic import PairSpec, generate_pair
+
+SAMPLE_DDL = """
+CREATE TABLE ALL_EVENT_VITALS (
+    EVENT_ID NUMBER(10) PRIMARY KEY, -- unique identifier for the event
+    DATE_BEGIN_156 DATE, -- date the event began
+    DATE_END_157 DATE, -- date the event ended
+    EVENT_TYPE_CD VARCHAR2(8) NOT NULL, -- category code of the event
+    SEVERITY_LVL NUMBER(2) -- severity level of the event
+);
+
+CREATE TABLE PERSON_MASTER (
+    PERSON_ID NUMBER(10) PRIMARY KEY, -- unique person identifier
+    LAST_NM VARCHAR2(40), -- family name of the person
+    FIRST_NM VARCHAR2(40), -- given name of the person
+    BIRTH_DT DATE, -- date of birth of the person
+    BLOOD_TYPE_CD CHAR(3) -- blood type of the person
+);
+
+CREATE VIEW ACTIVE_PERSONS AS SELECT PERSON_ID, LAST_NM FROM PERSON_MASTER;
+
+COMMENT ON TABLE ALL_EVENT_VITALS IS 'Vital facts about operational events';
+COMMENT ON COLUMN PERSON_MASTER.BLOOD_TYPE_CD IS 'ABO blood group of the person';
+"""
+
+SAMPLE_XSD = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Event">
+    <xs:annotation><xs:documentation>an operationally significant event</xs:documentation></xs:annotation>
+    <xs:sequence>
+      <xs:element name="EventIdentifier" type="xs:long">
+        <xs:annotation><xs:documentation>unique identifier of this event</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="DATETIME_FIRST_INFO" type="xs:dateTime">
+        <xs:annotation><xs:documentation>datetime the event started</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="Category" type="xs:string" minOccurs="0"/>
+    </xs:sequence>
+    <xs:attribute name="verified" type="xs:boolean" use="optional"/>
+  </xs:complexType>
+  <xs:complexType name="Individual">
+    <xs:sequence>
+      <xs:element name="FamilyName" type="xs:string">
+        <xs:annotation><xs:documentation>family name of the individual</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="DateOfBirth" type="xs:date"/>
+      <xs:element name="BloodGroup" type="xs:string">
+        <xs:annotation><xs:documentation>ABO blood group of the individual</xs:documentation></xs:annotation>
+      </xs:element>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:element name="EventReport" type="Event"/>
+</xs:schema>
+"""
+
+
+@pytest.fixture(scope="session")
+def sample_relational():
+    return parse_ddl(SAMPLE_DDL, name="SA_sample")
+
+
+@pytest.fixture(scope="session")
+def sample_xml():
+    return parse_xsd(SAMPLE_XSD, name="SB_sample")
+
+
+@pytest.fixture(scope="session")
+def small_pair():
+    """A small generated pair with known ground truth (fast to match)."""
+    return generate_pair(PairSpec(), seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_pair_result(small_pair):
+    """Full engine result on the small pair (computed once per session)."""
+    from repro.match import HarmonyMatchEngine
+
+    engine = HarmonyMatchEngine()
+    return engine.match(small_pair.source.schema, small_pair.target.schema)

@@ -1,0 +1,205 @@
+"""Baseline matchers and planning/decision models."""
+
+import pytest
+
+from repro.baselines import (
+    SimilarityFloodingMatcher,
+    baseline_engines,
+    coma_lite_engine,
+    cupid_lite_engine,
+    harmony_engine,
+    naive_engine,
+)
+from repro.metrics import best_f1, best_f1_assignment, matrix_overlap
+from repro.metrics.overlap import OverlapReport
+from repro.planning import (
+    CostParameters,
+    DecisionModel,
+    Option,
+    assess_coi_feasibility,
+    estimate_integration,
+)
+from repro.workflow import EffortModel
+
+
+class TestBaselineEngines:
+    def test_registry_complete(self):
+        engines = baseline_engines()
+        assert set(engines) == {"naive", "coma_lite", "cupid_lite", "harmony"}
+
+    def test_all_run_on_samples(self, sample_relational, sample_xml):
+        for name, engine in baseline_engines().items():
+            result = engine.match(sample_relational, sample_xml)
+            assert result.matrix.shape == (
+                len(sample_relational), len(sample_xml),
+            ), name
+
+    def test_naive_finds_nothing_across_conventions(
+        self, sample_relational, sample_xml
+    ):
+        result = naive_engine().match(sample_relational, sample_xml)
+        assert result.matrix.scores.max() <= 0.0  # no identical names
+
+    def test_harmony_beats_naive_on_ground_truth(self, small_pair):
+        source = small_pair.source.schema
+        target = small_pair.target.schema
+        _, harmony_prf = best_f1_assignment(
+            harmony_engine().match(source, target).matrix, small_pair.truth_pairs
+        )
+        _, naive_prf = best_f1_assignment(
+            naive_engine().match(source, target).matrix, small_pair.truth_pairs
+        )
+        assert harmony_prf.f1 > naive_prf.f1
+
+    def test_harmony_at_least_matches_coma(self, small_pair):
+        source = small_pair.source.schema
+        target = small_pair.target.schema
+        _, harmony_prf = best_f1_assignment(
+            harmony_engine().match(source, target).matrix, small_pair.truth_pairs
+        )
+        _, coma_prf = best_f1_assignment(
+            coma_lite_engine().match(source, target).matrix, small_pair.truth_pairs
+        )
+        assert harmony_prf.f1 >= coma_prf.f1 - 0.02
+
+    def test_cupid_runs(self, small_pair):
+        result = cupid_lite_engine().match(
+            small_pair.source.schema, small_pair.target.schema
+        )
+        assert result.n_pairs > 0
+
+
+class TestSimilarityFlooding:
+    def test_scores_in_unit_interval(self, sample_relational, sample_xml):
+        result = SimilarityFloodingMatcher().match(sample_relational, sample_xml)
+        assert result.matrix.scores.min() >= 0.0
+        assert result.matrix.scores.max() <= 1.0
+
+    def test_structure_propagates(self, sample_relational, sample_xml):
+        """Parent similarity should lift children beyond their initial sim."""
+        flooding = SimilarityFloodingMatcher()
+        result = flooding.match(sample_relational, sample_xml)
+        # 'Category' has no token overlap with EVENT_TYPE_CD, but both live
+        # under matching containers; flooding gives the pair mass > 0.
+        score = result.matrix.score(
+            "all_event_vitals.event_type_cd", "event.category"
+        )
+        assert score > 0.0
+
+    def test_finds_truth_reasonably(self, small_pair):
+        result = SimilarityFloodingMatcher().match(
+            small_pair.source.schema, small_pair.target.schema
+        )
+        _, measurement = best_f1_assignment(result.matrix, small_pair.truth_pairs)
+        assert measurement.f1 > 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimilarityFloodingMatcher(n_iterations=0)
+        with pytest.raises(ValueError):
+            SimilarityFloodingMatcher(damping=0.0)
+
+
+class TestDecisionModel:
+    def _report(self, n_common, n_distinct, source_total=1378):
+        return OverlapReport(
+            source_total=source_total,
+            target_total=n_common + n_distinct,
+            intersection_source_ids={f"s{i}" for i in range(n_common)},
+            intersection_target_ids={f"t{i}" for i in range(n_common)},
+            source_only_ids=set(),
+            target_only_ids={f"u{i}" for i in range(n_distinct)},
+        )
+
+    def test_large_distinct_set_favors_bridge(self):
+        # The paper's outcome: 517 distinct elements -> subsuming is hard.
+        recommendation = DecisionModel().evaluate(self._report(267, 517))
+        assert recommendation.choice is Option.BRIDGE
+
+    def test_small_distinct_set_favors_subsume(self):
+        recommendation = DecisionModel().evaluate(self._report(400, 10))
+        assert recommendation.choice is Option.SUBSUME
+
+    def test_crossover_consistent_with_choices(self):
+        model = DecisionModel()
+        crossover = model.crossover_distinct_count()
+        below = model.evaluate(self._report(100, int(crossover) - 5))
+        above = model.evaluate(self._report(100, int(crossover) + 5))
+        assert below.choice is Option.SUBSUME
+        assert above.choice is Option.BRIDGE
+
+    def test_margin_and_describe(self):
+        recommendation = DecisionModel().evaluate(self._report(267, 517))
+        assert recommendation.margin > 0
+        assert "recommend bridge" in recommendation.describe()
+
+    def test_common_elements_cancel_out(self):
+        model = DecisionModel()
+        small_common = model.evaluate(self._report(10, 300))
+        large_common = model.evaluate(self._report(500, 300))
+        assert small_common.choice is large_common.choice
+
+
+class TestFeasibility:
+    def test_overlapping_family_feasible(self, small_pair):
+        report = assess_coi_feasibility(
+            {
+                "SA": small_pair.source.schema,
+                "SB": small_pair.target.schema,
+            },
+            threshold=0.25,
+        )
+        assert 0.0 < report.mean_overlap <= 1.0
+        assert report.pair_overlaps[0].left == "SA"
+
+    def test_needs_two_members(self, sample_relational):
+        with pytest.raises(ValueError):
+            assess_coi_feasibility({"only": sample_relational})
+
+    def test_describe(self, small_pair):
+        report = assess_coi_feasibility(
+            {
+                "SA": small_pair.source.schema,
+                "SB": small_pair.target.schema,
+            }
+        )
+        assert "COI over 2 systems" in report.describe()
+        assert report.weakest_pair().overlap == report.min_overlap
+
+
+class TestIntegrationCost:
+    def test_estimate_composition(self):
+        report = OverlapReport(
+            source_total=100,
+            target_total=100,
+            intersection_source_ids=set("abc"),
+            intersection_target_ids=set("abc"),
+            source_only_ids=set(),
+            target_only_ids={f"u{i}" for i in range(10)},
+            matched_pairs={("a", "a"), ("b", "b"), ("c", "c")},
+        )
+        matching = EffortModel().naive_estimate(100)
+        estimate = estimate_integration(report, matching)
+        assert estimate.total_person_days == pytest.approx(
+            estimate.matching_person_days
+            + estimate.mapping_person_days
+            + estimate.gap_person_days
+        )
+        assert estimate.mapping_person_days > 0
+        assert estimate.gap_person_days > 0
+
+    def test_cost_scales_with_rate(self):
+        report = OverlapReport(
+            source_total=10, target_total=10,
+            intersection_source_ids={"a"}, intersection_target_ids={"a"},
+            source_only_ids=set(), target_only_ids=set(),
+            matched_pairs={("a", "a")},
+        )
+        estimate = estimate_integration(report, EffortModel().naive_estimate(10))
+        cheap = estimate.cost_dollars(CostParameters(daily_rate_dollars=1000))
+        pricey = estimate.cost_dollars(CostParameters(daily_rate_dollars=2000))
+        assert pricey == pytest.approx(2 * cheap)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CostParameters(hours_per_mapping=0)

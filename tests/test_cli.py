@@ -1,0 +1,97 @@
+"""The harmonia CLI surface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from tests.conftest import SAMPLE_DDL, SAMPLE_XSD
+
+
+@pytest.fixture
+def schema_files(tmp_path):
+    sql = tmp_path / "a.sql"
+    sql.write_text(SAMPLE_DDL)
+    xsd = tmp_path / "b.xsd"
+    xsd.write_text(SAMPLE_XSD)
+    return str(sql), str(xsd)
+
+
+class TestCli:
+    def test_match_command(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["match", sql, xsd, "--threshold", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "matched" in out
+        assert "pairs in" in out
+
+    def test_overlap_command(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["overlap", sql, xsd]) == 0
+        out = capsys.readouterr().out
+        assert "Overlap analysis" in out
+
+    def test_summarize_command(self, schema_files, capsys):
+        sql, _ = schema_files
+        assert main(["summarize", sql]) == 0
+        out = capsys.readouterr().out
+        assert "concepts over" in out
+
+    def test_tree_command(self, schema_files, capsys):
+        sql, _ = schema_files
+        assert main(["tree", sql]) == 0
+        out = capsys.readouterr().out
+        assert "ALL_EVENT_VITALS" in out
+
+    def test_unknown_extension(self, tmp_path):
+        bogus = tmp_path / "x.txt"
+        bogus.write_text("hello")
+        with pytest.raises(SystemExit):
+            main(["tree", str(bogus)])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_json_loading(self, sample_relational, tmp_path, capsys):
+        from repro.schema import dump_schema
+
+        path = tmp_path / "schema.json"
+        dump_schema(sample_relational, str(path))
+        assert main(["tree", str(path)]) == 0
+        assert "PERSON_MASTER" in capsys.readouterr().out
+
+    def test_vocab_command(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["vocab", sql, xsd]) == 0
+        out = capsys.readouterr().out
+        assert "comprehensive vocabulary" in out
+        assert "schemata" in out
+
+    def test_vocab_needs_two(self, schema_files):
+        sql, _ = schema_files
+        with pytest.raises(SystemExit):
+            main(["vocab", sql])
+
+    def test_cluster_command(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["cluster", sql, xsd, "--min-cohesion", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "COI" in out or "no communities" in out
+
+    def test_search_command(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["search", "blood type person", sql, xsd, "--fragments"]) == 0
+        out = capsys.readouterr().out
+        assert "a" in out  # schema stem name appears
+        assert "fragments:" in out
+
+    def test_search_no_hits(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["search", "zeppelin cargo manifest", sql, xsd]) == 0
+        assert "no schemata match" in capsys.readouterr().out
+
+    def test_duplicate_registry_names_get_suffixes(self, schema_files, capsys):
+        sql, _ = schema_files
+        assert main(["cluster", sql, sql, "--min-cohesion", "0.0"]) == 0
+        # Two copies of the same file cluster perfectly together.
+        out = capsys.readouterr().out
+        assert "COI(2 systems" in out

@@ -1,0 +1,190 @@
+"""Distances, hierarchical clustering, k-medoids, quality, COI proposals."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DistanceMatrix,
+    TermVectorDistance,
+    adjusted_rand_index,
+    agglomerative,
+    cluster_purity,
+    k_medoids,
+    propose_cois,
+    silhouette,
+)
+from repro.schema import Schema
+
+
+def themed_schema(name, words):
+    schema = Schema(name)
+    root = schema.add_root(words[0])
+    for word in words[1:]:
+        schema.add_child(root, word)
+    return schema
+
+
+@pytest.fixture(scope="module")
+def themed_registry():
+    """Two obvious groups: medical schemas and vehicle schemas."""
+    return {
+        "med1": themed_schema("med1", ["patient", "blood_test", "diagnosis", "physician"]),
+        "med2": themed_schema("med2", ["patient", "blood_pressure", "diagnosis", "ward"]),
+        "med3": themed_schema("med3", ["patient", "treatment", "physician", "admission"]),
+        "veh1": themed_schema("veh1", ["vehicle", "engine", "registration", "mileage"]),
+        "veh2": themed_schema("veh2", ["vehicle", "chassis", "registration", "fuel"]),
+        "veh3": themed_schema("veh3", ["vehicle", "engine", "inspection", "owner"]),
+    }
+
+
+@pytest.fixture(scope="module")
+def themed_distances(themed_registry):
+    return TermVectorDistance().matrix(themed_registry)
+
+
+class TestDistanceMatrix:
+    def test_validation_symmetry(self):
+        with pytest.raises(ValueError):
+            DistanceMatrix(["a", "b"], np.array([[0.0, 1.0], [0.5, 0.0]]))
+
+    def test_validation_diagonal(self):
+        with pytest.raises(ValueError):
+            DistanceMatrix(["a", "b"], np.array([[0.1, 1.0], [1.0, 0.0]]))
+
+    def test_validation_shape(self):
+        with pytest.raises(ValueError):
+            DistanceMatrix(["a"], np.zeros((2, 2)))
+
+    def test_lookup(self, themed_distances):
+        assert themed_distances.distance("med1", "med1") == 0.0
+        assert 0.0 <= themed_distances.distance("med1", "veh1") <= 1.0
+
+    def test_same_theme_closer(self, themed_distances):
+        within = themed_distances.distance("med1", "med2")
+        across = themed_distances.distance("med1", "veh1")
+        assert within < across
+
+
+class TestAgglomerative:
+    def test_recovers_planted_groups(self, themed_distances):
+        dendrogram = agglomerative(themed_distances, linkage="average")
+        clusters = dendrogram.cut_k(2)
+        assert sorted(sorted(c) for c in clusters) == [
+            ["med1", "med2", "med3"],
+            ["veh1", "veh2", "veh3"],
+        ]
+
+    def test_cut_k_extremes(self, themed_distances):
+        dendrogram = agglomerative(themed_distances)
+        assert len(dendrogram.cut_k(6)) == 6
+        assert len(dendrogram.cut_k(1)) == 1
+        with pytest.raises(ValueError):
+            dendrogram.cut_k(0)
+        with pytest.raises(ValueError):
+            dendrogram.cut_k(7)
+
+    def test_heights_monotone_for_average_linkage(self, themed_distances):
+        dendrogram = agglomerative(themed_distances, linkage="complete")
+        heights = dendrogram.heights()
+        assert heights == sorted(heights)
+
+    def test_cut_height(self, themed_distances):
+        dendrogram = agglomerative(themed_distances)
+        everything = dendrogram.cut_height(2.0)
+        assert len(everything) == 1
+        nothing = dendrogram.cut_height(-0.1)
+        assert len(nothing) == 6
+
+    def test_linkage_validation(self, themed_distances):
+        with pytest.raises(ValueError):
+            agglomerative(themed_distances, linkage="ward")
+
+    def test_single_and_complete_also_work(self, themed_distances):
+        for linkage in ("single", "complete"):
+            clusters = agglomerative(themed_distances, linkage=linkage).cut_k(2)
+            assert len(clusters) == 2
+
+    def test_empty_matrix(self):
+        empty = DistanceMatrix([], np.zeros((0, 0)))
+        dendrogram = agglomerative(empty)
+        assert dendrogram.merges == []
+
+
+class TestKMedoids:
+    def test_recovers_planted_groups(self, themed_distances):
+        result = k_medoids(themed_distances, k=2, seed=1)
+        assert sorted(sorted(c) for c in result.clusters()) == [
+            ["med1", "med2", "med3"],
+            ["veh1", "veh2", "veh3"],
+        ]
+
+    def test_medoids_are_members(self, themed_distances):
+        result = k_medoids(themed_distances, k=2, seed=1)
+        for medoid, cluster in zip(
+            sorted(result.medoids), sorted(result.clusters(), key=lambda c: sorted(c)[0])
+        ):
+            assert any(medoid in cluster for cluster in result.clusters())
+
+    def test_k_validation(self, themed_distances):
+        with pytest.raises(ValueError):
+            k_medoids(themed_distances, k=0)
+        with pytest.raises(ValueError):
+            k_medoids(themed_distances, k=7)
+
+    def test_deterministic(self, themed_distances):
+        first = k_medoids(themed_distances, k=2, seed=3)
+        second = k_medoids(themed_distances, k=2, seed=3)
+        assert first.clusters() == second.clusters()
+
+
+class TestQuality:
+    def test_silhouette_better_for_true_clustering(self, themed_distances):
+        good = [{"med1", "med2", "med3"}, {"veh1", "veh2", "veh3"}]
+        bad = [{"med1", "veh1", "med3"}, {"veh2", "med2", "veh3"}]
+        assert silhouette(themed_distances, good) > silhouette(themed_distances, bad)
+
+    def test_purity_perfect(self):
+        truth = {"a": 0, "b": 0, "c": 1}
+        assert cluster_purity([{"a", "b"}, {"c"}], truth) == 1.0
+
+    def test_purity_lumped(self):
+        truth = {"a": 0, "b": 0, "c": 1, "d": 1}
+        assert cluster_purity([{"a", "b", "c", "d"}], truth) == 0.5
+
+    def test_ari_perfect_and_random(self):
+        truth = {"a": 0, "b": 0, "c": 1, "d": 1}
+        assert adjusted_rand_index([{"a", "b"}, {"c", "d"}], truth) == pytest.approx(1.0)
+        assert adjusted_rand_index([{"a", "c"}, {"b", "d"}], truth) < 0.5
+
+    def test_uncovered_name_raises(self, themed_distances):
+        with pytest.raises(ValueError):
+            silhouette(themed_distances, [{"med1"}])
+
+
+class TestCoiProposals:
+    def test_proposes_both_groups(self, themed_distances):
+        proposals = propose_cois(themed_distances, n_clusters=2, min_cohesion=0.0)
+        members = sorted(sorted(p.members) for p in proposals)
+        assert members == [
+            ["med1", "med2", "med3"],
+            ["veh1", "veh2", "veh3"],
+        ]
+
+    def test_min_size_filters_singletons(self, themed_distances):
+        proposals = propose_cois(
+            themed_distances, n_clusters=6, min_size=2, min_cohesion=0.0
+        )
+        assert proposals == []
+
+    def test_cohesion_ordering(self, themed_distances):
+        proposals = propose_cois(themed_distances, n_clusters=2, min_cohesion=0.0)
+        cohesions = [p.cohesion for p in proposals]
+        assert cohesions == sorted(cohesions, reverse=True)
+
+    def test_describe(self, themed_distances):
+        proposals = propose_cois(themed_distances, n_clusters=2, min_cohesion=0.0)
+        assert "COI(" in proposals[0].describe()
+
+    def test_empty_registry(self):
+        empty = DistanceMatrix([], np.zeros((0, 0)))
+        assert propose_cois(empty) == []

@@ -1,0 +1,189 @@
+"""Schema version diffing and the instance-based extension."""
+
+import pytest
+
+from repro.matchers import InstanceVoter, build_profile
+from repro.schema import DataType, Schema, diff_schemas, parse_ddl
+from repro.synthetic import (
+    NamingStyle,
+    generate_instances,
+    generate_schema,
+)
+
+V3_DDL = """
+CREATE TABLE PERSON (
+    PERSON_ID NUMBER(10) PRIMARY KEY, -- unique person identifier
+    LAST_NM VARCHAR2(40),             -- family name of the person
+    BIRTH_DT DATE,                    -- date of birth
+    HEIGHT_CM NUMBER(5)               -- height in centimeters
+);
+CREATE TABLE UNIT (
+    UNIT_ID NUMBER(10) PRIMARY KEY,   -- unit identifier
+    UIC VARCHAR2(12)                  -- unit identification code
+);
+"""
+
+V4_DDL = """
+CREATE TABLE PERSON (
+    PERSON_ID NUMBER(10) PRIMARY KEY,  -- unique person identifier
+    FAMILY_NAME VARCHAR2(40),          -- family name of the person
+    BIRTH_DT VARCHAR2(10),             -- date of birth
+    HEIGHT_CM NUMBER(5),               -- height in centimeters
+    BLOOD_TYPE CHAR(3)                 -- blood type of the person
+);
+CREATE TABLE UNIT (
+    UNIT_ID NUMBER(10) PRIMARY KEY,    -- unit identifier
+    UIC VARCHAR2(12)                   -- unit identification code assigned
+);
+"""
+
+
+@pytest.fixture(scope="module")
+def versions():
+    return (
+        parse_ddl(V3_DDL, name="Sys(SA).v3"),
+        parse_ddl(V4_DDL, name="Sys(SA).v4"),
+    )
+
+
+class TestSchemaDiff:
+    def test_added_detected(self, versions):
+        old, new = versions
+        diff = diff_schemas(old, new)
+        assert "person.blood_type" in diff.added_ids
+
+    def test_rename_detected(self, versions):
+        old, new = versions
+        diff = diff_schemas(old, new)
+        renames = {(r.old_name, r.new_name) for r in diff.renamed}
+        assert ("LAST_NM", "FAMILY_NAME") in renames
+        assert "person.last_nm" not in diff.removed_ids
+
+    def test_retype_detected(self, versions):
+        old, new = versions
+        diff = diff_schemas(old, new)
+        assert "person.birth_dt" in diff.retyped_ids  # DATE -> VARCHAR2
+
+    def test_redocumentation_detected(self, versions):
+        old, new = versions
+        diff = diff_schemas(old, new)
+        assert "unit.uic" in diff.redocumented_ids
+
+    def test_unchanged_tracked(self, versions):
+        old, new = versions
+        diff = diff_schemas(old, new)
+        assert "person.height_cm" in diff.unchanged_ids
+        assert "person.person_id" in diff.unchanged_ids
+
+    def test_churn_and_summary(self, versions):
+        old, new = versions
+        diff = diff_schemas(old, new)
+        assert diff.churn == (
+            len(diff.added_ids) + len(diff.removed_ids)
+            + len(diff.renamed) + len(diff.retyped_ids)
+        )
+        lines = diff.summary_lines()
+        assert any("renamed" in line for line in lines)
+
+    def test_identical_versions_no_churn(self, versions):
+        old, _ = versions
+        diff = diff_schemas(old, old)
+        assert diff.churn == 0
+        assert len(diff.unchanged_ids) == len(old)
+
+    def test_pure_addition_no_engine_needed(self):
+        old = Schema("v1")
+        old.add_root("T")
+        new = Schema("v2")
+        root = new.add_root("T")
+        new.add_child(root, "extra")
+        diff = diff_schemas(old, new)
+        assert diff.added_ids == ["t.extra"]
+        assert diff.removed_ids == []
+        assert diff.renamed == []
+
+
+class TestInstances:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        left = generate_schema(
+            "L", ["person", "vehicle"], [6, 6],
+            style=NamingStyle.legacy_relational(), kind="relational", seed="L",
+        )
+        right = generate_schema(
+            "R", ["person", "event"], [5, 5],
+            style=NamingStyle.xml_exchange(), kind="xml", seed="R",
+        )
+        left_tokens = {
+            eid: tokens for eid, (key, tokens) in left.facet_of_element.items()
+            if tokens
+        }
+        right_tokens = {
+            eid: tokens for eid, (key, tokens) in right.facet_of_element.items()
+            if tokens
+        }
+        left_instances = generate_instances(left.schema, rows=40,
+                                            tokens_of=left_tokens)
+        right_instances = generate_instances(right.schema, rows=40,
+                                             tokens_of=right_tokens)
+        return left, right, left_instances, right_instances
+
+    def test_generation_covers_leaves_only(self, generated):
+        left, _, instances, _ = generated
+        for element in left.schema:
+            has_children = bool(left.schema.children(element.element_id))
+            assert (element.element_id in instances) == (not has_children)
+
+    def test_rows_generated(self, generated):
+        left, _, instances, _ = generated
+        leaf = left.schema.leaves()[0]
+        assert len(instances.values_of(leaf.element_id)) == 40
+
+    def test_same_facet_values_overlap_across_schemata(self, generated):
+        left, right, left_instances, right_instances = generated
+        # Find a shared facet (prefix rule guarantees some for 'person').
+        shared = [
+            (lid, rid)
+            for lid, lident in left.facet_of_element.items()
+            for rid, rident in right.facet_of_element.items()
+            if lident == rident and lident[1]
+        ]
+        assert shared
+        overlaps = []
+        for lid, rid in shared:
+            lvals = set(left_instances.values_of(lid))
+            rvals = set(right_instances.values_of(rid))
+            overlaps.append(len(lvals & rvals) / max(len(lvals | rvals), 1))
+        assert max(overlaps) > 0.3  # same population, different samples
+
+    def test_instance_voter_prefers_true_pairs(self, generated):
+        left, right, left_instances, right_instances = generated
+        voter = InstanceVoter(left_instances, right_instances)
+        source = build_profile(left.schema)
+        target = build_profile(right.schema)
+        opinion = voter.vote(source, target)
+        shared = [
+            (source.index_of[lid], target.index_of[rid])
+            for lid, lident in left.facet_of_element.items()
+            for rid, rident in right.facet_of_element.items()
+            if lident == rident and lident[1]
+        ]
+        true_scores = [opinion.confidence[row, col] for row, col in shared]
+        assert max(true_scores) > 0.2
+        # Containers (no values) vote zero.
+        root_row = source.index_of[left.schema.roots()[0].element_id]
+        assert (opinion.confidence[root_row, :] == 0).all()
+
+    def test_rows_validation(self, generated):
+        left, *_ = generated
+        with pytest.raises(ValueError):
+            generate_instances(left.schema, rows=0)
+
+    def test_values_deterministic(self, generated):
+        left, _, instances, _ = generated
+        again = generate_instances(left.schema, rows=40, tokens_of={
+            eid: tokens for eid, (key, tokens) in left.facet_of_element.items()
+            if tokens
+        })
+        leaf = left.schema.leaves()[0].element_id
+        assert instances.values_of(leaf) == again.values_of(leaf)

@@ -1,0 +1,197 @@
+"""Spreadsheet deliverable, match-centric table, and text reports."""
+
+import csv
+
+import pytest
+
+from repro.export import (
+    MatchTable,
+    RowType,
+    Workbook,
+    concept_match_text,
+    concept_sheet,
+    element_sheet,
+    overlap_report_text,
+    partition_table_text,
+)
+from repro.match import (
+    Correspondence,
+    CorrespondenceSet,
+    HarmonyMatchEngine,
+    MatchStatus,
+)
+from repro.metrics import matrix_overlap
+from repro.summarize import match_concepts, summarize_by_roots
+
+
+@pytest.fixture(scope="module")
+def matched_fixture(sample_relational, sample_xml):
+    result = HarmonyMatchEngine().match(sample_relational, sample_xml)
+    source_summary = summarize_by_roots(sample_relational)
+    target_summary = summarize_by_roots(sample_xml)
+    concept_matches = match_concepts(
+        source_summary, target_summary, result, threshold=0.02
+    )
+    validated = CorrespondenceSet(
+        [
+            Correspondence(
+                "person_master.birth_dt", "individual.dateofbirth", 0.6,
+                status=MatchStatus.ACCEPTED,
+            ),
+            Correspondence(
+                "person_master.last_nm", "individual.familyname", 0.5,
+                status=MatchStatus.ACCEPTED,
+            ),
+            Correspondence(
+                "all_event_vitals.event_id", "event.category", 0.2,
+                status=MatchStatus.REJECTED,
+            ),
+        ]
+    )
+    return result, source_summary, target_summary, concept_matches, validated
+
+
+class TestConceptSheet:
+    def test_outer_join_row_count(self, matched_fixture):
+        _, source_summary, target_summary, concept_matches, _ = matched_fixture
+        rows = concept_sheet(source_summary, target_summary, concept_matches)
+        expected = len(source_summary) + len(target_summary) - len(concept_matches)
+        assert len(rows) == expected
+
+    def test_three_row_types(self, matched_fixture):
+        _, source_summary, target_summary, concept_matches, _ = matched_fixture
+        rows = concept_sheet(source_summary, target_summary, concept_matches)
+        row_types = {row["row_type"] for row in rows}
+        assert str(RowType.MATCHED) in row_types
+        assert str(RowType.SOURCE_ONLY) in row_types
+        assert str(RowType.TARGET_ONLY) in row_types
+
+    def test_matched_rows_carry_both_labels(self, matched_fixture):
+        _, source_summary, target_summary, concept_matches, _ = matched_fixture
+        rows = concept_sheet(source_summary, target_summary, concept_matches)
+        matched_rows = [r for r in rows if r["row_type"] == str(RowType.MATCHED)]
+        assert all(r["source_concept"] and r["target_concept"] for r in matched_rows)
+
+
+class TestElementSheet:
+    def test_outer_join_law(self, matched_fixture, sample_relational, sample_xml):
+        _, source_summary, target_summary, _, validated = matched_fixture
+        rows = element_sheet(
+            sample_relational, sample_xml, source_summary, target_summary, validated
+        )
+        n_accepted = len(validated.accepted)
+        expected = len(sample_relational) + len(sample_xml) - n_accepted
+        assert len(rows) == expected
+
+    def test_rejected_matches_not_joined(
+        self, matched_fixture, sample_relational, sample_xml
+    ):
+        _, source_summary, target_summary, _, validated = matched_fixture
+        rows = element_sheet(
+            sample_relational, sample_xml, source_summary, target_summary, validated
+        )
+        joined_targets = {
+            row["target_element"]
+            for row in rows
+            if row["row_type"] == str(RowType.MATCHED)
+        }
+        assert not any("Category" in target for target in joined_targets)
+
+    def test_elements_indexed_to_concepts(
+        self, matched_fixture, sample_relational, sample_xml
+    ):
+        _, source_summary, target_summary, _, validated = matched_fixture
+        rows = element_sheet(
+            sample_relational, sample_xml, source_summary, target_summary, validated
+        )
+        matched = [r for r in rows if r["row_type"] == str(RowType.MATCHED)]
+        assert all(row["source_concept"] for row in matched)
+
+
+class TestWorkbook:
+    def test_write_csv_files(self, matched_fixture, sample_relational, sample_xml, tmp_path):
+        _, source_summary, target_summary, concept_matches, validated = matched_fixture
+        workbook = Workbook.build(
+            sample_relational, sample_xml, source_summary, target_summary,
+            validated, concept_matches,
+        )
+        concepts_path, elements_path = workbook.write(str(tmp_path / "study"))
+        with open(concepts_path, encoding="utf-8") as handle:
+            concept_rows = list(csv.DictReader(handle))
+        assert len(concept_rows) == len(workbook.concepts)
+        with open(elements_path, encoding="utf-8") as handle:
+            element_rows = list(csv.DictReader(handle))
+        assert len(element_rows) == len(workbook.elements)
+
+
+class TestMatchTable:
+    def _table(self, matched_fixture, sample_relational, sample_xml):
+        _, source_summary, target_summary, _, validated = matched_fixture
+        return MatchTable.build(
+            list(validated), sample_relational, sample_xml,
+            source_summary, target_summary,
+        )
+
+    def test_build_rows(self, matched_fixture, sample_relational, sample_xml):
+        table = self._table(matched_fixture, sample_relational, sample_xml)
+        assert len(table) == 3
+
+    def test_sort_by_score(self, matched_fixture, sample_relational, sample_xml):
+        table = self._table(matched_fixture, sample_relational, sample_xml)
+        scores = [row.score for row in table.sorted_by("score", descending=True).rows]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_group_by_status(self, matched_fixture, sample_relational, sample_xml):
+        table = self._table(matched_fixture, sample_relational, sample_xml)
+        groups = table.grouped_by("status")
+        assert set(groups) == {"accepted", "rejected"}
+        assert len(groups["accepted"]) == 2
+
+    def test_filter(self, matched_fixture, sample_relational, sample_xml):
+        table = self._table(matched_fixture, sample_relational, sample_xml)
+        accepted = table.filtered(lambda row: row.status == "accepted")
+        assert len(accepted) == 2
+
+    def test_unknown_column(self, matched_fixture, sample_relational, sample_xml):
+        table = self._table(matched_fixture, sample_relational, sample_xml)
+        with pytest.raises(KeyError):
+            table.sorted_by("nonsense")
+
+    def test_csv_and_text_renderings(self, matched_fixture, sample_relational, sample_xml):
+        table = self._table(matched_fixture, sample_relational, sample_xml)
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0].startswith("source,target,score")
+        text = table.to_text(limit=2)
+        assert "more rows" in text
+        assert MatchTable([]).to_text() == "(no matches)"
+
+
+class TestReports:
+    def test_overlap_report_narrative(self, matched_fixture):
+        result, *_ = matched_fixture
+        report = matrix_overlap(result, threshold=0.3)
+        text = overlap_report_text(report, "SA", "SB")
+        assert "Overlap analysis" in text
+        assert "SA ∩ SB" in text
+        assert "%" in text
+
+    def test_concept_match_text(self, matched_fixture):
+        _, _, _, concept_matches, _ = matched_fixture
+        text = concept_match_text(concept_matches)
+        assert "<=>" in text
+        assert concept_match_text([]) == "(no concept-level matches)"
+
+    def test_partition_table_text(self):
+        from repro.nway import build_vocabulary, partition_vocabulary
+        from repro.schema import Schema
+
+        s1 = Schema("S1")
+        s1.add_root("a")
+        s2 = Schema("S2")
+        s2.add_root("a")
+        vocabulary = build_vocabulary(
+            {"S1": s1, "S2": s2}, [("S1", "a", "S2", "a")]
+        )
+        text = partition_table_text(partition_vocabulary(vocabulary))
+        assert "{S1, S2}" in text
+        assert "concepts" in text

@@ -1,0 +1,145 @@
+"""Link filters, node filters, and filter chains."""
+
+import pytest
+
+from repro.filters import (
+    ConfidenceFilter,
+    DepthFilter,
+    FilterChain,
+    KindFilter,
+    NamePatternFilter,
+    StatusFilter,
+    SubtreeFilter,
+    TopKPerSourceFilter,
+)
+from repro.match import Correspondence, MatchStatus
+from repro.schema import ElementKind
+
+
+def corr(source, target, score, status=MatchStatus.CANDIDATE):
+    return Correspondence(source_id=source, target_id=target, score=score, status=status)
+
+
+class TestLinkFilters:
+    def test_confidence_range(self):
+        link_filter = ConfidenceFilter(0.3, 0.8)
+        kept = link_filter.apply(
+            [corr("a", "b", 0.2), corr("a", "c", 0.5), corr("a", "d", 0.9)]
+        )
+        assert [c.target_id for c in kept] == ["c"]
+
+    def test_confidence_invalid_range(self):
+        with pytest.raises(ValueError):
+            ConfidenceFilter(0.9, 0.1)
+
+    def test_status_filter(self):
+        accepted = corr("a", "b", 0.5, MatchStatus.ACCEPTED)
+        candidate = corr("a", "c", 0.5)
+        kept = StatusFilter(MatchStatus.ACCEPTED).apply([accepted, candidate])
+        assert kept == [accepted]
+
+    def test_status_filter_needs_statuses(self):
+        with pytest.raises(ValueError):
+            StatusFilter()
+
+    def test_top_k_per_source(self):
+        links = [
+            corr("a", "b", 0.9),
+            corr("a", "c", 0.8),
+            corr("a", "d", 0.7),
+            corr("x", "y", 0.1),
+        ]
+        kept = TopKPerSourceFilter(k=2).apply(links)
+        assert {(c.source_id, c.target_id) for c in kept} == {
+            ("a", "b"), ("a", "c"), ("x", "y"),
+        }
+
+    def test_top_k_keep_raises_outside_batch(self):
+        with pytest.raises(NotImplementedError):
+            TopKPerSourceFilter(k=1).keep(corr("a", "b", 0.5))
+
+
+class TestNodeFilters:
+    def test_depth_filter_tables_only(self, sample_relational):
+        enabled = DepthFilter(max_depth=1).enabled_ids(sample_relational)
+        assert "all_event_vitals" in enabled
+        assert "all_event_vitals.event_id" not in enabled
+
+    def test_depth_filter_attributes_only(self, sample_relational):
+        enabled = DepthFilter(min_depth=2).enabled_ids(sample_relational)
+        assert "all_event_vitals" not in enabled
+        assert "all_event_vitals.event_id" in enabled
+
+    def test_depth_filter_validation(self):
+        with pytest.raises(ValueError):
+            DepthFilter(min_depth=0)
+        with pytest.raises(ValueError):
+            DepthFilter(min_depth=3, max_depth=2)
+
+    def test_subtree_filter(self, sample_relational):
+        enabled = SubtreeFilter("person_master").enabled_ids(sample_relational)
+        assert "person_master" in enabled
+        assert "person_master.birth_dt" in enabled
+        assert "all_event_vitals" not in enabled
+
+    def test_subtree_filter_excluding_root(self, sample_relational):
+        enabled = SubtreeFilter("person_master", include_root=False).enabled_ids(
+            sample_relational
+        )
+        assert "person_master" not in enabled
+        assert "person_master.birth_dt" in enabled
+
+    def test_name_pattern_filter(self, sample_relational):
+        enabled = NamePatternFilter(r"^DATE_").enabled_ids(sample_relational)
+        assert "all_event_vitals.date_begin_156" in enabled
+        assert "person_master.birth_dt" not in enabled
+
+    def test_kind_filter(self, sample_relational):
+        enabled = KindFilter(ElementKind.VIEW).enabled_ids(sample_relational)
+        assert enabled == {"active_persons"}
+
+    def test_kind_filter_validation(self):
+        with pytest.raises(ValueError):
+            KindFilter()
+
+
+class TestFilterChain:
+    def test_chain_composes_link_and_node(self, sample_relational, sample_xml):
+        links = [
+            corr("person_master.birth_dt", "individual.dateofbirth", 0.8),
+            corr("all_event_vitals.date_begin_156", "event.datetime_first_info", 0.6),
+            corr("person_master.last_nm", "individual.familyname", 0.2),
+        ]
+        chain = FilterChain(
+            link_filters=[ConfidenceFilter(0.5)],
+            source_filters=[SubtreeFilter("person_master")],
+        )
+        visible = chain.apply(links, sample_relational, sample_xml)
+        assert [(c.source_id, c.target_id) for c in visible] == [
+            ("person_master.birth_dt", "individual.dateofbirth")
+        ]
+
+    def test_with_builders_do_not_mutate(self, sample_relational, sample_xml):
+        base = FilterChain()
+        extended = base.with_link(ConfidenceFilter(0.5)).with_source(
+            SubtreeFilter("person_master")
+        ).with_target(DepthFilter(max_depth=1))
+        assert not base.link_filters
+        assert len(extended.link_filters) == 1
+        assert len(extended.source_filters) == 1
+        assert len(extended.target_filters) == 1
+
+    def test_node_filters_intersect(self, sample_relational):
+        chain = FilterChain(
+            source_filters=[
+                SubtreeFilter("person_master"),
+                DepthFilter(min_depth=2),
+            ]
+        )
+        enabled = chain.enabled_source_ids(sample_relational)
+        assert "person_master" not in enabled
+        assert "person_master.birth_dt" in enabled
+
+    def test_empty_chain_keeps_everything(self, sample_relational, sample_xml):
+        links = [corr("person_master", "individual", 0.1)]
+        assert FilterChain().apply(links, sample_relational, sample_xml) == links

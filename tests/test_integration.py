@@ -1,0 +1,110 @@
+"""End-to-end integration: the full section-3 pipeline on the small pair.
+
+This walks the paper's whole workflow on a generated pair:
+summarize -> concept-at-a-time session -> concept matches -> spreadsheet
+-> overlap analysis -> decision model -> repository storage -> reuse.
+"""
+
+import pytest
+
+from repro.export import RowType, Workbook, overlap_report_text
+from repro.match import HarmonyMatchEngine
+from repro.metrics import prf_of_pairs, workflow_overlap
+from repro.nway import nway_match
+from repro.planning import DecisionModel
+from repro.repository import AssertionMethod, MetadataRepository, TrustPolicy
+from repro.workflow import EffortModel, GroundTruthOracle, MatchingSession, plan_team
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_pair):
+    source = small_pair.source.schema
+    target = small_pair.target.schema
+    source_summary = small_pair.source.truth_summary()
+    target_summary = small_pair.target.truth_summary()
+    engine = HarmonyMatchEngine()
+    session = MatchingSession(
+        source, target, source_summary,
+        oracle=GroundTruthOracle(small_pair.truth_pairs),
+        engine=engine,
+    )
+    report = session.run_all(target_summary=target_summary)
+    return small_pair, session, report, source_summary, target_summary, engine
+
+
+class TestFullPipeline:
+    def test_session_quality(self, pipeline):
+        small_pair, session, report, *_ = pipeline
+        measurement = prf_of_pairs(session.accepted_pairs(), small_pair.truth_pairs)
+        assert measurement.precision == 1.0  # perfect oracle
+        assert measurement.recall > 0.5     # engine surfaced most truth
+
+    def test_workbook_from_session(self, pipeline):
+        small_pair, session, report, source_summary, target_summary, _ = pipeline
+        workbook = Workbook.build(
+            small_pair.source.schema,
+            small_pair.target.schema,
+            source_summary,
+            target_summary,
+            report.validated,
+            report.concept_matches,
+        )
+        concept_rows = len(workbook.concepts)
+        assert concept_rows == (
+            len(source_summary) + len(target_summary) - len(report.concept_matches)
+        )
+        matched_rows = [
+            row for row in workbook.elements if row["row_type"] == str(RowType.MATCHED)
+        ]
+        assert len(matched_rows) == len(report.validated.accepted)
+
+    def test_overlap_feeds_decision(self, pipeline):
+        small_pair, _, _, source_summary, target_summary, engine = pipeline
+        result = engine.match(small_pair.source.schema, small_pair.target.schema)
+        overlap = workflow_overlap(result, source_summary, target_summary)
+        text = overlap_report_text(overlap)
+        assert "Overlap analysis" in text
+        recommendation = DecisionModel().evaluate(overlap)
+        assert recommendation.choice is not None
+        assert recommendation.subsume.total > 0
+        assert recommendation.bridge.total > 0
+
+    def test_effort_and_team_plan(self, pipeline):
+        _, session, report, source_summary, *_ = pipeline
+        model = EffortModel()
+        estimate = model.session_estimate(report, len(source_summary))
+        assert estimate.person_days > 0
+        plan = plan_team(source_summary, 100, ["ann", "bob"])
+        assert plan.makespan_days < estimate.person_days + 1
+
+    def test_repository_round_trip_with_trust(self, pipeline):
+        small_pair, session, report, *_ = pipeline
+        with MetadataRepository() as repository:
+            repository.register(small_pair.source.schema)
+            repository.register(small_pair.target.schema)
+            repository.store_matches(
+                small_pair.source.schema.name,
+                small_pair.target.schema.name,
+                report.validated.accepted,
+                asserted_by="engineer",
+                method=AssertionMethod.HUMAN_VALIDATED,
+            )
+            strict = repository.matches(
+                policy=TrustPolicy.for_business_intelligence()
+            )
+            assert strict
+            all_matches = repository.matches()
+            assert len(strict) <= len(all_matches)
+
+    def test_nway_with_pair(self, small_pair):
+        schemata = {
+            "SA": small_pair.source.schema,
+            "SB": small_pair.target.schema,
+        }
+        vocabulary, partition = nway_match(schemata)
+        assert partition.n_cells == 3
+        shared = partition.cell("SA", "SB")
+        assert shared.cardinality > 0
+        # Total entries cover every element of both schemata.
+        total_elements = sum(len(s) for s in schemata.values())
+        assert sum(cell.n_elements for cell in partition.cells) == total_elements

@@ -1,0 +1,97 @@
+"""MatchMatrix queries and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.match import MatchMatrix
+
+
+@pytest.fixture
+def matrix():
+    scores = np.array(
+        [
+            [0.9, 0.2, -0.5],
+            [0.1, 0.7, 0.3],
+        ]
+    )
+    return MatchMatrix(["a1", "a2"], ["b1", "b2", "b3"], scores)
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MatchMatrix(["a"], ["b"], np.zeros((2, 2)))
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            MatchMatrix(["a"], ["b"], np.array([[2.0]]))
+
+    def test_properties(self, matrix):
+        assert matrix.shape == (2, 3)
+        assert matrix.n_pairs == 6
+
+
+class TestQueries:
+    def test_score_lookup(self, matrix):
+        assert matrix.score("a1", "b1") == pytest.approx(0.9)
+        assert matrix.score("a2", "b3") == pytest.approx(0.3)
+
+    def test_pairs_above_sorted(self, matrix):
+        pairs = matrix.pairs_above(0.3)
+        assert [(p.source_id, p.target_id) for p in pairs] == [
+            ("a1", "b1"), ("a2", "b2"), ("a2", "b3"),
+        ]
+        assert pairs[0].score >= pairs[-1].score
+
+    def test_pairs_above_empty(self, matrix):
+        assert matrix.pairs_above(0.95) == []
+
+    def test_top_pairs(self, matrix):
+        top = matrix.top_pairs(2)
+        assert [(p.source_id, p.target_id) for p in top] == [
+            ("a1", "b1"), ("a2", "b2"),
+        ]
+
+    def test_top_pairs_k_larger_than_matrix(self, matrix):
+        assert len(matrix.top_pairs(100)) == 6
+
+    def test_top_pairs_zero(self, matrix):
+        assert matrix.top_pairs(0) == []
+
+    def test_best_for_source(self, matrix):
+        best = matrix.best_for_source("a2")
+        assert best.target_id == "b2"
+
+    def test_best_for_target(self, matrix):
+        best = matrix.best_for_target("b3")
+        assert best.source_id == "a2"
+
+    def test_row_col_max(self, matrix):
+        assert matrix.row_max().tolist() == [0.9, 0.7]
+        assert matrix.col_max().tolist() == [0.9, 0.7, 0.3]
+
+    def test_iter_pairs_row_major(self, matrix):
+        pairs = list(matrix.iter_pairs())
+        assert len(pairs) == 6
+        assert pairs[0].source_id == "a1" and pairs[0].target_id == "b1"
+
+
+class TestSubmatrix:
+    def test_submatrix_values(self, matrix):
+        sub = matrix.submatrix(["a2"], ["b3", "b1"])
+        assert sub.shape == (1, 2)
+        assert sub.score("a2", "b3") == pytest.approx(0.3)
+        assert sub.score("a2", "b1") == pytest.approx(0.1)
+
+    def test_submatrix_default_keeps_all(self, matrix):
+        sub = matrix.submatrix()
+        assert sub.shape == matrix.shape
+
+    def test_submatrix_unknown_label(self, matrix):
+        with pytest.raises(KeyError):
+            matrix.submatrix(["nope"], None)
+
+    def test_empty_submatrix(self, matrix):
+        sub = matrix.submatrix([], [])
+        assert sub.shape == (0, 0)
+        assert sub.n_pairs == 0

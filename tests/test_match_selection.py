@@ -1,0 +1,183 @@
+"""Selection strategies: cardinality constraints and stability properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.match import (
+    HungarianSelection,
+    MatchMatrix,
+    StableMarriageSelection,
+    ThresholdSelection,
+    TopKSelection,
+)
+
+
+def matrix_from(scores):
+    scores = np.array(scores, dtype=float)
+    sources = [f"a{i}" for i in range(scores.shape[0])]
+    targets = [f"b{j}" for j in range(scores.shape[1])]
+    return MatchMatrix(sources, targets, scores)
+
+
+random_matrices = st.integers(min_value=1, max_value=6).flatmap(
+    lambda rows: st.integers(min_value=1, max_value=6).flatmap(
+        lambda cols: st.lists(
+            st.lists(
+                st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+                min_size=cols,
+                max_size=cols,
+            ),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+)
+
+
+class TestThreshold:
+    def test_selects_above(self):
+        selected = ThresholdSelection(0.5).select(
+            matrix_from([[0.6, 0.4], [0.5, -0.2]])
+        )
+        assert {(c.source_id, c.target_id) for c in selected} == {
+            ("a0", "b0"), ("a1", "b0"),
+        }
+
+    def test_sorted_best_first(self):
+        selected = ThresholdSelection(0.0).select(matrix_from([[0.1, 0.9]]))
+        assert selected[0].score >= selected[1].score
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdSelection(2.0)
+
+
+class TestTopK:
+    def test_k_per_source(self):
+        selected = TopKSelection(k=1).select(matrix_from([[0.9, 0.8], [0.1, 0.7]]))
+        by_source = {}
+        for c in selected:
+            by_source.setdefault(c.source_id, []).append(c.target_id)
+        assert by_source == {"a0": ["b0"], "a1": ["b1"]}
+
+    def test_threshold_gates(self):
+        selected = TopKSelection(k=2, threshold=0.75).select(
+            matrix_from([[0.9, 0.8], [0.1, 0.7]])
+        )
+        assert len(selected) == 2  # only the two >= 0.75
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKSelection(k=0)
+
+    @given(random_matrices)
+    @settings(max_examples=30)
+    def test_at_most_k_per_source(self, scores):
+        selected = TopKSelection(k=2, threshold=-1.0).select(matrix_from(scores))
+        counts = {}
+        for c in selected:
+            counts[c.source_id] = counts.get(c.source_id, 0) + 1
+        assert all(count <= 2 for count in counts.values())
+
+
+class TestStableMarriage:
+    def test_one_to_one(self):
+        selected = StableMarriageSelection().select(
+            matrix_from([[0.9, 0.8], [0.85, 0.1]])
+        )
+        sources = [c.source_id for c in selected]
+        targets = [c.target_id for c in selected]
+        assert len(sources) == len(set(sources))
+        assert len(targets) == len(set(targets))
+
+    def test_prefers_better_pairing(self):
+        # a0 prefers b0 (0.9) but a1 needs b0 more; stable outcome pairs
+        # a0-b0 (holder wins on target preference: 0.9 > 0.85).
+        selected = StableMarriageSelection().select(
+            matrix_from([[0.9, 0.8], [0.85, 0.1]])
+        )
+        pairs = {(c.source_id, c.target_id) for c in selected}
+        assert ("a0", "b0") in pairs
+        assert ("a1", "b1") in pairs
+
+    def test_threshold_blocks_pairs(self):
+        selected = StableMarriageSelection(threshold=0.5).select(
+            matrix_from([[0.9, 0.1], [0.2, 0.3]])
+        )
+        assert {(c.source_id, c.target_id) for c in selected} == {("a0", "b0")}
+
+    @given(random_matrices)
+    @settings(max_examples=30)
+    def test_matching_is_stable(self, scores):
+        matrix = matrix_from(scores)
+        threshold = 0.0
+        selected = StableMarriageSelection(threshold=threshold).select(matrix)
+        partner_of_source = {c.source_id: c.target_id for c in selected}
+        partner_of_target = {c.target_id: c.source_id for c in selected}
+        raw = matrix.scores
+        source_index = {sid: i for i, sid in enumerate(matrix.source_ids)}
+        target_index = {tid: j for j, tid in enumerate(matrix.target_ids)}
+
+        def score_of(source_id, target_id):
+            return raw[source_index[source_id], target_index[target_id]]
+
+        # No blocking pair: a source and target that both prefer each other.
+        for source_id in matrix.source_ids:
+            for target_id in matrix.target_ids:
+                score = score_of(source_id, target_id)
+                if score < threshold:
+                    continue
+                current_target = partner_of_source.get(source_id)
+                current_source = partner_of_target.get(target_id)
+                source_prefers = (
+                    current_target is None
+                    or score > score_of(source_id, current_target)
+                )
+                target_prefers = (
+                    current_source is None
+                    or score > score_of(current_source, target_id)
+                )
+                assert not (source_prefers and target_prefers), (
+                    f"blocking pair {source_id}-{target_id}"
+                )
+
+    @given(random_matrices)
+    @settings(max_examples=30)
+    def test_one_to_one_property(self, scores):
+        selected = StableMarriageSelection(threshold=0.0).select(matrix_from(scores))
+        sources = [c.source_id for c in selected]
+        targets = [c.target_id for c in selected]
+        assert len(sources) == len(set(sources))
+        assert len(targets) == len(set(targets))
+
+
+class TestHungarian:
+    def test_maximises_total(self):
+        # Greedy would take (a0,b0)=0.9 then (a1,b1)=0.1 -> 1.0 total;
+        # optimal is 0.8 + 0.85 = 1.65.
+        selected = HungarianSelection().select(
+            matrix_from([[0.9, 0.8], [0.85, 0.1]])
+        )
+        assert {(c.source_id, c.target_id) for c in selected} == {
+            ("a0", "b1"), ("a1", "b0"),
+        }
+
+    def test_threshold_filters_assignment(self):
+        selected = HungarianSelection(threshold=0.5).select(
+            matrix_from([[0.9, 0.1], [0.1, 0.2]])
+        )
+        assert {(c.source_id, c.target_id) for c in selected} == {("a0", "b0")}
+
+    @given(random_matrices)
+    @settings(max_examples=30)
+    def test_total_at_least_stable_marriage(self, scores):
+        matrix = matrix_from(scores)
+        hungarian_total = sum(
+            c.score for c in HungarianSelection(threshold=-1.0).select(matrix)
+        )
+        stable_total = sum(
+            c.score for c in StableMarriageSelection(threshold=-1.0).select(matrix)
+        )
+        assert hungarian_total >= stable_total - 1e-9

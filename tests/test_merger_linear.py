@@ -1,0 +1,111 @@
+"""The production conviction-linear merger and remaining voter coverage."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.matchers import (
+    DEFAULT_VOTER_WEIGHTS,
+    DescribingTextVoter,
+    build_profile,
+    default_voters,
+)
+from repro.voting import ConvictionLinearMerger, merger_by_name
+
+
+def _stack(*layers):
+    return np.stack([np.array(layer, dtype=float) for layer in layers])
+
+
+class TestConvictionLinearMerger:
+    def test_signed_square_of_single_vote(self):
+        merged = ConvictionLinearMerger().merge(_stack([[0.8]]))
+        assert merged[0, 0] == pytest.approx(0.8 * 0.8)
+
+    def test_negative_votes_keep_their_sign(self):
+        merged = ConvictionLinearMerger().merge(_stack([[-0.8]]))
+        assert merged[0, 0] == pytest.approx(-0.64)
+
+    def test_strong_negative_survives_mild_positives(self):
+        """The property that motivated the merger: three mild agreements do
+        not wash out one decisive contradiction."""
+        merged = ConvictionLinearMerger().merge(
+            _stack([[0.3]], [[0.3]], [[0.3]], [[-0.9]])
+        )
+        assert merged[0, 0] < 0.0
+
+    def test_weights_shift_the_balance(self):
+        stacked = _stack([[0.8]], [[-0.8]])
+        favour_first = ConvictionLinearMerger(voter_weights=[3.0, 1.0])
+        favour_second = ConvictionLinearMerger(voter_weights=[1.0, 3.0])
+        assert favour_first.merge(stacked)[0, 0] > 0
+        assert favour_second.merge(stacked)[0, 0] < 0
+
+    def test_zero_votes_merge_to_zero(self):
+        merged = ConvictionLinearMerger().merge(_stack([[0.0]], [[0.0]]))
+        assert merged[0, 0] == 0.0
+
+    def test_weight_count_validated_at_merge(self):
+        merger = ConvictionLinearMerger(voter_weights=[1.0])
+        with pytest.raises(ValueError):
+            merger.merge(_stack([[0.1]], [[0.2]]))
+
+    def test_weight_validation_at_construction(self):
+        with pytest.raises(ValueError):
+            ConvictionLinearMerger(voter_weights=[])
+        with pytest.raises(ValueError):
+            ConvictionLinearMerger(voter_weights=[-1.0])
+        with pytest.raises(ValueError):
+            ConvictionLinearMerger(voter_weights=[0.0, 0.0])
+
+    def test_registered_by_name(self):
+        assert merger_by_name("conviction_linear").name == "conviction_linear"
+
+    def test_default_weights_align_with_default_voters(self):
+        assert len(DEFAULT_VOTER_WEIGHTS) == len(default_voters())
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+                min_size=2,
+                max_size=2,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_bounds_property(self, rows):
+        stacked = np.array(rows)[:, None, :]  # (voters, 1, 2)
+        merged = ConvictionLinearMerger().merge(stacked)
+        assert merged.min() >= -1.0
+        assert merged.max() <= 1.0
+
+    def test_magnitude_compression(self):
+        """Signed squaring compresses: |merged| <= max |vote|."""
+        stacked = _stack([[0.5, -0.3]], [[0.2, -0.6]])
+        merged = ConvictionLinearMerger().merge(stacked)
+        assert np.all(np.abs(merged) <= np.abs(stacked).max(axis=0) + 1e-12)
+
+
+class TestDescribingTextVoter:
+    def test_combines_name_and_docs(self, sample_relational, sample_xml):
+        source = build_profile(sample_relational)
+        target = build_profile(sample_xml)
+        opinion = DescribingTextVoter().vote(source, target)
+        row = source.index_of["person_master.blood_type_cd"]
+        col = target.index_of["individual.bloodgroup"]
+        # Documentation agreement ("ABO blood group ...") drives this pair
+        # even though the names share only the "blood" token.
+        assert opinion.confidence[row, col] > 0.2
+        assert opinion.confidence[row, col] == opinion.confidence[row].max()
+
+    def test_name_keeps_vector_nonempty_without_docs(
+        self, sample_relational, sample_xml
+    ):
+        source = build_profile(sample_relational)
+        target = build_profile(sample_xml)
+        opinion = DescribingTextVoter().vote(source, target)
+        col = target.index_of["individual.dateofbirth"]  # no documentation
+        assert opinion.evidence[:, col].max() > 0  # name tokens still count

@@ -1,0 +1,183 @@
+"""N-way machinery: union-find, vocabulary, 2^N-1 partition, mediation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nway import (
+    NWayPartition,
+    UnionFind,
+    all_signatures,
+    build_vocabulary,
+    distill_mediated_schema,
+    nway_match,
+    partition_vocabulary,
+)
+from repro.schema import Schema
+
+
+def tiny_schema(name, roots):
+    schema = Schema(name)
+    for root, children in roots.items():
+        parent = schema.add_root(root)
+        for child in children:
+            schema.add_child(parent, child)
+    return schema
+
+
+@pytest.fixture
+def trio():
+    s1 = tiny_schema("S1", {"person": ["name", "birth"], "vehicle": ["reg"]})
+    s2 = tiny_schema("S2", {"person": ["name"], "event": ["when"]})
+    s3 = tiny_schema("S3", {"event": ["when", "where"]})
+    return {"S1": s1, "S2": s2, "S3": s3}
+
+
+@pytest.fixture
+def trio_vocabulary(trio):
+    matched = [
+        ("S1", "person", "S2", "person"),
+        ("S1", "person.name", "S2", "person.name"),
+        ("S2", "event", "S3", "event"),
+        ("S2", "event.when", "S3", "event.when"),
+    ]
+    return build_vocabulary(trio, matched)
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        forest = UnionFind()
+        forest.union("a", "b")
+        forest.union("b", "c")
+        assert forest.find("a") == forest.find("c")
+        assert forest.find("d") == "d"
+
+    def test_groups(self):
+        forest = UnionFind()
+        forest.union("a", "b")
+        forest.add("c")
+        groups = forest.groups()
+        assert sorted(map(sorted, groups.values())) == [["a", "b"], ["c"]]
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=30,
+    ))
+    @settings(max_examples=40)
+    def test_equivalence_relation(self, unions):
+        forest = UnionFind()
+        for left, right in unions:
+            forest.union(str(left), str(right))
+        # Transitivity: members of one group all share a root.
+        for members in forest.groups().values():
+            roots = {forest.find(member) for member in members}
+            assert len(roots) == 1
+
+
+class TestVocabulary:
+    def test_every_element_in_exactly_one_entry(self, trio, trio_vocabulary):
+        seen = {}
+        for entry in trio_vocabulary.entries:
+            for schema_name, element_ids in entry.members.items():
+                for element_id in element_ids:
+                    key = (schema_name, element_id)
+                    assert key not in seen
+                    seen[key] = entry.entry_id
+        total_elements = sum(len(schema) for schema in trio.values())
+        assert len(seen) == total_elements
+
+    def test_signatures(self, trio_vocabulary):
+        shared_12 = trio_vocabulary.entries_with_signature(frozenset(["S1", "S2"]))
+        labels = {entry.label.lower() for entry in shared_12}
+        assert "person" in labels and "name" in labels
+
+    def test_unique_to(self, trio_vocabulary):
+        only_s1 = trio_vocabulary.unique_to("S1")
+        labels = {entry.label.lower() for entry in only_s1}
+        assert "vehicle" in labels
+        assert "person" not in labels
+
+    def test_entries_covering(self, trio_vocabulary):
+        covering_s2 = trio_vocabulary.entries_covering(["S2"])
+        assert all("S2" in entry.signature for entry in covering_s2)
+
+    def test_shared_by_all_empty_here(self, trio_vocabulary):
+        assert trio_vocabulary.shared_by_all() == []
+
+
+class TestPartition:
+    def test_cell_count_law(self, trio_vocabulary):
+        partition = partition_vocabulary(trio_vocabulary)
+        assert partition.n_cells == 2 ** 3 - 1
+
+    def test_cells_partition_vocabulary(self, trio_vocabulary):
+        partition = partition_vocabulary(trio_vocabulary)
+        partition.check_partition_laws()
+        assert sum(cell.cardinality for cell in partition.cells) == len(
+            trio_vocabulary
+        )
+
+    def test_cell_lookup(self, trio_vocabulary):
+        partition = partition_vocabulary(trio_vocabulary)
+        cell = partition.cell("S1", "S2")
+        assert cell.cardinality == 2  # person + name
+
+    def test_unknown_cell(self, trio_vocabulary):
+        partition = partition_vocabulary(trio_vocabulary)
+        with pytest.raises(KeyError):
+            partition.cell("S1", "NOPE")
+
+    def test_table_rows(self, trio_vocabulary):
+        partition = partition_vocabulary(trio_vocabulary)
+        rows = partition.table()
+        assert len(rows) == 7
+        assert all(len(row) == 3 for row in rows)
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_all_signatures_count(self, n):
+        names = [f"S{i}" for i in range(n)]
+        assert len(all_signatures(names)) == 2 ** n - 1
+
+    def test_signatures_sorted_smallest_first(self):
+        signatures = all_signatures(["B", "A"])
+        assert signatures[0] == frozenset(["A"])
+        assert signatures[-1] == frozenset(["A", "B"])
+
+
+class TestNwayMatch:
+    def test_end_to_end(self, trio):
+        vocabulary, partition = nway_match(trio)
+        assert partition.n_cells == 7
+        partition.check_partition_laws()
+        # The engine should at least link the identically-named concepts.
+        cell_12 = partition.cell("S1", "S2")
+        cell_123 = partition.cell("S1", "S2", "S3")
+        linked = cell_12.cardinality + cell_123.cardinality
+        assert linked >= 1
+
+
+class TestMediatedSchema:
+    def test_distill_keeps_shared(self, trio, trio_vocabulary):
+        mediated = distill_mediated_schema(trio_vocabulary, trio, min_support=2)
+        names = {element.name.lower() for element in mediated}
+        assert "person" in names
+        assert "name" in names
+        assert "vehicle" not in names  # S1-only
+
+    def test_leaves_attach_under_container(self, trio, trio_vocabulary):
+        mediated = distill_mediated_schema(trio_vocabulary, trio, min_support=2)
+        name_elements = mediated.find_by_name("name")
+        assert name_elements
+        parent = mediated.parent(name_elements[0])
+        assert parent is not None and parent.name.lower() == "person"
+
+    def test_min_support_filtering(self, trio, trio_vocabulary):
+        strict = distill_mediated_schema(trio_vocabulary, trio, min_support=3)
+        assert len(strict) == 0  # nothing shared by all three
+
+    def test_invalid_min_support(self, trio, trio_vocabulary):
+        with pytest.raises(ValueError):
+            distill_mediated_schema(trio_vocabulary, trio, min_support=0)
+
+    def test_mediated_is_valid_schema(self, trio, trio_vocabulary):
+        mediated = distill_mediated_schema(trio_vocabulary, trio, min_support=2)
+        mediated.validate()

@@ -1,0 +1,234 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+Each class targets one law the system depends on: allocation conservation,
+vocabulary partition totality, naming non-emptiness, engine determinism,
+confidence monotonicity, and serialization round-trips over *generated*
+schemata (not just the handwritten fixtures).
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.match import HarmonyMatchEngine, MatchMatrix
+from repro.nway import build_vocabulary, partition_vocabulary
+from repro.schema import Schema, schema_from_dict, schema_to_dict
+from repro.synthetic import NamingStyle, PairSpec, allocate, generate_pair, render_name
+from repro.voting import confidence
+
+
+class TestAllocateProperties:
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=12),
+    )
+    def test_conservation_and_caps(self, total, capacities):
+        if sum(capacities) < total:
+            with pytest.raises(ValueError):
+                allocate(total, capacities)
+            return
+        shares = allocate(total, capacities)
+        assert sum(shares) == total
+        assert all(0 <= share <= cap for share, cap in zip(shares, capacities))
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.lists(st.integers(min_value=5, max_value=40), min_size=1, max_size=10),
+    )
+    def test_evenness(self, total, capacities):
+        """Uncapped buckets end within one unit of each other."""
+        if sum(capacities) < total:
+            return
+        shares = allocate(total, capacities)
+        open_shares = [
+            share for share, cap in zip(shares, capacities) if share < cap
+        ]
+        if len(open_shares) > 1:
+            assert max(open_shares) - min(open_shares) <= max(
+                1, total // len(capacities)
+            )
+
+    @given(st.integers(min_value=0, max_value=50))
+    def test_deterministic(self, total):
+        capacities = [10, 20, 30]
+        if total <= 60:
+            assert allocate(total, capacities) == allocate(total, capacities)
+
+
+class TestNamingProperties:
+    styles = st.builds(
+        NamingStyle,
+        case=st.sampled_from(("upper_snake", "lower_snake", "pascal", "camel")),
+        synonym_probability=st.floats(0, 1),
+        abbreviate_probability=st.floats(0, 1),
+        drop_probability=st.floats(0, 1),
+        filler_probability=st.floats(0, 1),
+        numeric_suffix_probability=st.floats(0, 1),
+    )
+
+    @given(
+        st.lists(
+            st.sampled_from(["date", "begin", "event", "person", "quantity"]),
+            min_size=1,
+            max_size=4,
+        ).map(tuple),
+        styles,
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_never_empty_and_deterministic(self, tokens, style, seed):
+        first = render_name(tokens, style, random.Random(seed))
+        second = render_name(tokens, style, random.Random(seed))
+        assert first
+        assert first == second
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_clean_style_is_identity_modulo_case(self, seed):
+        name = render_name(
+            ("date", "begin"), NamingStyle.clean(), random.Random(seed)
+        )
+        assert name == "date_begin"
+
+
+class TestVocabularyPartitionLaws:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 4), st.integers(0, 3), st.integers(0, 4)),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40)
+    def test_partition_laws_hold_for_any_match_set(self, raw_matches):
+        schemata = {}
+        for index in range(4):
+            schema = Schema(f"S{index}")
+            root = schema.add_root("root")
+            for child in range(5):
+                schema.add_child(root, f"e{child}")
+            schemata[f"S{index}"] = schema
+        matched = []
+        for left_schema, left_el, right_schema, right_el in raw_matches:
+            if left_schema == right_schema:
+                continue
+            matched.append(
+                (
+                    f"S{left_schema}",
+                    f"root.e{left_el}" if left_el < 5 else "root",
+                    f"S{right_schema}",
+                    f"root.e{right_el}" if right_el < 5 else "root",
+                )
+            )
+        vocabulary = build_vocabulary(schemata, matched)
+        partition = partition_vocabulary(vocabulary)  # law-checks internally
+        assert partition.n_cells == 15
+        total_elements = sum(len(schema) for schema in schemata.values())
+        assert sum(cell.n_elements for cell in partition.cells) == total_elements
+
+
+class TestConfidenceMonotonicity:
+    @given(
+        st.floats(min_value=0.51, max_value=1.0),
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_positive_votes_grow_with_evidence(self, similarity, evidence, extra):
+        assert confidence(similarity, evidence + extra) >= confidence(
+            similarity, evidence
+        )
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.49),
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_negative_votes_fall_with_evidence(self, similarity, evidence, extra):
+        assert confidence(similarity, evidence + extra) <= confidence(
+            similarity, evidence
+        )
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=20.0),
+    )
+    def test_monotone_in_similarity(self, sim_a, sim_b, evidence):
+        low, high = sorted((sim_a, sim_b))
+        assert confidence(high, evidence) >= confidence(low, evidence)
+
+
+class TestEngineDeterminism:
+    def test_same_input_same_matrix(self, sample_relational, sample_xml):
+        first = HarmonyMatchEngine().match(sample_relational, sample_xml)
+        second = HarmonyMatchEngine().match(sample_relational, sample_xml)
+        np.testing.assert_array_equal(first.matrix.scores, second.matrix.scores)
+
+    def test_generation_and_match_deterministic_end_to_end(self):
+        spec = PairSpec(
+            n_source_concepts=8,
+            n_target_concepts=6,
+            n_shared_concepts=3,
+            source_elements=70,
+            target_elements=50,
+            matched_target_elements=18,
+        )
+        runs = []
+        for _ in range(2):
+            pair = generate_pair(spec, seed=99)
+            result = HarmonyMatchEngine().match(
+                pair.source.schema, pair.target.schema
+            )
+            runs.append(result.matrix.scores)
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+
+class TestSerializationRoundTripGenerated:
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_round_trip_any_generated_schema(self, seed):
+        pair = generate_pair(
+            PairSpec(
+                n_source_concepts=5,
+                n_target_concepts=4,
+                n_shared_concepts=2,
+                source_elements=40,
+                target_elements=30,
+                matched_target_elements=10,
+            ),
+            seed=seed,
+        )
+        for generated in (pair.source, pair.target):
+            rebuilt = schema_from_dict(schema_to_dict(generated.schema))
+            assert [e.element_id for e in rebuilt] == [
+                e.element_id for e in generated.schema
+            ]
+            assert [e.name for e in rebuilt] == [
+                e.name for e in generated.schema
+            ]
+            rebuilt.validate()
+
+
+class TestMatrixInvariants:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30)
+    def test_top_pairs_agree_with_pairs_above(self, rows, cols, seed):
+        rng = random.Random(seed)
+        scores = np.array(
+            [[rng.uniform(-1, 1) for _ in range(cols)] for _ in range(rows)]
+        )
+        matrix = MatchMatrix(
+            [f"a{i}" for i in range(rows)],
+            [f"b{j}" for j in range(cols)],
+            scores,
+        )
+        everything = matrix.pairs_above(-1.0)
+        top = matrix.top_pairs(rows * cols)
+        assert [(p.source_id, p.target_id) for p in everything[: len(top)]] == [
+            (p.source_id, p.target_id) for p in top
+        ] or sorted(p.score for p in everything) == sorted(p.score for p in top)
+        assert len(top) == rows * cols

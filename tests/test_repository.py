@@ -1,0 +1,257 @@
+"""Metadata repository: both backends, provenance, trust, reuse."""
+
+import pytest
+
+from repro.match import Correspondence, MatchStatus
+from repro.repository import (
+    AssertionMethod,
+    MetadataRepository,
+    ProvenanceRecord,
+    TrustPolicy,
+    compose_matches,
+    reuse_candidates,
+)
+from repro.schema import Schema
+
+
+def small_schema(name, elements):
+    schema = Schema(name)
+    root = schema.add_root(name.upper())
+    for element in elements:
+        schema.add_child(root, element)
+    return schema
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def repository(request, tmp_path):
+    if request.param == "memory":
+        repo = MetadataRepository()
+    else:
+        repo = MetadataRepository(path=str(tmp_path / "repo.db"))
+    yield repo
+    repo.close()
+
+
+class TestSchemaStorage:
+    def test_register_and_fetch(self, repository, sample_relational):
+        repository.register(sample_relational)
+        rebuilt = repository.schema("SA_sample")
+        assert len(rebuilt) == len(sample_relational)
+        assert "SA_sample" in repository
+        assert len(repository) == 1
+
+    def test_fetch_unknown(self, repository):
+        with pytest.raises(KeyError):
+            repository.schema("missing")
+
+    def test_register_under_alias(self, repository, sample_relational):
+        repository.register(sample_relational, name="alias")
+        assert "alias" in repository
+
+    def test_unregister_cascades_matches(self, repository):
+        a = small_schema("a", ["x"])
+        b = small_schema("b", ["y"])
+        repository.register(a)
+        repository.register(b)
+        repository.store_match(
+            "a", "b", Correspondence("a.x", "b.y", 0.9), asserted_by="alice"
+        )
+        repository.unregister("a")
+        assert "a" not in repository
+        assert repository.matches() == []
+
+
+class TestMatchKnowledge:
+    def test_store_requires_registered_schemas(self, repository):
+        with pytest.raises(KeyError):
+            repository.store_match(
+                "a", "b", Correspondence("x", "y", 0.5), asserted_by="alice"
+            )
+
+    def test_sequence_is_logical_time(self, repository):
+        a, b = small_schema("a", ["x"]), small_schema("b", ["y"])
+        repository.register(a)
+        repository.register(b)
+        first = repository.store_match(
+            "a", "b", Correspondence("a.x", "b.y", 0.5), asserted_by="alice"
+        )
+        second = repository.store_match(
+            "a", "b", Correspondence("a.x", "b.y", 0.6), asserted_by="bob"
+        )
+        assert second.provenance.sequence == first.provenance.sequence + 1
+
+    def test_query_by_schemas(self, repository):
+        a, b, c = (small_schema(n, ["x"]) for n in "abc")
+        for schema in (a, b, c):
+            repository.register(schema)
+        repository.store_match(
+            "a", "b", Correspondence("a.x", "b.x", 0.5), asserted_by="alice"
+        )
+        repository.store_match(
+            "a", "c", Correspondence("a.x", "c.x", 0.5), asserted_by="alice"
+        )
+        assert len(repository.matches(source_schema="a")) == 2
+        assert len(repository.matches(target_schema="c")) == 1
+        assert len(repository.matches_touching("b")) == 1
+
+    def test_bulk_store(self, repository):
+        a, b = small_schema("a", ["x", "y"]), small_schema("b", ["x", "y"])
+        repository.register(a)
+        repository.register(b)
+        count = repository.store_matches(
+            "a",
+            "b",
+            [Correspondence("a.x", "b.x", 0.7), Correspondence("a.y", "b.y", 0.6)],
+            asserted_by="engine",
+        )
+        assert count == 2
+        assert len(repository.matches()) == 2
+
+    def test_round_trip_preserves_correspondence_fields(self, repository):
+        a, b = small_schema("a", ["x"]), small_schema("b", ["y"])
+        repository.register(a)
+        repository.register(b)
+        original = Correspondence(
+            "a.x", "b.y", 0.42, status=MatchStatus.ACCEPTED, note="checked"
+        )
+        repository.store_match(
+            "a", "b", original, asserted_by="alice",
+            method=AssertionMethod.HUMAN_VALIDATED, context="planning",
+        )
+        stored = repository.matches()[0]
+        assert stored.correspondence.score == pytest.approx(0.42)
+        assert stored.correspondence.status is MatchStatus.ACCEPTED
+        assert stored.provenance.method is AssertionMethod.HUMAN_VALIDATED
+        assert stored.provenance.context == "planning"
+
+
+class TestTrustPolicies:
+    def test_confidence_gate(self):
+        record = ProvenanceRecord(
+            asserted_by="engine", method=AssertionMethod.AUTOMATIC, confidence=0.3
+        )
+        assert TrustPolicy(min_confidence=0.2).trusts(record)
+        assert not TrustPolicy(min_confidence=0.5).trusts(record)
+
+    def test_bi_policy_requires_human(self):
+        automatic = ProvenanceRecord(
+            asserted_by="engine", method=AssertionMethod.AUTOMATIC, confidence=0.9
+        )
+        human = ProvenanceRecord(
+            asserted_by="alice", method=AssertionMethod.HUMAN_VALIDATED, confidence=0.9
+        )
+        policy = TrustPolicy.for_business_intelligence()
+        assert not policy.trusts(automatic)
+        assert policy.trusts(human)
+
+    def test_search_policy_permissive(self):
+        weak = ProvenanceRecord(
+            asserted_by="engine", method=AssertionMethod.AUTOMATIC, confidence=0.15
+        )
+        assert TrustPolicy.for_search().trusts(weak)
+
+    def test_asserter_whitelist(self):
+        record = ProvenanceRecord(
+            asserted_by="mallory", method=AssertionMethod.HUMAN_VALIDATED, confidence=0.9
+        )
+        assert not TrustPolicy(trusted_asserters=frozenset({"alice"})).trusts(record)
+
+    def test_composed_exclusion(self):
+        composed = ProvenanceRecord(
+            asserted_by="composer", method=AssertionMethod.COMPOSED, confidence=0.9
+        )
+        assert not TrustPolicy(allow_composed=False).trusts(composed)
+
+    def test_policy_filter_in_query(self, repository):
+        a, b = small_schema("a", ["x"]), small_schema("b", ["y"])
+        repository.register(a)
+        repository.register(b)
+        repository.store_match(
+            "a", "b", Correspondence("a.x", "b.y", 0.1), asserted_by="engine"
+        )
+        repository.store_match(
+            "a", "b", Correspondence("a.x", "b.y", 0.9), asserted_by="alice",
+            method=AssertionMethod.HUMAN_VALIDATED,
+        )
+        trusted = repository.matches(policy=TrustPolicy.for_business_intelligence())
+        assert len(trusted) == 1
+        assert trusted[0].provenance.asserted_by == "alice"
+
+    def test_provenance_validation(self):
+        with pytest.raises(ValueError):
+            ProvenanceRecord(asserted_by="", method=AssertionMethod.AUTOMATIC, confidence=0.5)
+        with pytest.raises(ValueError):
+            ProvenanceRecord(asserted_by="a", method=AssertionMethod.AUTOMATIC, confidence=2.0)
+
+
+class TestReuse:
+    def _pivot_setup(self, repository):
+        a = small_schema("a", ["x"])
+        b = small_schema("b", ["x"])
+        c = small_schema("c", ["x"])
+        for schema in (a, b, c):
+            repository.register(schema)
+        repository.store_match(
+            "a", "b", Correspondence("a.x", "b.x", 0.8), asserted_by="alice"
+        )
+        repository.store_match(
+            "b", "c", Correspondence("b.x", "c.x", 0.6), asserted_by="alice"
+        )
+
+    def test_composition_via_pivot(self, repository):
+        self._pivot_setup(repository)
+        composed = compose_matches(repository, "a", "c")
+        assert len(composed) == 1
+        assert composed[0].pair == ("a.x", "c.x")
+        assert composed[0].score == pytest.approx(0.6)  # min of the legs
+
+    def test_composition_direction_flips(self, repository):
+        self._pivot_setup(repository)
+        composed = compose_matches(repository, "c", "a")
+        assert composed[0].pair == ("c.x", "a.x")
+
+    def test_rejected_legs_ignored(self, repository):
+        a = small_schema("a", ["x"])
+        b = small_schema("b", ["x"])
+        c = small_schema("c", ["x"])
+        for schema in (a, b, c):
+            repository.register(schema)
+        repository.store_match(
+            "a", "b",
+            Correspondence("a.x", "b.x", 0.8, status=MatchStatus.REJECTED),
+            asserted_by="alice",
+        )
+        repository.store_match(
+            "b", "c", Correspondence("b.x", "c.x", 0.6), asserted_by="alice"
+        )
+        assert compose_matches(repository, "a", "c") == []
+
+    def test_reuse_candidates_can_store(self, repository):
+        self._pivot_setup(repository)
+        candidates = reuse_candidates(repository, "a", "c", store=True)
+        assert len(candidates) == 1
+        stored = repository.matches(source_schema="a", target_schema="c")
+        assert stored[0].provenance.method is AssertionMethod.COMPOSED
+
+
+class TestSqlitePersistence:
+    def test_survives_reopen(self, tmp_path, sample_relational):
+        path = str(tmp_path / "persistent.db")
+        with MetadataRepository(path=path) as repo:
+            repo.register(sample_relational)
+            repo.register(small_schema("other", ["x"]))
+            repo.store_match(
+                "SA_sample", "other",
+                Correspondence("person_master", "other.x", 0.5),
+                asserted_by="alice",
+            )
+        with MetadataRepository(path=path) as reopened:
+            assert len(reopened) == 2
+            assert len(reopened.matches()) == 1
+            # Sequence counter continues after the stored maximum.
+            stored = reopened.store_match(
+                "SA_sample", "other",
+                Correspondence("person_master", "other.x", 0.6),
+                asserted_by="bob",
+            )
+            assert stored.provenance.sequence == 2

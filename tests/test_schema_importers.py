@@ -1,0 +1,201 @@
+"""DDL and XSD importers plus the JSON round-trip."""
+
+import pytest
+
+from repro.schema import (
+    DataType,
+    ElementKind,
+    ParseError,
+    parse_ddl,
+    parse_xsd,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.schema.datatypes import parse_sql_type, parse_xsd_type
+
+
+class TestDdlImporter:
+    def test_sample_structure(self, sample_relational):
+        assert len(sample_relational) == 15  # 2 tables + 10 cols + view + 2 view cols
+        assert len(sample_relational.roots()) == 3
+
+    def test_column_types(self, sample_relational):
+        event_id = sample_relational.element("all_event_vitals.event_id")
+        assert event_id.data_type is DataType.DECIMAL
+        assert event_id.is_key
+        assert not event_id.nullable
+
+    def test_inline_comment_becomes_documentation(self, sample_relational):
+        begin = sample_relational.element("all_event_vitals.date_begin_156")
+        assert begin.documentation == "date the event began"
+
+    def test_comment_on_table(self, sample_relational):
+        table = sample_relational.element("all_event_vitals")
+        assert "Vital facts" in table.documentation
+
+    def test_comment_on_column_overrides(self, sample_relational):
+        blood = sample_relational.element("person_master.blood_type_cd")
+        assert blood.documentation == "ABO blood group of the person"
+
+    def test_not_null_parsed(self, sample_relational):
+        cd = sample_relational.element("all_event_vitals.event_type_cd")
+        assert not cd.nullable
+
+    def test_view_parsed(self, sample_relational):
+        view = sample_relational.element("active_persons")
+        assert view.kind is ElementKind.VIEW
+        assert len(sample_relational.children(view)) == 2
+
+    def test_table_level_primary_key_clause(self):
+        schema = parse_ddl(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a));"
+        )
+        assert schema.element("t.a").is_key
+        assert not schema.element("t.b").is_key
+
+    def test_unsupported_statement(self):
+        with pytest.raises(ParseError):
+            parse_ddl("DROP TABLE t;")
+
+    def test_garbage_column(self):
+        with pytest.raises(ParseError):
+            parse_ddl("CREATE TABLE t (!!!);")
+
+    def test_comment_on_unknown_table(self):
+        with pytest.raises(ParseError):
+            parse_ddl("COMMENT ON TABLE missing IS 'x';")
+
+    def test_semicolons_inside_strings(self):
+        schema = parse_ddl(
+            "CREATE TABLE t (a INT);\nCOMMENT ON TABLE t IS 'a; b';"
+        )
+        assert schema.element("t").documentation == "a; b"
+
+    def test_escaped_quote_in_comment(self):
+        schema = parse_ddl(
+            "CREATE TABLE t (a INT);\nCOMMENT ON TABLE t IS 'it''s here';"
+        )
+        assert schema.element("t").documentation == "it's here"
+
+    def test_schema_qualified_table_name(self):
+        schema = parse_ddl("CREATE TABLE ops.t (a INT);")
+        assert "t" in schema
+
+    def test_empty_input(self):
+        assert len(parse_ddl("")) == 0
+
+
+class TestXsdImporter:
+    def test_sample_structure(self, sample_xml):
+        names = [e.name for e in sample_xml]
+        assert "Event" in names
+        assert "Individual" in names
+        assert "EventReport" in names
+
+    def test_documentation_extracted(self, sample_xml):
+        event = sample_xml.element("event")
+        assert "operationally significant" in event.documentation
+
+    def test_types_normalised(self, sample_xml):
+        dob = sample_xml.element("individual.dateofbirth")
+        assert dob.data_type is DataType.DATE
+
+    def test_attribute_parsed(self, sample_xml):
+        verified = sample_xml.element("event.verified")
+        assert verified.kind is ElementKind.ATTRIBUTE
+        assert verified.data_type is DataType.BOOLEAN
+        assert verified.nullable
+
+    def test_min_occurs_zero_nullable(self, sample_xml):
+        category = sample_xml.element("event.category")
+        assert category.nullable
+
+    def test_type_reference_expanded(self, sample_xml):
+        report_children = {e.name for e in sample_xml.children("eventreport")}
+        assert "EventIdentifier" in report_children
+
+    def test_recursive_type_does_not_loop(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:complexType name="Node">
+            <xs:sequence><xs:element name="child" type="Node"/></xs:sequence>
+          </xs:complexType>
+        </xs:schema>"""
+        schema = parse_xsd(xsd)
+        assert len(schema) >= 2  # finite despite the recursion
+
+    def test_malformed_xml(self):
+        with pytest.raises(ParseError):
+            parse_xsd("<not-closed")
+
+    def test_wrong_root(self):
+        with pytest.raises(ParseError):
+            parse_xsd("<foo/>")
+
+    def test_choice_content_model(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:complexType name="T">
+            <xs:choice>
+              <xs:element name="a" type="xs:string"/>
+              <xs:element name="b" type="xs:int"/>
+            </xs:choice>
+          </xs:complexType>
+        </xs:schema>"""
+        schema = parse_xsd(xsd)
+        assert {e.name for e in schema.children("t")} == {"a", "b"}
+
+
+class TestTypeParsing:
+    @pytest.mark.parametrize(
+        "declared,expected",
+        [
+            ("VARCHAR2(30)", DataType.STRING),
+            ("NUMBER(10,2)", DataType.DECIMAL),
+            ("INT", DataType.INTEGER),
+            ("TIMESTAMP", DataType.DATETIME),
+            ("BLOB", DataType.BINARY),
+            ("MYSTERY_TYPE", DataType.UNKNOWN),
+        ],
+    )
+    def test_sql_types(self, declared, expected):
+        assert parse_sql_type(declared) is expected
+
+    @pytest.mark.parametrize(
+        "declared,expected",
+        [
+            ("xs:string", DataType.STRING),
+            ("xsd:dateTime", DataType.DATETIME),
+            ("xs:ID", DataType.IDENTIFIER),
+            ("tns:CustomType", DataType.UNKNOWN),
+        ],
+    )
+    def test_xsd_types(self, declared, expected):
+        assert parse_xsd_type(declared) is expected
+
+
+class TestSerialization:
+    def test_round_trip(self, sample_relational):
+        payload = schema_to_dict(sample_relational)
+        rebuilt = schema_from_dict(payload)
+        assert len(rebuilt) == len(sample_relational)
+        assert [e.element_id for e in rebuilt] == [
+            e.element_id for e in sample_relational
+        ]
+        original = sample_relational.element("all_event_vitals.date_begin_156")
+        copy = rebuilt.element("all_event_vitals.date_begin_156")
+        assert copy.documentation == original.documentation
+        assert copy.data_type is original.data_type
+
+    def test_version_check(self, sample_relational):
+        payload = schema_to_dict(sample_relational)
+        payload["format_version"] = 99
+        with pytest.raises(ParseError):
+            schema_from_dict(payload)
+
+    def test_file_round_trip(self, sample_xml, tmp_path):
+        from repro.schema import dump_schema, load_schema
+
+        path = str(tmp_path / "schema.json")
+        dump_schema(sample_xml, path)
+        rebuilt = load_schema(path)
+        assert len(rebuilt) == len(sample_xml)
+        assert rebuilt.kind == "xml"

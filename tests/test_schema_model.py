@@ -1,0 +1,158 @@
+"""Schema container: construction, traversal, invariants."""
+
+import pytest
+
+from repro.schema import (
+    DuplicateElementError,
+    ElementKind,
+    Schema,
+    SchemaElement,
+    SchemaError,
+    UnknownElementError,
+)
+
+
+@pytest.fixture
+def tree():
+    schema = Schema("test", kind="relational")
+    table = schema.add_root("PERSON", kind=ElementKind.TABLE)
+    schema.add_child(table, "PERSON_ID", kind=ElementKind.COLUMN)
+    name = schema.add_child(table, "NAME", kind=ElementKind.COLUMN)
+    schema.add_child(name, "SUBFIELD")
+    schema.add_root("VEHICLE", kind=ElementKind.TABLE)
+    return schema
+
+
+class TestConstruction:
+    def test_len_and_iteration_order(self, tree):
+        assert len(tree) == 5
+        assert [e.name for e in tree] == [
+            "PERSON", "PERSON_ID", "NAME", "SUBFIELD", "VEHICLE",
+        ]
+
+    def test_duplicate_id_rejected(self, tree):
+        with pytest.raises(DuplicateElementError):
+            tree.add(SchemaElement(element_id="person", name="x"))
+
+    def test_missing_parent_rejected(self):
+        schema = Schema("s")
+        with pytest.raises(SchemaError):
+            schema.add(SchemaElement(element_id="c", name="c", parent_id="nope"))
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValueError):
+            SchemaElement(element_id="x", name="x", parent_id="x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            SchemaElement(element_id="x", name="")
+
+    def test_empty_schema_name_rejected(self):
+        with pytest.raises(ValueError):
+            Schema("")
+
+    def test_derived_ids_unique(self):
+        schema = Schema("s")
+        first = schema.add_root("SAME")
+        second = schema.add_root("SAME")
+        assert first.element_id != second.element_id
+
+    def test_add_child_by_id_string(self, tree):
+        child = tree.add_child("vehicle", "REG_NO")
+        assert tree.parent(child).name == "VEHICLE"
+
+    def test_add_child_unknown_parent(self, tree):
+        with pytest.raises(UnknownElementError):
+            tree.add_child("missing", "X")
+
+
+class TestTraversal:
+    def test_roots(self, tree):
+        assert [r.name for r in tree.roots()] == ["PERSON", "VEHICLE"]
+
+    def test_children(self, tree):
+        assert [c.name for c in tree.children("person")] == ["PERSON_ID", "NAME"]
+
+    def test_parent_of_root_is_none(self, tree):
+        assert tree.parent("person") is None
+
+    def test_depths(self, tree):
+        assert tree.depth("person") == 1
+        assert tree.depth("person.name") == 2
+        assert tree.depth("person.name.subfield") == 3
+        assert tree.max_depth() == 3
+
+    def test_elements_at_depth(self, tree):
+        assert {e.name for e in tree.elements_at_depth(1)} == {"PERSON", "VEHICLE"}
+
+    def test_subtree_preorder(self, tree):
+        names = [e.name for e in tree.subtree("person")]
+        assert names == ["PERSON", "PERSON_ID", "NAME", "SUBFIELD"]
+
+    def test_descendants_excludes_root(self, tree):
+        assert [e.name for e in tree.descendants("person")] == [
+            "PERSON_ID", "NAME", "SUBFIELD",
+        ]
+
+    def test_ancestors(self, tree):
+        assert [a.name for a in tree.ancestors("person.name.subfield")] == [
+            "NAME", "PERSON",
+        ]
+
+    def test_leaves(self, tree):
+        assert {e.name for e in tree.leaves()} == {
+            "PERSON_ID", "SUBFIELD", "VEHICLE",
+        }
+
+    def test_path(self, tree):
+        assert tree.path("person.name.subfield") == "PERSON/NAME/SUBFIELD"
+
+    def test_find_by_name_case_insensitive(self, tree):
+        assert len(tree.find_by_name("person")) == 1
+
+    def test_unknown_lookup(self, tree):
+        with pytest.raises(UnknownElementError):
+            tree.element("missing")
+        with pytest.raises(UnknownElementError):
+            tree.depth("missing")
+        with pytest.raises(UnknownElementError):
+            tree.subtree("missing")
+
+    def test_contains(self, tree):
+        assert "person" in tree
+        assert "missing" not in tree
+
+    def test_filter_elements(self, tree):
+        tables = tree.filter_elements(lambda e: e.kind is ElementKind.TABLE)
+        assert len(tables) == 2
+
+
+class TestIntegrity:
+    def test_validate_ok(self, tree):
+        tree.validate()
+
+    def test_stats(self, tree):
+        assert tree.stats() == {
+            "elements": 5, "roots": 2, "leaves": 3, "max_depth": 3,
+        }
+
+    def test_replace_element_keeps_parent(self, tree):
+        element = tree.element("person.name")
+        tree.replace_element(element.with_documentation("the name"))
+        assert tree.element("person.name").documentation == "the name"
+
+    def test_replace_element_cannot_reparent(self, tree):
+        moved = SchemaElement(element_id="person.name", name="NAME", parent_id="vehicle")
+        with pytest.raises(SchemaError):
+            tree.replace_element(moved)
+
+    def test_describing_text(self):
+        element = SchemaElement(element_id="e", name="N", documentation="docs here")
+        assert element.describing_text() == "N docs here"
+        bare = SchemaElement(element_id="e", name="N")
+        assert bare.describing_text() == "N"
+
+    def test_kind_container_flags(self):
+        assert ElementKind.TABLE.is_container()
+        assert ElementKind.COMPLEX_TYPE.is_container()
+        assert not ElementKind.COLUMN.is_container()

@@ -1,0 +1,179 @@
+"""String metrics: known values plus metric-space properties (hypothesis)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.similarity import (
+    dice_coefficient,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    lcs_similarity,
+    levenshtein,
+    levenshtein_similarity,
+    longest_common_substring,
+    monge_elkan,
+    ngram_similarity,
+    overlap_coefficient,
+)
+
+words = st.text(alphabet="abcdefghij", max_size=12)
+
+
+class TestLevenshtein:
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_identity(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_single_substitution(self):
+        assert levenshtein("cat", "bat") == 1
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(words)
+    def test_identity_of_indiscernibles(self, a):
+        assert levenshtein(a, a) == 0
+
+    def test_similarity_normalisation(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_no_common(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaro(a, b) <= 1.0
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert jaro(a, b) == pytest.approx(jaro(b, a))
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert jaro_winkler("prefixed", "prefixes") > jaro("prefixed", "prefixes")
+
+    def test_known_value(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+    @given(words, words)
+    def test_at_least_jaro(self, a, b):
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+
+class TestSetMetrics:
+    def test_dice_known(self):
+        assert dice_coefficient({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_jaccard_known(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_overlap_known(self):
+        assert overlap_coefficient({"a"}, {"a", "b", "c"}) == 1.0
+
+    def test_both_empty_is_one(self):
+        assert dice_coefficient([], []) == 1.0
+        assert jaccard([], []) == 1.0
+        assert overlap_coefficient([], []) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert dice_coefficient(["a"], []) == 0.0
+        assert jaccard(["a"], []) == 0.0
+        assert overlap_coefficient(["a"], []) == 0.0
+
+    @given(st.sets(words, max_size=6), st.sets(words, max_size=6))
+    def test_jaccard_leq_dice_leq_overlap(self, a, b):
+        if a and b:
+            assert jaccard(a, b) <= dice_coefficient(a, b) + 1e-12
+            assert dice_coefficient(a, b) <= overlap_coefficient(a, b) + 1e-12
+
+    @given(st.sets(words, max_size=6), st.sets(words, max_size=6))
+    def test_symmetry(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+        assert dice_coefficient(a, b) == dice_coefficient(b, a)
+
+
+class TestNgramSimilarity:
+    def test_related_words_nonzero(self):
+        assert ngram_similarity("night", "nacht") > 0.0
+
+    def test_identity(self):
+        assert ngram_similarity("vehicle", "vehicle") == 1.0
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        assert 0.0 <= ngram_similarity(a, b) <= 1.0
+
+
+class TestLcs:
+    def test_known(self):
+        assert longest_common_substring("registration", "regno") == 3  # "reg"
+
+    def test_empty(self):
+        assert longest_common_substring("", "abc") == 0
+
+    def test_similarity(self):
+        assert lcs_similarity("abc", "abc") == 1.0
+        assert lcs_similarity("", "") == 1.0
+        assert lcs_similarity("a", "") == 0.0
+
+    @given(words, words)
+    def test_lcs_bounded_by_shorter(self, a, b):
+        assert longest_common_substring(a, b) <= min(len(a), len(b))
+
+
+class TestMongeElkan:
+    def test_exact_tokens(self):
+        assert monge_elkan(["date", "begin"], ["begin", "date"]) == pytest.approx(1.0)
+
+    def test_empty_left(self):
+        assert monge_elkan([], ["a"]) == 0.0
+
+    def test_empty_right(self):
+        assert monge_elkan(["a"], []) == 0.0
+
+    @given(
+        st.lists(words.filter(bool), min_size=1, max_size=4),
+        st.lists(words.filter(bool), min_size=1, max_size=4),
+    )
+    def test_bounds(self, a, b):
+        assert 0.0 <= monge_elkan(a, b) <= 1.0

@@ -1,0 +1,131 @@
+"""Porter stemmer: canonical vocabulary and structural properties."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stem import stem, stem_all
+
+# Reference pairs checked against the canonical Porter implementation.
+CANONICAL = {
+    "caresses": "caress",
+    "ponies": "poni",
+    "ties": "ti",
+    "caress": "caress",
+    "cats": "cat",
+    "feed": "feed",
+    "agreed": "agre",
+    "plastered": "plaster",
+    "bled": "bled",
+    "motoring": "motor",
+    "sing": "sing",
+    "conflated": "conflat",
+    "troubled": "troubl",
+    "sized": "size",
+    "hopping": "hop",
+    "tanned": "tan",
+    "falling": "fall",
+    "hissing": "hiss",
+    "fizzed": "fizz",
+    "failing": "fail",
+    "filing": "file",
+    "happy": "happi",
+    "sky": "sky",
+    "relational": "relat",
+    "conditional": "condit",
+    "rational": "ration",
+    "valenci": "valenc",
+    "hesitanci": "hesit",
+    "digitizer": "digit",
+    "conformabli": "conform",
+    "radicalli": "radic",
+    "differentli": "differ",
+    "vileli": "vile",
+    "analogousli": "analog",
+    "vietnamization": "vietnam",
+    "predication": "predic",
+    "operator": "oper",
+    "feudalism": "feudal",
+    "decisiveness": "decis",
+    "hopefulness": "hope",
+    "callousness": "callous",
+    "formaliti": "formal",
+    "sensitiviti": "sensit",
+    "sensibiliti": "sensibl",
+    "triplicate": "triplic",
+    "formative": "form",
+    "formalize": "formal",
+    "electriciti": "electr",
+    "electrical": "electr",
+    "hopeful": "hope",
+    "goodness": "good",
+    "revival": "reviv",
+    "allowance": "allow",
+    "inference": "infer",
+    "airliner": "airlin",
+    "gyroscopic": "gyroscop",
+    "adjustable": "adjust",
+    "defensible": "defens",
+    "irritant": "irrit",
+    "replacement": "replac",
+    "adjustment": "adjust",
+    "dependent": "depend",
+    "adoption": "adopt",
+    "homologou": "homolog",
+    "communism": "commun",
+    "activate": "activ",
+    "angulariti": "angular",
+    "homologous": "homolog",
+    "effective": "effect",
+    "bowdlerize": "bowdler",
+    "probate": "probat",
+    "rate": "rate",
+    "cease": "ceas",
+    "controll": "control",
+    "roll": "roll",
+    "matching": "match",
+    "vehicles": "vehicl",
+}
+
+
+class TestCanonicalVocabulary:
+    def test_canonical_pairs(self):
+        failures = {
+            word: (stem(word), expected)
+            for word, expected in CANONICAL.items()
+            if stem(word) != expected
+        }
+        assert not failures, f"stemmer deviates on: {failures}"
+
+
+class TestEdgeCases:
+    def test_short_words_unchanged(self):
+        assert stem("go") == "go"
+        assert stem("a") == "a"
+
+    def test_lowercases_input(self):
+        assert stem("Matching") == stem("matching")
+
+    def test_non_alpha_passthrough(self):
+        assert stem("abc123") == "abc123"
+
+    def test_stem_all_preserves_order(self):
+        assert stem_all(["ponies", "cats"]) == ["poni", "cat"]
+
+
+class TestProperties:
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+    def test_idempotent_on_most_words(self, word):
+        # Porter is not strictly idempotent for every string, but double
+        # stemming must never crash and must keep producing str output.
+        once = stem(word)
+        twice = stem(once)
+        assert isinstance(twice, str)
+        assert twice
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=15))
+    def test_never_longer_than_input(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+    def test_deterministic(self, word):
+        assert stem(word) == stem(word)

@@ -1,0 +1,93 @@
+"""Tokenizer behaviour across naming conventions."""
+
+import pytest
+
+from repro.text.tokenize import char_ngrams, ngrams, split_identifier, tokenize
+
+
+class TestSplitIdentifier:
+    def test_upper_snake(self):
+        assert split_identifier("DATETIME_FIRST_INFO") == ["datetime", "first", "info"]
+
+    def test_camel_case(self):
+        assert split_identifier("personBirthDate") == ["person", "birth", "date"]
+
+    def test_pascal_case(self):
+        assert split_identifier("VehicleRegistrationNumber") == [
+            "vehicle",
+            "registration",
+            "number",
+        ]
+
+    def test_acronym_run_kept_whole(self):
+        assert split_identifier("XMLSchema") == ["xml", "schema"]
+
+    def test_acronym_at_end(self):
+        assert split_identifier("personID") == ["person", "id"]
+
+    def test_digits_split_from_letters(self):
+        assert split_identifier("DATE_BEGIN_156") == ["date", "begin", "156"]
+
+    def test_digits_inside_word(self):
+        assert split_identifier("addr2line") == ["addr", "2", "line"]
+
+    def test_mixed_separators(self):
+        assert split_identifier("a-b.c/d e") == ["a", "b", "c", "d", "e"]
+
+    def test_empty_string(self):
+        assert split_identifier("") == []
+
+    def test_only_separators(self):
+        assert split_identifier("___--..") == []
+
+    def test_parenthesised(self):
+        assert split_identifier("qty(total)") == ["qty", "total"]
+
+
+class TestTokenize:
+    def test_drop_digits(self):
+        assert tokenize("DATE_BEGIN_156", drop_digits=True) == ["date", "begin"]
+
+    def test_keep_digits_by_default(self):
+        assert tokenize("DATE_BEGIN_156") == ["date", "begin", "156"]
+
+    def test_min_length(self):
+        assert tokenize("a of date", min_length=2) == ["of", "date"]
+
+    def test_prose(self):
+        assert tokenize("The date the event began") == [
+            "the", "date", "the", "event", "began",
+        ]
+
+
+class TestNgrams:
+    def test_word_bigrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_n_larger_than_sequence(self):
+        assert list(ngrams(["a"], 2)) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+
+class TestCharNgrams:
+    def test_padded_trigrams(self):
+        assert char_ngrams("abc", 3) == ["##a", "#ab", "abc", "bc#", "c##"]
+
+    def test_unpadded(self):
+        assert char_ngrams("abcd", 3, pad=False) == ["abc", "bcd"]
+
+    def test_short_string_unpadded(self):
+        assert char_ngrams("ab", 3, pad=False) == ["ab"]
+
+    def test_empty_string(self):
+        assert char_ngrams("", 3, pad=False) == []
+
+    def test_lowercases(self):
+        assert char_ngrams("AB", 2, pad=False) == ["ab"]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", 0)

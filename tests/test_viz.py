@@ -1,0 +1,157 @@
+"""Line-drawing clutter model (with brute-force cross-check) and ASCII views."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters import FilterChain, SubtreeFilter
+from repro.match import Correspondence, HarmonyMatchEngine
+from repro.viz import (
+    LineDrawing,
+    Viewport,
+    clutter_for_result,
+    compare_views,
+    count_crossings,
+    render_match_view,
+    render_tree,
+)
+
+
+def brute_force_crossings(positions):
+    count = 0
+    for (a1, b1), (a2, b2) in itertools.combinations(positions, 2):
+        if (a1 - a2) * (b1 - b2) < 0:
+            count += 1
+    return count
+
+
+class TestCountCrossings:
+    def test_parallel_lines_no_crossing(self):
+        assert count_crossings([(0, 0), (1, 1), (2, 2)]) == 0
+
+    def test_full_reversal(self):
+        assert count_crossings([(0, 2), (1, 1), (2, 0)]) == 3
+
+    def test_fan_out_not_crossing(self):
+        assert count_crossings([(0, 0), (0, 1), (0, 2)]) == 0
+
+    def test_fan_in_not_crossing(self):
+        assert count_crossings([(0, 0), (1, 0), (2, 0)]) == 0
+
+    def test_empty(self):
+        assert count_crossings([]) == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60)
+    def test_matches_brute_force(self, positions):
+        assert count_crossings(positions) == brute_force_crossings(positions)
+
+
+class TestViewport:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Viewport(height=0)
+        with pytest.raises(ValueError):
+            Viewport(height=5, source_offset=-1)
+
+    def test_window_logic(self):
+        viewport = Viewport(height=3, source_offset=2, target_offset=0)
+        assert viewport.shows_source(2)
+        assert viewport.shows_source(4)
+        assert not viewport.shows_source(5)
+        assert viewport.shows_target(0)
+        assert not viewport.shows_target(3)
+
+
+class TestLineDrawing:
+    def _links(self, sample_relational, sample_xml):
+        return [
+            Correspondence("person_master.birth_dt", "individual.dateofbirth", 0.8),
+            Correspondence("all_event_vitals.event_id", "event.eventidentifier", 0.7),
+            Correspondence("person_master.last_nm", "individual.familyname", 0.6),
+        ]
+
+    def test_positions_and_totals(self, sample_relational, sample_xml):
+        drawing = LineDrawing(sample_relational, sample_xml)
+        links = self._links(sample_relational, sample_xml)
+        assert drawing.total_lines(links) == 3
+        assert len(drawing.positions(links)) == 3
+
+    def test_visible_vs_dangling(self, sample_relational, sample_xml):
+        drawing = LineDrawing(sample_relational, sample_xml)
+        links = self._links(sample_relational, sample_xml)
+        # A small viewport at the top shows only the event-area rows.
+        viewport = Viewport(height=5)
+        visible = drawing.visible_lines(links, viewport)
+        dangling = drawing.dangling_lines(links, viewport)
+        assert len(visible) + dangling <= len(links)
+        full = Viewport(height=100)
+        assert len(drawing.visible_lines(links, full)) == 3
+        assert drawing.dangling_lines(links, full) == 0
+
+    def test_clutter_report_keys(self, sample_relational, sample_xml):
+        drawing = LineDrawing(sample_relational, sample_xml)
+        report = drawing.clutter(
+            self._links(sample_relational, sample_xml), Viewport(height=100)
+        )
+        assert report["total_lines"] == 3
+        assert report["offscreen_fraction"] == 0.0
+        assert set(report) == {
+            "total_lines", "visible_lines", "dangling_lines",
+            "visible_crossings", "offscreen_fraction",
+        }
+
+
+class TestCompareViews:
+    def test_filters_reduce_clutter(self, small_pair, small_pair_result):
+        result = small_pair_result
+        root_id = small_pair.source.schema.roots()[0].element_id
+        views = compare_views(
+            result, threshold=0.15, viewport=Viewport(height=30),
+            subtree_root_id=root_id,
+        )
+        by_name = {view.name: view for view in views}
+        unfiltered = by_name["unfiltered"]
+        subtree = by_name["subtree filter"]
+        both = by_name["subtree + confidence"]
+        assert subtree.total_lines <= unfiltered.total_lines
+        assert both.total_lines <= subtree.total_lines
+
+    def test_clutter_for_result_with_chain(self, small_pair, small_pair_result):
+        root_id = small_pair.source.schema.roots()[0].element_id
+        state = clutter_for_result(
+            small_pair_result,
+            threshold=0.15,
+            viewport=Viewport(height=30),
+            chain=FilterChain(source_filters=[SubtreeFilter(root_id)]),
+            name="test",
+        )
+        assert state.name == "test"
+        assert "lines=" in state.as_row()
+
+
+class TestAsciiRenderers:
+    def test_render_tree(self, sample_relational):
+        text = render_tree(sample_relational)
+        assert "SA_sample" in text
+        assert "ALL_EVENT_VITALS" in text
+        assert "EVENT_ID" in text
+
+    def test_render_tree_truncation(self, sample_relational):
+        text = render_tree(sample_relational, max_elements=3)
+        assert "more elements" in text
+
+    def test_render_match_view(self, sample_relational, sample_xml):
+        links = [
+            Correspondence("person_master.birth_dt", "individual.dateofbirth", 0.8)
+        ]
+        text = render_match_view(sample_relational, sample_xml, links)
+        assert "[1]" in text
+        assert "1 match lines" in text

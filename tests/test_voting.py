@@ -1,0 +1,172 @@
+"""The confidence model and vote mergers (with hypothesis bounds checks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.voting import (
+    AverageMerger,
+    ConvictionWeightedMerger,
+    MaxMerger,
+    MinMerger,
+    Vote,
+    WeightedLinearMerger,
+    confidence,
+    confidence_array,
+    merger_by_name,
+)
+
+
+class TestConfidence:
+    def test_no_evidence_is_complete_uncertainty(self):
+        assert confidence(1.0, 0.0) == 0.0
+        assert confidence(0.0, 0.0) == 0.0
+
+    def test_high_similarity_high_evidence_approaches_one(self):
+        assert confidence(1.0, 100.0) > 0.99
+
+    def test_low_similarity_high_evidence_approaches_minus_one(self):
+        assert confidence(0.0, 100.0) < -0.99
+
+    def test_half_similarity_always_zero(self):
+        assert confidence(0.5, 50.0) == pytest.approx(0.0)
+
+    def test_more_evidence_more_assertive(self):
+        assert confidence(0.9, 10.0) > confidence(0.9, 1.0)
+        assert confidence(0.1, 10.0) < confidence(0.1, 1.0)
+
+    def test_invalid_similarity(self):
+        with pytest.raises(ValueError):
+            confidence(1.5, 1.0)
+
+    def test_negative_evidence(self):
+        with pytest.raises(ValueError):
+            confidence(0.5, -1.0)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            confidence(0.5, 1.0, tau=0.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_open_interval_bounds(self, similarity, evidence):
+        # Mathematically the range is the open interval (-1, 1); float
+        # saturation can round to exactly +/-1 at extreme evidence.
+        value = confidence(similarity, evidence)
+        assert -1.0 <= value <= 1.0
+
+    def test_array_matches_scalar(self):
+        similarity = np.array([[0.9, 0.1]])
+        evidence = np.array([[5.0, 5.0]])
+        array = confidence_array(similarity, evidence)
+        assert array[0, 0] == pytest.approx(confidence(0.9, 5.0))
+        assert array[0, 1] == pytest.approx(confidence(0.1, 5.0))
+
+    def test_array_rejects_negative_evidence(self):
+        with pytest.raises(ValueError):
+            confidence_array(np.array([0.5]), np.array([-1.0]))
+
+
+class TestVote:
+    def test_valid(self):
+        vote = Vote(voter="v", score=0.5, evidence=3.0)
+        assert vote.conviction == 0.5
+
+    def test_score_out_of_range(self):
+        with pytest.raises(ValueError):
+            Vote(voter="v", score=1.5)
+
+    def test_negative_evidence(self):
+        with pytest.raises(ValueError):
+            Vote(voter="v", score=0.0, evidence=-1.0)
+
+
+def _stack(*layers):
+    return np.stack([np.array(layer, dtype=float) for layer in layers])
+
+
+class TestMergers:
+    def test_conviction_weighting_favors_confident_voter(self):
+        stacked = _stack([[0.9]], [[0.05]])
+        merged = ConvictionWeightedMerger().merge(stacked)
+        assert merged[0, 0] > 0.8  # the 0.9 vote dominates
+
+    def test_average_is_plain_mean(self):
+        stacked = _stack([[0.9]], [[0.1]])
+        assert AverageMerger().merge(stacked)[0, 0] == pytest.approx(0.5)
+
+    def test_conviction_zero_when_all_votes_zero(self):
+        stacked = _stack([[0.0]], [[0.0]])
+        assert ConvictionWeightedMerger().merge(stacked)[0, 0] == 0.0
+
+    def test_max_keeps_signed_extreme(self):
+        stacked = _stack([[-0.8]], [[0.3]])
+        assert MaxMerger().merge(stacked)[0, 0] == pytest.approx(-0.8)
+
+    def test_min_merger(self):
+        stacked = _stack([[-0.8]], [[0.3]])
+        assert MinMerger().merge(stacked)[0, 0] == pytest.approx(-0.8)
+
+    def test_weighted_linear(self):
+        stacked = _stack([[1.0]], [[0.0]])
+        merger = WeightedLinearMerger([3.0, 1.0])
+        assert merger.merge(stacked)[0, 0] == pytest.approx(0.75)
+
+    def test_weighted_linear_validates_weight_count(self):
+        merger = WeightedLinearMerger([1.0])
+        with pytest.raises(ValueError):
+            merger.merge(_stack([[0.0]], [[0.0]]))
+
+    def test_weighted_linear_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            WeightedLinearMerger([])
+        with pytest.raises(ValueError):
+            WeightedLinearMerger([-1.0])
+        with pytest.raises(ValueError):
+            WeightedLinearMerger([0.0, 0.0])
+
+    def test_rejects_empty_stack(self):
+        with pytest.raises(ValueError):
+            AverageMerger().merge(np.zeros((0, 2, 2)))
+
+    def test_rejects_wrong_dimensions(self):
+        with pytest.raises(ValueError):
+            AverageMerger().merge(np.zeros((2, 2)))
+
+    def test_registry(self):
+        assert merger_by_name("average").name == "average"
+        assert merger_by_name("conviction_weighted").name == "conviction_weighted"
+        with pytest.raises(ValueError):
+            merger_by_name("nonsense")
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_all_mergers_stay_in_bounds(self, n_voters, rows, cols, rng):
+        stacked = np.array(
+            [
+                [[rng.uniform(-1, 1) for _ in range(cols)] for _ in range(rows)]
+                for _ in range(n_voters)
+            ]
+        )
+        for merger in (
+            ConvictionWeightedMerger(),
+            AverageMerger(),
+            MaxMerger(),
+            MinMerger(),
+        ):
+            merged = merger.merge(stacked)
+            assert merged.shape == (rows, cols)
+            assert merged.min() >= -1.0 - 1e-9
+            assert merged.max() <= 1.0 + 1e-9
+
+    def test_unanimous_vote_preserved(self):
+        stacked = _stack([[0.7]], [[0.7]], [[0.7]])
+        for merger in (ConvictionWeightedMerger(), AverageMerger(), MaxMerger()):
+            assert merger.merge(stacked)[0, 0] == pytest.approx(0.7)

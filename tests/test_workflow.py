@@ -1,0 +1,187 @@
+"""Sessions, oracles, effort model, team planning."""
+
+import pytest
+
+from repro.match import MatchStatus
+from repro.workflow import (
+    EffortModel,
+    GroundTruthOracle,
+    MatchingSession,
+    NoisyOracle,
+    TaskState,
+    calibrate,
+    plan_team,
+)
+
+
+@pytest.fixture(scope="module")
+def session_report(small_pair):
+    source_summary = small_pair.source.truth_summary()
+    target_summary = small_pair.target.truth_summary()
+    session = MatchingSession(
+        small_pair.source.schema,
+        small_pair.target.schema,
+        source_summary,
+        oracle=GroundTruthOracle(small_pair.truth_pairs),
+    )
+    report = session.run_all(target_summary=target_summary)
+    return session, report
+
+
+class TestOracles:
+    def test_ground_truth_oracle(self, small_pair):
+        oracle = GroundTruthOracle(small_pair.truth_pairs)
+        true_pair = next(iter(small_pair.truth_pairs))
+        assert oracle.judge(*true_pair)
+        assert not oracle.judge("nope", "also nope")
+
+    def test_noisy_oracle_deterministic(self, small_pair):
+        oracle = NoisyOracle(small_pair.truth_pairs, seed=7)
+        pair = next(iter(small_pair.truth_pairs))
+        assert oracle.judge(*pair) == oracle.judge(*pair)
+
+    def test_noisy_oracle_error_rates_roughly_honoured(self, small_pair):
+        oracle = NoisyOracle(
+            small_pair.truth_pairs, false_negative_rate=0.5, seed=3
+        )
+        judged_true = sum(
+            oracle.judge(a, b) for a, b in small_pair.truth_pairs
+        )
+        fraction = judged_true / len(small_pair.truth_pairs)
+        assert 0.25 < fraction < 0.75
+
+    def test_noisy_oracle_validation(self, small_pair):
+        with pytest.raises(ValueError):
+            NoisyOracle(small_pair.truth_pairs, false_negative_rate=1.5)
+
+
+class TestSession:
+    def test_runs_one_increment_per_concept(self, session_report, small_pair):
+        session, report = session_report
+        assert len(report.runs) == len(small_pair.source.truth_summary())
+
+    def test_concept_queue_big_first(self, session_report):
+        session, _ = session_report
+        queue = session.concept_queue()
+        sizes = session.summary.concept_sizes()
+        assert [sizes[c] for c in queue] == sorted(
+            (sizes[c] for c in queue), reverse=True
+        )
+
+    def test_validated_pairs_are_truth(self, session_report, small_pair):
+        session, report = session_report
+        accepted = session.accepted_pairs()
+        assert accepted  # the engine surfaced real candidates
+        assert accepted <= small_pair.truth_pairs  # perfect oracle accepts truth only
+
+    def test_rejections_recorded(self, session_report):
+        _, report = session_report
+        assert report.validated.rejected  # some candidates were spurious
+
+    def test_pairs_per_increment_consistent(self, session_report, small_pair):
+        _, report = session_report
+        target_size = len(small_pair.target.schema)
+        for run in report.runs:
+            assert run.n_pairs_considered == run.n_subtree_elements * target_size
+
+    def test_concept_matches_found(self, session_report):
+        _, report = session_report
+        assert report.concept_matches
+
+    def test_summary_must_match_schema(self, small_pair):
+        wrong_summary = small_pair.target.truth_summary()
+        with pytest.raises(ValueError):
+            MatchingSession(
+                small_pair.source.schema,
+                small_pair.target.schema,
+                wrong_summary,
+                oracle=GroundTruthOracle(set()),
+            )
+
+    def test_matched_target_ids_subset_of_truth(self, session_report, small_pair):
+        session, _ = session_report
+        assert session.matched_target_ids() <= small_pair.matched_target_ids
+
+
+class TestEffortModel:
+    def test_session_estimate_components(self, session_report):
+        _, report = session_report
+        model = EffortModel()
+        estimate = model.session_estimate(report, n_concepts_labelled=30)
+        assert estimate.inspection_seconds == (
+            report.total_candidates_inspected * model.seconds_per_candidate
+        )
+        assert estimate.total_seconds > 0
+        assert estimate.person_days == pytest.approx(
+            estimate.total_seconds / (8 * 3600)
+        )
+
+    def test_wall_days_divides_by_team(self, session_report):
+        _, report = session_report
+        estimate = EffortModel().session_estimate(report, 30)
+        assert estimate.wall_days(2) == pytest.approx(estimate.person_days / 2)
+        with pytest.raises(ValueError):
+            estimate.wall_days(0)
+
+    def test_naive_estimate_has_single_overhead(self):
+        model = EffortModel()
+        estimate = model.naive_estimate(10_000)
+        assert estimate.increment_overhead_seconds == model.seconds_per_increment
+        assert estimate.summarization_seconds == 0.0
+
+    def test_calibration_hits_anchor(self, session_report):
+        _, report = session_report
+        model = calibrate(EffortModel(), report, n_concepts_labelled=30,
+                          anchor_person_days=6.0)
+        estimate = model.session_estimate(report, n_concepts_labelled=30)
+        assert estimate.person_days == pytest.approx(6.0, rel=1e-6)
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            EffortModel(seconds_per_candidate=0)
+
+
+class TestTeamPlanning:
+    def test_plan_covers_all_concepts(self, small_pair):
+        summary = small_pair.source.truth_summary()
+        plan = plan_team(summary, len(small_pair.target.schema), ["ann", "bob"])
+        planned = {task.concept_id for task in plan.all_tasks()}
+        assert planned == {concept.concept_id for concept in summary.concepts}
+
+    def test_balance_reasonable(self, small_pair):
+        summary = small_pair.source.truth_summary()
+        plan = plan_team(summary, len(small_pair.target.schema), ["ann", "bob"])
+        assert plan.balance > 0.5
+
+    def test_makespan_positive_and_bounded(self, small_pair):
+        summary = small_pair.source.truth_summary()
+        solo = plan_team(summary, len(small_pair.target.schema), ["ann"])
+        duo = plan_team(summary, len(small_pair.target.schema), ["ann", "bob"])
+        assert 0 < duo.makespan_seconds <= solo.makespan_seconds
+
+    def test_task_lifecycle(self, small_pair):
+        summary = small_pair.source.truth_summary()
+        plan = plan_team(summary, 100, ["ann"])
+        queue = plan.queue_of("ann")
+        task = queue.next_task()
+        assert task.state is TaskState.PENDING
+        task.start()
+        assert task.state is TaskState.IN_PROGRESS
+        assert queue.next_task() is not task  # next pending differs
+        task.finish()
+        assert task.state is TaskState.DONE
+        with pytest.raises(ValueError):
+            task.finish()
+
+    def test_plan_validation(self, small_pair):
+        summary = small_pair.source.truth_summary()
+        with pytest.raises(ValueError):
+            plan_team(summary, 100, [])
+        with pytest.raises(ValueError):
+            plan_team(summary, 100, ["a"], expected_candidate_rate=2.0)
+
+    def test_unknown_member(self, small_pair):
+        summary = small_pair.source.truth_summary()
+        plan = plan_team(summary, 100, ["ann"])
+        with pytest.raises(KeyError):
+            plan.queue_of("zoe")
