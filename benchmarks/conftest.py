@@ -2,9 +2,9 @@
 
 Every bench regenerates one of the paper's quantitative claims (see
 DESIGN.md's experiment index) and reports *paper vs measured* rows.  Rows
-are printed to the live terminal (bypassing capture) and appended to
-``benchmarks/results/EXX.txt`` so the numbers survive into version control
-and EXPERIMENTS.md.
+are printed to the live terminal (bypassing capture) and written to
+``benchmarks/results/EXX.txt`` so the numbers survive into version
+control next to the code that produced them.
 """
 
 from __future__ import annotations

@@ -1,0 +1,94 @@
+"""E16 -- corpus-scale batch fast path vs the exact per-pair engine.
+
+The paper's scale claim (section 3.1: 10^4-10^6 potential matches per
+operation, whole repositories of schemata to sweep) is what motivates the
+two-stage fast path of :mod:`repro.batch`: candidate blocking through
+shared-token inverted indexes, then bulk ``score_pairs`` voting over cached
+:class:`~repro.matchers.profile.FeatureSpace` matrices.
+
+This bench reruns the E2 scale sweep through both paths and holds the fast
+path to its contract at the largest setting (the full 1378 x 784 case-study
+grid): **>= 5x wall-clock speedup** over the exact engine with **blocking
+recall >= 0.98** against the exact match matrix at the default candidate
+threshold.  Candidate scores are exact (tier-1 property tests pin them to
+1e-9), so blocking recall *is* end-to-end recall.
+"""
+
+import time
+
+from repro.batch import BatchMatchRunner, blocking_recall, candidate_pairs
+from repro.match import HarmonyMatchEngine
+
+SWEEP_SIZES = (100, 300, 600, 1000, 1378)  # as in E2's scale sweep
+CANDIDATE_THRESHOLD = 0.15
+SPEEDUP_FLOOR = 5.0
+RECALL_FLOOR = 0.98
+
+
+def _best_of(function, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_e16_batch_fastpath(benchmark, case_pair, report_factory):
+    source = case_pair.source.schema
+    target = case_pair.target.schema
+    all_ids = [element.element_id for element in source]
+
+    # Both paths amortise their per-schema work across a corpus run, so
+    # both are timed steady-state: profiles (engine) and profiles+features
+    # (runner) are built before the clock starts.
+    engine = HarmonyMatchEngine()
+    engine.profile(source)
+    engine.profile(target)
+    exact_result = engine.match(source, target)
+
+    runner = BatchMatchRunner(executor="serial")
+    runner.warm([source, target])
+    fast_result = runner.match_pair(source, target)
+
+    sweep_rows = []
+    for size in SWEEP_SIZES:
+        restricted = all_ids[:size]
+        exact_seconds = _best_of(
+            lambda: engine.match(source, target, source_element_ids=restricted), 2
+        )
+        fast_seconds = _best_of(
+            lambda: runner.match_pair(source, target, source_element_ids=restricted), 2
+        )
+        sweep_rows.append((size, exact_seconds, fast_seconds))
+
+    exact_seconds = _best_of(lambda: engine.match(source, target), 3)
+    benchmark.pedantic(lambda: runner.match_pair(source, target), rounds=3, iterations=1)
+    fast_seconds = _best_of(lambda: runner.match_pair(source, target), 3)
+    speedup = exact_seconds / fast_seconds
+
+    candidates = candidate_pairs(
+        runner.profile(source), runner.profile(target), runner.space, runner.blocking
+    )
+    recall = blocking_recall(exact_result.matrix, candidates, CANDIDATE_THRESHOLD)
+
+    report = report_factory("E16", "Batch fast path vs exact engine (E2 sweep)")
+    report.line("  source size   exact s   fast s   speedup")
+    for size, exact_s, fast_s in sweep_rows:
+        report.line(f"  {size:>11}   {exact_s:>7.3f}   {fast_s:>6.3f}   {exact_s / fast_s:>6.1f}x")
+    report.row("pairs at full scale", "~10^6", f"{exact_result.n_pairs:,}")
+    report.row(
+        "candidates after blocking",
+        "(fraction of grid)",
+        f"{candidates.n_candidates:,} ({candidates.fraction:.1%})",
+    )
+    report.row("full-scale speedup", f">= {SPEEDUP_FLOOR:.0f}x", f"{speedup:.1f}x")
+    report.row(
+        f"blocking recall @ {CANDIDATE_THRESHOLD}",
+        f">= {RECALL_FLOOR}",
+        f"{recall:.4f}",
+    )
+
+    assert fast_result.matrix.shape == exact_result.matrix.shape
+    assert speedup >= SPEEDUP_FLOOR
+    assert recall >= RECALL_FLOOR

@@ -24,6 +24,7 @@ Quickstart::
 See ``examples/`` for the full case-study walkthroughs.
 """
 
+from repro.batch import BatchMatchRunner, BlockingPolicy
 from repro.match import (
     Correspondence,
     CorrespondenceSet,
@@ -54,6 +55,8 @@ from repro.summarize import Summary, match_concepts, summarize_by_roots
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchMatchRunner",
+    "BlockingPolicy",
     "Correspondence",
     "CorrespondenceSet",
     "DataType",

@@ -3,10 +3,13 @@
 Subcommands mirror the library's main operations:
 
 * ``match A.sql B.xsd``      -- run the engine, print top candidates
+* ``batch A.sql B.xsd ...``  -- corpus fast path: one source vs a corpus,
+  or ``--all-pairs`` over the whole registry
 * ``overlap A.sql B.xsd``    -- the Lesson-#3 partition report
 * ``summarize A.sql``        -- SUMMARIZE(S) by root containers
 * ``tree A.sql``             -- ASCII schema tree
 * ``vocab A.sql B.xsd C.sql``-- N-way comprehensive vocabulary + partition
+  (``--batch`` routes the pairwise stage through the fast path)
 * ``cluster A.sql B.xsd ...``-- cluster a registry, propose COIs
 * ``search QUERY A.sql ...`` -- keyword search over a registry
 * ``casestudy``              -- regenerate the paper's section-3 study
@@ -19,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.export.report import concept_match_text, overlap_report_text
 from repro.match.engine import HarmonyMatchEngine
@@ -61,6 +65,52 @@ def _cmd_match(args: argparse.Namespace) -> int:
         )
     if len(candidates) > args.limit:
         print(f"  ... ({len(candidates) - args.limit} more above {args.threshold})")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.batch import BatchMatchRunner
+
+    runner = BatchMatchRunner(
+        selection=ThresholdSelection(args.threshold),
+        executor=args.executor,
+        max_workers=args.workers,
+        keep_matrices=False,
+    )
+    started = time.perf_counter()
+    if args.all_pairs:
+        registry = _load_registry(args.schemata)
+        if len(registry) < 2:
+            raise SystemExit("batch --all-pairs needs at least two schemata")
+        outcomes = runner.match_all_pairs(registry)
+    else:
+        if len(args.schemata) < 2:
+            raise SystemExit("batch needs a source and at least one target")
+        source = _load(args.schemata[0])
+        corpus = _load_registry(args.schemata[1:])
+        outcomes = runner.match_corpus(source, corpus)
+    elapsed = time.perf_counter() - started
+
+    total_pairs = sum(outcome.n_pairs for outcome in outcomes)
+    total_candidates = sum(outcome.n_candidates for outcome in outcomes)
+    for outcome in outcomes:
+        print(
+            f"{outcome.source_name} x {outcome.target_name}: "
+            f"{outcome.n_pairs:,} pairs, {outcome.n_candidates:,} candidates "
+            f"({outcome.candidate_fraction:.1%}), "
+            f"{len(outcome.correspondences)} correspondences "
+            f"in {outcome.elapsed_seconds:.2f}s"
+        )
+        for correspondence in outcome.correspondences[: args.limit]:
+            print(
+                f"  {correspondence.score:+.3f}  {correspondence.source_id}"
+                f"  <->  {correspondence.target_id}"
+            )
+    print(
+        f"batch total: {len(outcomes)} match operations, {total_pairs:,} pairs "
+        f"({total_candidates:,} scored after blocking) in {elapsed:.2f}s "
+        f"[{args.executor}]"
+    )
     return 0
 
 
@@ -109,7 +159,12 @@ def _cmd_vocab(args: argparse.Namespace) -> int:
     registry = _load_registry(args.schemata)
     if len(registry) < 2:
         raise SystemExit("vocab needs at least two schemata")
-    vocabulary, partition = nway_match(registry)
+    runner = None
+    if args.batch:
+        from repro.batch import BatchMatchRunner
+
+        runner = BatchMatchRunner(keep_matrices=False)
+    vocabulary, partition = nway_match(registry, runner=runner)
     print(
         f"comprehensive vocabulary over {len(registry)} schemata: "
         f"{len(vocabulary)} entries"
@@ -197,6 +252,25 @@ def build_parser() -> argparse.ArgumentParser:
     match_parser.add_argument("--limit", type=int, default=30)
     match_parser.set_defaults(handler=_cmd_match)
 
+    batch_parser = subparsers.add_parser(
+        "batch", help="corpus-scale fast-path matching (source vs corpus)"
+    )
+    batch_parser.add_argument(
+        "schemata", nargs="+", help="source schema followed by the corpus"
+    )
+    batch_parser.add_argument(
+        "--all-pairs",
+        action="store_true",
+        help="match every pair of the given schemata (N-way) instead of source-vs-corpus",
+    )
+    batch_parser.add_argument("--threshold", type=float, default=0.15)
+    batch_parser.add_argument("--limit", type=int, default=10)
+    batch_parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="serial"
+    )
+    batch_parser.add_argument("--workers", type=int, default=None)
+    batch_parser.set_defaults(handler=_cmd_batch)
+
     overlap_parser = subparsers.add_parser("overlap", help="overlap partition report")
     overlap_parser.add_argument("source")
     overlap_parser.add_argument("target")
@@ -216,6 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
         "vocab", help="N-way comprehensive vocabulary and partition"
     )
     vocab_parser.add_argument("schemata", nargs="+")
+    vocab_parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="route the pairwise stage through the batch fast path",
+    )
     vocab_parser.set_defaults(handler=_cmd_vocab)
 
     cluster_parser = subparsers.add_parser(

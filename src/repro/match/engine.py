@@ -9,6 +9,10 @@ merger producing the final match score per pair.
 The engine is stateless apart from a profile cache, so one engine instance
 serves repeated (incremental) match operations over the same schemata --
 exactly the concept-at-a-time workflow of section 3.3.
+
+This is the *exact* reference path; corpus-scale workloads go through the
+blocked, feature-cached fast path in :mod:`repro.batch`.  The full
+dataflow of both is drawn in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -16,7 +16,12 @@ from repro.matchers.name import (
     NgramVoter,
 )
 from repro.matchers.path import PathVoter
-from repro.matchers.profile import SchemaProfile, build_profile
+from repro.matchers.profile import (
+    FeatureSpace,
+    SchemaProfile,
+    TokenInterner,
+    build_profile,
+)
 from repro.matchers.structure import StructuralVoter
 from repro.matchers.thesaurus import ThesaurusVoter
 
@@ -26,9 +31,11 @@ __all__ = [
     "DocumentationVoter",
     "EditDistanceVoter",
     "ExactNameVoter",
+    "FeatureSpace",
     "InstanceTable",
     "InstanceVoter",
     "MatchVoter",
+    "TokenInterner",
     "NameTokenVoter",
     "NgramVoter",
     "PathVoter",
@@ -53,14 +60,18 @@ def default_voters() -> list[MatchVoter]:
 
     Vectorised voters only (safe at the paper's 10^6-pair scale): name
     tokens, character n-grams, thesaurus, documentation, data types, paths
-    and structure.
+    and structure.  The thesaurus and structural voters share one lexicon
+    instance so the batch fast path caches their canonical features once.
     """
+    from repro.text.thesaurus import SynonymLexicon
+
+    lexicon = SynonymLexicon.default()
     return [
         NameTokenVoter(),
         NgramVoter(),
-        ThesaurusVoter(),
+        ThesaurusVoter(lexicon=lexicon),
         DocumentationVoter(),
         DataTypeVoter(),
         PathVoter(),
-        StructuralVoter(),
+        StructuralVoter(lexicon=lexicon),
     ]

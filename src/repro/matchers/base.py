@@ -10,6 +10,17 @@ A voter looks at all (restricted) source x target element pairs and returns a
 
 Keeping all three lets the engine merge confidences while explanations and
 ablations can still reach the raw ingredients.
+
+Bulk fast path
+--------------
+For corpus-scale batch matching, voters additionally expose
+:meth:`MatchVoter.score_block` (full confidence matrix from cached
+:class:`~repro.matchers.profile.FeatureSpace` matrices) and
+:meth:`MatchVoter.score_pairs` (confidences for an explicit candidate pair
+list, as produced by :mod:`repro.batch.blocking`).  Vectorised voters
+implement :meth:`MatchVoter.fast_ratios`; everything else transparently
+falls back to the per-grid :meth:`MatchVoter.vote` path, so both APIs are
+total over any voter ensemble.
 """
 
 from __future__ import annotations
@@ -20,10 +31,10 @@ from typing import Sequence, TypeVar
 
 import numpy as np
 
-from repro.matchers.profile import SchemaProfile
+from repro.matchers.profile import FeatureSpace, SchemaProfile
 from repro.voting.confidence import DEFAULT_TAU, confidence_array
 
-__all__ = ["VoterOpinion", "MatchVoter", "subset"]
+__all__ = ["VoterOpinion", "MatchVoter", "subset", "gather_outer"]
 
 _ItemT = TypeVar("_ItemT")
 
@@ -61,6 +72,19 @@ def subset(items: Sequence[_ItemT], positions: np.ndarray | None) -> list[_ItemT
     if positions is None:
         return list(items)
     return [items[position] for position in positions]
+
+
+def gather_outer(
+    operation,
+    left: np.ndarray,
+    right: np.ndarray,
+    rows: np.ndarray | None,
+    cols: np.ndarray | None,
+) -> np.ndarray:
+    """Apply a binary ufunc pairwise: full outer grid, or per candidate pair."""
+    if rows is None:
+        return operation(left[:, None], right[None, :])
+    return operation(left[rows], right[cols])
 
 
 class MatchVoter(ABC):
@@ -131,6 +155,24 @@ class MatchVoter(ABC):
     ) -> tuple[np.ndarray, np.ndarray]:
         """Return (similarity, evidence) matrices for the restricted grid."""
 
+    def confidences(self, similarity: np.ndarray, evidence: np.ndarray) -> np.ndarray:
+        """Map (similarity, evidence) arrays of any shape to confidences.
+
+        Shared by the per-grid :meth:`vote` path and the bulk
+        :meth:`score_block` / :meth:`score_pairs` fast path, so both speak
+        exactly the same calibration dialect.
+        """
+        calibrated = self.calibrate(similarity)
+        if self.evidence_blind:
+            confidence = np.where(evidence > 0, 2.0 * calibrated - 1.0, 0.0)
+        else:
+            confidence = confidence_array(calibrated, evidence, tau=self.tau)
+        if self.negative_scale != 1.0:
+            confidence = np.where(
+                confidence < 0, confidence * self.negative_scale, confidence
+            )
+        return confidence
+
     def vote(
         self,
         source: SchemaProfile,
@@ -142,21 +184,77 @@ class MatchVoter(ABC):
         similarity, evidence = self.ratios(
             source, target, source_positions, target_positions
         )
-        calibrated = self.calibrate(similarity)
-        if self.evidence_blind:
-            confidence = np.where(evidence > 0, 2.0 * calibrated - 1.0, 0.0)
-        else:
-            confidence = confidence_array(calibrated, evidence, tau=self.tau)
-        if self.negative_scale != 1.0:
-            confidence = np.where(
-                confidence < 0, confidence * self.negative_scale, confidence
-            )
         return VoterOpinion(
             voter=self.name,
-            confidence=confidence,
+            confidence=self.confidences(similarity, evidence),
             similarity=similarity,
             evidence=evidence,
         )
+
+    # -- bulk fast path -------------------------------------------------
+    def fast_ratios(
+        self,
+        source: SchemaProfile,
+        target: SchemaProfile,
+        space: FeatureSpace,
+        rows: np.ndarray | None = None,
+        cols: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(similarity, evidence) from cached feature matrices.
+
+        ``rows is None`` means the full grid (2-D outputs); otherwise the
+        outputs are 1-D, aligned with the candidate (rows, cols) pairs.
+        Vectorised voters override this; the base class signals "no fast
+        path" so callers fall back to :meth:`vote`.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no bulk fast path")
+
+    @property
+    def supports_block(self) -> bool:
+        """Whether this voter implements the cached-feature fast path."""
+        return type(self).fast_ratios is not MatchVoter.fast_ratios
+
+    def score_block(
+        self,
+        source: SchemaProfile,
+        target: SchemaProfile,
+        space: FeatureSpace | None = None,
+    ) -> np.ndarray:
+        """Bulk confidence matrix over the full source x target grid.
+
+        Equals ``vote(source, target).confidence`` (within float tolerance)
+        but is computed from the :class:`FeatureSpace` caches: no per-call
+        re-tokenization, vocabulary building, or canonicalisation.  Voters
+        without a fast path fall back to the per-grid :meth:`vote`.
+        """
+        if not self.supports_block:
+            return self.vote(source, target).confidence
+        space = space if space is not None else FeatureSpace()
+        similarity, evidence = self.fast_ratios(source, target, space)
+        return self.confidences(similarity, evidence)
+
+    def score_pairs(
+        self,
+        source: SchemaProfile,
+        target: SchemaProfile,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        space: FeatureSpace | None = None,
+    ) -> np.ndarray:
+        """Confidences for an explicit candidate pair list (1-D).
+
+        ``rows``/``cols`` are aligned source/target element positions, as
+        produced by :func:`repro.batch.blocking.candidate_pairs`.  This is
+        the engine room of the batch fast path: work is proportional to the
+        number of *candidates*, not the full cross-product.
+        """
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        if not self.supports_block:
+            return self.vote(source, target).confidence[rows, cols]
+        space = space if space is not None else FeatureSpace()
+        similarity, evidence = self.fast_ratios(source, target, space, rows, cols)
+        return self.confidences(similarity, evidence)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r}, tau={self.tau})"

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.matchers.base import MatchVoter, subset
-from repro.schema.datatypes import DataType, compatibility_matrix
+from repro.matchers.base import MatchVoter, gather_outer, subset
+from repro.schema.datatypes import DataType, compatibility_matrix, family_table
 
 __all__ = ["DataTypeVoter"]
 
@@ -45,5 +45,19 @@ class DataTypeVoter(MatchVoter):
             [data_type is not DataType.UNKNOWN for data_type in target_types]
         )
         both_known = source_known[:, None] & target_known[None, :]
+        evidence = np.where(both_known, self.evidence_mass, 0.0)
+        return similarity, evidence
+
+    def fast_ratios(self, source, target, space, rows=None, cols=None):
+        table, _ = family_table()
+        source_ids = space.type_ids(source)
+        target_ids = space.type_ids(target)
+        if rows is None:
+            similarity = table[np.ix_(source_ids, target_ids)]
+        else:
+            similarity = table[source_ids[rows], target_ids[cols]]
+        both_known = gather_outer(
+            np.logical_and, space.type_known(source), space.type_known(target), rows, cols
+        )
         evidence = np.where(both_known, self.evidence_mass, 0.0)
         return similarity, evidence

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.matchers.base import MatchVoter, subset
+from repro.matchers.base import MatchVoter, gather_outer, subset
 from repro.matchers.profile import SchemaProfile
 from repro.text.tfidf import tfidf_similarity_matrix
 
@@ -41,6 +41,13 @@ class DocumentationVoter(MatchVoter):
         evidence = np.minimum(source_sizes[:, None], target_sizes[None, :])
         return similarity, evidence
 
+    def fast_ratios(self, source, target, space, rows=None, cols=None):
+        similarity = space.tfidf_cosine(source, target, "doc", rows=rows, cols=cols)
+        evidence = gather_outer(
+            np.minimum, space.doc_lengths(source), space.doc_lengths(target), rows, cols
+        )
+        return similarity, evidence
+
 
 class DescribingTextVoter(MatchVoter):
     """TF-IDF cosine over name *and* documentation terms combined.
@@ -61,4 +68,11 @@ class DescribingTextVoter(MatchVoter):
         source_sizes = np.array([len(terms) for terms in source_texts], dtype=float)
         target_sizes = np.array([len(terms) for terms in target_texts], dtype=float)
         evidence = np.minimum(source_sizes[:, None], target_sizes[None, :])
+        return similarity, evidence
+
+    def fast_ratios(self, source, target, space, rows=None, cols=None):
+        similarity = space.tfidf_cosine(source, target, "text", rows=rows, cols=cols)
+        evidence = gather_outer(
+            np.minimum, space.text_lengths(source), space.text_lengths(target), rows, cols
+        )
         return similarity, evidence

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.matchers.base import MatchVoter, subset
+from repro.matchers.base import MatchVoter, gather_outer, subset
 from repro.matchers.profile import SchemaProfile
 from repro.matchers.setsim import dice_matrix, jaccard_matrix
 from repro.text.similarity import levenshtein_similarity
@@ -53,6 +53,12 @@ class ExactNameVoter(MatchVoter):
         evidence = np.where(similarity == 1.0, 8.0, 0.5)
         return similarity, evidence
 
+    def fast_ratios(self, source, target, space, rows=None, cols=None):
+        equal = gather_outer(
+            np.equal, space.raw_name_ids(source), space.raw_name_ids(target), rows, cols
+        )
+        return equal.astype(float), np.where(equal, 8.0, 0.5)
+
 
 class NameTokenVoter(MatchVoter):
     """Jaccard over normalised name terms (the workhorse linguistic voter)."""
@@ -74,6 +80,16 @@ class NameTokenVoter(MatchVoter):
         evidence = np.minimum(source_sizes[:, None], target_sizes[None, :])
         return similarity, evidence
 
+    def fast_ratios(self, source, target, space, rows=None, cols=None):
+        counts = space.pair_counts(source, target, "name", rows=rows, cols=cols)
+        source_sizes = space.set_sizes(source, "name")
+        target_sizes = space.set_sizes(target, "name")
+        unions = gather_outer(np.add, source_sizes, target_sizes, rows, cols) - counts
+        with np.errstate(invalid="ignore", divide="ignore"):
+            similarity = np.where(unions > 0, counts / unions, 0.0)
+        evidence = gather_outer(np.minimum, source_sizes, target_sizes, rows, cols)
+        return similarity, evidence
+
 
 class NgramVoter(MatchVoter):
     """Dice over character 3-grams of raw names (typo/truncation tolerant)."""
@@ -91,6 +107,16 @@ class NgramVoter(MatchVoter):
         source_sizes = np.array([len(set(grams)) for grams in source_grams], dtype=float)
         target_sizes = np.array([len(set(grams)) for grams in target_grams], dtype=float)
         evidence = np.minimum(source_sizes[:, None], target_sizes[None, :])
+        return similarity, evidence
+
+    def fast_ratios(self, source, target, space, rows=None, cols=None):
+        counts = space.pair_counts(source, target, "gram", rows=rows, cols=cols)
+        source_sizes = space.set_sizes(source, "gram")
+        target_sizes = space.set_sizes(target, "gram")
+        totals = gather_outer(np.add, source_sizes, target_sizes, rows, cols)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            similarity = np.where(totals > 0, 2.0 * counts / totals, 0.0)
+        evidence = gather_outer(np.minimum, source_sizes, target_sizes, rows, cols)
         return similarity, evidence
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.matchers.base import MatchVoter
+from repro.matchers.base import MatchVoter, gather_outer
 from repro.matchers.profile import SchemaProfile
 from repro.matchers.setsim import jaccard_matrix
 
@@ -47,4 +47,14 @@ class PathVoter(MatchVoter):
         source_sizes = np.array([len(set(terms)) for terms in source_paths], dtype=float)
         target_sizes = np.array([len(set(terms)) for terms in target_paths], dtype=float)
         evidence = np.minimum(source_sizes[:, None], target_sizes[None, :])
+        return similarity, evidence
+
+    def fast_ratios(self, source, target, space, rows=None, cols=None):
+        counts = space.pair_counts(source, target, "path", rows=rows, cols=cols)
+        source_sizes = space.set_sizes(source, "path")
+        target_sizes = space.set_sizes(target, "path")
+        unions = gather_outer(np.add, source_sizes, target_sizes, rows, cols) - counts
+        with np.errstate(invalid="ignore", divide="ignore"):
+            similarity = np.where(unions > 0, counts / unions, 0.0)
+        evidence = gather_outer(np.minimum, source_sizes, target_sizes, rows, cols)
         return similarity, evidence

@@ -12,21 +12,39 @@ caches everything voters need, keyed by element position:
 
 Profiles are cheap to slice: voters accept an optional index array so that
 incremental (sub-tree) matching reuses the same profile.
+
+For corpus-scale batch matching (see :mod:`repro.batch` and
+``docs/architecture.md``), a :class:`FeatureSpace` goes one level further: it
+interns every token into a shared vocabulary and caches **per-schema sparse
+feature matrices** (token-set incidences and TF-IDF count matrices).  With
+those in place, one schema-vs-schema voter run reduces to a handful of
+sparse products -- no per-match re-tokenization, vocabulary building, or
+synonym canonicalisation -- which is what the voters' bulk
+``score_block`` / ``score_pairs`` APIs are built on.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
+from scipy import sparse
 
-from repro.schema.datatypes import DataType
+from repro.schema.datatypes import DataType, family_table
 from repro.schema.element import SchemaElement
 from repro.schema.schema import Schema
 from repro.text.pipeline import LinguisticPipeline
+from repro.text.thesaurus import SynonymLexicon
 from repro.text.tokenize import char_ngrams
 
-__all__ = ["SchemaProfile", "build_profile"]
+__all__ = [
+    "SchemaProfile",
+    "build_profile",
+    "TokenInterner",
+    "FeatureSpace",
+]
 
 
 @dataclass
@@ -138,3 +156,382 @@ def build_profile(
         parent_index=np.array(parent_positions, dtype=int),
         children_index=children_index,
     )
+
+
+# ----------------------------------------------------------------------
+# Corpus-scale feature cache (the batch fast path's foundation)
+# ----------------------------------------------------------------------
+
+
+class TokenInterner:
+    """Growable token -> column-id mapping shared across schema profiles.
+
+    Unlike :class:`repro.text.tfidf.Vocabulary` (fit once per model), an
+    interner keeps growing as new schemata join the corpus; feature matrices
+    store raw CSR arrays and are re-materialised at the current width, so a
+    matrix built when the vocabulary had 3k tokens still multiplies cleanly
+    against one built at 5k.
+    """
+
+    __slots__ = ("_index",)
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    def intern(self, token: str) -> int:
+        existing = self._index.get(token)
+        if existing is not None:
+            return existing
+        new_id = len(self._index)
+        self._index[token] = new_id
+        return new_id
+
+
+@dataclass
+class _Feature:
+    """Raw CSR arrays of one per-schema feature matrix (width-agnostic)."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    interner: TokenInterner
+
+    def matrix(self) -> sparse.csr_matrix:
+        """Materialise at the interner's *current* width."""
+        width = max(len(self.interner), 1)
+        return sparse.csr_matrix(
+            (self.data, self.indices, self.indptr),
+            shape=(len(self.indptr) - 1, width),
+        )
+
+    @property
+    def row_sizes(self) -> np.ndarray:
+        """Number of stored entries per row (set sizes for set features)."""
+        return np.diff(self.indptr).astype(float)
+
+
+def _set_feature(documents: Sequence[Sequence[str]], interner: TokenInterner) -> _Feature:
+    """Binary set-incidence rows (one per document) over ``interner``."""
+    indptr = [0]
+    indices: list[int] = []
+    for document in documents:
+        indices.extend(interner.intern(token) for token in set(document))
+        indptr.append(len(indices))
+    return _Feature(
+        indptr=np.asarray(indptr, dtype=np.int64),
+        indices=np.asarray(indices, dtype=np.int64),
+        data=np.ones(len(indices), dtype=np.float64),
+        interner=interner,
+    )
+
+
+def _bag_feature(documents: Sequence[Sequence[str]], interner: TokenInterner) -> _Feature:
+    """Token-count rows (bags, for TF-IDF) over ``interner``."""
+    indptr = [0]
+    indices: list[int] = []
+    data: list[float] = []
+    for document in documents:
+        for token, count in Counter(document).items():
+            indices.append(interner.intern(token))
+            data.append(float(count))
+        indptr.append(len(indices))
+    return _Feature(
+        indptr=np.asarray(indptr, dtype=np.int64),
+        indices=np.asarray(indices, dtype=np.int64),
+        data=np.asarray(data, dtype=np.float64),
+        interner=interner,
+    )
+
+
+def _path_documents(profile: SchemaProfile) -> list[list[str]]:
+    """Per-element name terms of the element plus all its ancestors."""
+    documents: list[list[str]] = []
+    for position in range(len(profile)):
+        terms = list(profile.name_terms[position])
+        cursor = int(profile.parent_index[position])
+        while cursor != -1:
+            terms.extend(profile.name_terms[cursor])
+            cursor = int(profile.parent_index[cursor])
+        documents.append(terms)
+    return documents
+
+
+#: Grids up to this many cells gather fastest through a dense scratch
+#: array; larger grids switch to the nnz-proportional searchsorted path.
+_DENSE_GATHER_LIMIT = 4_000_000
+
+
+def _gather_pairs(
+    product: sparse.spmatrix, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Values of a sparse pair-product at explicit (row, col) pairs.
+
+    For interactive-scale grids densifying once and indexing is the
+    fastest gather; beyond :data:`_DENSE_GATHER_LIMIT` cells the dense
+    scratch would dominate, so the gather flattens the canonical CSR
+    structure and binary-searches it -- memory stays proportional to the
+    product's nonzeros, work to the candidates.
+    """
+    matrix = product.tocsr()
+    n_rows, n_cols = matrix.shape
+    if n_rows * n_cols <= _DENSE_GATHER_LIMIT:
+        return matrix.toarray()[rows, cols]
+    matrix.sum_duplicates()
+    matrix.sort_indices()
+    if matrix.nnz == 0:
+        return np.zeros(rows.size)
+    nnz_rows = np.repeat(
+        np.arange(n_rows, dtype=np.int64), np.diff(matrix.indptr)
+    )
+    flat = nnz_rows * n_cols + matrix.indices
+    query = rows.astype(np.int64) * n_cols + cols.astype(np.int64)
+    positions = np.minimum(np.searchsorted(flat, query), flat.size - 1)
+    return np.where(flat[positions] == query, matrix.data[positions], 0.0)
+
+
+class FeatureSpace:
+    """Shared vocabulary plus per-profile cached sparse feature matrices.
+
+    One ``FeatureSpace`` serves a whole corpus of schemata: tokens are
+    interned once, and each profile's incidence / count matrices are built
+    once and reused by every subsequent match against any other profile in
+    the space.  Feature kinds:
+
+    ``name``       binary incidence over pipeline-normalised name terms
+    ``gram``       binary incidence over character 3-grams of the raw name
+    ``path``       binary incidence over the element's and ancestors' terms
+    ``doc``        token *counts* over documentation terms (for TF-IDF)
+    ``text``       token counts over name+documentation terms (for TF-IDF)
+    ``doc_sets``   binary incidence over documentation terms (for blocking)
+    ``canonical``  binary incidence over thesaurus-canonicalised name terms
+                   (cached per lexicon instance)
+
+    The cache holds strong references to profiles (id-keyed); call
+    :meth:`clear` between unrelated corpora to release memory.
+    """
+
+    _SET_KINDS = ("name", "gram", "path", "doc_sets")
+    _BAG_KINDS = ("doc", "text")
+
+    def __init__(self, lexicon: SynonymLexicon | None = None):
+        self.lexicon = lexicon if lexicon is not None else SynonymLexicon.default()
+        self._interners: dict[str, TokenInterner] = {}
+        self._features: dict[tuple[int, str], _Feature] = {}
+        self._vectors: dict[tuple[int, str], np.ndarray] = {}
+        self._pinned: dict[int, object] = {}
+
+    def clear(self) -> None:
+        """Drop all cached features and pinned profile references."""
+        self._interners.clear()
+        self._features.clear()
+        self._vectors.clear()
+        self._pinned.clear()
+
+    # -- features -------------------------------------------------------
+    def _interner(self, key: str) -> TokenInterner:
+        interner = self._interners.get(key)
+        if interner is None:
+            interner = TokenInterner()
+            self._interners[key] = interner
+        return interner
+
+    def _documents(
+        self, profile: SchemaProfile, kind: str, lexicon: SynonymLexicon
+    ) -> Sequence[Sequence[str]]:
+        if kind == "name":
+            return profile.name_terms
+        if kind == "gram":
+            return profile.name_grams
+        if kind == "path":
+            return _path_documents(profile)
+        if kind in ("doc", "doc_sets"):
+            return profile.doc_terms
+        if kind == "text":
+            return profile.text_terms
+        if kind == "canonical":
+            return [
+                [lexicon.canonical(term) for term in terms]
+                for terms in profile.name_terms
+            ]
+        raise ValueError(f"unknown feature kind {kind!r}")
+
+    def feature(
+        self,
+        profile: SchemaProfile,
+        kind: str,
+        lexicon: SynonymLexicon | None = None,
+    ) -> _Feature:
+        """The cached raw feature for ``profile`` (built on first request)."""
+        lexicon = lexicon if lexicon is not None else self.lexicon
+        cache_key = (
+            (id(profile), f"canonical:{id(lexicon)}")
+            if kind == "canonical"
+            else (id(profile), kind)
+        )
+        cached = self._features.get(cache_key)
+        if cached is None:
+            interner = self._interner(cache_key[1])
+            documents = self._documents(profile, kind, lexicon)
+            if kind in self._BAG_KINDS:
+                cached = _bag_feature(documents, interner)
+            else:
+                cached = _set_feature(documents, interner)
+            self._features[cache_key] = cached
+            self._pinned[id(profile)] = profile
+            if kind == "canonical":
+                self._pinned[id(lexicon)] = lexicon
+        return cached
+
+    def set_matrix(
+        self,
+        profile: SchemaProfile,
+        kind: str,
+        lexicon: SynonymLexicon | None = None,
+    ) -> sparse.csr_matrix:
+        """Materialised CSR feature matrix at the current vocabulary width."""
+        return self.feature(profile, kind, lexicon).matrix()
+
+    def set_sizes(
+        self,
+        profile: SchemaProfile,
+        kind: str,
+        lexicon: SynonymLexicon | None = None,
+    ) -> np.ndarray:
+        """Per-element set sizes for a *set* feature kind."""
+        return self.feature(profile, kind, lexicon).row_sizes
+
+    def pair_counts(
+        self,
+        source: SchemaProfile,
+        target: SchemaProfile,
+        kind: str,
+        lexicon: SynonymLexicon | None = None,
+        rows: np.ndarray | None = None,
+        cols: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Pairwise intersection counts for a set feature kind.
+
+        Builds (or reuses) both sides' incidence matrices, then one sparse
+        product.  Materialisation happens after both builds so the widths
+        agree even though the shared vocabulary grows.  With ``rows``/
+        ``cols`` given, only those pairs' counts are gathered (1-D) --
+        the sparse product is never densified, keeping candidate-restricted
+        work proportional to the candidates.
+        """
+        source_feature = self.feature(source, kind, lexicon)
+        target_feature = self.feature(target, kind, lexicon)
+        product = source_feature.matrix() @ target_feature.matrix().T
+        if rows is None:
+            return product.toarray()
+        return _gather_pairs(product, rows, cols)
+
+    # -- derived per-profile vectors ------------------------------------
+    def _vector(self, profile: SchemaProfile, key: str, build) -> np.ndarray:
+        cache_key = (id(profile), key)
+        cached = self._vectors.get(cache_key)
+        if cached is None:
+            cached = build(profile)
+            self._vectors[cache_key] = cached
+            self._pinned[id(profile)] = profile
+        return cached
+
+    def raw_name_ids(self, profile: SchemaProfile) -> np.ndarray:
+        """Interned ids of the raw (lowercased) element names."""
+        interner = self._interner("raw_name")
+        return self._vector(
+            profile,
+            "raw_name_ids",
+            lambda p: np.array([interner.intern(name) for name in p.raw_names], dtype=np.int64),
+        )
+
+    def doc_lengths(self, profile: SchemaProfile) -> np.ndarray:
+        """Documentation token counts per element (evidence for TF-IDF voters)."""
+        return self._vector(
+            profile,
+            "doc_lengths",
+            lambda p: np.array([len(terms) for terms in p.doc_terms], dtype=np.float64),
+        )
+
+    def text_lengths(self, profile: SchemaProfile) -> np.ndarray:
+        """Describing-text token counts per element."""
+        return self._vector(
+            profile,
+            "text_lengths",
+            lambda p: np.array([len(terms) for terms in p.text_terms], dtype=np.float64),
+        )
+
+    def type_ids(self, profile: SchemaProfile) -> np.ndarray:
+        """Data-type family indices into :func:`repro.schema.datatypes.family_table`."""
+        _, family_index = family_table()
+        return self._vector(
+            profile,
+            "type_ids",
+            lambda p: np.array([family_index[t] for t in p.data_types], dtype=np.int64),
+        )
+
+    def type_known(self, profile: SchemaProfile) -> np.ndarray:
+        """Boolean mask of elements whose data type is not UNKNOWN."""
+        return self._vector(
+            profile,
+            "type_known",
+            lambda p: np.array(
+                [t is not DataType.UNKNOWN for t in p.data_types], dtype=bool
+            ),
+        )
+
+    # -- pair-level TF-IDF ---------------------------------------------
+    def document_frequencies(
+        self, profile: SchemaProfile, kind: str
+    ) -> np.ndarray:
+        """Per-token document frequencies of a bag feature, at current width."""
+        feature = self.feature(profile, kind)
+        width = max(len(feature.interner), 1)
+        return np.bincount(feature.indices, minlength=width).astype(np.float64)
+
+    def tfidf_cosine(
+        self,
+        source: SchemaProfile,
+        target: SchemaProfile,
+        kind: str,
+        rows: np.ndarray | None = None,
+        cols: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """TF-IDF cosine (dense grid, or 1-D at the given pairs), IDF fit
+        over the union of both sides.
+
+        Reproduces :func:`repro.text.tfidf.tfidf_similarity_matrix` exactly
+        (same smoothed-IDF formula, same L2 normalisation) from the cached
+        count matrices: global-vocabulary columns absent from this pair have
+        zero counts on both sides and cannot contribute.
+        """
+        source_feature = self.feature(source, kind)
+        target_feature = self.feature(target, kind)
+        source_counts = source_feature.matrix()
+        target_counts = target_feature.matrix()
+        df = self.document_frequencies(source, kind) + self.document_frequencies(
+            target, kind
+        )
+        n_documents = source_counts.shape[0] + target_counts.shape[0]
+        idf = np.log((1.0 + n_documents) / (1.0 + df)) + 1.0
+
+        def weighted(counts: sparse.csr_matrix) -> sparse.csr_matrix:
+            weighted_counts = counts.multiply(idf[None, :]).tocsr()
+            norms = np.sqrt(
+                np.asarray(weighted_counts.multiply(weighted_counts).sum(axis=1))
+            ).ravel()
+            norms[norms == 0.0] = 1.0
+            return sparse.diags(1.0 / norms) @ weighted_counts
+
+        product = weighted(source_counts) @ weighted(target_counts).T
+        if rows is None:
+            cosine = product.toarray()
+        else:
+            cosine = _gather_pairs(product, rows, cols)
+        np.clip(cosine, 0.0, 1.0, out=cosine)
+        return cosine

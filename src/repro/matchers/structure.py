@@ -88,7 +88,21 @@ class StructuralVoter(MatchVoter):
             else np.arange(len(target), dtype=int)
         )
         base = self._base_similarity(source, target, source_grid, target_grid)
+        return self._ratios_from_base(base, source, target, source_grid, target_grid)
 
+    def _ratios_from_base(
+        self,
+        base: np.ndarray,
+        source: SchemaProfile,
+        target: SchemaProfile,
+        source_grid: np.ndarray,
+        target_grid: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Structural similarity/evidence given the linguistic base matrix.
+
+        Shared by the per-grid path (base from :func:`jaccard_matrix`) and
+        the cached-feature fast path (base from one sparse product).
+        """
         source_in_grid = {position: row for row, position in enumerate(source_grid)}
         target_in_grid = {position: col for col, position in enumerate(target_grid)}
         source_children = self._grid_children(source, source_in_grid, source_grid)
@@ -158,4 +172,110 @@ class StructuralVoter(MatchVoter):
                 similarity[np.ix_(rows, cols)] = base[parent_ix]
                 evidence[np.ix_(rows, cols)] = self.leaf_context_evidence
 
+        return similarity, evidence
+
+    # -- cached-feature fast path ---------------------------------------
+    def _fast_base(self, source, target, space) -> np.ndarray:
+        """The linguistic base from cached canonical incidence matrices."""
+        counts = space.pair_counts(source, target, "canonical", lexicon=self.lexicon)
+        source_sizes = space.set_sizes(source, "canonical", lexicon=self.lexicon)
+        target_sizes = space.set_sizes(target, "canonical", lexicon=self.lexicon)
+        unions = source_sizes[:, None] + target_sizes[None, :] - counts
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(unions > 0, counts / unions, 0.0)
+
+    @staticmethod
+    def _container_pair_scores(
+        base: np.ndarray,
+        source_children: list[list[int]],
+        target_children: list[list[int]],
+        pair_rows: np.ndarray,
+        pair_cols: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Symmetrised mean-best-match for an explicit container-pair list.
+
+        Children index lists are padded to a rectangle and gathered in bulk
+        (index -1 hits a -1.0 sentinel row/column appended to ``base``, so
+        padding never wins a max); processing is chunked to bound the
+        (pairs x max_children^2) intermediate.
+        """
+        unique_rows, inverse_rows = np.unique(pair_rows, return_inverse=True)
+        unique_cols, inverse_cols = np.unique(pair_cols, return_inverse=True)
+        width_s = max(len(source_children[i]) for i in unique_rows)
+        width_t = max(len(target_children[j]) for j in unique_cols)
+        padded_s = np.full((unique_rows.size, width_s), -1, dtype=int)
+        kid_counts_s = np.empty(unique_rows.size)
+        for k, position in enumerate(unique_rows):
+            kids = source_children[position]
+            padded_s[k, : len(kids)] = kids
+            kid_counts_s[k] = len(kids)
+        padded_t = np.full((unique_cols.size, width_t), -1, dtype=int)
+        kid_counts_t = np.empty(unique_cols.size)
+        for k, position in enumerate(unique_cols):
+            kids = target_children[position]
+            padded_t[k, : len(kids)] = kids
+            kid_counts_t[k] = len(kids)
+
+        augmented = np.pad(base, ((0, 1), (0, 1)), constant_values=-1.0)
+        similarity = np.empty(pair_rows.size)
+        chunk = max(1, 4_000_000 // max(width_s * width_t, 1))
+        for start in range(0, pair_rows.size, chunk):
+            stop = min(start + chunk, pair_rows.size)
+            rows_k = padded_s[inverse_rows[start:stop]]
+            cols_k = padded_t[inverse_cols[start:stop]]
+            blocks = augmented[rows_k[:, :, None], cols_k[:, None, :]]
+            valid_s = rows_k >= 0
+            valid_t = cols_k >= 0
+            forward = (
+                np.where(valid_s, blocks.max(axis=2), 0.0).sum(axis=1)
+                / valid_s.sum(axis=1)
+            )
+            backward = (
+                np.where(valid_t, blocks.max(axis=1), 0.0).sum(axis=1)
+                / valid_t.sum(axis=1)
+            )
+            similarity[start:stop] = 0.5 * (forward + backward)
+        evidence = np.minimum(kid_counts_s[inverse_rows], kid_counts_t[inverse_cols])
+        return similarity, evidence
+
+    def fast_ratios(self, source, target, space, rows=None, cols=None):
+        base = self._fast_base(source, target, space)
+        if rows is None:
+            return self._ratios_from_base(
+                base,
+                source,
+                target,
+                np.arange(len(source), dtype=int),
+                np.arange(len(target), dtype=int),
+            )
+
+        source_children = source.children_index
+        target_children = target.children_index
+        is_container_s = np.fromiter(
+            (bool(kids) for kids in source_children), bool, len(source_children)
+        )
+        is_container_t = np.fromiter(
+            (bool(kids) for kids in target_children), bool, len(target_children)
+        )
+        similarity = np.zeros(rows.size)
+        evidence = np.zeros(rows.size)
+
+        container_row = is_container_s[rows]
+        container_col = is_container_t[cols]
+        mixed = container_row ^ container_col
+        similarity[mixed] = 0.1
+        evidence[mixed] = 1.0
+
+        both = container_row & container_col
+        if both.any():
+            similarity[both], evidence[both] = self._container_pair_scores(
+                base, source_children, target_children, rows[both], cols[both]
+            )
+
+        leaves = ~container_row & ~container_col
+        parent_rows = source.parent_index[rows]
+        parent_cols = target.parent_index[cols]
+        valid = leaves & (parent_rows >= 0) & (parent_cols >= 0)
+        similarity[valid] = base[parent_rows[valid], parent_cols[valid]]
+        evidence[valid] = self.leaf_context_evidence
         return similarity, evidence

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.matchers.base import MatchVoter
+from repro.matchers.base import MatchVoter, gather_outer
 from repro.matchers.profile import SchemaProfile
 from repro.matchers.setsim import jaccard_matrix
 from repro.text.thesaurus import SynonymLexicon
@@ -59,4 +59,16 @@ class ThesaurusVoter(MatchVoter):
         source_sizes = np.array([len(set(terms)) for terms in source_terms], dtype=float)
         target_sizes = np.array([len(set(terms)) for terms in target_terms], dtype=float)
         evidence = np.minimum(source_sizes[:, None], target_sizes[None, :])
+        return similarity, evidence
+
+    def fast_ratios(self, source, target, space, rows=None, cols=None):
+        counts = space.pair_counts(
+            source, target, "canonical", lexicon=self.lexicon, rows=rows, cols=cols
+        )
+        source_sizes = space.set_sizes(source, "canonical", lexicon=self.lexicon)
+        target_sizes = space.set_sizes(target, "canonical", lexicon=self.lexicon)
+        unions = gather_outer(np.add, source_sizes, target_sizes, rows, cols) - counts
+        with np.errstate(invalid="ignore", divide="ignore"):
+            similarity = np.where(unions > 0, counts / unions, 0.0)
+        evidence = gather_outer(np.minimum, source_sizes, target_sizes, rows, cols)
         return similarity, evidence

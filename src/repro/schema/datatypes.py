@@ -13,10 +13,18 @@ a BOOLEAN mildly contradict; identical temporal families reinforce.
 from __future__ import annotations
 
 from enum import Enum
+from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["DataType", "parse_sql_type", "parse_xsd_type", "compatibility", "compatibility_matrix"]
+__all__ = [
+    "DataType",
+    "parse_sql_type",
+    "parse_xsd_type",
+    "compatibility",
+    "compatibility_matrix",
+    "family_table",
+]
 
 
 class DataType(Enum):
@@ -169,16 +177,27 @@ def compatibility(left: DataType, right: DataType) -> float:
     return _COMPAT.get(frozenset((left, right)), 0.15)
 
 
-def compatibility_matrix(
-    left_types: list[DataType], right_types: list[DataType]
-) -> np.ndarray:
-    """Vectorised compatibility for all pairs of two type lists."""
+@lru_cache(maxsize=1)
+def family_table() -> tuple[np.ndarray, dict[DataType, int]]:
+    """The dense family-by-family compatibility table plus the index mapping.
+
+    Built once; the batch fast path gathers from it directly.  Treat the
+    returned array as read-only.
+    """
     families = list(DataType)
     family_index = {family: position for position, family in enumerate(families)}
     table = np.empty((len(families), len(families)))
     for row, left in enumerate(families):
         for col, right in enumerate(families):
             table[row, col] = compatibility(left, right)
+    return table, family_index
+
+
+def compatibility_matrix(
+    left_types: list[DataType], right_types: list[DataType]
+) -> np.ndarray:
+    """Vectorised compatibility for all pairs of two type lists."""
+    table, family_index = family_table()
     left_ids = np.array([family_index[family] for family in left_types], dtype=int)
     right_ids = np.array([family_index[family] for family in right_types], dtype=int)
     if left_ids.size == 0 or right_ids.size == 0:

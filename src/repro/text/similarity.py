@@ -4,9 +4,13 @@ All similarities are normalised to ``[0, 1]`` where 1 means identical.
 Distances (:func:`levenshtein`) are raw edit counts.  Every function is pure
 and deterministic.
 
-These implementations favour clarity; the match engine vectorises the hot
-paths separately (see :mod:`repro.matchers`), so per-pair calls here only
-need to be fast enough for interactive use and tests.
+These implementations favour clarity; the vectorised hot paths live
+elsewhere: :mod:`repro.matchers.setsim` computes whole similarity
+*matrices* via sparse products, and the voters' bulk
+``score_block``/``score_pairs`` APIs (see :mod:`repro.matchers.base` and
+:mod:`repro.batch`) score full grids or blocked candidate lists from
+cached :class:`~repro.matchers.profile.FeatureSpace` matrices.  Per-pair
+calls here only need to be fast enough for interactive use and tests.
 """
 
 from __future__ import annotations

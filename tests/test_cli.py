@@ -23,6 +23,30 @@ class TestCli:
         assert "matched" in out
         assert "pairs in" in out
 
+    def test_batch_command(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["batch", sql, xsd, "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates" in out
+        assert "batch total: 1 match operations" in out
+
+    def test_batch_all_pairs(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["batch", sql, xsd, "--all-pairs", "--limit", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "batch total: 1 match operations" in out
+
+    def test_batch_needs_targets(self, schema_files):
+        sql, _ = schema_files
+        with pytest.raises(SystemExit):
+            main(["batch", sql])
+
+    def test_vocab_batch_flag(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["vocab", sql, xsd, "--batch"]) == 0
+        out = capsys.readouterr().out
+        assert "comprehensive vocabulary" in out
+
     def test_overlap_command(self, schema_files, capsys):
         sql, xsd = schema_files
         assert main(["overlap", sql, xsd]) == 0
