@@ -3,11 +3,12 @@
 Run:  python examples/quickstart.py
 
 This is the smallest end-to-end use of the library: parse two schemata from
-their native formats, run the Harmony-style engine, and look at candidate
-correspondences, an explanation, and the overlap partition.
+their native formats, run one MATCH through the service facade, and look at
+candidate correspondences, a per-voter explanation (via the low-level
+engine), and the overlap partition.
 """
 
-from repro import HarmonyMatchEngine, ThresholdSelection, parse_ddl, parse_xsd
+from repro import MatchOptions, MatchService, parse_ddl, parse_xsd
 from repro.export import overlap_report_text
 from repro.metrics import matrix_overlap
 
@@ -59,20 +60,26 @@ def main() -> None:
     print(f"parsed {source.name}: {len(source)} elements; "
           f"{target.name}: {len(target)} elements\n")
 
-    engine = HarmonyMatchEngine()
-    result = engine.match(source, target)
-    print(f"matched {result.n_pairs} candidate pairs "
-          f"in {result.elapsed_seconds * 1000:.0f} ms\n")
-
     # Small demo schemata carry little evidence, so scores sit low on
     # the conviction-linear scale; 0.03 is a sensible floor here.
+    service = MatchService()
+    response = service.match_pair(
+        source, target, options=MatchOptions(threshold=0.03)
+    )
+    print(f"matched {response.n_pairs} candidate pairs "
+          f"in {response.elapsed_seconds * 1000:.0f} ms "
+          f"[route={response.route}]\n")
+
     print("candidate correspondences (score >= 0.03):")
-    for candidate in result.candidates(ThresholdSelection(0.03)):
+    for candidate in response.correspondences:
         print(f"  {candidate.score:+.3f}  "
               f"{source.path(candidate.source_id):<40} <-> "
               f"{target.path(candidate.target_id)}")
 
+    # The low-level engine stays available for per-voter explanations --
+    # service.engine() shares the service's profile cache.
     print("\nwhy does BIRTH_DT match DateOfBirth?")
+    engine = service.engine()
     breakdown = engine.explain(
         source, target, "person_master.birth_dt", "individual.dateofbirth"
     )
@@ -80,7 +87,7 @@ def main() -> None:
         print(f"  {voter:<15} confidence {parts['confidence']:+.3f}")
 
     print()
-    print(overlap_report_text(matrix_overlap(result, threshold=0.03),
+    print(overlap_report_text(matrix_overlap(response.result, threshold=0.03),
                               source.name, target.name))
 
 

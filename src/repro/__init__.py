@@ -13,15 +13,18 @@ generator reproducing the paper's section-3 case study exactly.
 
 Quickstart::
 
-    from repro import HarmonyMatchEngine, parse_ddl, parse_xsd
+    from repro import quick_match, parse_ddl, parse_xsd
 
-    engine = HarmonyMatchEngine()
-    result = engine.match(parse_ddl(open("a.sql").read()),
-                          parse_xsd(open("b.xsd").read()))
-    for c in result.candidates():
+    response = quick_match(parse_ddl(open("a.sql").read()),
+                           parse_xsd(open("b.xsd").read()))
+    for c in response.correspondences:
         print(c.source_id, "<->", c.target_id, c.score)
 
-See ``examples/`` for the full case-study walkthroughs.
+All matching flows through one :class:`~repro.service.MatchService` facade
+(typed requests, auto-routed exact/batch execution, JSON-serialisable
+response envelopes); ``HarmonyMatchEngine`` remains importable as the
+low-level exact engine.  See ``examples/`` for the full case-study
+walkthroughs.
 """
 
 from repro.batch import BatchMatchRunner, BlockingPolicy
@@ -50,9 +53,45 @@ from repro.schema import (
     parse_ddl,
     parse_xsd,
 )
+from repro.service import (
+    MatchOptions,
+    MatchRequest,
+    MatchResponse,
+    MatchService,
+)
 from repro.summarize import Summary, match_concepts, summarize_by_roots
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+_default_service: MatchService | None = None
+
+
+def default_service() -> MatchService:
+    """The process-wide shared :class:`MatchService` (lazily created).
+
+    Library users who call :func:`quick_match` repeatedly hit the same
+    profile and feature caches this way; construct your own service for
+    isolated configuration or repository binding.  The caches hold strong
+    references to every schema matched -- long-lived processes cycling
+    through unrelated corpora should call
+    ``default_service().clear_caches()`` between them.
+    """
+    global _default_service
+    if _default_service is None:
+        _default_service = MatchService()
+    return _default_service
+
+
+def quick_match(source, target, threshold: float = 0.15) -> MatchResponse:
+    """One-call MATCH through the shared service (auto-routed, cached).
+
+    Returns the :class:`MatchResponse` envelope; its ``correspondences``
+    are the pairs at or above ``threshold``.
+    """
+    return default_service().match_pair(
+        source, target, options=MatchOptions(threshold=threshold)
+    )
+
 
 __all__ = [
     "BatchMatchRunner",
@@ -65,7 +104,11 @@ __all__ = [
     "HungarianSelection",
     "IncrementalMatcher",
     "MatchMatrix",
+    "MatchOptions",
+    "MatchRequest",
+    "MatchResponse",
     "MatchResult",
+    "MatchService",
     "MatchStatus",
     "Schema",
     "SchemaElement",
@@ -75,11 +118,13 @@ __all__ = [
     "ThresholdSelection",
     "TopKSelection",
     "__version__",
+    "default_service",
     "load_ddl_file",
     "load_schema",
     "load_xsd_file",
     "match_concepts",
     "parse_ddl",
     "parse_xsd",
+    "quick_match",
     "summarize_by_roots",
 ]

@@ -35,7 +35,14 @@ from repro.matchers import (
 )
 from repro.voting.merger import AverageMerger, WeightedLinearMerger
 
-__all__ = ["naive_engine", "coma_lite_engine", "cupid_lite_engine", "harmony_engine", "baseline_engines"]
+__all__ = [
+    "naive_engine",
+    "coma_lite_engine",
+    "cupid_lite_engine",
+    "harmony_engine",
+    "baseline_engines",
+    "baseline_options",
+]
 
 
 def naive_engine() -> HarmonyMatchEngine:
@@ -81,4 +88,29 @@ def baseline_engines() -> dict[str, HarmonyMatchEngine]:
         "coma_lite": coma_lite_engine(),
         "cupid_lite": cupid_lite_engine(),
         "harmony": harmony_engine(),
+    }
+
+
+def baseline_options() -> dict:
+    """The same baselines as declarative :class:`~repro.service.MatchOptions`.
+
+    Every comparator is expressible as service configuration, so an E11/E12
+    sweep can run through one :class:`~repro.service.MatchService` (shared
+    feature cache, routable, serialisable provenance) instead of four ad-hoc
+    engines.  Keys match :func:`baseline_engines`.
+    """
+    from repro.service import MatchOptions
+
+    return {
+        "naive": MatchOptions(voters=("exact_name",), merger="average"),
+        "coma_lite": MatchOptions(
+            voters=("name_token", "name_ngram", "documentation", "datatype", "path"),
+            merger="average",
+        ),
+        "cupid_lite": MatchOptions(
+            voters=("name_token", "thesaurus", "structure"),
+            merger="weighted_linear",
+            merger_weights=(0.25, 0.25, 0.5),
+        ),
+        "harmony": MatchOptions(),
     }

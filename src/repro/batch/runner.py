@@ -145,6 +145,10 @@ class BatchMatchRunner:
     keep_matrices:
         Whether corpus outcomes retain their dense matrices (forced off in
         process mode, where matrices would dominate pickling cost).
+    profile_cache:
+        An externally owned ``{id(schema): SchemaProfile}`` dict, letting a
+        service share one profile cache across engines and batch runners;
+        the runner owns a private dict when omitted.
     """
 
     def __init__(
@@ -158,6 +162,7 @@ class BatchMatchRunner:
         executor: str = "serial",
         max_workers: int | None = None,
         keep_matrices: bool = True,
+        profile_cache: dict[int, SchemaProfile] | None = None,
     ):
         self._default_ensemble = voters is None
         if voters is None:
@@ -189,7 +194,9 @@ class BatchMatchRunner:
         self.executor = executor
         self.max_workers = max_workers
         self.keep_matrices = keep_matrices
-        self._profiles: dict[int, SchemaProfile] = {}
+        self._profiles: dict[int, SchemaProfile] = (
+            profile_cache if profile_cache is not None else {}
+        )
 
     # -- caches ---------------------------------------------------------
     def profile(self, schema: Schema) -> SchemaProfile:

@@ -2,7 +2,8 @@
 
 Subcommands mirror the library's main operations:
 
-* ``match A.sql B.xsd``      -- run the engine, print top candidates
+* ``match A.sql B.xsd``      -- run a MATCH through the service (auto-routed
+  exact/batch; ``--json`` emits the response envelope)
 * ``batch A.sql B.xsd ...``  -- corpus fast path: one source vs a corpus,
   or ``--all-pairs`` over the whole registry
 * ``overlap A.sql B.xsd``    -- the Lesson-#3 partition report
@@ -14,50 +15,92 @@ Subcommands mirror the library's main operations:
 * ``search QUERY A.sql ...`` -- keyword search over a registry
 * ``casestudy``              -- regenerate the paper's section-3 study
 
+Every matching subcommand goes through one :class:`repro.service.MatchService`
+instance, so profiles and features are derived once per schema regardless of
+how many match operations a command runs.
+
 Schema files are loaded by extension: ``.sql`` via the DDL importer,
-``.xsd`` via the XSD importer, ``.json`` via the serialiser.
+``.xsd`` via the XSD importer, ``.json`` via the serialiser.  A file that
+cannot be read or parsed exits with status 2 and a one-line diagnostic.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.export.report import concept_match_text, overlap_report_text
-from repro.match.engine import HarmonyMatchEngine
-from repro.match.selection import ThresholdSelection
 from repro.metrics.overlap import matrix_overlap
+from repro.schema.errors import ParseError
 from repro.schema.relational import load_ddl_file
 from repro.schema.schema import Schema
 from repro.schema.serialize import load_schema
 from repro.schema.xmlschema import load_xsd_file
+from repro.service import MatchOptions, MatchService
 from repro.summarize.manual import summarize_by_roots
 from repro.viz.ascii import render_tree
 
 __all__ = ["main"]
 
+_LOADERS = {
+    ".sql": load_ddl_file,
+    ".xsd": load_xsd_file,
+    ".json": load_schema,
+}
+
+
+def _fail(message: str) -> "SystemExit":
+    """Uniform load-failure exit: diagnostic on stderr, status 2."""
+    print(f"harmonia: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
 
 def _load(path: str) -> Schema:
-    if path.endswith(".sql"):
-        return load_ddl_file(path)
-    if path.endswith(".xsd"):
-        return load_xsd_file(path)
-    if path.endswith(".json"):
-        return load_schema(path)
-    raise SystemExit(f"cannot infer schema format of {path!r} (.sql/.xsd/.json)")
+    """Load one schema file by extension, with consistent error handling."""
+    for suffix, loader in _LOADERS.items():
+        if path.endswith(suffix):
+            try:
+                return loader(path)
+            except OSError as exc:
+                raise _fail(f"cannot read {path!r}: {exc.strerror or exc}") from exc
+            # ValueError covers json.JSONDecodeError and bad enum payloads;
+            # KeyError/TypeError cover structurally invalid serialised JSON.
+            except (ParseError, KeyError, TypeError, ValueError) as exc:
+                raise _fail(f"cannot parse {path!r}: {exc}") from exc
+    raise _fail(f"cannot infer schema format of {path!r} (.sql/.xsd/.json)")
+
+
+def _load_registry(paths: list[str]) -> dict[str, Schema]:
+    """Load many schema files; duplicate schema names get _2/_3 suffixes."""
+    registry: dict[str, Schema] = {}
+    for path in paths:
+        schema = _load(path)
+        name = schema.name
+        suffix = 2
+        while name in registry:
+            name = f"{schema.name}_{suffix}"
+            suffix += 1
+        registry[name] = schema
+    return registry
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
     source = _load(args.source)
     target = _load(args.target)
-    engine = HarmonyMatchEngine()
-    result = engine.match(source, target)
+    service = MatchService()
+    options = MatchOptions(threshold=args.threshold, execution=args.route)
+    response = service.match_pair(source, target, options=options)
+    if args.json:
+        print(response.to_json(indent=2))
+        return 0
     print(
         f"matched {source.name} ({len(source)}) x {target.name} ({len(target)}): "
-        f"{result.n_pairs} pairs in {result.elapsed_seconds:.2f}s"
+        f"{response.n_pairs} pairs in {response.elapsed_seconds:.2f}s "
+        f"[route={response.route}]"
     )
-    candidates = result.candidates(ThresholdSelection(args.threshold))
+    candidates = response.correspondences
     for candidate in candidates[: args.limit]:
         print(
             f"  {candidate.score:+.3f}  {source.path(candidate.source_id)}"
@@ -69,45 +112,45 @@ def _cmd_match(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.batch import BatchMatchRunner
-
-    runner = BatchMatchRunner(
-        selection=ThresholdSelection(args.threshold),
-        executor=args.executor,
-        max_workers=args.workers,
-        keep_matrices=False,
-    )
+    service = MatchService()
+    options = MatchOptions(threshold=args.threshold, execution="batch")
     started = time.perf_counter()
     if args.all_pairs:
         registry = _load_registry(args.schemata)
         if len(registry) < 2:
             raise SystemExit("batch --all-pairs needs at least two schemata")
-        outcomes = runner.match_all_pairs(registry)
+        responses = service.match_all_pairs(
+            registry, options=options, executor=args.executor,
+            max_workers=args.workers,
+        )
     else:
         if len(args.schemata) < 2:
             raise SystemExit("batch needs a source and at least one target")
         source = _load(args.schemata[0])
         corpus = _load_registry(args.schemata[1:])
-        outcomes = runner.match_corpus(source, corpus)
+        responses = service.match_corpus(
+            source, corpus, options=options, executor=args.executor,
+            max_workers=args.workers,
+        )
     elapsed = time.perf_counter() - started
 
-    total_pairs = sum(outcome.n_pairs for outcome in outcomes)
-    total_candidates = sum(outcome.n_candidates for outcome in outcomes)
-    for outcome in outcomes:
+    total_pairs = sum(response.n_pairs for response in responses)
+    total_candidates = sum(response.n_candidates for response in responses)
+    for response in responses:
         print(
-            f"{outcome.source_name} x {outcome.target_name}: "
-            f"{outcome.n_pairs:,} pairs, {outcome.n_candidates:,} candidates "
-            f"({outcome.candidate_fraction:.1%}), "
-            f"{len(outcome.correspondences)} correspondences "
-            f"in {outcome.elapsed_seconds:.2f}s"
+            f"{response.source_name} x {response.target_name}: "
+            f"{response.n_pairs:,} pairs, {response.n_candidates:,} candidates "
+            f"({response.candidate_fraction:.1%}), "
+            f"{len(response.correspondences)} correspondences "
+            f"in {response.elapsed_seconds:.2f}s"
         )
-        for correspondence in outcome.correspondences[: args.limit]:
+        for correspondence in response.correspondences[: args.limit]:
             print(
                 f"  {correspondence.score:+.3f}  {correspondence.source_id}"
                 f"  <->  {correspondence.target_id}"
             )
     print(
-        f"batch total: {len(outcomes)} match operations, {total_pairs:,} pairs "
+        f"batch total: {len(responses)} match operations, {total_pairs:,} pairs "
         f"({total_candidates:,} scored after blocking) in {elapsed:.2f}s "
         f"[{args.executor}]"
     )
@@ -117,8 +160,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_overlap(args: argparse.Namespace) -> int:
     source = _load(args.source)
     target = _load(args.target)
-    result = HarmonyMatchEngine().match(source, target)
-    report = matrix_overlap(result, args.threshold)
+    response = MatchService().match_pair(source, target)
+    report = matrix_overlap(response.result, args.threshold)
     print(overlap_report_text(report, source.name, target.name))
     return 0
 
@@ -139,19 +182,6 @@ def _cmd_tree(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_registry(paths: list[str]) -> dict[str, Schema]:
-    registry: dict[str, Schema] = {}
-    for path in paths:
-        schema = _load(path)
-        name = schema.name
-        suffix = 2
-        while name in registry:
-            name = f"{schema.name}_{suffix}"
-            suffix += 1
-        registry[name] = schema
-    return registry
-
-
 def _cmd_vocab(args: argparse.Namespace) -> int:
     from repro.export.report import partition_table_text
     from repro.nway import nway_match
@@ -159,12 +189,9 @@ def _cmd_vocab(args: argparse.Namespace) -> int:
     registry = _load_registry(args.schemata)
     if len(registry) < 2:
         raise SystemExit("vocab needs at least two schemata")
-    runner = None
-    if args.batch:
-        from repro.batch import BatchMatchRunner
-
-        runner = BatchMatchRunner(keep_matrices=False)
-    vocabulary, partition = nway_match(registry, runner=runner)
+    execution = "batch" if args.batch else "auto"
+    service = MatchService(options=MatchOptions(execution=execution))
+    vocabulary, partition = nway_match(registry, service=service)
     print(
         f"comprehensive vocabulary over {len(registry)} schemata: "
         f"{len(vocabulary)} entries"
@@ -217,16 +244,21 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
     from repro.synthetic.casestudy import case_study
 
     pair = case_study(seed=args.seed)
-    engine = HarmonyMatchEngine()
-    result = engine.match(pair.source.schema, pair.target.schema)
+    # The paper reproduction pins its published numbers to the exact grid.
+    response = MatchService().match_pair(
+        pair.source.schema,
+        pair.target.schema,
+        options=MatchOptions(execution="exact"),
+    )
+    result = response.result
     print(
         f"SA: {len(pair.source.schema)} elements / "
         f"{len(pair.source.schema.roots())} concepts; "
         f"SB: {len(pair.target.schema)} elements / "
         f"{len(pair.target.schema.roots())} concepts"
     )
-    print(f"full automated match: {result.n_pairs} pairs in "
-          f"{result.elapsed_seconds:.2f}s (paper: 10.2s)")
+    print(f"full automated match: {response.n_pairs} pairs in "
+          f"{response.elapsed_seconds:.2f}s (paper: 10.2s)")
     report = workflow_overlap(
         result, pair.source.truth_summary(), pair.target.truth_summary()
     )
@@ -250,6 +282,17 @@ def build_parser() -> argparse.ArgumentParser:
     match_parser.add_argument("target")
     match_parser.add_argument("--threshold", type=float, default=0.10)
     match_parser.add_argument("--limit", type=int, default=30)
+    match_parser.add_argument(
+        "--route",
+        choices=("auto", "exact", "batch"),
+        default="auto",
+        help="execution hint for the service router (default: auto)",
+    )
+    match_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the MatchResponse envelope as JSON",
+    )
     match_parser.set_defaults(handler=_cmd_match)
 
     batch_parser = subparsers.add_parser(

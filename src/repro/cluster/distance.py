@@ -15,12 +15,17 @@ Two distance families are provided:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from repro.match.engine import HarmonyMatchEngine
 from repro.matchers.profile import build_profile
 from repro.schema.schema import Schema
 from repro.text.tfidf import TfidfModel
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.match.engine import HarmonyMatchEngine
+    from repro.service import MatchService
 
 __all__ = ["DistanceMatrix", "TermVectorDistance", "MatchOverlapDistance"]
 
@@ -82,18 +87,34 @@ class TermVectorDistance:
 
 
 class MatchOverlapDistance:
-    """1 - harmonic mean of the two matched-element fractions per pair."""
+    """1 - harmonic mean of the two matched-element fractions per pair.
+
+    Pairs run through the (given or fresh) service's auto-routed MATCH --
+    large shortlist members take the blocked fast path -- unless an
+    explicit ``engine`` pins the exact grid.
+    """
 
     def __init__(
         self,
-        engine: HarmonyMatchEngine | None = None,
+        engine: "HarmonyMatchEngine | None" = None,
         threshold: float = 0.13,
+        service: "MatchService | None" = None,
     ):
-        self.engine = engine if engine is not None else HarmonyMatchEngine()
+        if engine is None:
+            from repro.service import MatchService
+
+            self._service = service if service is not None else MatchService()
+            self.engine = self._service.engine()
+        else:
+            self._service = None
+            self.engine = engine
         self.threshold = threshold
 
     def pair_distance(self, left: Schema, right: Schema) -> float:
-        result = self.engine.match(left, right)
+        if self._service is not None:
+            result = self._service.match_pair(left, right).result
+        else:
+            result = self.engine.match(left, right)
         source_fraction = len(result.matched_source_ids(self.threshold)) / max(
             len(left), 1
         )

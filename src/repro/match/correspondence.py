@@ -71,6 +71,31 @@ class Correspondence:
         """Return a REJECTED copy, recording the reviewer."""
         return replace(self, status=MatchStatus.REJECTED, asserted_by=by, note=note or self.note)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "source_id": self.source_id,
+            "target_id": self.target_id,
+            "score": self.score,
+            "status": self.status.value,
+            "annotation": self.annotation.value,
+            "asserted_by": self.asserted_by,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Correspondence":
+        """Rebuild a correspondence from :meth:`to_dict` output."""
+        return cls(
+            source_id=payload["source_id"],
+            target_id=payload["target_id"],
+            score=payload["score"],
+            status=MatchStatus(payload.get("status", "candidate")),
+            annotation=SemanticAnnotation(payload.get("annotation", "equivalent")),
+            asserted_by=payload.get("asserted_by", "engine"),
+            note=payload.get("note", ""),
+        )
+
 
 class CorrespondenceSet:
     """A mutable collection of correspondences keyed by (source, target) pair.

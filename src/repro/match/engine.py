@@ -110,12 +110,17 @@ class HarmonyMatchEngine:
         Vote merger; defaults to the conviction-linear merger with the
         calibrated :data:`~repro.matchers.DEFAULT_VOTER_WEIGHTS` (only when
         the default ensemble is used; custom voter lists get flat weights).
+    profile_cache:
+        An externally owned ``{id(schema): SchemaProfile}`` dict, letting a
+        service share one profile cache across engines and batch runners;
+        the engine owns a private dict when omitted.
     """
 
     def __init__(
         self,
         voters: list[MatchVoter] | None = None,
         merger: VoteMerger | None = None,
+        profile_cache: dict[int, SchemaProfile] | None = None,
     ):
         if voters is None:
             self.voters = default_voters()
@@ -129,7 +134,9 @@ class HarmonyMatchEngine:
             self.merger = merger
         else:
             self.merger = ConvictionLinearMerger(voter_weights=default_weights)
-        self._profiles: dict[int, SchemaProfile] = {}
+        self._profiles: dict[int, SchemaProfile] = (
+            profile_cache if profile_cache is not None else {}
+        )
 
     def profile(self, schema: Schema) -> SchemaProfile:
         """Profile a schema once; later calls reuse the cache."""

@@ -15,9 +15,13 @@ profiles so increments stay cheap.  It records per-increment statistics
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.match.engine import HarmonyMatchEngine, MatchResult
 from repro.schema.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service uses match)
+    from repro.service import MatchService
 
 __all__ = ["Increment", "IncrementalMatcher"]
 
@@ -46,10 +50,17 @@ class IncrementalMatcher:
         source: Schema,
         target: Schema,
         engine: HarmonyMatchEngine | None = None,
+        service: "MatchService | None" = None,
     ):
         self.source = source
         self.target = target
-        self.engine = engine if engine is not None else HarmonyMatchEngine()
+        if engine is None:
+            # A bound service shares its profile cache; otherwise this is
+            # the low-level path and the matcher owns a private engine.
+            engine = (
+                service.engine() if service is not None else HarmonyMatchEngine()
+            )
+        self.engine = engine
         self.increments: list[Increment] = []
         # Prime the profile cache so the first increment is not penalised.
         self.engine.profile(source)

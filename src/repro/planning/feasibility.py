@@ -14,9 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
+from typing import TYPE_CHECKING
 
-from repro.match.engine import HarmonyMatchEngine
 from repro.schema.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.match.engine import HarmonyMatchEngine
+    from repro.service import MatchService
 
 __all__ = ["PairOverlap", "FeasibilityReport", "assess_coi_feasibility"]
 
@@ -57,16 +61,29 @@ class FeasibilityReport:
 
 def assess_coi_feasibility(
     schemata: dict[str, Schema],
-    engine: HarmonyMatchEngine | None = None,
+    engine: "HarmonyMatchEngine | None" = None,
     threshold: float = 0.13,
+    service: "MatchService | None" = None,
 ) -> FeasibilityReport:
-    """Estimate community-vocabulary feasibility from pairwise overlaps."""
+    """Estimate community-vocabulary feasibility from pairwise overlaps.
+
+    Pairs run through the (given or fresh) service's auto-routed MATCH
+    unless an explicit ``engine`` pins the exact path; either way profiles
+    are derived once per member schema.
+    """
     if len(schemata) < 2:
         raise ValueError("a COI needs at least two candidate members")
-    engine = engine if engine is not None else HarmonyMatchEngine()
+    if engine is None:
+        from repro.service import MatchService
+
+        if service is None:
+            service = MatchService()
     overlaps: list[PairOverlap] = []
     for left, right in combinations(sorted(schemata), 2):
-        result = engine.match(schemata[left], schemata[right])
+        if engine is not None:
+            result = engine.match(schemata[left], schemata[right])
+        else:
+            result = service.match_pair(schemata[left], schemata[right]).result
         source_fraction = len(result.matched_source_ids(threshold)) / max(
             len(schemata[left]), 1
         )

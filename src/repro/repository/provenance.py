@@ -51,6 +51,29 @@ class ProvenanceRecord:
         if self.sequence < 0:
             raise ValueError(f"sequence must be >= 0, got {self.sequence}")
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "asserted_by": self.asserted_by,
+            "method": self.method.value,
+            "confidence": self.confidence,
+            "sequence": self.sequence,
+            "context": self.context,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProvenanceRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            asserted_by=payload["asserted_by"],
+            method=AssertionMethod(payload.get("method", "automatic")),
+            confidence=payload.get("confidence", 0.0),
+            sequence=payload.get("sequence", 0),
+            context=payload.get("context", "general"),
+            note=payload.get("note", ""),
+        )
+
 
 @dataclass(frozen=True)
 class TrustPolicy:

@@ -89,10 +89,23 @@ class _SqliteBackend:
             " source_element TEXT NOT NULL, target_element TEXT NOT NULL,"
             " score REAL NOT NULL, status TEXT NOT NULL,"
             " annotation TEXT NOT NULL, note TEXT NOT NULL,"
+            " corr_asserted_by TEXT NOT NULL DEFAULT '',"
             " asserted_by TEXT NOT NULL, method TEXT NOT NULL,"
             " confidence REAL NOT NULL, sequence INTEGER NOT NULL,"
             " context TEXT NOT NULL, prov_note TEXT NOT NULL)"
         )
+        # Stores created before the correspondence asserter was persisted
+        # separately lack the column; add it in place (empty = "fall back
+        # to the provenance asserter", the old read behaviour).
+        columns = {
+            row[1]
+            for row in self._connection.execute("PRAGMA table_info(matches)")
+        }
+        if "corr_asserted_by" not in columns:
+            self._connection.execute(
+                "ALTER TABLE matches ADD COLUMN"
+                " corr_asserted_by TEXT NOT NULL DEFAULT ''"
+            )
         self._connection.commit()
 
     def put_schema(self, name: str, payload: dict) -> None:
@@ -129,9 +142,9 @@ class _SqliteBackend:
         provenance = match.provenance
         self._connection.execute(
             "INSERT INTO matches (source_schema, target_schema, source_element,"
-            " target_element, score, status, annotation, note, asserted_by,"
-            " method, confidence, sequence, context, prov_note)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " target_element, score, status, annotation, note, corr_asserted_by,"
+            " asserted_by, method, confidence, sequence, context, prov_note)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 match.source_schema,
                 match.target_schema,
@@ -141,6 +154,7 @@ class _SqliteBackend:
                 correspondence.status.value,
                 correspondence.annotation.value,
                 correspondence.note,
+                correspondence.asserted_by,
                 provenance.asserted_by,
                 provenance.method.value,
                 provenance.confidence,
@@ -154,8 +168,9 @@ class _SqliteBackend:
     def all_matches(self) -> list[StoredMatch]:
         rows = self._connection.execute(
             "SELECT source_schema, target_schema, source_element, target_element,"
-            " score, status, annotation, note, asserted_by, method, confidence,"
-            " sequence, context, prov_note FROM matches ORDER BY id"
+            " score, status, annotation, note, corr_asserted_by, asserted_by,"
+            " method, confidence, sequence, context, prov_note"
+            " FROM matches ORDER BY id"
         ).fetchall()
         stored: list[StoredMatch] = []
         for row in rows:
@@ -170,15 +185,17 @@ class _SqliteBackend:
                         status=MatchStatus(row[5]),
                         annotation=SemanticAnnotation(row[6]),
                         note=row[7],
-                        asserted_by=row[8],
+                        # Pre-migration rows stored only the provenance
+                        # asserter; fall back to it.
+                        asserted_by=row[8] or row[9],
                     ),
                     provenance=ProvenanceRecord(
-                        asserted_by=row[8],
-                        method=AssertionMethod(row[9]),
-                        confidence=row[10],
-                        sequence=row[11],
-                        context=row[12],
-                        note=row[13],
+                        asserted_by=row[9],
+                        method=AssertionMethod(row[10]),
+                        confidence=row[11],
+                        sequence=row[12],
+                        context=row[13],
+                        note=row[14],
                     ),
                 )
             )

@@ -24,6 +24,7 @@ from repro.schema.schema import Schema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (schema <- match)
     from repro.match.engine import HarmonyMatchEngine
+    from repro.service import MatchService
 
 __all__ = ["SchemaDiff", "RenamedElement", "diff_schemas"]
 
@@ -79,16 +80,18 @@ def diff_schemas(
     new: Schema,
     engine: "HarmonyMatchEngine | None" = None,
     rename_threshold: float = 0.03,
+    service: "MatchService | None" = None,
 ) -> SchemaDiff:
     """Diff two versions of a schema (see module docstring).
 
     ``rename_threshold`` gates the engine-backed rename detection between
     the id-orphaned elements; renames must also agree on tree depth (a
-    column does not become a table in a rename).
+    column does not become a table in a rename).  The rename pass restricts
+    both grid sides, so it always runs on the exact engine -- obtained from
+    ``service`` (sharing its profile cache) unless an ``engine`` is given.
     """
     # Imported here to keep the schema package import-cycle free (the match
-    # package builds on schema, not the other way around).
-    from repro.match.engine import HarmonyMatchEngine
+    # and service packages build on schema, not the other way around).
     from repro.match.selection import StableMarriageSelection
 
     old_ids = {element.element_id for element in old}
@@ -112,7 +115,10 @@ def diff_schemas(
     removed = sorted(old_ids - new_ids)
     added = sorted(new_ids - old_ids)
     if removed and added:
-        engine = engine if engine is not None else HarmonyMatchEngine()
+        if engine is None:
+            from repro.service import MatchService
+
+            engine = (service if service is not None else MatchService()).engine()
         result = engine.match(
             old, new, source_element_ids=removed, target_element_ids=added
         )

@@ -1,0 +1,65 @@
+"""Typed MATCH requests: what to match, under which configuration.
+
+A :class:`MatchRequest` names its schemata either *inline* (live
+:class:`~repro.schema.schema.Schema` objects) or *by reference* (the
+registered name of a schema in the service's bound
+:class:`~repro.repository.store.MetadataRepository`) -- the paper's
+repository-centric view, where a match invocation over registered artifacts
+is itself an artifact.  Element-id restrictions carry the sub-tree /
+concept-at-a-time workflows through the same front door.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.schema.schema import Schema
+from repro.service.options import MatchOptions
+
+__all__ = ["SchemaRef", "MatchRequest"]
+
+#: A schema argument: inline, or the name of a repository-registered schema.
+SchemaRef = Union[Schema, str]
+
+
+@dataclass(frozen=True)
+class MatchRequest:
+    """One MATCH(source, target) invocation, as data.
+
+    Parameters
+    ----------
+    source, target:
+        Inline schemata or repository names (resolution of names requires
+        the service to be bound to a repository).
+    options:
+        The :class:`~repro.service.options.MatchOptions` configuration;
+        the calibrated defaults when omitted.
+    source_element_ids / target_element_ids:
+        Optional match-time grid restrictions (sub-tree and concept
+        increments).  A target-side restriction forces the exact path --
+        the blocked fast path prunes candidates target-side itself.
+    """
+
+    source: SchemaRef
+    target: SchemaRef
+    options: MatchOptions = field(default_factory=MatchOptions)
+    source_element_ids: tuple[str, ...] | None = None
+    target_element_ids: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.source, (Schema, str)):
+            raise TypeError("source must be a Schema or a registered schema name")
+        if not isinstance(self.target, (Schema, str)):
+            raise TypeError("target must be a Schema or a registered schema name")
+        for attribute in ("source_element_ids", "target_element_ids"):
+            ids = getattr(self, attribute)
+            if ids is not None:
+                object.__setattr__(self, attribute, tuple(ids))
+
+    @property
+    def is_restricted(self) -> bool:
+        """Whether either side of the pair grid is restricted."""
+        return (
+            self.source_element_ids is not None or self.target_element_ids is not None
+        )

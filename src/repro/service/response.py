@@ -1,0 +1,121 @@
+"""The MATCH response envelope: results as JSON-serialisable knowledge.
+
+A :class:`MatchResponse` is what the paper's section 5 wants out of a match
+invocation: not a transient score matrix but a durable record -- which
+schemata, which configuration, which execution route, how long it took,
+which correspondences came out, and under whose provenance.  The envelope
+round-trips through :meth:`to_dict`/:meth:`from_dict` (property-tested), so
+a future HTTP layer is a thin shim over the service and stored responses
+stay readable.
+
+The live :class:`~repro.match.engine.MatchResult` (dense matrix and all) is
+attached on ``result`` for in-process consumers (overlap analysis,
+concept-level matching); it is deliberately *not* part of the serialised
+form or of equality.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.match.correspondence import Correspondence
+from repro.match.engine import MatchResult
+from repro.repository.provenance import ProvenanceRecord
+from repro.service.options import MatchOptions
+
+__all__ = ["MatchResponse", "RESPONSE_FORMAT_VERSION"]
+
+RESPONSE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MatchResponse:
+    """The envelope one MATCH invocation returns (see module docstring)."""
+
+    source_name: str
+    target_name: str
+    n_source: int
+    n_target: int
+    n_pairs: int
+    n_candidates: int
+    route: str
+    routing_reason: str
+    elapsed_seconds: float
+    voter_names: tuple[str, ...]
+    options: MatchOptions
+    correspondences: tuple[Correspondence, ...]
+    provenance: ProvenanceRecord
+    #: Live result for in-process consumers; never serialised, never compared.
+    result: MatchResult | None = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "voter_names", tuple(self.voter_names))
+        object.__setattr__(self, "correspondences", tuple(self.correspondences))
+
+    # -- convenience queries --------------------------------------------
+    @property
+    def candidate_fraction(self) -> float:
+        """Scored fraction of the cross-product (1.0 on the exact route)."""
+        if self.n_pairs == 0:
+            return 0.0
+        return self.n_candidates / self.n_pairs
+
+    @property
+    def best_score(self) -> float:
+        """The strongest correspondence score (0.0 when none selected)."""
+        return max((c.score for c in self.correspondences), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.correspondences)
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "format_version": RESPONSE_FORMAT_VERSION,
+            "source": {"schema": self.source_name, "n_elements": self.n_source},
+            "target": {"schema": self.target_name, "n_elements": self.n_target},
+            "routing": {"route": self.route, "reason": self.routing_reason},
+            "n_pairs": self.n_pairs,
+            "n_candidates": self.n_candidates,
+            "elapsed_seconds": self.elapsed_seconds,
+            "voters": list(self.voter_names),
+            "options": self.options.to_dict(),
+            "correspondences": [c.to_dict() for c in self.correspondences],
+            "provenance": self.provenance.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MatchResponse":
+        """Rebuild a response envelope (without the live ``result``)."""
+        version = payload.get("format_version")
+        if version != RESPONSE_FORMAT_VERSION:
+            raise ValueError(f"unsupported response format version {version!r}")
+        return cls(
+            source_name=payload["source"]["schema"],
+            target_name=payload["target"]["schema"],
+            n_source=payload["source"]["n_elements"],
+            n_target=payload["target"]["n_elements"],
+            n_pairs=payload["n_pairs"],
+            n_candidates=payload["n_candidates"],
+            route=payload["routing"]["route"],
+            routing_reason=payload["routing"]["reason"],
+            elapsed_seconds=payload["elapsed_seconds"],
+            voter_names=tuple(payload["voters"]),
+            options=MatchOptions.from_dict(payload["options"]),
+            correspondences=tuple(
+                Correspondence.from_dict(entry)
+                for entry in payload["correspondences"]
+            ),
+            provenance=ProvenanceRecord.from_dict(payload["provenance"]),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The envelope as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, document: str) -> "MatchResponse":
+        return cls.from_dict(json.loads(document))

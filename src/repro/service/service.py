@@ -1,0 +1,517 @@
+"""The MatchService facade: one front door for every MATCH invocation.
+
+Section 5 argues that enterprise matching is a *managed operation*: inputs,
+configurations and outputs are knowledge artifacts, and callers should not
+care which execution strategy realises a MATCH.  :class:`MatchService` is
+that seam.  It
+
+* accepts typed :class:`~repro.service.requests.MatchRequest` objects
+  (inline schemata or repository references, declarative
+  :class:`~repro.service.options.MatchOptions`),
+* **auto-routes** between the exact per-grid engine
+  (:class:`~repro.match.engine.HarmonyMatchEngine`) and the blocked,
+  feature-cached batch fast path (:class:`~repro.batch.BatchMatchRunner`)
+  based on workload shape -- pair count for a single pair, registry size
+  for corpus and all-pairs sweeps,
+* shares **one** :class:`~repro.matchers.profile.FeatureSpace` and one
+  profile cache across every engine and runner it compiles, so repeated
+  calls over the same schemata never re-derive linguistic features,
+* returns JSON-round-trippable
+  :class:`~repro.service.response.MatchResponse` envelopes carrying
+  provenance, timing and the routing decision, and
+* optionally binds to a :class:`~repro.repository.store.MetadataRepository`
+  so responses can be persisted and prior matches recalled (the paper's
+  matches-as-knowledge loop).
+
+The dataflow (request -> routing -> engine/batch -> response -> repository)
+is drawn in ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Mapping, Sequence
+
+from repro.batch.runner import BatchMatchRunner, BatchPairOutcome
+from repro.match.correspondence import Correspondence
+from repro.match.engine import HarmonyMatchEngine, MatchResult
+from repro.match.selection import SelectionStrategy
+from repro.matchers.profile import FeatureSpace, SchemaProfile
+from repro.repository.provenance import AssertionMethod, ProvenanceRecord, TrustPolicy
+from repro.repository.store import MetadataRepository
+from repro.schema.schema import Schema
+from repro.service.options import MatchOptions
+from repro.service.requests import MatchRequest, SchemaRef
+from repro.service.response import MatchResponse
+
+__all__ = ["MatchService"]
+
+#: Auto-routing default: a workload whose pair grid (single pair) or total
+#: pair count (corpus / all-pairs sweep) reaches this many cells goes
+#: through the blocked fast path (the paper's 10^6-pair scale; the E16
+#: case study sits just above it at 1378 x 784).  Routing is deliberately
+#: pair-count-only: blocking's measured recall is a price worth paying at
+#: scale, never for a small registry where the exact engine is cheap and
+#: lossless.
+DEFAULT_AUTO_BATCH_PAIRS = 200_000
+
+
+class MatchService:
+    """The single entry point for matching (see module docstring).
+
+    Parameters
+    ----------
+    options:
+        Service-wide default :class:`MatchOptions`; requests may override
+        per call.  The calibrated Harmony defaults when omitted.
+    repository:
+        Optional :class:`MetadataRepository` enabling schema-by-name
+        requests, :meth:`persist` and :meth:`recall`.
+    auto_batch_pairs:
+        The auto-routing shape threshold (see the module constant).
+    asserted_by:
+        The asserter recorded on response provenance and persisted matches.
+    """
+
+    def __init__(
+        self,
+        options: MatchOptions | None = None,
+        repository: MetadataRepository | None = None,
+        auto_batch_pairs: int = DEFAULT_AUTO_BATCH_PAIRS,
+        asserted_by: str = "match-service",
+    ):
+        self.options = options if options is not None else MatchOptions()
+        self.repository = repository
+        if auto_batch_pairs <= 0:
+            raise ValueError(f"auto_batch_pairs must be positive, got {auto_batch_pairs}")
+        self.auto_batch_pairs = auto_batch_pairs
+        self.asserted_by = asserted_by
+        #: One feature space and one profile cache, shared by every engine
+        #: and runner this service compiles.
+        self.space = FeatureSpace()
+        self._profiles: dict[int, SchemaProfile] = {}
+        self._engines: dict[MatchOptions, HarmonyMatchEngine] = {}
+        self._runners: dict[tuple, BatchMatchRunner] = {}
+
+    # ------------------------------------------------------------------
+    # Compiled executors (cached by options value)
+    # ------------------------------------------------------------------
+    def engine(self, options: MatchOptions | None = None) -> HarmonyMatchEngine:
+        """The exact engine for a configuration, sharing the service caches.
+
+        This is the sanctioned way for low-level callers (incremental
+        matching, sessions, diffing) to obtain an engine without losing
+        the shared profile cache.
+        """
+        options = options if options is not None else self.options
+        engine = self._engines.get(options)
+        if engine is None:
+            engine = HarmonyMatchEngine(
+                voters=options.build_voters(),
+                merger=options.build_merger(),
+                profile_cache=self._profiles,
+            )
+            self._engines[options] = engine
+        return engine
+
+    def runner(
+        self,
+        options: MatchOptions | None = None,
+        executor: str = "serial",
+        max_workers: int | None = None,
+        keep_matrices: bool = True,
+    ) -> BatchMatchRunner:
+        """The batch runner for a configuration, sharing the service caches."""
+        options = options if options is not None else self.options
+        key = (options, executor, max_workers, keep_matrices)
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = BatchMatchRunner(
+                voters=options.build_voters(),
+                merger=options.build_merger(),
+                selection=options.build_selection(),
+                space=self.space,
+                fill_value=options.fill_value,
+                executor=executor,
+                max_workers=max_workers,
+                keep_matrices=keep_matrices,
+                profile_cache=self._profiles,
+            )
+            self._runners[key] = runner
+        return runner
+
+    # ------------------------------------------------------------------
+    # Schema resolution
+    # ------------------------------------------------------------------
+    def resolve(self, ref: SchemaRef) -> Schema:
+        """An inline schema as-is; a name through the bound repository."""
+        if isinstance(ref, Schema):
+            return ref
+        if self.repository is None:
+            raise ValueError(
+                f"schema reference {ref!r} requires a bound MetadataRepository"
+            )
+        return self.repository.schema(ref)
+
+    def _resolve_registry(
+        self, schemata: Mapping[str, SchemaRef]
+    ) -> dict[str, Schema]:
+        return {name: self.resolve(ref) for name, ref in schemata.items()}
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_pair(self, request: MatchRequest, source: Schema, target: Schema) -> tuple[str, str]:
+        """The (route, reason) decision for one pair request."""
+        execution = request.options.execution
+        if request.target_element_ids is not None:
+            if execution == "batch":
+                raise ValueError(
+                    "the batch path cannot restrict the target side; "
+                    "use execution='exact' (or 'auto') with target_element_ids"
+                )
+            return "exact", "target-side restriction requires the exact grid"
+        if execution == "exact":
+            return "exact", "requested"
+        if execution == "batch":
+            return "batch", "requested"
+        n_rows = (
+            len(request.source_element_ids)
+            if request.source_element_ids is not None
+            else len(source)
+        )
+        n_pairs = n_rows * len(target)
+        if n_pairs >= self.auto_batch_pairs:
+            return "batch", (
+                f"{n_pairs:,} pairs >= auto_batch_pairs ({self.auto_batch_pairs:,})"
+            )
+        return "exact", (
+            f"{n_pairs:,} pairs < auto_batch_pairs ({self.auto_batch_pairs:,})"
+        )
+
+    def _route_sweep(self, total_pairs: int, options: MatchOptions) -> tuple[str, str]:
+        """The (route, reason) decision for corpus / all-pairs sweeps.
+
+        Pair-count-only on purpose: a registry of many *small* schemata is
+        cheap and lossless on the exact engine (which shares the same
+        profile cache); blocking's recall trade-off is only bought when
+        the total workload warrants it.
+        """
+        if options.execution == "exact":
+            return "exact", "requested"
+        if options.execution == "batch":
+            return "batch", "requested"
+        if total_pairs >= self.auto_batch_pairs:
+            return "batch", (
+                f"{total_pairs:,} total pairs >= auto_batch_pairs "
+                f"({self.auto_batch_pairs:,})"
+            )
+        return "exact", (
+            f"{total_pairs:,} total pairs < auto_batch_pairs "
+            f"({self.auto_batch_pairs:,})"
+        )
+
+    # ------------------------------------------------------------------
+    # The MATCH operation
+    # ------------------------------------------------------------------
+    def match(self, request: MatchRequest) -> MatchResponse:
+        """Execute one typed MATCH request (route, run, envelope)."""
+        source = self.resolve(request.source)
+        target = self.resolve(request.target)
+        route, reason = self.route_pair(request, source, target)
+        source_ids = (
+            list(request.source_element_ids)
+            if request.source_element_ids is not None
+            else None
+        )
+        if route == "batch":
+            result = self.runner(request.options).match_pair(
+                source, target, source_element_ids=source_ids
+            )
+            n_candidates = result.n_candidates
+        else:
+            target_ids = (
+                list(request.target_element_ids)
+                if request.target_element_ids is not None
+                else None
+            )
+            result = self.engine(request.options).match(
+                source,
+                target,
+                source_element_ids=source_ids,
+                target_element_ids=target_ids,
+            )
+            n_candidates = result.n_pairs
+        return self._envelope(
+            result,
+            request.options,
+            route,
+            reason,
+            n_candidates,
+            selection=None,
+        )
+
+    def match_pair(
+        self,
+        source: SchemaRef,
+        target: SchemaRef,
+        options: MatchOptions | None = None,
+        source_element_ids: Sequence[str] | None = None,
+        target_element_ids: Sequence[str] | None = None,
+    ) -> MatchResponse:
+        """Convenience wrapper building the :class:`MatchRequest` inline."""
+        return self.match(
+            MatchRequest(
+                source=source,
+                target=target,
+                options=options if options is not None else self.options,
+                source_element_ids=(
+                    tuple(source_element_ids)
+                    if source_element_ids is not None
+                    else None
+                ),
+                target_element_ids=(
+                    tuple(target_element_ids)
+                    if target_element_ids is not None
+                    else None
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Corpus and all-pairs sweeps
+    # ------------------------------------------------------------------
+    def match_corpus(
+        self,
+        source: SchemaRef,
+        corpus: Mapping[str, SchemaRef],
+        options: MatchOptions | None = None,
+        selection: SelectionStrategy | None = None,
+        executor: str = "serial",
+        max_workers: int | None = None,
+    ) -> list[MatchResponse]:
+        """Match one schema against every schema of a corpus.
+
+        ``selection`` optionally overrides the options-declared strategy
+        with a live instance (for in-process callers; the declarative form
+        in ``options`` is what serialises).
+        """
+        options = options if options is not None else self.options
+        source_schema = self.resolve(source)
+        registry = self._resolve_registry(corpus)
+        total = sum(len(source_schema) * len(s) for s in registry.values())
+        route, reason = self._route_sweep(total, options)
+        if route == "batch":
+            # Sweep envelopes never carry dense matrices; don't retain them.
+            runner = self.runner(
+                options, executor=executor, max_workers=max_workers,
+                keep_matrices=False,
+            )
+            outcomes = runner.match_corpus(source_schema, registry, selection=selection)
+            return [
+                self._envelope_outcome(outcome, options, route, reason, runner)
+                for outcome in outcomes
+            ]
+        selection = selection if selection is not None else options.build_selection()
+        engine = self.engine(options)
+        responses = []
+        for name in sorted(registry):
+            result = engine.match(source_schema, registry[name])
+            responses.append(
+                self._envelope(
+                    result, options, route, reason, result.n_pairs, selection,
+                    target_name=name,
+                )
+            )
+        return responses
+
+    def match_all_pairs(
+        self,
+        schemata: Mapping[str, SchemaRef],
+        options: MatchOptions | None = None,
+        selection: SelectionStrategy | None = None,
+        executor: str = "serial",
+        max_workers: int | None = None,
+    ) -> list[MatchResponse]:
+        """All C(N,2) pairwise matches of a registry (the N-way front end)."""
+        options = options if options is not None else self.options
+        registry = self._resolve_registry(schemata)
+        pairs = list(combinations(sorted(registry), 2))
+        total = sum(len(registry[a]) * len(registry[b]) for a, b in pairs)
+        route, reason = self._route_sweep(total, options)
+        if route == "batch":
+            runner = self.runner(
+                options, executor=executor, max_workers=max_workers,
+                keep_matrices=False,
+            )
+            outcomes = runner.match_all_pairs(registry, selection=selection)
+            return [
+                self._envelope_outcome(outcome, options, route, reason, runner)
+                for outcome in outcomes
+            ]
+        selection = selection if selection is not None else options.build_selection()
+        engine = self.engine(options)
+        responses = []
+        for name_a, name_b in pairs:
+            result = engine.match(registry[name_a], registry[name_b])
+            responses.append(
+                self._envelope(
+                    result, options, route, reason, result.n_pairs, selection,
+                    source_name=name_a, target_name=name_b,
+                )
+            )
+        return responses
+
+    # ------------------------------------------------------------------
+    # Envelopes
+    # ------------------------------------------------------------------
+    def _provenance(
+        self, correspondences: tuple[Correspondence, ...], route: str
+    ) -> ProvenanceRecord:
+        best = max((c.score for c in correspondences), default=0.0)
+        return ProvenanceRecord(
+            asserted_by=self.asserted_by,
+            method=AssertionMethod.AUTOMATIC,
+            confidence=best,
+            context=f"route={route}",
+        )
+
+    def _envelope(
+        self,
+        result: MatchResult,
+        options: MatchOptions,
+        route: str,
+        reason: str,
+        n_candidates: int,
+        selection: SelectionStrategy | None,
+        source_name: str | None = None,
+        target_name: str | None = None,
+    ) -> MatchResponse:
+        strategy = selection if selection is not None else options.build_selection()
+        correspondences = tuple(result.candidates(strategy))
+        return MatchResponse(
+            source_name=source_name if source_name is not None else result.source.name,
+            target_name=target_name if target_name is not None else result.target.name,
+            n_source=len(result.matrix.source_ids),
+            n_target=len(result.matrix.target_ids),
+            n_pairs=result.n_pairs,
+            n_candidates=n_candidates,
+            route=route,
+            routing_reason=reason,
+            elapsed_seconds=result.elapsed_seconds,
+            voter_names=tuple(result.voter_names),
+            options=options,
+            correspondences=correspondences,
+            provenance=self._provenance(correspondences, route),
+            result=result,
+        )
+
+    def _envelope_outcome(
+        self,
+        outcome: BatchPairOutcome,
+        options: MatchOptions,
+        route: str,
+        reason: str,
+        runner: BatchMatchRunner,
+    ) -> MatchResponse:
+        correspondences = tuple(outcome.correspondences)
+        return MatchResponse(
+            source_name=outcome.source_name,
+            target_name=outcome.target_name,
+            n_source=outcome.n_source,
+            n_target=outcome.n_target,
+            n_pairs=outcome.n_pairs,
+            n_candidates=outcome.n_candidates,
+            route=route,
+            routing_reason=reason,
+            elapsed_seconds=outcome.elapsed_seconds,
+            voter_names=tuple(voter.name for voter in runner.voters),
+            options=options,
+            correspondences=correspondences,
+            provenance=self._provenance(correspondences, route),
+            result=None,
+        )
+
+    # ------------------------------------------------------------------
+    # The matches-as-knowledge loop
+    # ------------------------------------------------------------------
+    def persist(
+        self,
+        response: MatchResponse,
+        context: str | None = None,
+        register_schemas: bool = True,
+    ) -> int:
+        """Store a response's correspondences (and schemata) in the repository.
+
+        Registers the pair's schemata when the response still carries its
+        live result and they are not registered yet; stores every
+        correspondence with AUTOMATIC provenance under the routing context.
+        Returns the number of matches stored.
+
+        Sweep responses (and deserialised envelopes) carry no live result,
+        so their schemata must already be registered -- a missing one
+        raises ``ValueError`` with that guidance rather than failing deep
+        inside the store.
+        """
+        if self.repository is None:
+            raise ValueError("persist requires a bound MetadataRepository")
+        if register_schemas and response.result is not None:
+            for name, schema in (
+                (response.source_name, response.result.source),
+                (response.target_name, response.result.target),
+            ):
+                if name not in self.repository:
+                    self.repository.register(schema, name=name)
+        missing = [
+            name
+            for name in (response.source_name, response.target_name)
+            if name not in self.repository
+        ]
+        if missing:
+            raise ValueError(
+                f"cannot persist response: schemata {missing} are not "
+                "registered (corpus/all-pairs and deserialised responses "
+                "carry no live schemata; register them first)"
+            )
+        return self.repository.store_matches(
+            response.source_name,
+            response.target_name,
+            response.correspondences,
+            asserted_by=self.asserted_by,
+            method=AssertionMethod.AUTOMATIC,
+            context=context if context is not None else f"route={response.route}",
+        )
+
+    def recall(
+        self,
+        source: str,
+        target: str,
+        policy: TrustPolicy | None = None,
+    ) -> tuple[Correspondence, ...]:
+        """Prior correspondences for a registered pair, trust-filtered."""
+        if self.repository is None:
+            raise ValueError("recall requires a bound MetadataRepository")
+        return tuple(
+            match.correspondence
+            for match in self.repository.matches(
+                source_schema=source, target_schema=target, policy=policy
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def warm(self, schemata: Iterable[SchemaRef]) -> None:
+        """Pre-profile schemata and populate the shared feature cache."""
+        self.runner(self.options).warm(
+            self.resolve(ref) for ref in schemata
+        )
+
+    def clear_caches(self) -> None:
+        """Release the shared profile and feature caches.
+
+        The caches hold strong references to every schema matched through
+        this service; long-lived processes cycling through unrelated
+        corpora should clear between them.  Compiled engines and runners
+        survive (they share the same now-empty dicts).
+        """
+        self._profiles.clear()
+        self.space.clear()

@@ -13,9 +13,13 @@ model's input) and concept-level matches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.match.correspondence import Correspondence, CorrespondenceSet, MatchStatus
 from repro.match.engine import HarmonyMatchEngine, MatchResult
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.service import MatchService
 from repro.match.incremental import IncrementalMatcher
 from repro.match.selection import ThresholdSelection
 from repro.schema.schema import Schema
@@ -76,7 +80,11 @@ class MatchingSession:
     oracle:
         The validating engineer (ground-truth or noisy).
     engine:
-        Match engine; a fresh Harmony engine by default.
+        Match engine; when omitted, obtained from ``service`` (or a fresh
+        :class:`~repro.service.MatchService`) so sessions share the
+        service-wide profile cache.
+    service:
+        Optional service supplying the engine and its shared caches.
     candidate_threshold:
         Score above which a candidate is surfaced for inspection -- the
         confidence filter setting of section 3.3.
@@ -93,6 +101,7 @@ class MatchingSession:
         engine: HarmonyMatchEngine | None = None,
         candidate_threshold: float = 0.10,
         reviewer: str = "engineer",
+        service: "MatchService | None" = None,
     ):
         if source_summary.schema is not source:
             raise ValueError("source_summary must summarise the source schema")
@@ -100,7 +109,11 @@ class MatchingSession:
         self.target = target
         self.summary = source_summary
         self.oracle = oracle
-        self.engine = engine if engine is not None else HarmonyMatchEngine()
+        if engine is None:
+            from repro.service import MatchService
+
+            engine = (service if service is not None else MatchService()).engine()
+        self.engine = engine
         self.candidate_threshold = candidate_threshold
         self.reviewer = reviewer
         self._incremental = IncrementalMatcher(source, target, engine=self.engine)

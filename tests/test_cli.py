@@ -119,3 +119,44 @@ class TestCli:
         # Two copies of the same file cluster perfectly together.
         out = capsys.readouterr().out
         assert "COI(2 systems" in out
+
+
+class TestCliService:
+    def test_match_json_envelope(self, schema_files, capsys):
+        import json
+
+        sql, xsd = schema_files
+        assert main(["match", sql, xsd, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["routing"]["route"] in ("exact", "batch")
+        assert payload["format_version"] == 1
+        from repro.service import MatchResponse
+
+        assert MatchResponse.from_dict(payload).source_name == payload["source"]["schema"]
+
+    def test_match_route_override(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["match", sql, xsd, "--route", "batch"]) == 0
+        assert "[route=batch]" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["match", str(tmp_path / "missing.sql"), str(tmp_path / "b.xsd")])
+        assert excinfo.value.code == 2
+
+    def test_unparseable_file_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "x.sql"
+        bogus.write_text("NOT SQL AT ALL;")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tree", str(bogus)])
+        assert excinfo.value.code == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_structurally_invalid_json_exits_2(self, tmp_path, capsys):
+        # Well-formed JSON, right version, missing fields: still exit 2.
+        bad = tmp_path / "x.json"
+        bad.write_text('{"format_version": 1}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tree", str(bad)])
+        assert excinfo.value.code == 2
+        assert "cannot parse" in capsys.readouterr().err

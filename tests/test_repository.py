@@ -255,3 +255,55 @@ class TestSqlitePersistence:
                 asserted_by="bob",
             )
             assert stored.provenance.sequence == 2
+
+
+class TestServiceResponsePersistence:
+    """A persisted MatchResponse round-trips identically through both backends."""
+
+    def _persist_through(self, path, sample_relational, sample_xml):
+        from repro.schema import schema_to_dict
+        from repro.service import MatchOptions, MatchService
+
+        repository = MetadataRepository(path=path)
+        service = MatchService(repository=repository)
+        response = service.match_pair(
+            sample_relational, sample_xml, options=MatchOptions(threshold=0.05)
+        )
+        stored_count = service.persist(response)
+        schemata = {
+            name: schema_to_dict(repository.schema(name))
+            for name in repository.schema_names()
+        }
+        return response, stored_count, schemata, repository
+
+    def test_sqlite_round_trip_equals_memory(
+        self, tmp_path, sample_relational, sample_xml
+    ):
+        memory_response, memory_count, memory_schemata, memory_repo = (
+            self._persist_through(None, sample_relational, sample_xml)
+        )
+        path = str(tmp_path / "knowledge.db")
+        sqlite_response, sqlite_count, sqlite_schemata, sqlite_repo = (
+            self._persist_through(path, sample_relational, sample_xml)
+        )
+        assert memory_count == sqlite_count > 0
+        # The response envelopes are identical up to wall time (matching is
+        # deterministic; elapsed_seconds is the one measured field) ...
+        from dataclasses import replace
+
+        assert replace(memory_response, elapsed_seconds=0.0) == replace(
+            sqlite_response, elapsed_seconds=0.0
+        )
+        # ... the serialised schemata are byte-identical across backends ...
+        assert memory_schemata == sqlite_schemata
+        # ... and every stored match (correspondence + provenance) agrees.
+        assert memory_repo.matches() == sqlite_repo.matches()
+        sqlite_repo.close()
+
+        # Reopening the SQLite store reconstructs the same knowledge.
+        with MetadataRepository(path=path) as reopened:
+            assert reopened.matches() == memory_repo.matches()
+            assert {
+                name: len(reopened.schema(name)) for name in reopened.schema_names()
+            } == {name: len(sample_relational) if name == "SA_sample" else len(sample_xml) for name in memory_repo.schema_names()}
+        memory_repo.close()
