@@ -1,0 +1,154 @@
+"""E17 -- repository-scale corpus matching: index, prune, match, rank.
+
+The paper's central enterprise claim (sections 2 and 5) is that matching is
+a *routine repository operation*: a registry holds hundreds of schemata,
+and a match effort starts by locating candidates in that pool ("simply use
+one's target schema as the 'query term'"), not by hand-picking one pair.
+``MatchService.corpus_match`` is that operation: the persistent
+:class:`~repro.corpus.CorpusIndex` prunes the registry to a shortlist, the
+blocked batch fast path (E16) scores each survivor, and candidates rank by
+match strength.
+
+This bench registers a >= 100-schema synthetic enterprise corpus
+(:func:`~repro.synthetic.generate_enterprise_corpus`, planted domains as
+ground truth) in a SQLite repository and holds the subsystem to three
+contracts:
+
+* **index lifecycle** -- the cold build derives every fingerprint once;
+  reopening the repository rebuilds the index from persisted fingerprints
+  alone (no re-profiling), which must be at least 2x faster than cold;
+* **query latency** -- one-per-domain top-5 corpus queries must run >= 5x
+  faster end-to-end than the brute-force alternative (looping the exact
+  service over every registered schema with the same options);
+* **quality** -- mean top-5 recall against the planted domains must be
+  >= 0.95 (a returned candidate counts when it shares the query's domain).
+"""
+
+import time
+
+from repro.corpus import CorpusIndex
+from repro.repository import MetadataRepository
+from repro.service import CorpusMatchRequest, MatchOptions, MatchService
+from repro.synthetic import generate_enterprise_corpus
+
+N_SCHEMATA = 100
+N_DOMAINS = 10
+TOP_K = 5
+SPEEDUP_FLOOR = 5.0
+RECALL_FLOOR = 0.95
+RELOAD_SPEEDUP_FLOOR = 2.0
+
+
+def _match_strength(correspondences) -> float:
+    return sum(max(0.0, c.score) for c in correspondences)
+
+
+def test_e17_corpus_match(benchmark, tmp_path, report_factory):
+    corpus = generate_enterprise_corpus(
+        n_schemata=N_SCHEMATA, n_domains=N_DOMAINS, seed=2009
+    )
+    assert len(corpus.schemata) >= 100
+    path = str(tmp_path / "e17.db")
+
+    with MetadataRepository(path=path) as repository:
+        started = time.perf_counter()
+        for generated in corpus.schemata:
+            repository.register(generated.schema)
+        register_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        cold = CorpusIndex(repository).refresh()
+        cold_seconds = time.perf_counter() - started
+        assert cold.n_derived == N_SCHEMATA
+
+    # Reopen: the index must come back from persisted fingerprints alone.
+    with MetadataRepository(path=path) as repository:
+        started = time.perf_counter()
+        warm = CorpusIndex(repository).refresh()
+        warm_seconds = time.perf_counter() - started
+        assert warm.n_from_fingerprints == N_SCHEMATA
+        assert warm.n_derived == 0
+
+        queries = [f"D{domain}S0" for domain in range(N_DOMAINS)]
+        service = MatchService(repository=repository)
+
+        # -- the corpus-match path (index pruning + batch fast path) ----
+        recalls = []
+        started = time.perf_counter()
+        for query in queries:
+            response = service.corpus_match(
+                CorpusMatchRequest(source=query, top_k=TOP_K, reuse=None)
+            )
+            domain = corpus.domain_of[query]
+            recalls.append(
+                sum(
+                    1
+                    for name in response.candidate_names
+                    if corpus.domain_of[name] == domain
+                )
+                / TOP_K
+            )
+        corpus_seconds = time.perf_counter() - started
+        benchmark.pedantic(
+            lambda: service.corpus_match(
+                CorpusMatchRequest(source=queries[0], top_k=TOP_K, reuse=None)
+            ),
+            rounds=3,
+            iterations=1,
+        )
+        recall = sum(recalls) / len(recalls)
+
+        # -- brute force: the exact service over every registered pair --
+        brute_service = MatchService(repository=repository)
+        options = MatchOptions(execution="exact")
+        schemata = {
+            name: repository.schema(name) for name in repository.schema_names()
+        }
+        started = time.perf_counter()
+        brute_top: dict[str, list[str]] = {}
+        for query in queries:
+            scored = []
+            for name, target in schemata.items():
+                if name == query:
+                    continue
+                result = brute_service.match_pair(
+                    schemata[query], target, options=options
+                )
+                scored.append((_match_strength(result.correspondences), name))
+            scored.sort(key=lambda entry: (-entry[0], entry[1]))
+            brute_top[query] = [name for _, name in scored[:TOP_K]]
+        brute_seconds = time.perf_counter() - started
+        speedup = brute_seconds / corpus_seconds
+
+    n_elements = sum(len(g.schema) for g in corpus.schemata)
+    report = report_factory(
+        "E17", "Repository-scale corpus matching (index + top-k + fast path)"
+    )
+    report.row("corpus size", ">= 100 schemata", f"{N_SCHEMATA} ({n_elements:,} elements)")
+    report.row("register into SQLite", "(seconds)", f"{register_seconds:.2f}s")
+    report.row(
+        "index build, cold (derive fingerprints)", "(seconds)", f"{cold_seconds:.2f}s"
+    )
+    report.row(
+        "index reload from fingerprints",
+        f">= {RELOAD_SPEEDUP_FLOOR:.0f}x faster than cold",
+        f"{warm_seconds:.2f}s ({cold_seconds / warm_seconds:.1f}x)",
+    )
+    report.row(
+        f"top-{TOP_K} query latency (corpus_match)",
+        "(seconds / query)",
+        f"{corpus_seconds / len(queries):.2f}s",
+    )
+    report.row(
+        "brute force (exact service, all pairs)",
+        "(seconds / query)",
+        f"{brute_seconds / len(queries):.2f}s",
+    )
+    report.row("corpus_match speedup", f">= {SPEEDUP_FLOOR:.0f}x", f"{speedup:.1f}x")
+    report.row(
+        f"top-{TOP_K} recall vs planted domains", f">= {RECALL_FLOOR}", f"{recall:.3f}"
+    )
+
+    assert cold_seconds / warm_seconds >= RELOAD_SPEEDUP_FLOOR
+    assert speedup >= SPEEDUP_FLOOR
+    assert recall >= RECALL_FLOOR

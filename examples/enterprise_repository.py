@@ -9,13 +9,16 @@ Walks the section-2 registry scenarios on a planted-structure corpus:
 * cluster the registry and propose communities of interest;
 * store validated matches with provenance and query them under different
   trust policies (search vs business intelligence);
-* reuse: compose stored matches transitively through a pivot schema.
+* reuse: compose stored matches transitively through a pivot schema;
+* corpus-match: the repository-scale top-k MATCH through the service,
+  with prior assertions boosting the validated pairs (docs/repository.md).
 """
 
 from repro.cluster import TermVectorDistance, propose_cois
 from repro.match import HarmonyMatchEngine, StableMarriageSelection
 from repro.repository import AssertionMethod, MetadataRepository, TrustPolicy
 from repro.search import KeywordQuery, SchemaIndex, SchemaQuery, SchemaSearchEngine
+from repro.service import CorpusMatchRequest, MatchService
 from repro.synthetic import generate_clustered_corpus
 
 
@@ -95,6 +98,25 @@ def main() -> None:
     for candidate in composed[:5]:
         print(f"    {candidate.source_id} <-> {candidate.target_id} "
               f"(score {candidate.score:.2f})")
+
+    # ------------------------------------------------------------------
+    print("\n=== corpus-match: the repository-scale MATCH ===")
+    service = MatchService(repository=repository)
+    response = service.corpus_match(CorpusMatchRequest(source=left, top_k=3))
+    print(f"  {left} vs the registry: {response.n_registered} registered, "
+          f"{response.n_retrieved} retrieved after index pruning, "
+          f"top {len(response)} in {response.elapsed_seconds:.2f}s")
+    for rank, candidate in enumerate(response.candidates, start=1):
+        print(f"  {rank}. {candidate.target_name} "
+              f"(domain {corpus.domain_of[candidate.target_name]}): "
+              f"match score {candidate.match_score:.2f}, "
+              f"{len(candidate)} correspondences, "
+              f"{candidate.n_boosted} boosted by stored assertions")
+    boosted = [c for c in response.best.correspondences if "reuse-boosted" in c.note]
+    if boosted:
+        strongest = boosted[0]
+        print(f"  e.g. {strongest.source_id} <-> {strongest.target_id} "
+              f"({strongest.score:+.2f}): {strongest.note}")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ walkthroughs.
 """
 
 from repro.batch import BatchMatchRunner, BlockingPolicy
+from repro.corpus import CorpusIndex
 from repro.match import (
     Correspondence,
     CorrespondenceSet,
@@ -53,7 +54,11 @@ from repro.schema import (
     parse_ddl,
     parse_xsd,
 )
+from repro.repository import MetadataRepository, ReusePolicy
 from repro.service import (
+    CorpusCandidate,
+    CorpusMatchRequest,
+    CorpusMatchResponse,
     MatchOptions,
     MatchRequest,
     MatchResponse,
@@ -98,6 +103,10 @@ __all__ = [
     "BlockingPolicy",
     "Correspondence",
     "CorrespondenceSet",
+    "CorpusCandidate",
+    "CorpusIndex",
+    "CorpusMatchRequest",
+    "CorpusMatchResponse",
     "DataType",
     "ElementKind",
     "HarmonyMatchEngine",
@@ -110,6 +119,8 @@ __all__ = [
     "MatchResult",
     "MatchService",
     "MatchStatus",
+    "MetadataRepository",
+    "ReusePolicy",
     "Schema",
     "SchemaElement",
     "SemanticAnnotation",

@@ -6,6 +6,10 @@ Subcommands mirror the library's main operations:
   exact/batch; ``--json`` emits the response envelope)
 * ``batch A.sql B.xsd ...``  -- corpus fast path: one source vs a corpus,
   or ``--all-pairs`` over the whole registry
+* ``corpus-match A.sql B.xsd C.sql ...`` -- repository-scale top-k match:
+  register a corpus (or open a SQLite repository with ``--db``), prune it
+  through the corpus index, match the survivors on the fast path, rank
+  (``--json`` emits the CorpusMatchResponse envelope)
 * ``overlap A.sql B.xsd``    -- the Lesson-#3 partition report
 * ``summarize A.sql``        -- SUMMARIZE(S) by root containers
 * ``tree A.sql``             -- ASCII schema tree
@@ -154,6 +158,75 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"({total_candidates:,} scored after blocking) in {elapsed:.2f}s "
         f"[{args.executor}]"
     )
+    return 0
+
+
+def _cmd_corpus_match(args: argparse.Namespace) -> int:
+    from repro.repository import MetadataRepository, ReusePolicy
+    from repro.service import CorpusMatchRequest
+
+    if args.db is None and not args.corpus:
+        raise _fail(
+            "corpus-match needs corpus schema files (or --db with a "
+            "populated repository)"
+        )
+    repository = MetadataRepository(path=args.db)
+    try:
+        for name, schema in _load_registry(args.corpus).items():
+            repository.register(schema, name=name)
+        # The source is a schema file when it looks like one, else the name
+        # of a schema already registered in the repository.
+        if any(args.source.endswith(suffix) for suffix in _LOADERS):
+            source = _load(args.source)
+        else:
+            if args.source not in repository:
+                raise _fail(
+                    f"{args.source!r} is neither a schema file (.sql/.xsd/.json) "
+                    "nor a registered schema name"
+                )
+            source = args.source
+        service = MatchService(repository=repository)
+        request = CorpusMatchRequest(
+            source=source,
+            top_k=args.top_k,
+            options=MatchOptions(threshold=args.threshold),
+            retrieval_limit=args.retrieval_limit,
+            reuse=None if args.no_reuse else ReusePolicy(),
+            executor=args.executor,
+            max_workers=args.workers,
+        )
+        response = service.corpus_match(request)
+    finally:
+        repository.close()
+    if args.json:
+        print(response.to_json(indent=2))
+        return 0
+    print(
+        f"corpus-match {response.source_name}: {response.n_registered} registered, "
+        f"{response.n_retrieved} retrieved, top {len(response.candidates)} ranked "
+        f"in {response.elapsed_seconds:.2f}s "
+        f"(retrieval {response.retrieval_seconds:.2f}s, "
+        f"reuse {'on' if response.reuse_applied else 'off'})"
+    )
+    for rank, candidate in enumerate(response.candidates, start=1):
+        print(
+            f"{rank}. {candidate.target_name}: match score "
+            f"{candidate.match_score:.2f} (bm25 {candidate.retrieval_score:.1f}), "
+            f"{len(candidate)} correspondences"
+            + (
+                f", {candidate.n_boosted} boosted / {candidate.n_seeded} seeded"
+                if response.reuse_applied
+                else ""
+            )
+        )
+        for correspondence in candidate.correspondences[: args.limit]:
+            print(
+                f"     {correspondence.score:+.3f}  {correspondence.source_id}"
+                f"  <->  {correspondence.target_id}"
+            )
+        remaining = len(candidate.correspondences) - args.limit
+        if remaining > 0:
+            print(f"     ... ({remaining} more)")
     return 0
 
 
@@ -313,6 +386,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument("--workers", type=int, default=None)
     batch_parser.set_defaults(handler=_cmd_batch)
+
+    corpus_parser = subparsers.add_parser(
+        "corpus-match",
+        help="repository-scale top-k match: one schema vs everything registered",
+    )
+    corpus_parser.add_argument(
+        "source", help="query schema file, or a registered name with --db"
+    )
+    corpus_parser.add_argument(
+        "corpus", nargs="*",
+        help="schema files to register before matching (optional with --db)",
+    )
+    corpus_parser.add_argument(
+        "--db", default=None,
+        help="SQLite repository path (default: ephemeral in-memory registry)",
+    )
+    corpus_parser.add_argument("--top-k", type=int, default=5)
+    corpus_parser.add_argument("--threshold", type=float, default=0.15)
+    corpus_parser.add_argument(
+        "--retrieval-limit", type=int, default=None,
+        help="candidates to match after index pruning (default: max(3*top_k, 10))",
+    )
+    corpus_parser.add_argument(
+        "--limit", type=int, default=5,
+        help="correspondences printed per candidate (text output)",
+    )
+    corpus_parser.add_argument(
+        "--no-reuse", action="store_true",
+        help="skip boosting/seeding from previously stored matches",
+    )
+    corpus_parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="serial"
+    )
+    corpus_parser.add_argument("--workers", type=int, default=None)
+    corpus_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the CorpusMatchResponse envelope as JSON",
+    )
+    corpus_parser.set_defaults(handler=_cmd_corpus_match)
 
     overlap_parser = subparsers.add_parser("overlap", help="overlap partition report")
     overlap_parser.add_argument("source")

@@ -1,0 +1,16 @@
+"""Corpus matching: persistent indexing and top-k retrieval over a registry.
+
+The glue between the metadata repository (schemata + match knowledge) and
+the match service: :class:`CorpusIndex` keeps a lazily refreshed,
+fingerprint-persisted inverted index over every registered schema and
+serves the top-k retrieval stage of ``MatchService.corpus_match``.  See
+``docs/repository.md``.
+"""
+
+from repro.corpus.index import (
+    FINGERPRINT_FORMAT_VERSION,
+    CorpusIndex,
+    CorpusRefresh,
+)
+
+__all__ = ["FINGERPRINT_FORMAT_VERSION", "CorpusIndex", "CorpusRefresh"]

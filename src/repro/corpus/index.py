@@ -1,0 +1,238 @@
+"""The persistent corpus index: top-k schema retrieval over a repository.
+
+The paper's section-5 registry scenario -- hundreds to thousands of
+registered schemata, matched against routinely rather than one pair at a
+time -- needs a retrieval stage in front of matching: "complementary search
+tools ... to locate potential match candidates from a larger pool of
+schemata".  :class:`CorpusIndex` is that stage, bound to a
+:class:`~repro.repository.store.MetadataRepository`:
+
+* each registered schema is profiled ONCE into a term *fingerprint*
+  (the pipeline-normalised term bag of :func:`repro.search.index.schema_terms`
+  plus a content hash), persisted through the repository backend -- on the
+  SQLite backend fingerprints survive process restarts, so reopening a
+  500-schema repository rebuilds the index from stored term bags without
+  re-deserialising or re-profiling a single schema;
+* the in-memory inverted index (:class:`~repro.search.index.SchemaIndex`)
+  is rebuilt *lazily*: every query first compares the repository's
+  :attr:`~repro.repository.store.MetadataRepository.generation` clock
+  against the generation the index was built at, and refreshes
+  incrementally (only added/removed/re-registered names are touched);
+* :meth:`CorpusIndex.top_candidates` runs schema-as-query BM25 retrieval
+  ("simply use one's target schema as the 'query term'", section 2) and
+  returns the ranked candidate schemata that
+  ``MatchService.corpus_match`` then actually matches.
+
+The lifecycle (build -> persist -> stale -> incremental refresh) is
+documented with a worked example in ``docs/repository.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.repository.store import MetadataRepository
+from repro.schema.schema import Schema
+from repro.schema.serialize import schema_from_dict
+from repro.search.index import SchemaIndex, schema_terms
+from repro.search.query import SchemaQuery
+from repro.search.rank import SchemaSearchEngine, SearchHit
+
+__all__ = [
+    "FINGERPRINT_FORMAT_VERSION",
+    "CorpusRefresh",
+    "CorpusIndex",
+    "payload_hash",
+]
+
+#: Bumped whenever the term derivation changes incompatibly; fingerprints
+#: written under another version are re-derived, not trusted.
+FINGERPRINT_FORMAT_VERSION = 1
+
+
+def payload_hash(payload: dict) -> str:
+    """Content hash of a serialised schema (order-independent).
+
+    The identity the whole subsystem keys on: fingerprints persist it,
+    refresh compares it, and the service's inline-source self-exclusion
+    reuses it (imported there as ``corpus_payload_hash``).
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CorpusRefresh:
+    """What one :meth:`CorpusIndex.refresh` actually did."""
+
+    n_indexed: int            # index size after the refresh
+    n_added: int              # entries (re)built this refresh
+    n_removed: int            # entries dropped (unregistered schemata)
+    n_from_fingerprints: int  # of n_added: reloaded from persisted term bags
+    n_derived: int            # of n_added: profiled from the live schema
+    elapsed_seconds: float
+
+    @property
+    def was_noop(self) -> bool:
+        return self.n_added == 0 and self.n_removed == 0
+
+
+class CorpusIndex:
+    """A lazily maintained inverted index over every registered schema.
+
+    Parameters
+    ----------
+    repository:
+        The :class:`MetadataRepository` to index.  The index never mutates
+        the registry; it only reads schemata and reads/writes fingerprints.
+    """
+
+    def __init__(self, repository: MetadataRepository):
+        self.repository = repository
+        self._index = SchemaIndex()
+        self._built_generation: int | None = None
+        #: Content hash each indexed entry was built from (the per-entry
+        #: staleness signal; see :meth:`refresh`).
+        self._hashes: dict[str, str] = {}
+        self.last_refresh: CorpusRefresh | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def is_stale(self) -> bool:
+        """Whether the registry changed since the index was last built."""
+        return self._built_generation != self.repository.generation
+
+    def refresh(self, force: bool = False) -> CorpusRefresh:
+        """Bring the index in sync with the repository (incrementally).
+
+        A fresh index returns a no-op refresh immediately; a stale one
+        diffs indexed names against registered names and touches only the
+        difference.  Unchanged entries -- the common case after one
+        register into a large corpus -- are not re-read at all.
+        """
+        started = time.perf_counter()
+        if not force and not self.is_stale():
+            refresh = CorpusRefresh(
+                n_indexed=len(self._index),
+                n_added=0,
+                n_removed=0,
+                n_from_fingerprints=0,
+                n_derived=0,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+            self.last_refresh = refresh
+            return refresh
+
+        registered = set(self.repository.schema_names())
+        indexed = set(self._index.names)
+        removed = indexed - registered
+        for name in removed:
+            self._index.remove(name)
+            self._hashes.pop(name, None)
+        # An indexed entry is stale when the persisted fingerprint hash no
+        # longer matches the hash this index built from: re-registering
+        # changed content drops the fingerprint (hash becomes absent), and
+        # a *sibling* index over the same repository may already have
+        # re-derived and re-persisted it (hash becomes different) -- both
+        # must rebuild here, unchanged entries are not touched at all.
+        persisted = self.repository.fingerprint_hashes()
+        stale = {
+            name
+            for name in indexed & registered
+            if persisted.get(name) != self._hashes.get(name)
+        }
+        from_fingerprints = 0
+        to_persist: dict[str, dict] = {}
+        for name in sorted((registered - indexed) | stale):
+            if self._load_fingerprint(name):
+                from_fingerprints += 1
+            else:
+                to_persist[name] = self._derive(name)
+        if to_persist:
+            # One transaction for the whole rebuild, not one commit per
+            # schema (a cold build over N schemata is N fingerprints).
+            self.repository.put_fingerprints(to_persist)
+        derived = len(to_persist)
+        self._built_generation = self.repository.generation
+        refresh = CorpusRefresh(
+            n_indexed=len(self._index),
+            n_added=from_fingerprints + derived,
+            n_removed=len(removed),
+            n_from_fingerprints=from_fingerprints,
+            n_derived=derived,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        self.last_refresh = refresh
+        return refresh
+
+    def _load_fingerprint(self, name: str) -> bool:
+        """Index one schema from its persisted fingerprint, if trustworthy.
+
+        A fingerprint is trusted only when its format version matches and
+        its content hash equals the hash of the stored schema payload --
+        externally edited stores fall back to re-derivation, never to
+        silently stale postings.
+        """
+        fingerprint = self.repository.get_fingerprint(name)
+        if (
+            fingerprint is None
+            or fingerprint.get("format_version") != FINGERPRINT_FORMAT_VERSION
+        ):
+            return False
+        payload = self.repository.schema_payload(name)
+        if fingerprint.get("hash") != payload_hash(payload):
+            return False
+        self._index.add_entry(name, Counter(fingerprint["terms"]))
+        self._hashes[name] = fingerprint["hash"]
+        return True
+
+    def _derive(self, name: str) -> dict:
+        """Profile one schema into the index; returns its fingerprint payload."""
+        payload = self.repository.schema_payload(name)
+        schema = schema_from_dict(payload)
+        terms, _root_terms = schema_terms(schema)
+        content_hash = payload_hash(payload)
+        self._index.add_entry(name, terms)
+        self._hashes[name] = content_hash
+        return {
+            "format_version": FINGERPRINT_FORMAT_VERSION,
+            "hash": content_hash,
+            "n_terms": sum(terms.values()),
+            "terms": dict(terms),
+        }
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def top_candidates(
+        self,
+        query: Schema,
+        limit: int = 10,
+        exclude: str | None = None,
+    ) -> list[SearchHit]:
+        """The ``limit`` registered schemata most likely to match ``query``.
+
+        Schema-as-query BM25 over the (freshly refreshed) inverted index;
+        ``exclude`` drops a registered copy of the query schema itself.
+        This is the candidate-pruning stage of ``corpus_match``: everything
+        outside the returned list is never matched at all.
+        """
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self.refresh()
+        engine = SchemaSearchEngine(self._index)
+        return engine.search(SchemaQuery(query), limit=limit, exclude=exclude)
+
+    def __len__(self) -> int:
+        self.refresh()
+        return len(self._index)
+
+    @property
+    def names(self) -> list[str]:
+        self.refresh()
+        return self._index.names

@@ -1,13 +1,22 @@
 """Enterprise metadata repository: schemata + match knowledge + provenance."""
 
 from repro.repository.provenance import AssertionMethod, ProvenanceRecord, TrustPolicy
-from repro.repository.reuse import compose_matches, reuse_candidates
+from repro.repository.reuse import (
+    PriorAssertion,
+    ReuseOutcome,
+    ReusePolicy,
+    compose_matches,
+    reuse_candidates,
+)
 from repro.repository.store import MetadataRepository, StoredMatch
 
 __all__ = [
     "AssertionMethod",
     "MetadataRepository",
+    "PriorAssertion",
     "ProvenanceRecord",
+    "ReuseOutcome",
+    "ReusePolicy",
     "StoredMatch",
     "TrustPolicy",
     "compose_matches",

@@ -9,6 +9,14 @@ of schema matches as knowledge artifacts."
 matches with full provenance, filterable by trust policy.  Two backends
 share one interface: in-memory (default) and SQLite (persistent, stdlib
 ``sqlite3``).
+
+Beyond schemata and matches, the backends persist *corpus fingerprints* --
+per-schema term statistics that :class:`~repro.corpus.index.CorpusIndex`
+derives once and reloads on reopen, so indexing a registered corpus does
+not re-profile every schema (see ``docs/repository.md``).  The repository
+also exposes a :attr:`MetadataRepository.generation` counter, bumped on
+every register/unregister, which is what the corpus index uses to detect
+staleness and rebuild lazily.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ class _InMemoryBackend:
     def __init__(self) -> None:
         self.schemata: dict[str, dict] = {}
         self.matches: list[StoredMatch] = []
+        self.fingerprints: dict[str, dict] = {}
 
     def put_schema(self, name: str, payload: dict) -> None:
         self.schemata[name] = payload
@@ -57,6 +66,7 @@ class _InMemoryBackend:
 
     def delete_schema(self, name: str) -> None:
         self.schemata.pop(name, None)
+        self.fingerprints.pop(name, None)
         self.matches = [
             match
             for match in self.matches
@@ -66,8 +76,32 @@ class _InMemoryBackend:
     def add_match(self, match: StoredMatch) -> None:
         self.matches.append(match)
 
+    def add_matches(self, matches: list[StoredMatch]) -> None:
+        self.matches.extend(matches)
+
     def all_matches(self) -> list[StoredMatch]:
         return list(self.matches)
+
+    def put_fingerprint(self, name: str, payload: dict) -> None:
+        self.fingerprints[name] = payload
+
+    def put_fingerprints(self, payloads: dict[str, dict]) -> None:
+        self.fingerprints.update(payloads)
+
+    def get_fingerprint(self, name: str) -> dict | None:
+        return self.fingerprints.get(name)
+
+    def fingerprint_names(self) -> list[str]:
+        return list(self.fingerprints)
+
+    def fingerprint_hashes(self) -> dict[str, str]:
+        return {
+            name: payload.get("hash", "")
+            for name, payload in self.fingerprints.items()
+        }
+
+    def delete_fingerprint(self, name: str) -> None:
+        self.fingerprints.pop(name, None)
 
     def close(self) -> None:  # pragma: no cover - nothing to release
         return None
@@ -106,6 +140,13 @@ class _SqliteBackend:
                 "ALTER TABLE matches ADD COLUMN"
                 " corr_asserted_by TEXT NOT NULL DEFAULT ''"
             )
+        # Corpus-index fingerprints arrived after the first stores shipped;
+        # CREATE IF NOT EXISTS is the in-place migration (older files gain
+        # the table on open, their fingerprints rebuild lazily on demand).
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS corpus_fingerprints ("
+            " name TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+        )
         self._connection.commit()
 
     def put_schema(self, name: str, payload: dict) -> None:
@@ -132,38 +173,53 @@ class _SqliteBackend:
     def delete_schema(self, name: str) -> None:
         self._connection.execute("DELETE FROM schemata WHERE name = ?", (name,))
         self._connection.execute(
+            "DELETE FROM corpus_fingerprints WHERE name = ?", (name,)
+        )
+        self._connection.execute(
             "DELETE FROM matches WHERE source_schema = ? OR target_schema = ?",
             (name, name),
         )
         self._connection.commit()
 
-    def add_match(self, match: StoredMatch) -> None:
+    @staticmethod
+    def _match_row(match: StoredMatch) -> tuple:
         correspondence = match.correspondence
         provenance = match.provenance
-        self._connection.execute(
-            "INSERT INTO matches (source_schema, target_schema, source_element,"
-            " target_element, score, status, annotation, note, corr_asserted_by,"
-            " asserted_by, method, confidence, sequence, context, prov_note)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                match.source_schema,
-                match.target_schema,
-                correspondence.source_id,
-                correspondence.target_id,
-                correspondence.score,
-                correspondence.status.value,
-                correspondence.annotation.value,
-                correspondence.note,
-                correspondence.asserted_by,
-                provenance.asserted_by,
-                provenance.method.value,
-                provenance.confidence,
-                provenance.sequence,
-                provenance.context,
-                provenance.note,
-            ),
+        return (
+            match.source_schema,
+            match.target_schema,
+            correspondence.source_id,
+            correspondence.target_id,
+            correspondence.score,
+            correspondence.status.value,
+            correspondence.annotation.value,
+            correspondence.note,
+            correspondence.asserted_by,
+            provenance.asserted_by,
+            provenance.method.value,
+            provenance.confidence,
+            provenance.sequence,
+            provenance.context,
+            provenance.note,
         )
+
+    _INSERT_MATCH = (
+        "INSERT INTO matches (source_schema, target_schema, source_element,"
+        " target_element, score, status, annotation, note, corr_asserted_by,"
+        " asserted_by, method, confidence, sequence, context, prov_note)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+    )
+
+    def add_match(self, match: StoredMatch) -> None:
+        self._connection.execute(self._INSERT_MATCH, self._match_row(match))
         self._connection.commit()
+
+    def add_matches(self, matches: list[StoredMatch]) -> None:
+        """Bulk insert as ONE transaction: all rows commit or none do."""
+        with self._connection:
+            self._connection.executemany(
+                self._INSERT_MATCH, [self._match_row(match) for match in matches]
+            )
 
     def all_matches(self) -> list[StoredMatch]:
         rows = self._connection.execute(
@@ -201,6 +257,65 @@ class _SqliteBackend:
             )
         return stored
 
+    def put_fingerprint(self, name: str, payload: dict) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO corpus_fingerprints (name, payload)"
+            " VALUES (?, ?)",
+            (name, json.dumps(payload)),
+        )
+        self._connection.commit()
+
+    def put_fingerprints(self, payloads: dict[str, dict]) -> None:
+        """Bulk write as ONE transaction (a cold index build is N schemata)."""
+        with self._connection:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO corpus_fingerprints (name, payload)"
+                " VALUES (?, ?)",
+                [(name, json.dumps(payload)) for name, payload in payloads.items()],
+            )
+
+    def get_fingerprint(self, name: str) -> dict | None:
+        row = self._connection.execute(
+            "SELECT payload FROM corpus_fingerprints WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0])
+
+    def fingerprint_names(self) -> list[str]:
+        rows = self._connection.execute(
+            "SELECT name FROM corpus_fingerprints ORDER BY name"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def fingerprint_hashes(self) -> dict[str, str]:
+        """name -> content hash for every fingerprint, in one query.
+
+        The staleness probe of the corpus index; json_extract keeps it to
+        one small row per schema instead of parsing whole term bags (with
+        a Python-side fallback for SQLite builds without the JSON
+        functions).
+        """
+        try:
+            rows = self._connection.execute(
+                "SELECT name, json_extract(payload, '$.hash')"
+                " FROM corpus_fingerprints"
+            ).fetchall()
+            return {row[0]: row[1] or "" for row in rows}
+        except sqlite3.OperationalError:  # pragma: no cover - exotic builds
+            rows = self._connection.execute(
+                "SELECT name, payload FROM corpus_fingerprints"
+            ).fetchall()
+            return {
+                row[0]: json.loads(row[1]).get("hash", "") for row in rows
+            }
+
+    def delete_fingerprint(self, name: str) -> None:
+        self._connection.execute(
+            "DELETE FROM corpus_fingerprints WHERE name = ?", (name,)
+        )
+        self._connection.commit()
+
     def close(self) -> None:
         self._connection.close()
 
@@ -215,14 +330,41 @@ class MetadataRepository:
             (match.provenance.sequence for match in self._backend.all_matches()),
             default=0,
         )
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotone registration clock: bumped on register/unregister.
+
+        Derived structures (the corpus index) compare the generation they
+        were built at against the current one to detect staleness without
+        diffing the whole registry on every query.  The counter is
+        per-process (it restarts at 0 on reopen); persisted fingerprints
+        carry content hashes, so a fresh process still avoids re-deriving
+        unchanged schemata.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------
     # Schemata
     # ------------------------------------------------------------------
     def register(self, schema: Schema, name: str | None = None) -> str:
-        """Store a schema (serialised); returns the registered name."""
+        """Store a schema (serialised); returns the registered name.
+
+        Re-registering an *identical* schema under its existing name is a
+        no-op: the stored payload, the derived corpus fingerprint, and the
+        generation clock all stay put, so workflows that re-register their
+        whole corpus on every run (the ``corpus-match --db`` CLI) keep the
+        persisted index warm.  A *changed* payload replaces the schema,
+        drops the stale fingerprint, and bumps the generation.
+        """
         schema_name = name if name is not None else schema.name
-        self._backend.put_schema(schema_name, schema_to_dict(schema))
+        payload = schema_to_dict(schema)
+        if self._backend.get_schema(schema_name) == payload:
+            return schema_name
+        self._backend.put_schema(schema_name, payload)
+        self._backend.delete_fingerprint(schema_name)
+        self._generation += 1
         return schema_name
 
     def schema(self, name: str) -> Schema:
@@ -234,15 +376,48 @@ class MetadataRepository:
     def schema_names(self) -> list[str]:
         return self._backend.schema_names()
 
+    def schema_payload(self, name: str) -> dict:
+        """The stored serialised form, without rebuilding the Schema.
+
+        The corpus index hashes this payload to validate fingerprints; it
+        is cheaper than :meth:`schema` because no object graph is rebuilt.
+        """
+        payload = self._backend.get_schema(name)
+        if payload is None:
+            raise KeyError(f"schema {name!r} is not registered")
+        return payload
+
     def unregister(self, name: str) -> None:
-        """Remove a schema and every match touching it."""
+        """Remove a schema, its fingerprint, and every match touching it."""
         self._backend.delete_schema(name)
+        self._generation += 1
 
     def __contains__(self, name: str) -> bool:
         return self._backend.get_schema(name) is not None
 
     def __len__(self) -> int:
         return len(self._backend.schema_names())
+
+    # ------------------------------------------------------------------
+    # Corpus fingerprints (derived data owned by repro.corpus.CorpusIndex)
+    # ------------------------------------------------------------------
+    def put_fingerprint(self, name: str, payload: dict) -> None:
+        """Persist one schema's derived term statistics (JSON payload)."""
+        self._backend.put_fingerprint(name, payload)
+
+    def put_fingerprints(self, payloads: dict[str, dict]) -> None:
+        """Bulk variant of :meth:`put_fingerprint`; one SQLite transaction."""
+        self._backend.put_fingerprints(payloads)
+
+    def get_fingerprint(self, name: str) -> dict | None:
+        return self._backend.get_fingerprint(name)
+
+    def fingerprint_names(self) -> list[str]:
+        return self._backend.fingerprint_names()
+
+    def fingerprint_hashes(self) -> dict[str, str]:
+        """name -> fingerprint content hash (the index staleness probe)."""
+        return self._backend.fingerprint_hashes()
 
     # ------------------------------------------------------------------
     # Matches as knowledge artifacts
@@ -287,19 +462,36 @@ class MetadataRepository:
         method: AssertionMethod = AssertionMethod.AUTOMATIC,
         context: str = "general",
     ) -> int:
-        """Bulk variant of :meth:`store_match`; returns the count stored."""
-        count = 0
-        for correspondence in correspondences:
-            self.store_match(
-                source_schema,
-                target_schema,
-                correspondence,
-                asserted_by=asserted_by,
-                method=method,
-                context=context,
+        """Bulk variant of :meth:`store_match`; returns the count stored.
+
+        The whole batch is written as ONE backend transaction (a single
+        commit on SQLite): either every correspondence is stored or none
+        is, and the sequence counter only advances on success.  See
+        ``docs/repository.md`` for the guarantee.
+        """
+        for name in (source_schema, target_schema):
+            if name not in self:
+                raise KeyError(f"schema {name!r} is not registered")
+        stored: list[StoredMatch] = []
+        for offset, correspondence in enumerate(correspondences, start=1):
+            stored.append(
+                StoredMatch(
+                    source_schema=source_schema,
+                    target_schema=target_schema,
+                    correspondence=correspondence,
+                    provenance=ProvenanceRecord(
+                        asserted_by=asserted_by,
+                        method=method,
+                        confidence=correspondence.score,
+                        sequence=self._sequence + offset,
+                        context=context,
+                        note="",
+                    ),
+                )
             )
-            count += 1
-        return count
+        self._backend.add_matches(stored)
+        self._sequence += len(stored)
+        return len(stored)
 
     def matches(
         self,

@@ -5,28 +5,75 @@ candidates from a larger pool of schemata."  The index treats each schema as
 a document of pipeline-normalised terms (names + documentation) and keeps
 per-root sub-documents so fragment search can return schema *sub-trees*,
 which the paper calls out as the more sophisticated variant.
+
+Two kinds of callers feed the index:
+
+* ad-hoc registries (the CLI ``search`` command, examples) call
+  :meth:`SchemaIndex.add` with live :class:`~repro.schema.schema.Schema`
+  objects and get the full feature set, including fragment search and
+  predicate gating;
+* :class:`repro.corpus.CorpusIndex` -- the persistent index over a
+  :class:`~repro.repository.store.MetadataRepository` that prunes
+  candidates for ``MatchService.corpus_match`` -- calls
+  :meth:`SchemaIndex.add_entry` with term statistics reloaded from stored
+  fingerprints, so indexing a registered corpus does not re-profile (or
+  even deserialise) every schema.
+
+Entries added via :meth:`~SchemaIndex.add_entry` may be *schema-less*
+(``entry.schema is None``): they rank in whole-schema search but are
+skipped by predicate gating and fragment search, both of which need the
+live schema.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.matchers.profile import build_profile
 from repro.schema.schema import Schema
 
-__all__ = ["IndexedSchema", "SchemaIndex"]
+__all__ = ["IndexedSchema", "SchemaIndex", "schema_terms"]
+
+
+def schema_terms(schema: Schema) -> tuple[Counter, dict[str, Counter]]:
+    """A schema's term bag and per-root sub-bags (the index document).
+
+    One linguistic-pipeline pass over the schema profile; this is the
+    derivation :class:`repro.corpus.CorpusIndex` fingerprints persist so it
+    runs once per registered schema, not once per process.
+    """
+    profile = build_profile(schema)
+    terms: Counter = Counter()
+    root_terms: dict[str, Counter] = {}
+    root_of_position: list[str | None] = []
+    for position, element_id in enumerate(profile.element_ids):
+        cursor = position
+        while profile.parent_index[cursor] != -1:
+            cursor = profile.parent_index[cursor]
+        root_of_position.append(profile.element_ids[cursor])
+    for position in range(len(profile)):
+        element_terms = profile.text_terms[position]
+        terms.update(element_terms)
+        root_id = root_of_position[position]
+        root_terms.setdefault(root_id, Counter()).update(element_terms)
+    return terms, root_terms
 
 
 @dataclass
 class IndexedSchema:
-    """Cached term statistics for one registered schema."""
+    """Cached term statistics for one registered schema.
+
+    ``schema`` is ``None`` for entries rebuilt from persisted fingerprints
+    (see module docstring); ``root_terms`` may be empty for the same
+    reason.
+    """
 
     name: str
-    schema: Schema
+    schema: Schema | None
     terms: Counter
     n_terms: int
-    root_terms: dict[str, Counter]            # root element id -> term counts
+    root_terms: dict[str, Counter] = field(default_factory=dict)
 
 
 class SchemaIndex:
@@ -37,34 +84,31 @@ class SchemaIndex:
         self._postings: dict[str, set[str]] = {}
 
     def add(self, schema: Schema, name: str | None = None) -> IndexedSchema:
-        """Index one schema; re-adding a name replaces the old entry."""
+        """Index one live schema; re-adding a name replaces the old entry."""
         schema_name = name if name is not None else schema.name
-        if schema_name in self._schemata:
-            self.remove(schema_name)
-        profile = build_profile(schema)
-        terms: Counter = Counter()
-        root_terms: dict[str, Counter] = {}
-        root_of_position: list[str | None] = []
-        for position, element_id in enumerate(profile.element_ids):
-            cursor = position
-            while profile.parent_index[cursor] != -1:
-                cursor = profile.parent_index[cursor]
-            root_of_position.append(profile.element_ids[cursor])
-        for position in range(len(profile)):
-            element_terms = profile.text_terms[position]
-            terms.update(element_terms)
-            root_id = root_of_position[position]
-            root_terms.setdefault(root_id, Counter()).update(element_terms)
+        terms, root_terms = schema_terms(schema)
+        return self.add_entry(schema_name, terms, root_terms=root_terms, schema=schema)
+
+    def add_entry(
+        self,
+        name: str,
+        terms: Counter,
+        root_terms: dict[str, Counter] | None = None,
+        schema: Schema | None = None,
+    ) -> IndexedSchema:
+        """Index precomputed term statistics (the fingerprint-reload path)."""
+        if name in self._schemata:
+            self.remove(name)
         entry = IndexedSchema(
-            name=schema_name,
+            name=name,
             schema=schema,
             terms=terms,
             n_terms=sum(terms.values()),
-            root_terms=root_terms,
+            root_terms=root_terms if root_terms is not None else {},
         )
-        self._schemata[schema_name] = entry
+        self._schemata[name] = entry
         for term in terms:
-            self._postings.setdefault(term, set()).add(schema_name)
+            self._postings.setdefault(term, set()).add(name)
         return entry
 
     def remove(self, name: str) -> None:

@@ -82,8 +82,14 @@ class SchemaSearchEngine:
             if name == exclude:
                 continue
             entry = self.index.entry(name)
-            if predicate is not None and not predicate.admits(entry.schema):
-                continue
+            if predicate is not None:
+                if entry.schema is None:
+                    raise ValueError(
+                        f"predicate gating needs a live schema, but {name!r} "
+                        "was indexed from a fingerprint (schema-less entry)"
+                    )
+                if not predicate.admits(entry.schema):
+                    continue
             score = self._bm25(query_terms, entry.terms, entry.n_terms)
             if score > 0:
                 hits.append(SearchHit(schema_name=name, score=score))
@@ -103,6 +109,8 @@ class SchemaSearchEngine:
             if name == exclude:
                 continue
             entry = self.index.entry(name)
+            if entry.schema is None:
+                continue  # fragment hits need root names from the live schema
             for root_id, root_counter in entry.root_terms.items():
                 score = self._bm25(
                     query_terms, root_counter, sum(root_counter.values())

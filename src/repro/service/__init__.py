@@ -1,19 +1,26 @@
 """The service layer: matching as a managed operation.
 
 One facade (:class:`MatchService`) fronts every execution strategy: typed
-:class:`MatchRequest` in, auto-routed exact/batch execution inside,
-JSON-round-trippable :class:`MatchResponse` out, with optional
+:class:`MatchRequest` / :class:`CorpusMatchRequest` in, auto-routed
+exact/batch execution inside, JSON-round-trippable :class:`MatchResponse`
+/ :class:`CorpusMatchResponse` out, with optional
 :class:`~repro.repository.store.MetadataRepository` binding for the paper's
-matches-as-knowledge loop.  See ``docs/architecture.md`` for the dataflow.
+matches-as-knowledge loop and repository-scale ``corpus_match``.  See
+``docs/architecture.md`` for the dataflow and ``docs/repository.md`` for
+the corpus subsystem.
 """
 
+from repro.service.corpus_response import CorpusCandidate, CorpusMatchResponse
 from repro.service.options import DEFAULT_VOTER_NAMES, MatchOptions
-from repro.service.requests import MatchRequest, SchemaRef
+from repro.service.requests import CorpusMatchRequest, MatchRequest, SchemaRef
 from repro.service.response import MatchResponse
 from repro.service.service import MatchService
 
 __all__ = [
     "DEFAULT_VOTER_NAMES",
+    "CorpusCandidate",
+    "CorpusMatchRequest",
+    "CorpusMatchResponse",
     "MatchOptions",
     "MatchRequest",
     "MatchResponse",

@@ -1,0 +1,165 @@
+"""The corpus-match response envelope: ranked candidates as knowledge.
+
+What a repository-scale MATCH returns: which registered schemata survived
+retrieval, how they matched, how strongly they rank, and what reuse did to
+each -- all JSON-round-trippable (property-tested, mirroring
+:class:`~repro.service.response.MatchResponse`), so stored corpus queries
+stay readable and a future HTTP layer is a thin shim.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.match.correspondence import Correspondence
+from repro.service.options import MatchOptions
+
+__all__ = [
+    "CorpusCandidate",
+    "CorpusMatchResponse",
+    "CORPUS_RESPONSE_FORMAT_VERSION",
+]
+
+CORPUS_RESPONSE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CorpusCandidate:
+    """One ranked repository schema with its full correspondences."""
+
+    target_name: str
+    retrieval_score: float         # BM25 rank score from the corpus index
+    match_score: float             # sum of positive correspondence scores
+    n_source: int
+    n_target: int
+    n_candidates: int              # pairs scored after blocking
+    elapsed_seconds: float
+    n_boosted: int                 # correspondences boosted by prior assertions
+    n_seeded: int                  # prior-only pairs seeded back in
+    correspondences: tuple[Correspondence, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "correspondences", tuple(self.correspondences))
+
+    @property
+    def n_pairs(self) -> int:
+        return self.n_source * self.n_target
+
+    def __len__(self) -> int:
+        return len(self.correspondences)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "target": {"schema": self.target_name, "n_elements": self.n_target},
+            "retrieval_score": self.retrieval_score,
+            "match_score": self.match_score,
+            "n_source": self.n_source,
+            "n_candidates": self.n_candidates,
+            "elapsed_seconds": self.elapsed_seconds,
+            "reuse": {"boosted": self.n_boosted, "seeded": self.n_seeded},
+            "correspondences": [c.to_dict() for c in self.correspondences],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CorpusCandidate":
+        return cls(
+            target_name=payload["target"]["schema"],
+            retrieval_score=payload["retrieval_score"],
+            match_score=payload["match_score"],
+            n_source=payload["n_source"],
+            n_target=payload["target"]["n_elements"],
+            n_candidates=payload["n_candidates"],
+            elapsed_seconds=payload["elapsed_seconds"],
+            n_boosted=payload["reuse"]["boosted"],
+            n_seeded=payload["reuse"]["seeded"],
+            correspondences=tuple(
+                Correspondence.from_dict(entry)
+                for entry in payload["correspondences"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CorpusMatchResponse:
+    """The envelope one corpus-match invocation returns.
+
+    ``candidates`` holds at most ``top_k`` entries, ranked by descending
+    ``match_score`` (retrieval score breaks ties).  ``n_registered`` and
+    ``n_retrieved`` record how hard the index pruned: everything between
+    the two numbers was never matched at all.
+    """
+
+    source_name: str
+    n_registered: int              # registry size at query time
+    n_retrieved: int               # candidates the index returned for matching
+    top_k: int
+    elapsed_seconds: float
+    retrieval_seconds: float       # of which: index refresh + BM25 ranking
+    options: MatchOptions
+    reuse_applied: bool
+    candidates: tuple[CorpusCandidate, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "candidates", tuple(self.candidates))
+
+    # -- convenience queries --------------------------------------------
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def best(self) -> CorpusCandidate | None:
+        """The top-ranked candidate (None when nothing survived)."""
+        return self.candidates[0] if self.candidates else None
+
+    @property
+    def candidate_names(self) -> tuple[str, ...]:
+        return tuple(candidate.target_name for candidate in self.candidates)
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "format_version": CORPUS_RESPONSE_FORMAT_VERSION,
+            "source": {"schema": self.source_name},
+            "corpus": {
+                "n_registered": self.n_registered,
+                "n_retrieved": self.n_retrieved,
+            },
+            "top_k": self.top_k,
+            "elapsed_seconds": self.elapsed_seconds,
+            "retrieval_seconds": self.retrieval_seconds,
+            "options": self.options.to_dict(),
+            "reuse_applied": self.reuse_applied,
+            "candidates": [candidate.to_dict() for candidate in self.candidates],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CorpusMatchResponse":
+        version = payload.get("format_version")
+        if version != CORPUS_RESPONSE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported corpus response format version {version!r}"
+            )
+        return cls(
+            source_name=payload["source"]["schema"],
+            n_registered=payload["corpus"]["n_registered"],
+            n_retrieved=payload["corpus"]["n_retrieved"],
+            top_k=payload["top_k"],
+            elapsed_seconds=payload["elapsed_seconds"],
+            retrieval_seconds=payload["retrieval_seconds"],
+            options=MatchOptions.from_dict(payload["options"]),
+            reuse_applied=payload["reuse_applied"],
+            candidates=tuple(
+                CorpusCandidate.from_dict(entry)
+                for entry in payload["candidates"]
+            ),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, document: str) -> "CorpusMatchResponse":
+        return cls.from_dict(json.loads(document))

@@ -14,10 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Union
 
+from repro.repository.reuse import ReusePolicy
 from repro.schema.schema import Schema
 from repro.service.options import MatchOptions
 
-__all__ = ["SchemaRef", "MatchRequest"]
+__all__ = ["SchemaRef", "MatchRequest", "CorpusMatchRequest"]
 
 #: A schema argument: inline, or the name of a repository-registered schema.
 SchemaRef = Union[Schema, str]
@@ -63,3 +64,72 @@ class MatchRequest:
         return (
             self.source_element_ids is not None or self.target_element_ids is not None
         )
+
+
+@dataclass(frozen=True)
+class CorpusMatchRequest:
+    """One MATCH(source, *everything registered*) invocation, as data.
+
+    The paper's routine enterprise operation: match a schema against the
+    whole repository and come back with the top-k registered schemata plus
+    full correspondences for each.  Execution is two-staged -- the corpus
+    index prunes the registry to ``retrieval_limit`` candidates, the
+    blocked batch fast path scores each survivor -- so requests stay cheap
+    even over hundreds of registered schemata (bench E17).
+
+    Parameters
+    ----------
+    source:
+        The query schema: inline, or the name of a registered schema.
+    top_k:
+        How many ranked candidate schemata the response keeps.
+    options:
+        Per-pair matching configuration (voters, merger, selection,
+        threshold).  The execution hint is ignored: corpus matching always
+        rides the blocked fast path per candidate.
+    retrieval_limit:
+        How many index candidates are actually matched; ``None`` means
+        ``max(3 x top_k, 10)``.  Raising it trades latency for retrieval
+        recall; the registry size caps it implicitly.
+    exclude:
+        Registered names never retrieved or matched.  Self-exclusion is
+        automatic: a by-name query excludes that name, an inline query
+        excludes content-identical registered copies of itself (a
+        registered schema that merely *shares the inline query's name*
+        stays a candidate).
+    reuse:
+        The :class:`~repro.repository.reuse.ReusePolicy` folding prior
+        assertions into each candidate's correspondences; ``None`` turns
+        reuse off.  Reuse needs the query schema to be registered (priors
+        are keyed by schema name); inline sources skip it silently.
+    executor / max_workers:
+        Candidate fan-out, as for the batch runner (``serial`` |
+        ``thread`` | ``process``).
+    """
+
+    source: SchemaRef
+    top_k: int = 5
+    options: MatchOptions = field(default_factory=MatchOptions)
+    retrieval_limit: int | None = None
+    exclude: tuple[str, ...] = ()
+    reuse: ReusePolicy | None = field(default_factory=ReusePolicy)
+    executor: str = "serial"
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.source, (Schema, str)):
+            raise TypeError("source must be a Schema or a registered schema name")
+        if self.top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {self.top_k}")
+        if self.retrieval_limit is not None and self.retrieval_limit <= 0:
+            raise ValueError(
+                f"retrieval_limit must be positive, got {self.retrieval_limit}"
+            )
+        object.__setattr__(self, "exclude", tuple(self.exclude))
+
+    @property
+    def effective_retrieval_limit(self) -> int:
+        """The candidate-pruning width (defaults resolved)."""
+        if self.retrieval_limit is not None:
+            return self.retrieval_limit
+        return max(3 * self.top_k, 10)

@@ -29,10 +29,13 @@ is drawn in ``docs/architecture.md``.
 
 from __future__ import annotations
 
+import time
 from itertools import combinations
 from typing import Iterable, Mapping, Sequence
 
 from repro.batch.runner import BatchMatchRunner, BatchPairOutcome
+from repro.corpus.index import CorpusIndex
+from repro.corpus.index import payload_hash as corpus_payload_hash
 from repro.match.correspondence import Correspondence
 from repro.match.engine import HarmonyMatchEngine, MatchResult
 from repro.match.selection import SelectionStrategy
@@ -40,8 +43,10 @@ from repro.matchers.profile import FeatureSpace, SchemaProfile
 from repro.repository.provenance import AssertionMethod, ProvenanceRecord, TrustPolicy
 from repro.repository.store import MetadataRepository
 from repro.schema.schema import Schema
+from repro.schema.serialize import schema_to_dict
+from repro.service.corpus_response import CorpusCandidate, CorpusMatchResponse
 from repro.service.options import MatchOptions
-from repro.service.requests import MatchRequest, SchemaRef
+from repro.service.requests import CorpusMatchRequest, MatchRequest, SchemaRef
 from repro.service.response import MatchResponse
 
 __all__ = ["MatchService"]
@@ -92,6 +97,11 @@ class MatchService:
         self._profiles: dict[int, SchemaProfile] = {}
         self._engines: dict[MatchOptions, HarmonyMatchEngine] = {}
         self._runners: dict[tuple, BatchMatchRunner] = {}
+        self._corpus_index: CorpusIndex | None = None
+        #: Registered schemata as stable objects, keyed by name and
+        #: invalidated by the repository generation (see _registered_schema).
+        self._registered: dict[str, Schema] = {}
+        self._registered_generation: int | None = None
 
     # ------------------------------------------------------------------
     # Compiled executors (cached by options value)
@@ -151,7 +161,29 @@ class MatchService:
             raise ValueError(
                 f"schema reference {ref!r} requires a bound MetadataRepository"
             )
-        return self.repository.schema(ref)
+        return self._registered_schema(ref)
+
+    def _registered_schema(self, name: str) -> Schema:
+        """A registered schema as a *stable* object (generation-cached).
+
+        Repeated by-name and corpus requests reuse one ``Schema`` object
+        per registered name, so the id-keyed profile/feature caches hit
+        across calls instead of re-deserialising and re-profiling every
+        candidate per query.  The cache drops -- and evicts its schemata's
+        profiles, so the profile dict cannot grow without bound -- whenever
+        the repository's generation moves.
+        """
+        generation = self.repository.generation
+        if self._registered_generation != generation:
+            for schema in self._registered.values():
+                self._profiles.pop(id(schema), None)
+            self._registered.clear()
+            self._registered_generation = generation
+        schema = self._registered.get(name)
+        if schema is None:
+            schema = self.repository.schema(name)
+            self._registered[name] = schema
+        return schema
 
     def _resolve_registry(
         self, schemata: Mapping[str, SchemaRef]
@@ -363,6 +395,178 @@ class MatchService:
         return responses
 
     # ------------------------------------------------------------------
+    # Repository-scale matching: retrieve, match, reuse, rank
+    # ------------------------------------------------------------------
+    def corpus_index(self) -> CorpusIndex:
+        """The service's corpus index over its bound repository (lazy).
+
+        One index per service; it refreshes itself against the
+        repository's generation clock, so callers never rebuild manually.
+        """
+        if self.repository is None:
+            raise ValueError("corpus indexing requires a bound MetadataRepository")
+        if self._corpus_index is None:
+            self._corpus_index = CorpusIndex(self.repository)
+        return self._corpus_index
+
+    def corpus_match(self, request: CorpusMatchRequest) -> CorpusMatchResponse:
+        """Match a schema against everything registered; return the top k.
+
+        The repository-scale MATCH (see ``docs/repository.md``):
+
+        1. **retrieve** -- the corpus index prunes the registry to the
+           request's ``retrieval_limit`` BM25 candidates.  A by-name
+           query excludes its own name; an inline query excludes
+           content-identical registered copies of itself.  Two *distinct*
+           registered systems with identical schemata stay candidates
+           for a by-name query (the consolidation case: the sibling is
+           the best match, not a copy);
+        2. **match** -- each surviving candidate is matched on the blocked
+           batch fast path, fanned out by the shared
+           :class:`~repro.batch.BatchMatchRunner` (the execution hint in
+           ``request.options`` is ignored: pruning has already decided the
+           cost/recall trade, so the per-candidate path is always batch);
+        3. **reuse** -- prior assertions boost/seed each candidate's
+           correspondences under the request's
+           :class:`~repro.repository.reuse.ReusePolicy`.  Priors key on
+           registered names: a by-name request uses that name, an inline
+           schema uses the name of a content-identical registered copy
+           when one exists and skips reuse otherwise (a merely same-named
+           registered schema lends neither exclusion nor priors);
+        4. **rank** -- candidates order by total positive correspondence
+           score (retrieval score breaks ties) and the top k survive.
+        """
+        if self.repository is None:
+            raise ValueError("corpus_match requires a bound MetadataRepository")
+        started = time.perf_counter()
+        source = self.resolve(request.source)
+        # A by-name request is identified by its registered name; an inline
+        # schema is identified by *content only* -- its .name may collide
+        # with an unrelated registered schema, which must stay a candidate
+        # and must not lend the inline query its stored priors.
+        source_name = request.source if isinstance(request.source, str) else None
+        excluded = set(request.exclude)
+        if source_name is not None:
+            excluded.add(source_name)
+
+        index = self.corpus_index()
+        retrieval_started = time.perf_counter()
+        limit = request.effective_retrieval_limit
+        # An INLINE query's registered copies are dropped besides the name
+        # exclusions (an identical copy is the query itself and would
+        # waste the top rank on a self-match).  A by-name query keeps
+        # content-identical siblings: two distinct registered systems with
+        # identical schemata are the paper's consolidation case, and the
+        # sibling is the best possible candidate, not a copy.  Identity is
+        # decided by the corpus index's persisted content hashes (one map
+        # fetch, no payload parsing); the fetch widens until `limit`
+        # survivors are found or the index is exhausted.
+        source_hash = (
+            corpus_payload_hash(schema_to_dict(source))
+            if source_name is None
+            else None
+        )
+        identical: list[str] = []
+        hits: list = []
+        fetch_limit = limit + len(excluded) + 1
+        while True:
+            fetched = index.top_candidates(source, limit=fetch_limit)
+            content_hashes = (
+                self.repository.fingerprint_hashes()
+                if source_hash is not None
+                else {}
+            )
+            identical.clear()
+            hits.clear()
+            for hit in fetched:
+                if len(hits) == limit:
+                    break
+                if hit.schema_name in excluded:
+                    continue
+                if source_hash is not None and source_hash == (
+                    content_hashes.get(hit.schema_name)
+                    or corpus_payload_hash(
+                        self.repository.schema_payload(hit.schema_name)
+                    )
+                ):
+                    identical.append(hit.schema_name)
+                    continue
+                hits.append(hit)
+            if len(hits) >= limit or len(fetched) < fetch_limit:
+                break
+            fetch_limit *= 2
+        retrieval_seconds = time.perf_counter() - retrieval_started
+        n_registered = len(index)
+        if source_name is None and identical:
+            # The inline query schema lives in the registry (under any
+            # name); key reuse priors and the report on that name.
+            source_name = min(identical)
+
+        registry = {
+            hit.schema_name: self._registered_schema(hit.schema_name)
+            for hit in hits
+        }
+        retrieval_score = {hit.schema_name: hit.score for hit in hits}
+        runner = self.runner(
+            request.options,
+            executor=request.executor,
+            max_workers=request.max_workers,
+            keep_matrices=False,
+        )
+        outcomes = runner.match_corpus(
+            source, registry, selection=request.options.build_selection()
+        )
+
+        reuse_applied = (
+            request.reuse is not None
+            and source_name is not None
+            and source_name in self.repository
+        )
+        prior_pool = self.repository.matches() if reuse_applied else None
+        candidates: list[CorpusCandidate] = []
+        for outcome in outcomes:
+            correspondences = tuple(outcome.correspondences)
+            n_boosted = n_seeded = 0
+            if reuse_applied:
+                reused = request.reuse.rematch(
+                    self.repository,
+                    source_name,
+                    outcome.target_name,
+                    correspondences,
+                    pool=prior_pool,
+                )
+                correspondences = reused.correspondences
+                n_boosted, n_seeded = reused.n_boosted, reused.n_seeded
+            candidates.append(
+                CorpusCandidate(
+                    target_name=outcome.target_name,
+                    retrieval_score=retrieval_score[outcome.target_name],
+                    match_score=sum(max(0.0, c.score) for c in correspondences),
+                    n_source=outcome.n_source,
+                    n_target=outcome.n_target,
+                    n_candidates=outcome.n_candidates,
+                    elapsed_seconds=outcome.elapsed_seconds,
+                    n_boosted=n_boosted,
+                    n_seeded=n_seeded,
+                    correspondences=correspondences,
+                )
+            )
+        candidates.sort(
+            key=lambda c: (-c.match_score, -c.retrieval_score, c.target_name)
+        )
+        return CorpusMatchResponse(
+            source_name=source_name if source_name is not None else source.name,
+            n_registered=n_registered,
+            n_retrieved=len(hits),
+            top_k=request.top_k,
+            elapsed_seconds=time.perf_counter() - started,
+            retrieval_seconds=retrieval_seconds,
+            options=request.options,
+            reuse_applied=reuse_applied,
+            candidates=tuple(candidates[: request.top_k]),
+        )
+
+    # ------------------------------------------------------------------
     # Envelopes
     # ------------------------------------------------------------------
     def _provenance(
@@ -515,3 +719,5 @@ class MatchService:
         """
         self._profiles.clear()
         self.space.clear()
+        self._registered.clear()
+        self._registered_generation = None

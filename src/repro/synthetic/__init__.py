@@ -15,7 +15,11 @@ from repro.synthetic.casestudy import (
     case_study_spec,
     extended_study,
 )
-from repro.synthetic.corpus import ClusteredCorpus, generate_clustered_corpus
+from repro.synthetic.corpus import (
+    ClusteredCorpus,
+    generate_clustered_corpus,
+    generate_enterprise_corpus,
+)
 from repro.synthetic.domain import ConceptSpec, DomainOntology, Entity, Facet, Qualifier
 from repro.synthetic.instances import InstanceTable, generate_instances
 from repro.synthetic.generator import (
@@ -55,6 +59,7 @@ __all__ = [
     "case_study_spec",
     "extended_study",
     "generate_clustered_corpus",
+    "generate_enterprise_corpus",
     "generate_instances",
     "generate_pair",
     "generate_schema",

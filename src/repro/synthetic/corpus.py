@@ -22,7 +22,11 @@ from repro.synthetic.generator import (
 )
 from repro.synthetic.naming import NamingStyle
 
-__all__ = ["ClusteredCorpus", "generate_clustered_corpus"]
+__all__ = [
+    "ClusteredCorpus",
+    "generate_clustered_corpus",
+    "generate_enterprise_corpus",
+]
 
 _STYLE_ROTATION = (
     NamingStyle.legacy_relational(),
@@ -119,4 +123,53 @@ def generate_clustered_corpus(
 
     return ClusteredCorpus(
         schemata=schemata, domain_of=domain_of, domain_concepts=domain_concepts
+    )
+
+
+def generate_enterprise_corpus(
+    n_schemata: int = 100,
+    n_domains: int = 10,
+    concepts_per_domain: int = 10,
+    concepts_per_schema: int = 6,
+    children_per_concept: int = 5,
+    seed: int = 2009,
+    ontology: DomainOntology | None = None,
+) -> ClusteredCorpus:
+    """A repository-scale corpus: ``n_schemata`` schemata over ``n_domains``.
+
+    The paper's section-2 registry setting ("hundreds to thousands of
+    schemata") sized for the E17 corpus-matching bench: domains stay
+    disjoint concept pools (so same-domain schemata are the ground-truth
+    relevant set for any query schema), schemata stay small enough that a
+    hundred of them register, index, and match in seconds.  Domains are
+    filled round-robin, so ``n_schemata`` need not divide evenly.
+    """
+    if n_schemata < n_domains:
+        raise ValueError(
+            f"need at least one schema per domain ({n_schemata} < {n_domains})"
+        )
+    per_domain = -(-n_schemata // n_domains)  # ceil
+    corpus = generate_clustered_corpus(
+        n_domains=n_domains,
+        schemata_per_domain=per_domain,
+        concepts_per_domain=concepts_per_domain,
+        concepts_per_schema=concepts_per_schema,
+        children_per_concept=children_per_concept,
+        seed=seed,
+        ontology=ontology,
+    )
+    if len(corpus.schemata) == n_schemata:
+        return corpus
+    # Trim the overshoot; the generation order means the last domain(s)
+    # simply hold fewer schemata, and domain_of stays the ground truth.
+    kept = corpus.schemata[:n_schemata]
+    kept_names = {generated.schema.name for generated in kept}
+    return ClusteredCorpus(
+        schemata=kept,
+        domain_of={
+            name: domain
+            for name, domain in corpus.domain_of.items()
+            if name in kept_names
+        },
+        domain_concepts=corpus.domain_concepts,
     )

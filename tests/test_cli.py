@@ -121,6 +121,52 @@ class TestCli:
         assert "COI(2 systems" in out
 
 
+class TestCliCorpusMatch:
+    def test_corpus_match_text(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["corpus-match", sql, xsd, "--top-k", "1", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus-match" in out
+        assert "1 registered, 1 retrieved" in out
+        assert "match score" in out
+
+    def test_corpus_match_json_envelope(self, schema_files, capsys):
+        import json
+
+        from repro.service import CorpusMatchResponse
+
+        sql, xsd = schema_files
+        assert main(["corpus-match", sql, xsd, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        response = CorpusMatchResponse.from_dict(payload)
+        assert response.n_registered == 1
+        assert response.candidates
+
+    def test_corpus_match_needs_a_corpus(self, schema_files):
+        sql, _ = schema_files
+        with pytest.raises(SystemExit) as excinfo:
+            main(["corpus-match", sql])
+        assert excinfo.value.code == 2
+
+    def test_corpus_match_registered_name_with_db(self, schema_files, tmp_path, capsys):
+        sql, xsd = schema_files
+        db = str(tmp_path / "cli.db")
+        assert main(["corpus-match", sql, xsd, "--db", db]) == 0
+        capsys.readouterr()
+        # The corpus persisted; now query by registered name, no files.
+        assert main(["corpus-match", "b", "--db", db, "--top-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "reuse on" in out
+
+    def test_corpus_match_unknown_name_exits_2(self, schema_files, tmp_path):
+        sql, xsd = schema_files
+        db = str(tmp_path / "cli2.db")
+        assert main(["corpus-match", sql, xsd, "--db", db]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            main(["corpus-match", "nonexistent", "--db", db])
+        assert excinfo.value.code == 2
+
+
 class TestCliService:
     def test_match_json_envelope(self, schema_files, capsys):
         import json
