@@ -54,6 +54,7 @@ from repro.schema import (
     parse_ddl,
     parse_xsd,
 )
+from repro.network import MappingGraph
 from repro.repository import MetadataRepository, ReusePolicy
 from repro.service import (
     CorpusCandidate,
@@ -63,6 +64,8 @@ from repro.service import (
     MatchRequest,
     MatchResponse,
     MatchService,
+    NetworkMatchRequest,
+    NetworkMatchResponse,
 )
 from repro.summarize import Summary, match_concepts, summarize_by_roots
 
@@ -112,6 +115,7 @@ __all__ = [
     "HarmonyMatchEngine",
     "HungarianSelection",
     "IncrementalMatcher",
+    "MappingGraph",
     "MatchMatrix",
     "MatchOptions",
     "MatchRequest",
@@ -120,6 +124,8 @@ __all__ = [
     "MatchService",
     "MatchStatus",
     "MetadataRepository",
+    "NetworkMatchRequest",
+    "NetworkMatchResponse",
     "ReusePolicy",
     "Schema",
     "SchemaElement",

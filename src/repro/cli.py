@@ -10,6 +10,9 @@ Subcommands mirror the library's main operations:
   register a corpus (or open a SQLite repository with ``--db``), prune it
   through the corpus index, match the survivors on the fast path, rank
   (``--json`` emits the CorpusMatchResponse envelope)
+* ``network-match A C --db repo.db`` -- answer A -> C by composing stored
+  mappings along pivot paths (``--max-hops``; ``--verify`` seeds a fast-path
+  run with the composition; ``--json`` emits the NetworkMatchResponse)
 * ``overlap A.sql B.xsd``    -- the Lesson-#3 partition report
 * ``summarize A.sql``        -- SUMMARIZE(S) by root containers
 * ``tree A.sql``             -- ASCII schema tree
@@ -230,6 +233,79 @@ def _cmd_corpus_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_network_match(args: argparse.Namespace) -> int:
+    from repro.repository import MetadataRepository
+    from repro.service import NetworkMatchRequest
+
+    repository = MetadataRepository(path=args.db)
+    try:
+        for name, schema in _load_registry(args.corpus).items():
+            repository.register(schema, name=name)
+
+        def endpoint(argument: str) -> str:
+            """A schema file registers and contributes its name; otherwise
+            the argument must already be a registered name."""
+            if any(argument.endswith(suffix) for suffix in _LOADERS):
+                schema = _load(argument)
+                return repository.register(schema)
+            if argument not in repository:
+                raise _fail(
+                    f"{argument!r} is neither a schema file (.sql/.xsd/.json) "
+                    "nor a registered schema name"
+                )
+            return argument
+
+        source = endpoint(args.source)
+        target = endpoint(args.target)
+        if source == target:
+            raise _fail(
+                f"source and target resolve to the same schema {source!r}; "
+                "network routing needs two distinct endpoints"
+            )
+        service = MatchService(repository=repository)
+        request = NetworkMatchRequest(
+            source=source,
+            target=target,
+            max_hops=args.max_hops,
+            hop_decay=args.decay,
+            options=MatchOptions(threshold=args.threshold),
+            min_score=args.min_score,
+            verify=args.verify,
+        )
+        response = service.network_match(request)
+    finally:
+        repository.close()
+    if args.json:
+        print(response.to_json(indent=2))
+        return 0
+    print(
+        f"network-match {response.source_name} -> {response.target_name}: "
+        f"{response.n_paths} pivot path(s) over {response.n_edges} mapped "
+        f"pair(s) / {response.n_nodes} schemata (max {response.max_hops} hops) "
+        f"in {response.elapsed_seconds:.2f}s"
+        + (
+            f"; verified on the fast path ({response.n_boosted} boosted, "
+            f"{response.n_seeded} seeded)"
+            if response.verified
+            else ""
+        )
+    )
+    for path in response.paths:
+        print(f"  via {' > '.join(path.nodes[1:-1])}: {path.n_pairs} pairs composed")
+    for correspondence in response.correspondences[: args.limit]:
+        line = (
+            f"  {correspondence.score:+.3f}  {correspondence.source_id}"
+            f"  <->  {correspondence.target_id}"
+        )
+        if correspondence.note:
+            line += f"  [{correspondence.note}]"
+        print(line)
+    remaining = len(response.correspondences) - args.limit
+    if remaining > 0:
+        print(f"  ... ({remaining} more)")
+    return 0
+
+
 def _cmd_overlap(args: argparse.Namespace) -> int:
     source = _load(args.source)
     target = _load(args.target)
@@ -425,6 +501,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the CorpusMatchResponse envelope as JSON",
     )
     corpus_parser.set_defaults(handler=_cmd_corpus_match)
+
+    network_parser = subparsers.add_parser(
+        "network-match",
+        help="compose a match through the mapping network of stored mappings",
+    )
+    network_parser.add_argument(
+        "source", help="query schema file, or a registered name (with --db)"
+    )
+    network_parser.add_argument(
+        "target", help="target schema file, or a registered name (with --db)"
+    )
+    network_parser.add_argument(
+        "corpus", nargs="*",
+        help="additional schema files to register before routing",
+    )
+    network_parser.add_argument(
+        "--db", default=None,
+        help="SQLite repository path holding the stored mappings to route through",
+    )
+    network_parser.add_argument(
+        "--max-hops", type=int, default=2,
+        help="maximum pivot schemata per composition path (default: 2)",
+    )
+    network_parser.add_argument(
+        "--decay", type=float, default=0.9,
+        help="confidence decay per pivot beyond the first (default: 0.9)",
+    )
+    network_parser.add_argument(
+        "--min-score", type=float, default=0.0,
+        help="drop composed candidates below this score",
+    )
+    network_parser.add_argument(
+        "--verify", action="store_true",
+        help="run the blocked fast path over the pair, seeded by the composition",
+    )
+    network_parser.add_argument("--threshold", type=float, default=0.15)
+    network_parser.add_argument(
+        "--limit", type=int, default=10,
+        help="correspondences printed (text output)",
+    )
+    network_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the NetworkMatchResponse envelope as JSON",
+    )
+    network_parser.set_defaults(handler=_cmd_network_match)
 
     overlap_parser = subparsers.add_parser("overlap", help="overlap partition report")
     overlap_parser.add_argument("source")

@@ -1,0 +1,491 @@
+"""The mapping network: stored match sets as a routable graph.
+
+Section 5's deepest enterprise observation is that mappings *outlive* the
+match runs that produced them: once a repository holds A<->B and B<->C
+assertions, a new A-to-C effort should not start from scratch -- it should
+**route through the network**, composing stored evidence along pivot
+paths.  PR 3's single-pivot :func:`repro.repository.reuse.compose_matches`
+was the first step; :class:`MappingGraph` generalises it to a real
+mapping network:
+
+* **nodes** are the registered schemata of a
+  :class:`~repro.repository.store.MetadataRepository`;
+* **edges** are the stored correspondence sets between a schema pair
+  (both stored orientations collapse onto one undirected edge whose legs
+  are traversed flipped when walked against their stored direction);
+* **multi-hop composition** (:meth:`MappingGraph.route`) enumerates every
+  acyclic pivot path up to ``max_hops`` pivots between a source and a
+  target, composes correspondences along each path under max-min
+  semantics (a chain is only as strong as its weakest leg), applies a
+  per-extra-hop confidence ``hop_decay``, and merges multi-path evidence
+  for the same element pair (strongest path wins; the path count is
+  recorded in the correspondence note).
+
+The adjacency structure is **cached** and invalidated by the repository's
+two monotone clocks (``generation`` for schemata, ``match_generation``
+for stored matches) -- the same staleness mechanism as
+:class:`~repro.corpus.index.CorpusIndex` -- so repeated routing queries
+over a warm repository never re-scan the store.  ``max_hops=1`` with
+``hop_decay`` irrelevant (one pivot means zero extra hops) reproduces
+``compose_matches`` exactly; bench E18 holds the warm graph to >= 5x a
+rebuild-per-query loop and pins the k=1 equivalence to 1e-9.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import NamedTuple, Sequence
+
+from repro.match.correspondence import Correspondence, MatchStatus
+from repro.repository.provenance import ProvenanceRecord, TrustPolicy
+from repro.repository.store import MetadataRepository, StoredMatch
+
+__all__ = [
+    "MappingLeg",
+    "ComposedPath",
+    "NetworkRoute",
+    "GraphRefresh",
+    "MappingGraph",
+    "build_adjacency",
+    "compose_stored",
+]
+
+
+class MappingLeg(NamedTuple):
+    """One stored correspondence, oriented for traversal a -> b.
+
+    The stored :class:`ProvenanceRecord` rides along (shared, not copied:
+    both orientations of a leg reference the same record) so a
+    :class:`~repro.repository.provenance.TrustPolicy` can gate legs at
+    traversal time -- through the policy's own :meth:`~TrustPolicy.trusts`,
+    never a re-implementation -- without rebuilding the cached adjacency.
+    """
+
+    source_element: str
+    target_element: str
+    score: float
+    provenance: ProvenanceRecord
+
+    def trusted(self, policy: TrustPolicy | None) -> bool:
+        return policy is None or policy.trusts(self.provenance)
+
+
+#: adjacency[a][b] -> legs oriented a -> b (stored b -> a rows appear flipped).
+Adjacency = dict[str, dict[str, list[MappingLeg]]]
+
+
+def build_adjacency(matches: Sequence[StoredMatch]) -> Adjacency:
+    """The traversal structure of a stored match pool (both orientations).
+
+    REJECTED assertions are dropped here (a rejection is status-level and
+    policy-independent: it is never a usable leg); trust filtering stays
+    per-query so one cached adjacency serves every policy.  Self-matches
+    (source schema == target schema) cannot be pivot legs and are skipped.
+    """
+    adjacency: Adjacency = {}
+    for match in matches:
+        correspondence = match.correspondence
+        if correspondence.status is MatchStatus.REJECTED:
+            continue
+        a, b = match.source_schema, match.target_schema
+        if a == b:
+            continue
+        provenance = match.provenance
+        adjacency.setdefault(a, {}).setdefault(b, []).append(
+            MappingLeg(
+                correspondence.source_id,
+                correspondence.target_id,
+                correspondence.score,
+                provenance,
+            )
+        )
+        adjacency.setdefault(b, {}).setdefault(a, []).append(
+            MappingLeg(
+                correspondence.target_id,
+                correspondence.source_id,
+                correspondence.score,
+                provenance,
+            )
+        )
+    return adjacency
+
+
+def _enumerate_paths(
+    adjacency: Adjacency, source: str, target: str, max_hops: int
+) -> list[tuple[str, ...]]:
+    """All acyclic pivot paths source -> ... -> target with 1..max_hops pivots.
+
+    A direct source<->target edge is *not* a path: composition derives new
+    evidence through pivots; direct stored assertions are the reuse
+    layer's job.  Paths come back shortest-first, then lexicographic, so
+    output order (and therefore note attribution) is deterministic.
+    """
+    paths: list[tuple[str, ...]] = []
+    stack: list[str] = [source]
+    on_path = {source}
+
+    def extend() -> None:
+        current = stack[-1]
+        n_pivots = len(stack) - 1
+        for neighbour in sorted(adjacency.get(current, ())):
+            if neighbour == target:
+                if n_pivots >= 1:
+                    paths.append(tuple(stack) + (target,))
+                continue
+            if neighbour in on_path or n_pivots >= max_hops:
+                continue
+            stack.append(neighbour)
+            on_path.add(neighbour)
+            extend()
+            stack.pop()
+            on_path.discard(neighbour)
+
+    extend()
+    paths.sort(key=lambda path: (len(path), path))
+    return paths
+
+
+def _compose_path(
+    adjacency: Adjacency, path: tuple[str, ...], policy: TrustPolicy | None
+) -> dict[tuple[str, str], float]:
+    """Max-min composition of one pivot path: element pair -> best min-leg score.
+
+    The frontier keeps, per (origin element, current element), the best
+    accumulated minimum -- dominance holds because min is monotone, so a
+    weaker partial chain can never overtake a stronger one later.
+    """
+    frontier: dict[tuple[str, str], float] = {}
+    for leg in adjacency[path[0]].get(path[1], ()):
+        if not leg.trusted(policy):
+            continue
+        key = (leg.source_element, leg.target_element)
+        if leg.score > frontier.get(key, float("-inf")):
+            frontier[key] = leg.score
+    for here, there in zip(path[1:], path[2:]):
+        # Index the frontier by its current-element side once per hop, so a
+        # hop costs O(frontier + legs) instead of O(frontier x legs).
+        by_current: dict[str, list[tuple[str, float]]] = {}
+        for (origin, current), accumulated in frontier.items():
+            by_current.setdefault(current, []).append((origin, accumulated))
+        frontier = {}
+        for leg in adjacency[here].get(there, ()):
+            if not leg.trusted(policy):
+                continue
+            for origin, accumulated in by_current.get(leg.source_element, ()):
+                key = (origin, leg.target_element)
+                composed = min(accumulated, leg.score)
+                if composed > frontier.get(key, float("-inf")):
+                    frontier[key] = composed
+        if not frontier:
+            break
+    return frontier
+
+
+@dataclass(frozen=True)
+class ComposedPath:
+    """One pivot path and how much element-level evidence it yielded."""
+
+    nodes: tuple[str, ...]           # source, pivots..., target
+    n_pairs: int                     # element pairs composed along it
+
+    @property
+    def pivots(self) -> tuple[str, ...]:
+        return self.nodes[1:-1]
+
+    @property
+    def n_hops(self) -> int:
+        """Pivot count (the k of "up to k hops")."""
+        return len(self.nodes) - 2
+
+    def to_dict(self) -> dict:
+        return {"nodes": list(self.nodes), "n_pairs": self.n_pairs}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ComposedPath":
+        return cls(nodes=tuple(payload["nodes"]), n_pairs=payload["n_pairs"])
+
+
+@dataclass(frozen=True)
+class NetworkRoute:
+    """What one multi-hop routing query composed, and along which paths."""
+
+    source: str
+    target: str
+    max_hops: int
+    hop_decay: float
+    paths: tuple[ComposedPath, ...]
+    correspondences: tuple[Correspondence, ...]
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.paths)
+
+
+def _route(
+    adjacency: Adjacency,
+    source: str,
+    target: str,
+    max_hops: int,
+    hop_decay: float,
+    policy: TrustPolicy | None,
+    annotate: bool,
+) -> NetworkRoute:
+    if max_hops < 1:
+        raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+    if not 0.0 < hop_decay <= 1.0:
+        raise ValueError(f"hop_decay must be in (0, 1], got {hop_decay}")
+    if source == target:
+        # A->P->A round trips would otherwise come back as plausible-looking
+        # self-"compositions"; the query is degenerate, refuse it loudly.
+        raise ValueError(f"source and target must differ, both are {source!r}")
+    node_paths = _enumerate_paths(adjacency, source, target, max_hops)
+    best: dict[tuple[str, str], float] = {}
+    best_path: dict[tuple[str, str], tuple[str, ...]] = {}
+    n_paths_of: dict[tuple[str, str], int] = {}
+    composed_paths: list[ComposedPath] = []
+    for nodes in node_paths:
+        composed = _compose_path(adjacency, nodes, policy)
+        composed_paths.append(ComposedPath(nodes=nodes, n_pairs=len(composed)))
+        decay = hop_decay ** (len(nodes) - 3)  # one pivot = no decay
+        for pair, min_score in composed.items():
+            n_paths_of[pair] = n_paths_of.get(pair, 0) + 1
+            score = min_score * decay
+            if score > best.get(pair, float("-inf")):
+                best[pair] = score
+                best_path[pair] = nodes
+    correspondences = []
+    for (source_element, target_element), score in sorted(
+        best.items(), key=lambda item: (-item[1], item[0])
+    ):
+        note = ""
+        if annotate:
+            pair = (source_element, target_element)
+            pivots = " > ".join(best_path[pair][1:-1])
+            extra = n_paths_of[pair] - 1
+            note = f"composed via {pivots}" + (
+                f" (+{extra} more path{'s' if extra > 1 else ''})" if extra else ""
+            )
+        correspondences.append(
+            Correspondence(
+                source_id=source_element,
+                target_id=target_element,
+                score=score,
+                status=MatchStatus.CANDIDATE,
+                asserted_by="composer",
+                note=note,
+            )
+        )
+    return NetworkRoute(
+        source=source,
+        target=target,
+        max_hops=max_hops,
+        hop_decay=hop_decay,
+        paths=tuple(composed_paths),
+        correspondences=tuple(correspondences),
+    )
+
+
+def compose_stored(
+    matches: Sequence[StoredMatch],
+    source: str,
+    target: str,
+    max_hops: int = 1,
+    hop_decay: float = 1.0,
+    policy: TrustPolicy | None = None,
+    annotate: bool = False,
+) -> list[Correspondence]:
+    """Compose source -> target candidates through a stored match pool.
+
+    The uncached entry point :func:`repro.repository.reuse.compose_matches`
+    delegates to (its classic single-pivot behaviour is exactly
+    ``max_hops=1``, where ``hop_decay`` has no effect).  Callers holding a
+    repository should prefer :class:`MappingGraph`, which caches the
+    adjacency across queries.
+    """
+    route = _route(
+        build_adjacency(matches), source, target, max_hops, hop_decay, policy, annotate
+    )
+    return list(route.correspondences)
+
+
+@dataclass(frozen=True)
+class GraphRefresh:
+    """What one :meth:`MappingGraph.refresh` actually did."""
+
+    n_nodes: int                   # registered schemata (graph nodes)
+    n_edges: int                   # schema pairs with at least one usable leg
+    n_legs: int                    # directed traversal legs (2 per stored row)
+    rebuilt: bool                  # False = the cached adjacency was current
+    elapsed_seconds: float
+
+
+class MappingGraph:
+    """A cached, staleness-aware mapping network over a repository.
+
+    Parameters
+    ----------
+    repository:
+        The :class:`MetadataRepository` whose stored matches form the
+        edges.  The graph never mutates the store.
+    hop_decay:
+        Default per-extra-hop confidence decay for :meth:`route` /
+        :meth:`compose` (a single-pivot composition is never decayed;
+        each pivot beyond the first multiplies by this factor once).
+    """
+
+    def __init__(self, repository: MetadataRepository, hop_decay: float = 0.9):
+        if not 0.0 < hop_decay <= 1.0:
+            raise ValueError(f"hop_decay must be in (0, 1], got {hop_decay}")
+        self.repository = repository
+        self.hop_decay = hop_decay
+        self._adjacency: Adjacency = {}
+        self._nodes: frozenset[str] = frozenset()
+        #: The (generation, match_generation) pair the adjacency was built
+        #: at; None means never built.  Either clock moving marks the graph
+        #: stale -- schemata joining/leaving changes the node set, stored
+        #: matches changing rewires the edges.
+        self._built_at: tuple[int, int] | None = None
+        #: (n_nodes, n_edges, n_legs), computed once per rebuild so warm
+        #: refreshes are O(1) instead of re-walking the whole adjacency.
+        self._stats: tuple[int, int, int] = (0, 0, 0)
+        self.last_refresh: GraphRefresh | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _clocks(self) -> tuple[int, int]:
+        return (self.repository.generation, self.repository.match_generation)
+
+    def is_stale(self) -> bool:
+        """Whether the repository changed since the adjacency was built."""
+        return self._built_at != self._clocks()
+
+    def refresh(self, force: bool = False) -> GraphRefresh:
+        """Bring the cached adjacency in sync with the repository.
+
+        A warm graph returns immediately without touching the store; a
+        stale one rebuilds from one ``repository.matches()`` scan.
+        """
+        started = time.perf_counter()
+        rebuilt = force or self.is_stale()
+        if rebuilt:
+            clocks = self._clocks()
+            self._nodes = frozenset(self.repository.schema_names())
+            self._adjacency = build_adjacency(self.repository.matches())
+            self._built_at = clocks
+            self._stats = (
+                len(self._nodes),
+                # Each undirected edge appears under both endpoints.
+                sum(len(n) for n in self._adjacency.values()) // 2,
+                sum(
+                    len(legs)
+                    for neighbours in self._adjacency.values()
+                    for legs in neighbours.values()
+                ),
+            )
+        n_nodes, n_edges, n_legs = self._stats
+        refresh = GraphRefresh(
+            n_nodes=n_nodes,
+            n_edges=n_edges,
+            n_legs=n_legs,
+            rebuilt=rebuilt,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        self.last_refresh = refresh
+        return refresh
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        self.refresh()
+        return self._stats[0]
+
+    @property
+    def n_edges(self) -> int:
+        self.refresh()
+        return self._stats[1]
+
+    def nodes(self) -> list[str]:
+        self.refresh()
+        return sorted(self._nodes)
+
+    def neighbours(self, name: str) -> list[str]:
+        """Schemata sharing at least one usable stored match with ``name``."""
+        self.refresh()
+        self._require_node(name)
+        return sorted(self._adjacency.get(name, ()))
+
+    def legs(self, source: str, target: str) -> list[MappingLeg]:
+        """The traversal legs source -> target (stored either way, flipped)."""
+        self.refresh()
+        self._require_node(source)
+        self._require_node(target)
+        return list(self._adjacency.get(source, {}).get(target, ()))
+
+    def _require_node(self, name: str) -> None:
+        if name not in self._nodes:
+            raise KeyError(f"schema {name!r} is not registered")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def paths(
+        self, source: str, target: str, max_hops: int = 2
+    ) -> list[tuple[str, ...]]:
+        """All acyclic pivot paths source -> target with 1..max_hops pivots."""
+        if max_hops < 1:
+            raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+        if source == target:
+            raise ValueError(f"source and target must differ, both are {source!r}")
+        self.refresh()
+        self._require_node(source)
+        self._require_node(target)
+        return _enumerate_paths(self._adjacency, source, target, max_hops)
+
+    def route(
+        self,
+        source: str,
+        target: str,
+        max_hops: int = 2,
+        hop_decay: float | None = None,
+        policy: TrustPolicy | None = None,
+        annotate: bool = True,
+    ) -> NetworkRoute:
+        """Compose source -> target through every acyclic pivot path.
+
+        Per path: max-min leg composition.  Across paths: the strongest
+        (decayed) score per element pair wins, with the winning pivots and
+        the supporting path count in the note (``annotate=False`` returns
+        bare correspondences, byte-compatible with ``compose_matches``).
+        """
+        self.refresh()
+        self._require_node(source)
+        self._require_node(target)
+        return _route(
+            self._adjacency,
+            source,
+            target,
+            max_hops,
+            hop_decay if hop_decay is not None else self.hop_decay,
+            policy,
+            annotate,
+        )
+
+    def compose(
+        self,
+        source: str,
+        target: str,
+        max_hops: int = 2,
+        hop_decay: float | None = None,
+        policy: TrustPolicy | None = None,
+        annotate: bool = True,
+    ) -> list[Correspondence]:
+        """The composed correspondences of :meth:`route` (convenience)."""
+        return list(
+            self.route(
+                source, target, max_hops, hop_decay, policy, annotate
+            ).correspondences
+        )

@@ -8,7 +8,12 @@ previous matches."  Two mechanisms realise that here:
   from the composed candidate A.x = C.z.  Composition takes the *minimum*
   of the leg scores (a chain is only as strong as its weakest assertion)
   and records :class:`~repro.repository.provenance.AssertionMethod.COMPOSED`
-  provenance.
+  provenance.  Stored direction does not matter: a mapping stored as
+  B -> A traverses as a flipped leg.  Since the mapping network landed
+  (:mod:`repro.network`), this function is the ``max_hops=1`` case of the
+  general path composer -- pass ``max_hops`` > 1 for multi-pivot chains,
+  or use :class:`~repro.network.graph.MappingGraph` to cache the
+  adjacency across queries.
 * **Scored reuse** (:class:`ReusePolicy`): when a pair is matched *again*
   -- the routine case once ``MatchService.corpus_match`` sweeps a query
   schema over the whole registry -- prior assertions are folded into the
@@ -42,107 +47,41 @@ __all__ = [
 ]
 
 
-def _touching(
-    pool: list[StoredMatch] | None,
-    repository: MetadataRepository,
-    schema_name: str,
-) -> list[StoredMatch]:
-    """Matches touching a schema, from a prefetched pool when given.
-
-    Passing one ``repository.matches()`` pool through a whole corpus-match
-    sweep turns O(candidates) full store scans into one.
-    """
-    if pool is None:
-        return repository.matches_touching(schema_name)
-    return [
-        match
-        for match in pool
-        if schema_name in (match.source_schema, match.target_schema)
-    ]
-
-
-def _directed_legs(
-    matches: list[StoredMatch], schema_name: str, policy: TrustPolicy | None
-) -> list[tuple[str, str, str, float]]:
-    """Matches touching ``schema_name`` as (other_schema, own_el, other_el, score)."""
-    legs: list[tuple[str, str, str, float]] = []
-    for match in matches:
-        if policy is not None and not policy.trusts(match.provenance):
-            continue
-        correspondence = match.correspondence
-        if correspondence.status is MatchStatus.REJECTED:
-            continue
-        if match.source_schema == schema_name:
-            legs.append(
-                (
-                    match.target_schema,
-                    correspondence.source_id,
-                    correspondence.target_id,
-                    correspondence.score,
-                )
-            )
-        else:
-            legs.append(
-                (
-                    match.source_schema,
-                    correspondence.target_id,
-                    correspondence.source_id,
-                    correspondence.score,
-                )
-            )
-    return legs
-
-
 def compose_matches(
     repository: MetadataRepository,
     source_schema: str,
     target_schema: str,
     policy: TrustPolicy | None = None,
     pool: list[StoredMatch] | None = None,
+    max_hops: int = 1,
+    hop_decay: float = 1.0,
+    annotate: bool = False,
 ) -> list[Correspondence]:
-    """Candidates for source->target composed through any pivot schema.
+    """Candidates for source->target composed through pivot schemata.
 
-    For every pivot P with stored matches source<->P and P<->target sharing
-    a pivot element, emit the composed correspondence with min leg score.
-    Duplicate compositions keep the strongest score.  ``pool`` optionally
-    supplies prefetched stored matches instead of store scans.
+    The default ``max_hops=1`` is the classic single-pivot composition:
+    for every pivot P with stored matches source<->P and P<->target
+    sharing a pivot element (either stored orientation), emit the composed
+    correspondence with min leg score; duplicate compositions keep the
+    strongest score.  ``max_hops`` > 1 walks longer acyclic pivot chains
+    with ``hop_decay`` applied once per pivot beyond the first (see
+    :func:`repro.network.graph.compose_stored`, which this delegates to).
+    ``pool`` optionally supplies prefetched stored matches instead of a
+    store scan; ``annotate`` records the winning pivot path in each
+    correspondence's note.
     """
-    source_legs = _directed_legs(
-        _touching(pool, repository, source_schema), source_schema, policy
+    from repro.network.graph import compose_stored
+
+    matches = pool if pool is not None else repository.matches()
+    return compose_stored(
+        matches,
+        source_schema,
+        target_schema,
+        max_hops=max_hops,
+        hop_decay=hop_decay,
+        policy=policy,
+        annotate=annotate,
     )
-    target_legs = _directed_legs(
-        _touching(pool, repository, target_schema), target_schema, policy
-    )
-
-    # pivot (schema, element) -> list of (source element, score)
-    via: dict[tuple[str, str], list[tuple[str, float]]] = {}
-    for pivot_schema, own_element, pivot_element, score in source_legs:
-        if pivot_schema == target_schema:
-            continue
-        via.setdefault((pivot_schema, pivot_element), []).append((own_element, score))
-
-    best: dict[tuple[str, str], float] = {}
-    for pivot_schema, own_element, pivot_element, score in target_legs:
-        if pivot_schema == source_schema:
-            continue
-        for source_element, source_score in via.get((pivot_schema, pivot_element), []):
-            pair = (source_element, own_element)
-            composed = min(source_score, score)
-            if composed > best.get(pair, float("-inf")):
-                best[pair] = composed
-
-    return [
-        Correspondence(
-            source_id=source_element,
-            target_id=target_element,
-            score=score,
-            status=MatchStatus.CANDIDATE,
-            asserted_by="composer",
-        )
-        for (source_element, target_element), score in sorted(
-            best.items(), key=lambda item: (-item[1], item[0])
-        )
-    ]
 
 
 def reuse_candidates(
@@ -261,6 +200,7 @@ class ReusePolicy:
         source_schema: str,
         target_schema: str,
         pool: list[StoredMatch] | None = None,
+        composed: Sequence[Correspondence] | None = None,
     ) -> dict[tuple[str, str], PriorAssertion]:
         """The strongest usable prior per element pair, both directions.
 
@@ -273,13 +213,24 @@ class ReusePolicy:
 
         ``pool`` optionally supplies the prefetched full match list so a
         corpus-match sweep scans the store once, not once per candidate.
+        ``composed`` optionally supplies already-composed candidates (the
+        mapping network's multi-hop routes) in place of the single-pivot
+        composition this method would otherwise derive itself; they join
+        at composed weight and stay subject to the rejection veto.
         """
-        if pool is None:
-            pool = repository.matches()
         candidates: list[PriorAssertion] = []
         rejected: set[tuple[str, str]] = set()
         direct: list[tuple[StoredMatch, bool]] = []
-        for match in pool:
+        if pool is not None:
+            direct_pool = pool
+        elif composed is not None or not self.include_composed:
+            # No pool and no composition to derive: the indexed pair query
+            # beats a full store scan.
+            direct_pool = repository.matches_between(source_schema, target_schema)
+        else:
+            pool = repository.matches()  # one scan, reused for composition
+            direct_pool = pool
+        for match in direct_pool:
             if (match.source_schema, match.target_schema) == (
                 source_schema,
                 target_schema,
@@ -313,20 +264,21 @@ class ReusePolicy:
                     asserted_by=match.provenance.asserted_by,
                 )
             )
-        if self.include_composed:
-            for composed in compose_matches(
+        if composed is None and self.include_composed:
+            composed = compose_matches(
                 repository, source_schema, target_schema, self.trust, pool=pool
-            ):
-                candidates.append(
-                    PriorAssertion(
-                        source_id=composed.source_id,
-                        target_id=composed.target_id,
-                        score=composed.score,
-                        weighted_score=self.composed_weight * composed.score,
-                        method=AssertionMethod.COMPOSED,
-                        asserted_by=composed.asserted_by,
-                    )
+            )
+        for derived in composed or ():
+            candidates.append(
+                PriorAssertion(
+                    source_id=derived.source_id,
+                    target_id=derived.target_id,
+                    score=derived.score,
+                    weighted_score=self.composed_weight * derived.score,
+                    method=AssertionMethod.COMPOSED,
+                    asserted_by=derived.asserted_by,
                 )
+            )
         best: dict[tuple[str, str], PriorAssertion] = {}
         for prior in candidates:
             if prior.pair in rejected:

@@ -14,9 +14,11 @@ Beyond schemata and matches, the backends persist *corpus fingerprints* --
 per-schema term statistics that :class:`~repro.corpus.index.CorpusIndex`
 derives once and reloads on reopen, so indexing a registered corpus does
 not re-profile every schema (see ``docs/repository.md``).  The repository
-also exposes a :attr:`MetadataRepository.generation` counter, bumped on
-every register/unregister, which is what the corpus index uses to detect
-staleness and rebuild lazily.
+also exposes two monotone staleness clocks: :attr:`MetadataRepository.generation`
+(bumped on register/unregister -- the corpus index's rebuild trigger) and
+:attr:`MetadataRepository.match_generation` (bumped whenever stored
+matches change -- what the :class:`~repro.network.graph.MappingGraph`
+adjacency cache keys on).
 """
 
 from __future__ import annotations
@@ -82,6 +84,21 @@ class _InMemoryBackend:
     def all_matches(self) -> list[StoredMatch]:
         return list(self.matches)
 
+    def matches_touching(self, schema_name: str) -> list[StoredMatch]:
+        return [
+            match
+            for match in self.matches
+            if schema_name in (match.source_schema, match.target_schema)
+        ]
+
+    def matches_between(self, first: str, second: str) -> list[StoredMatch]:
+        pair = {(first, second), (second, first)}
+        return [
+            match
+            for match in self.matches
+            if (match.source_schema, match.target_schema) in pair
+        ]
+
     def put_fingerprint(self, name: str, payload: dict) -> None:
         self.fingerprints[name] = payload
 
@@ -146,6 +163,18 @@ class _SqliteBackend:
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS corpus_fingerprints ("
             " name TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+        )
+        # Mapping-network-era migration: pair/touching queries (graph
+        # rebuilds, reuse priors, cascade deletes) would otherwise scan the
+        # whole matches table.  IF NOT EXISTS makes reopening idempotent;
+        # older files gain the indexes on first open, with no data change.
+        self._connection.execute(
+            "CREATE INDEX IF NOT EXISTS idx_matches_schema_pair"
+            " ON matches (source_schema, target_schema)"
+        )
+        self._connection.execute(
+            "CREATE INDEX IF NOT EXISTS idx_matches_target_schema"
+            " ON matches (target_schema)"
         )
         self._connection.commit()
 
@@ -221,41 +250,61 @@ class _SqliteBackend:
                 self._INSERT_MATCH, [self._match_row(match) for match in matches]
             )
 
+    _SELECT_MATCHES = (
+        "SELECT source_schema, target_schema, source_element, target_element,"
+        " score, status, annotation, note, corr_asserted_by, asserted_by,"
+        " method, confidence, sequence, context, prov_note"
+        " FROM matches"
+    )
+
+    @staticmethod
+    def _stored(row: tuple) -> StoredMatch:
+        return StoredMatch(
+            source_schema=row[0],
+            target_schema=row[1],
+            correspondence=Correspondence(
+                source_id=row[2],
+                target_id=row[3],
+                score=row[4],
+                status=MatchStatus(row[5]),
+                annotation=SemanticAnnotation(row[6]),
+                note=row[7],
+                # Pre-migration rows stored only the provenance
+                # asserter; fall back to it.
+                asserted_by=row[8] or row[9],
+            ),
+            provenance=ProvenanceRecord(
+                asserted_by=row[9],
+                method=AssertionMethod(row[10]),
+                confidence=row[11],
+                sequence=row[12],
+                context=row[13],
+                note=row[14],
+            ),
+        )
+
     def all_matches(self) -> list[StoredMatch]:
         rows = self._connection.execute(
-            "SELECT source_schema, target_schema, source_element, target_element,"
-            " score, status, annotation, note, corr_asserted_by, asserted_by,"
-            " method, confidence, sequence, context, prov_note"
-            " FROM matches ORDER BY id"
+            self._SELECT_MATCHES + " ORDER BY id"
         ).fetchall()
-        stored: list[StoredMatch] = []
-        for row in rows:
-            stored.append(
-                StoredMatch(
-                    source_schema=row[0],
-                    target_schema=row[1],
-                    correspondence=Correspondence(
-                        source_id=row[2],
-                        target_id=row[3],
-                        score=row[4],
-                        status=MatchStatus(row[5]),
-                        annotation=SemanticAnnotation(row[6]),
-                        note=row[7],
-                        # Pre-migration rows stored only the provenance
-                        # asserter; fall back to it.
-                        asserted_by=row[8] or row[9],
-                    ),
-                    provenance=ProvenanceRecord(
-                        asserted_by=row[9],
-                        method=AssertionMethod(row[10]),
-                        confidence=row[11],
-                        sequence=row[12],
-                        context=row[13],
-                        note=row[14],
-                    ),
-                )
-            )
-        return stored
+        return [self._stored(row) for row in rows]
+
+    def matches_touching(self, schema_name: str) -> list[StoredMatch]:
+        rows = self._connection.execute(
+            self._SELECT_MATCHES
+            + " WHERE source_schema = ? OR target_schema = ? ORDER BY id",
+            (schema_name, schema_name),
+        ).fetchall()
+        return [self._stored(row) for row in rows]
+
+    def matches_between(self, first: str, second: str) -> list[StoredMatch]:
+        rows = self._connection.execute(
+            self._SELECT_MATCHES
+            + " WHERE (source_schema = ? AND target_schema = ?)"
+            "    OR (source_schema = ? AND target_schema = ?) ORDER BY id",
+            (first, second, second, first),
+        ).fetchall()
+        return [self._stored(row) for row in rows]
 
     def put_fingerprint(self, name: str, payload: dict) -> None:
         self._connection.execute(
@@ -331,6 +380,7 @@ class MetadataRepository:
             default=0,
         )
         self._generation = 0
+        self._match_generation = 0
 
     @property
     def generation(self) -> int:
@@ -344,6 +394,18 @@ class MetadataRepository:
         unchanged schemata.
         """
         return self._generation
+
+    @property
+    def match_generation(self) -> int:
+        """Monotone match-knowledge clock: bumped whenever stored matches
+        change (store_match / store_matches, and unregister's cascade).
+
+        The :class:`~repro.network.graph.MappingGraph` adjacency cache
+        compares this clock (together with :attr:`generation`) to decide
+        staleness, so warm routing queries never re-scan the store.  Like
+        :attr:`generation` it is per-process and restarts at 0 on reopen.
+        """
+        return self._match_generation
 
     # ------------------------------------------------------------------
     # Schemata
@@ -391,6 +453,9 @@ class MetadataRepository:
         """Remove a schema, its fingerprint, and every match touching it."""
         self._backend.delete_schema(name)
         self._generation += 1
+        # The cascade may have deleted match rows; derived match structures
+        # (the mapping graph) must notice even when no match survived.
+        self._match_generation += 1
 
     def __contains__(self, name: str) -> bool:
         return self._backend.get_schema(name) is not None
@@ -451,6 +516,7 @@ class MetadataRepository:
             ),
         )
         self._backend.add_match(stored)
+        self._match_generation += 1
         return stored
 
     def store_matches(
@@ -491,6 +557,8 @@ class MetadataRepository:
             )
         self._backend.add_matches(stored)
         self._sequence += len(stored)
+        if stored:
+            self._match_generation += 1
         return len(stored)
 
     def matches(
@@ -510,12 +578,16 @@ class MetadataRepository:
         return found
 
     def matches_touching(self, schema_name: str) -> list[StoredMatch]:
-        """All matches with this schema on either side."""
-        return [
-            match
-            for match in self._backend.all_matches()
-            if schema_name in (match.source_schema, match.target_schema)
-        ]
+        """All matches with this schema on either side (index-backed on SQLite)."""
+        return self._backend.matches_touching(schema_name)
+
+    def matches_between(self, first: str, second: str) -> list[StoredMatch]:
+        """All matches between two schemata, either orientation.
+
+        The direct-priors query of the reuse layer; on the SQLite backend
+        this is an indexed lookup, not a full table scan.
+        """
+        return self._backend.matches_between(first, second)
 
     def close(self) -> None:
         self._backend.close()

@@ -11,8 +11,14 @@ the corpus subsystem.
 """
 
 from repro.service.corpus_response import CorpusCandidate, CorpusMatchResponse
+from repro.service.network_response import NetworkMatchResponse
 from repro.service.options import DEFAULT_VOTER_NAMES, MatchOptions
-from repro.service.requests import CorpusMatchRequest, MatchRequest, SchemaRef
+from repro.service.requests import (
+    CorpusMatchRequest,
+    MatchRequest,
+    NetworkMatchRequest,
+    SchemaRef,
+)
 from repro.service.response import MatchResponse
 from repro.service.service import MatchService
 
@@ -25,5 +31,7 @@ __all__ = [
     "MatchRequest",
     "MatchResponse",
     "MatchService",
+    "NetworkMatchRequest",
+    "NetworkMatchResponse",
     "SchemaRef",
 ]

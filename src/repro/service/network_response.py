@@ -1,0 +1,131 @@
+"""The network-match response envelope: composed routes as knowledge.
+
+What one mapping-network routing query returns: which pivot paths exist,
+what they composed, whether a verify run confirmed the composition, and
+the final correspondences -- JSON-round-trippable like every other
+service envelope, so routed answers persist and replay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.match.correspondence import Correspondence
+from repro.network.graph import ComposedPath
+from repro.service.options import MatchOptions
+
+__all__ = ["NetworkMatchResponse", "NETWORK_RESPONSE_FORMAT_VERSION"]
+
+NETWORK_RESPONSE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class NetworkMatchResponse:
+    """The envelope one :meth:`MatchService.network_match` invocation returns.
+
+    ``composed`` is the pure routing output (every element pair some pivot
+    path supports, strongest path first); ``correspondences`` is the final
+    answer -- identical to ``composed`` for compose-only requests, the
+    reuse-folded fresh match output when ``verified``.  ``n_nodes`` /
+    ``n_edges`` record the graph the route ran over; ``graph_seconds`` is
+    the refresh + routing share of ``elapsed_seconds`` (near zero on a
+    warm graph).
+    """
+
+    source_name: str
+    target_name: str
+    max_hops: int
+    hop_decay: float
+    n_nodes: int                   # graph nodes (registered schemata)
+    n_edges: int                   # schema pairs with stored mappings
+    paths: tuple[ComposedPath, ...]
+    composed: tuple[Correspondence, ...]
+    verified: bool                 # True = compose-then-verify ran the fast path
+    n_boosted: int                 # verify fold: fresh pairs a prior confirmed
+    n_seeded: int                  # verify fold: prior-only pairs re-entered
+    elapsed_seconds: float
+    graph_seconds: float
+    options: MatchOptions
+    correspondences: tuple[Correspondence, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "paths", tuple(self.paths))
+        object.__setattr__(self, "composed", tuple(self.composed))
+        object.__setattr__(self, "correspondences", tuple(self.correspondences))
+
+    # -- convenience queries --------------------------------------------
+    def __len__(self) -> int:
+        return len(self.correspondences)
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.paths)
+
+    @property
+    def best_score(self) -> float:
+        return max((c.score for c in self.correspondences), default=0.0)
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "format_version": NETWORK_RESPONSE_FORMAT_VERSION,
+            "source": {"schema": self.source_name},
+            "target": {"schema": self.target_name},
+            "routing": {
+                "max_hops": self.max_hops,
+                "hop_decay": self.hop_decay,
+                "n_nodes": self.n_nodes,
+                "n_edges": self.n_edges,
+                "paths": [path.to_dict() for path in self.paths],
+            },
+            "composed": [c.to_dict() for c in self.composed],
+            "verified": self.verified,
+            "reuse": {"boosted": self.n_boosted, "seeded": self.n_seeded},
+            "elapsed_seconds": self.elapsed_seconds,
+            "graph_seconds": self.graph_seconds,
+            "options": self.options.to_dict(),
+            "correspondences": [c.to_dict() for c in self.correspondences],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "NetworkMatchResponse":
+        version = payload.get("format_version")
+        if version != NETWORK_RESPONSE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported network response format version {version!r}"
+            )
+        routing = payload["routing"]
+        return cls(
+            source_name=payload["source"]["schema"],
+            target_name=payload["target"]["schema"],
+            max_hops=routing["max_hops"],
+            hop_decay=routing["hop_decay"],
+            n_nodes=routing["n_nodes"],
+            n_edges=routing["n_edges"],
+            paths=tuple(
+                ComposedPath.from_dict(entry) for entry in routing["paths"]
+            ),
+            composed=tuple(
+                Correspondence.from_dict(entry) for entry in payload["composed"]
+            ),
+            verified=payload["verified"],
+            n_boosted=payload["reuse"]["boosted"],
+            n_seeded=payload["reuse"]["seeded"],
+            elapsed_seconds=payload["elapsed_seconds"],
+            graph_seconds=payload["graph_seconds"],
+            options=MatchOptions.from_dict(payload["options"]),
+            correspondences=tuple(
+                Correspondence.from_dict(entry)
+                for entry in payload["correspondences"]
+            ),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, document: str) -> "NetworkMatchResponse":
+        return cls.from_dict(json.loads(document))

@@ -14,11 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Union
 
+from repro.repository.provenance import TrustPolicy
 from repro.repository.reuse import ReusePolicy
 from repro.schema.schema import Schema
 from repro.service.options import MatchOptions
 
-__all__ = ["SchemaRef", "MatchRequest", "CorpusMatchRequest"]
+__all__ = ["SchemaRef", "MatchRequest", "CorpusMatchRequest", "NetworkMatchRequest"]
 
 #: A schema argument: inline, or the name of a repository-registered schema.
 SchemaRef = Union[Schema, str]
@@ -133,3 +134,78 @@ class CorpusMatchRequest:
         if self.retrieval_limit is not None:
             return self.retrieval_limit
         return max(3 * self.top_k, 10)
+
+
+@dataclass(frozen=True)
+class NetworkMatchRequest:
+    """One MATCH(source, target) *routed through the mapping network*.
+
+    The repository's stored mappings form a graph (nodes = registered
+    schemata, edges = stored correspondence sets); this request answers
+    source -> target by composing evidence along acyclic pivot paths
+    instead of (or before) matching from scratch.  Both endpoints must be
+    *registered names* -- routing is a repository operation by definition.
+
+    Parameters
+    ----------
+    source, target:
+        Registered schema names (the graph's nodes).
+    max_hops:
+        Maximum pivot count per path (``1`` = classic single-pivot
+        composition; ``2`` answers A -> C via A -> B1 -> B2 -> C).
+    hop_decay:
+        Confidence decay applied once per pivot beyond the first, so a
+        3-hop chain never outranks an equally strong single-pivot one.
+    options:
+        Matching configuration for the verify stage (and the response
+        envelope); ignored for compose-only requests beyond recording.
+    min_score:
+        Composed candidates below this score are dropped from a
+        compose-only response (verify folds them as weak priors instead).
+    trust:
+        Optional :class:`TrustPolicy` gating which stored legs are
+        traversable (rejected assertions never are).  The same policy
+        carries into the verify fold's direct priors when ``reuse`` does
+        not name its own trust gate, so one request-level policy governs
+        the whole pipeline.
+    verify:
+        ``False`` returns the composed candidates as-is (cheap: no
+        matching happens at all).  ``True`` runs the blocked E16
+        fast path over the pair and folds the composed candidates in as
+        COMPOSED-method priors under ``reuse`` -- confirmed compositions
+        boost the fresh scores, unconfirmed ones are seeded back.
+    reuse:
+        The :class:`~repro.repository.reuse.ReusePolicy` used by the
+        verify fold (direct stored priors join composed ones; a direct
+        REJECTED assertion still vetoes its pair).
+    """
+
+    source: str
+    target: str
+    max_hops: int = 2
+    hop_decay: float = 0.9
+    options: MatchOptions = field(default_factory=MatchOptions)
+    min_score: float = 0.0
+    trust: "TrustPolicy | None" = None
+    verify: bool = False
+    reuse: ReusePolicy = field(default_factory=ReusePolicy)
+
+    def __post_init__(self) -> None:
+        for attribute in ("source", "target"):
+            value = getattr(self, attribute)
+            if not isinstance(value, str) or not value:
+                raise TypeError(
+                    f"{attribute} must be a registered schema name, got {value!r}"
+                )
+        if self.source == self.target:
+            raise ValueError(
+                f"source and target must differ, both are {self.source!r}"
+            )
+        if self.max_hops < 1:
+            raise ValueError(f"max_hops must be >= 1, got {self.max_hops}")
+        if not 0.0 < self.hop_decay <= 1.0:
+            raise ValueError(f"hop_decay must be in (0, 1], got {self.hop_decay}")
+        if not 0.0 <= self.min_score <= 1.0:
+            raise ValueError(f"min_score must be in [0, 1], got {self.min_score}")
+        if self.reuse is None:
+            raise TypeError("reuse must be a ReusePolicy (the verify fold needs one)")

@@ -30,6 +30,7 @@ is drawn in ``docs/architecture.md``.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from itertools import combinations
 from typing import Iterable, Mapping, Sequence
 
@@ -40,13 +41,20 @@ from repro.match.correspondence import Correspondence
 from repro.match.engine import HarmonyMatchEngine, MatchResult
 from repro.match.selection import SelectionStrategy
 from repro.matchers.profile import FeatureSpace, SchemaProfile
+from repro.network.graph import MappingGraph
 from repro.repository.provenance import AssertionMethod, ProvenanceRecord, TrustPolicy
 from repro.repository.store import MetadataRepository
 from repro.schema.schema import Schema
 from repro.schema.serialize import schema_to_dict
 from repro.service.corpus_response import CorpusCandidate, CorpusMatchResponse
+from repro.service.network_response import NetworkMatchResponse
 from repro.service.options import MatchOptions
-from repro.service.requests import CorpusMatchRequest, MatchRequest, SchemaRef
+from repro.service.requests import (
+    CorpusMatchRequest,
+    MatchRequest,
+    NetworkMatchRequest,
+    SchemaRef,
+)
 from repro.service.response import MatchResponse
 
 __all__ = ["MatchService"]
@@ -98,6 +106,7 @@ class MatchService:
         self._engines: dict[MatchOptions, HarmonyMatchEngine] = {}
         self._runners: dict[tuple, BatchMatchRunner] = {}
         self._corpus_index: CorpusIndex | None = None
+        self._mapping_graph: MappingGraph | None = None
         #: Registered schemata as stable objects, keyed by name and
         #: invalidated by the repository generation (see _registered_schema).
         self._registered: dict[str, Schema] = {}
@@ -564,6 +573,103 @@ class MatchService:
             options=request.options,
             reuse_applied=reuse_applied,
             candidates=tuple(candidates[: request.top_k]),
+        )
+
+    # ------------------------------------------------------------------
+    # Network matching: route through stored mappings
+    # ------------------------------------------------------------------
+    def mapping_graph(self) -> MappingGraph:
+        """The service's mapping network over its bound repository (lazy).
+
+        One graph per service; it refreshes itself against the
+        repository's generation and match-generation clocks, so repeated
+        :meth:`network_match` calls over a warm repository do no store
+        scans at all.
+        """
+        if self.repository is None:
+            raise ValueError("the mapping network requires a bound MetadataRepository")
+        if self._mapping_graph is None:
+            self._mapping_graph = MappingGraph(self.repository)
+        return self._mapping_graph
+
+    def network_match(self, request: NetworkMatchRequest) -> NetworkMatchResponse:
+        """Answer MATCH(source, target) by routing through stored mappings.
+
+        The mapping-network MATCH (see ``docs/repository.md``):
+
+        1. **route** -- the cached :class:`MappingGraph` enumerates every
+           acyclic pivot path up to ``max_hops`` between the two
+           registered names and composes correspondences along each
+           (min-leg scoring, per-extra-hop decay, multi-path merge);
+        2. **verify** (optional) -- the composed candidates seed a blocked
+           E16 fast-path run over the actual pair: fresh output is folded
+           with the composed candidates (and any direct stored priors)
+           under the request's :class:`~repro.repository.reuse.ReusePolicy`,
+           so a composition the fresh evidence confirms is boosted and one
+           it cannot see is seeded back as a reviewable candidate.
+
+        Compose-only requests never profile or match a single element --
+        the answer is derived entirely from stored knowledge.
+        """
+        if self.repository is None:
+            raise ValueError("network_match requires a bound MetadataRepository")
+        started = time.perf_counter()
+        for name in (request.source, request.target):
+            if name not in self.repository:
+                raise KeyError(f"schema {name!r} is not registered")
+        graph = self.mapping_graph()
+        route = graph.route(
+            request.source,
+            request.target,
+            max_hops=request.max_hops,
+            hop_decay=request.hop_decay,
+            policy=request.trust,
+        )
+        graph_seconds = time.perf_counter() - started
+        composed = tuple(
+            c for c in route.correspondences if c.score >= request.min_score
+        )
+        n_boosted = n_seeded = 0
+        correspondences = composed
+        if request.verify:
+            runner = self.runner(request.options, keep_matrices=False)
+            result = runner.match_pair(
+                self._registered_schema(request.source),
+                self._registered_schema(request.target),
+            )
+            fresh = list(result.candidates(request.options.build_selection()))
+            # The request-level trust gate governs the whole pipeline: when
+            # the fold's policy does not name its own, direct stored priors
+            # are filtered under the same policy that gated the legs.
+            reuse = request.reuse
+            if request.trust is not None and reuse.trust is None:
+                reuse = replace(reuse, trust=request.trust)
+            priors = reuse.priors(
+                self.repository,
+                request.source,
+                request.target,
+                composed=route.correspondences,
+            )
+            outcome = reuse.apply(fresh, priors)
+            correspondences = outcome.correspondences
+            n_boosted, n_seeded = outcome.n_boosted, outcome.n_seeded
+        refresh = graph.last_refresh
+        return NetworkMatchResponse(
+            source_name=request.source,
+            target_name=request.target,
+            max_hops=request.max_hops,
+            hop_decay=request.hop_decay,
+            n_nodes=refresh.n_nodes if refresh is not None else 0,
+            n_edges=refresh.n_edges if refresh is not None else 0,
+            paths=route.paths,
+            composed=composed,
+            verified=request.verify,
+            n_boosted=n_boosted,
+            n_seeded=n_seeded,
+            elapsed_seconds=time.perf_counter() - started,
+            graph_seconds=graph_seconds,
+            options=request.options,
+            correspondences=correspondences,
         )
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from repro.synthetic.casestudy import (
     case_study_spec,
     extended_study,
 )
+from repro.synthetic.chain import MappingChain, generate_mapping_chain
 from repro.synthetic.corpus import (
     ClusteredCorpus,
     generate_clustered_corpus,
@@ -41,6 +42,7 @@ __all__ = [
     "Facet",
     "GeneratedSchema",
     "InstanceTable",
+    "MappingChain",
     "NamingStyle",
     "PAPER_MATCH_SECONDS",
     "PAPER_SA_CONCEPTS",
@@ -61,6 +63,7 @@ __all__ = [
     "generate_clustered_corpus",
     "generate_enterprise_corpus",
     "generate_instances",
+    "generate_mapping_chain",
     "generate_pair",
     "generate_schema",
     "perturb_gloss",

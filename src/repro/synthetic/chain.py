@@ -1,0 +1,112 @@
+"""Mapping chains: N renderings of one conceptual schema, for network benches.
+
+The mapping network's home scenario (paper section 5): an enterprise holds
+many systems that are all views of the same conceptual model, and only
+*adjacent* systems were ever matched -- the migration lineage S0 -> S1 ->
+... -> S(N-1).  Answering S0 -> Sk then means composing along the chain.
+:func:`generate_mapping_chain` builds that workload: every schema renders
+the SAME concepts and facet prefixes (so any two chain members share full
+element-level ground truth) under rotating naming styles and kinds, and
+:meth:`MappingChain.truth_pairs` yields the ground-truth correspondences
+for *any* pair -- adjacent (the stored mappings) or distant (what
+composition must recover).  Bench E18 is the consumer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.synthetic.domain import DomainOntology
+from repro.synthetic.generator import (
+    GeneratedSchema,
+    facet_order,
+    generate_schema,
+)
+from repro.synthetic.naming import NamingStyle
+
+__all__ = ["MappingChain", "generate_mapping_chain"]
+
+_STYLE_ROTATION = (
+    NamingStyle.legacy_relational(),
+    NamingStyle.xml_exchange(),
+    NamingStyle(case="lower_snake", synonym_probability=0.2, abbreviate_probability=0.25),
+    NamingStyle(case="camel", synonym_probability=0.3, abbreviate_probability=0.1),
+)
+_KIND_ROTATION = ("relational", "xml", "relational", "xml")
+
+
+@dataclass
+class MappingChain:
+    """Generated chain schemata plus element-level ground truth for any pair."""
+
+    schemata: list[GeneratedSchema]
+    concept_keys: list[str]
+
+    @property
+    def names(self) -> list[str]:
+        return [generated.schema.name for generated in self.schemata]
+
+    def __len__(self) -> int:
+        return len(self.schemata)
+
+    def truth_pairs(self, i: int, j: int) -> set[tuple[str, str]]:
+        """Ground-truth (source element, target element) pairs schema i -> j.
+
+        Every chain member renders the same (concept, facet) identities,
+        so the truth for any pair -- adjacent or k hops apart -- is the
+        identity-preserving bijection.
+        """
+        source = self.schemata[i]
+        target = self.schemata[j]
+        target_by_identity = {
+            identity: element_id
+            for element_id, identity in target.facet_of_element.items()
+        }
+        pairs: set[tuple[str, str]] = set()
+        for element_id, identity in source.facet_of_element.items():
+            target_id = target_by_identity.get(identity)
+            if target_id is not None:
+                pairs.add((element_id, target_id))
+        return pairs
+
+
+def generate_mapping_chain(
+    n_schemata: int = 20,
+    n_concepts: int = 5,
+    children_per_concept: int = 5,
+    seed: int = 2009,
+    ontology: DomainOntology | None = None,
+) -> MappingChain:
+    """A chain of ``n_schemata`` renderings of one conceptual schema.
+
+    Schema ``i`` is named ``N{i:02d}`` and takes the rotation's ``i % 4``-th
+    naming style/kind, so adjacent chain members always differ in
+    convention (the realistic lineage: relational legacy system, XML
+    exchange format, snake_case warehouse, camelCase service).  All
+    members share the same concept keys and the same facet *prefix* per
+    concept, which is what makes :meth:`MappingChain.truth_pairs` total.
+    """
+    if n_schemata < 2:
+        raise ValueError(f"a chain needs at least two schemata, got {n_schemata}")
+    ontology = ontology if ontology is not None else DomainOntology()
+    rng = random.Random(f"chain::{seed}")
+    keys = ontology.sample_concepts(n_concepts, rng)
+    children = [
+        min(children_per_concept, len(facet_order(ontology, key))) for key in keys
+    ]
+    schemata: list[GeneratedSchema] = []
+    for index in range(n_schemata):
+        rotation = index % len(_STYLE_ROTATION)
+        schemata.append(
+            generate_schema(
+                f"N{index:02d}",
+                keys,
+                children,
+                style=_STYLE_ROTATION[rotation],
+                kind=_KIND_ROTATION[rotation],
+                seed=f"{seed}::chain::{index}",
+                ontology=ontology,
+            )
+        )
+    return MappingChain(schemata=schemata, concept_keys=list(keys))

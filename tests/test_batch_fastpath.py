@@ -191,6 +191,24 @@ class TestBlocking:
         nothing = np.full((len(source), len(target)), -1.0)
         assert blocking_recall(nothing, candidates, 0.15) == 1.0
 
+    def test_recall_guards_zero_denominator_on_degenerate_grids(self):
+        # The empty-exact-matrix case must return exactly 1.0 (nothing to
+        # lose), never NaN or a ZeroDivisionError -- including grids where
+        # blocking itself retained no candidates at all.
+        from repro.batch.blocking import CandidateSet
+
+        empty = CandidateSet(
+            shape=(3, 4),
+            rows=np.array([], dtype=np.int64),
+            cols=np.array([], dtype=np.int64),
+        )
+        below_threshold = np.zeros((3, 4))
+        recall = blocking_recall(below_threshold, empty, threshold=0.15)
+        assert recall == 1.0 and not np.isnan(recall)
+        # And when pairs do clear the threshold but no candidate survived,
+        # recall is an honest 0.0, not an error.
+        assert blocking_recall(np.ones((3, 4)), empty, threshold=0.15) == 0.0
+
 
 class TestRunner:
     def test_candidate_scores_are_exact(self, small_pair, small_pair_result):

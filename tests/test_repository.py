@@ -234,6 +234,181 @@ class TestReuse:
         assert stored[0].provenance.method is AssertionMethod.COMPOSED
 
 
+class TestMatchGeneration:
+    def test_bumps_on_every_match_mutation(self, repository):
+        a, b = small_schema("a", ["x"]), small_schema("b", ["y"])
+        repository.register(a)
+        repository.register(b)
+        before = repository.match_generation
+        repository.store_match(
+            "a", "b", Correspondence("a.x", "b.y", 0.5), asserted_by="alice"
+        )
+        after_single = repository.match_generation
+        assert after_single > before
+        repository.store_matches(
+            "a", "b", [Correspondence("a.x", "b.y", 0.6)], asserted_by="bob"
+        )
+        after_bulk = repository.match_generation
+        assert after_bulk > after_single
+        repository.unregister("b")  # the cascade deletes matches
+        assert repository.match_generation > after_bulk
+
+    def test_empty_bulk_store_does_not_bump(self, repository):
+        a, b = small_schema("a", ["x"]), small_schema("b", ["y"])
+        repository.register(a)
+        repository.register(b)
+        before = repository.match_generation
+        assert repository.store_matches("a", "b", [], asserted_by="alice") == 0
+        assert repository.match_generation == before
+
+    def test_schema_registration_does_not_bump(self, repository):
+        before = repository.match_generation
+        repository.register(small_schema("a", ["x"]))
+        assert repository.match_generation == before
+
+
+class TestMatchesBetween:
+    def test_both_orientations(self, repository):
+        a, b, c = (small_schema(n, ["x"]) for n in "abc")
+        for schema in (a, b, c):
+            repository.register(schema)
+        repository.store_match(
+            "a", "b", Correspondence("a.x", "b.x", 0.5), asserted_by="alice"
+        )
+        repository.store_match(
+            "b", "a", Correspondence("b.x", "a.x", 0.6), asserted_by="alice"
+        )
+        repository.store_match(
+            "a", "c", Correspondence("a.x", "c.x", 0.7), asserted_by="alice"
+        )
+        between = repository.matches_between("a", "b")
+        assert len(between) == 2
+        assert {m.source_schema for m in between} == {"a", "b"}
+        assert repository.matches_between("b", "c") == []
+        # Agrees with the Python-side filter over the full pool.
+        pool = repository.matches()
+        assert between == [
+            m
+            for m in pool
+            if {m.source_schema, m.target_schema} == {"a", "b"}
+        ]
+
+
+class TestSqliteMigrationIdempotency:
+    """Era'd stores must migrate in place, twice, without data loss.
+
+    ``pr1``: before the correspondence asserter was persisted separately
+    (no ``corr_asserted_by`` column) and before corpus fingerprints.
+    ``pr2``: the asserter column exists; fingerprint tables do not.
+    ``pr3``: fingerprints exist; the mapping-network-era pair indexes
+    do not.
+    """
+
+    _BASE_MATCHES = (
+        "CREATE TABLE matches ("
+        " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+        " source_schema TEXT NOT NULL, target_schema TEXT NOT NULL,"
+        " source_element TEXT NOT NULL, target_element TEXT NOT NULL,"
+        " score REAL NOT NULL, status TEXT NOT NULL,"
+        " annotation TEXT NOT NULL, note TEXT NOT NULL,"
+        "{corr_asserted_by}"
+        " asserted_by TEXT NOT NULL, method TEXT NOT NULL,"
+        " confidence REAL NOT NULL, sequence INTEGER NOT NULL,"
+        " context TEXT NOT NULL, prov_note TEXT NOT NULL)"
+    )
+
+    def _seed_era_db(self, path, era):
+        import sqlite3
+
+        from repro.schema import schema_to_dict
+
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "CREATE TABLE schemata (name TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+        )
+        has_corr_column = era != "pr1"
+        connection.execute(
+            self._BASE_MATCHES.format(
+                corr_asserted_by=(
+                    " corr_asserted_by TEXT NOT NULL DEFAULT ''," if has_corr_column else ""
+                )
+            )
+        )
+        import json
+
+        for name in ("a", "b"):
+            connection.execute(
+                "INSERT INTO schemata (name, payload) VALUES (?, ?)",
+                (name, json.dumps(schema_to_dict(small_schema(name, ["x"])))),
+            )
+        row = ("a", "b", "a.x", "b.x", 0.8, "candidate", "equivalent", "")
+        tail = ("alice", "automatic", 0.8, 1, "general", "")
+        if has_corr_column:
+            connection.execute(
+                "INSERT INTO matches (source_schema, target_schema, source_element,"
+                " target_element, score, status, annotation, note, corr_asserted_by,"
+                " asserted_by, method, confidence, sequence, context, prov_note)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                row + ("alice",) + tail,
+            )
+        else:
+            connection.execute(
+                "INSERT INTO matches (source_schema, target_schema, source_element,"
+                " target_element, score, status, annotation, note,"
+                " asserted_by, method, confidence, sequence, context, prov_note)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                row + tail,
+            )
+        if era == "pr3":
+            connection.execute(
+                "CREATE TABLE corpus_fingerprints ("
+                " name TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+            )
+            connection.execute(
+                "INSERT INTO corpus_fingerprints (name, payload) VALUES (?, ?)",
+                ("a", json.dumps({"format_version": 1, "hash": "h", "terms": {}})),
+            )
+        connection.commit()
+        connection.close()
+
+    @pytest.mark.parametrize("era", ["pr1", "pr2", "pr3"])
+    def test_open_twice_migrates_without_data_loss(self, tmp_path, era):
+        import sqlite3
+
+        path = str(tmp_path / f"{era}.db")
+        self._seed_era_db(path, era)
+        for round_trip in range(2):
+            with MetadataRepository(path=path) as repository:
+                assert repository.schema_names() == ["a", "b"]
+                assert len(repository.schema("a")) == 2
+                matches = repository.matches()
+                assert len(matches) == 1 + round_trip
+                assert matches[0].correspondence.pair == ("a.x", "b.x")
+                assert matches[0].correspondence.asserted_by == "alice"
+                assert matches[0].provenance.sequence == 1
+                if era == "pr3":
+                    assert repository.get_fingerprint("a") is not None
+                # The store stays writable after migration; the sequence
+                # counter continues from the persisted maximum.
+                stored = repository.store_match(
+                    "a", "b",
+                    Correspondence("a.x", "b.x", 0.5 + round_trip / 10),
+                    asserted_by="bob",
+                )
+                assert stored.provenance.sequence == 2 + round_trip
+        connection = sqlite3.connect(path)
+        names = {
+            row[0]
+            for row in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type IN ('table', 'index')"
+            )
+        }
+        connection.close()
+        assert "corpus_fingerprints" in names
+        assert "idx_matches_schema_pair" in names
+        assert "idx_matches_target_schema" in names
+
+
 class TestSqlitePersistence:
     def test_survives_reopen(self, tmp_path, sample_relational):
         path = str(tmp_path / "persistent.db")

@@ -1,0 +1,29 @@
+"""Guard: every elapsed-time measurement uses the monotonic clock.
+
+``time.time()`` is wall-clock and can jump backwards under NTP adjustment,
+turning bench deltas negative; ``time.perf_counter()`` is monotonic.  An
+audit of ``match/incremental.py``, ``batch/runner.py`` and
+``service/service.py`` (plus the rest of ``src/``) found every timing
+site already on ``perf_counter``; this test keeps it that way.
+"""
+
+import pathlib
+import re
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+_WALL_CLOCK = re.compile(r"\btime\.time\(\)")
+
+
+def test_no_wall_clock_timing_in_src():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for line_number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if _WALL_CLOCK.search(line):
+                offenders.append(f"{path.relative_to(SRC)}:{line_number}: {line.strip()}")
+    assert not offenders, (
+        "use time.perf_counter() (monotonic) for elapsed-time measurement, "
+        "not time.time():\n" + "\n".join(offenders)
+    )
