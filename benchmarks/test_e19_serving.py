@@ -1,0 +1,280 @@
+"""E19 -- match-as-a-service: throughput, cache speedup, invalidation.
+
+The ROADMAP north star ("heavy traffic from millions of users, as fast as
+the hardware allows") becomes measurable once matching is *served* rather
+than shelled out: the paper's enterprise users hit one shared repository
+continuously, with heavily repeated queries.  This bench holds the
+serving tier (:mod:`repro.server`) to three contracts over a registered
+synthetic corpus in a SQLite repository:
+
+* **cached latency vs process invocations** -- with 8 concurrent clients
+  against a warmed server, the p50 latency of cached requests must be
+  >= 10x faster than a cold single-shot ``repro match`` process
+  invocation (what every caller paid before the serving tier: interpreter
+  + numpy/scipy import, cold caches, one match, exit) -- at *identical*
+  correspondence scores (1e-9);
+* **cold-vs-warm-cache speedup on the server itself** -- the same request
+  served from the response cache must beat its first (computed) serving;
+* **invalidation correctness** -- across an interleaved write/read sweep
+  (store a match set, re-query ``/corpus-match`` and ``/network-match``,
+  repeat), every served response must equal a freshly computed
+  direct-service answer: zero stale responses.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.match import Correspondence
+from repro.repository import AssertionMethod, MetadataRepository
+from repro.schema.serialize import dump_schema
+from repro.server import MatchServer, MatchServiceClient
+from repro.service import (
+    CorpusMatchRequest,
+    MatchOptions,
+    MatchRequest,
+    MatchService,
+    NetworkMatchRequest,
+)
+from repro.synthetic import generate_clustered_corpus
+
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 20
+COLD_RUNS = 3
+SPEEDUP_FLOOR = 10.0
+SCORE_TOLERANCE = 1e-9
+SWEEP_ROUNDS = 5
+THRESHOLD = 0.15
+OPTIONS = MatchOptions(threshold=THRESHOLD)
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(int(fraction * len(ordered)), len(ordered) - 1)]
+
+
+def test_e19_serving(tmp_path, report_factory):
+    corpus = generate_clustered_corpus(
+        n_domains=2, schemata_per_domain=4, seed=2009
+    )
+    db_path = str(tmp_path / "e19.db")
+    with MetadataRepository(path=db_path) as repository:
+        for generated in corpus.schemata:
+            repository.register(generated.schema)
+        names = sorted(repository.schema_names())
+        service = MatchService(repository=repository)
+        server = MatchServer(service, port=0)
+        worker = threading.Thread(target=server.serve_forever, daemon=True)
+        worker.start()
+        try:
+            # -- cold baseline: single-shot CLI process invocations ------
+            source_name, target_name = names[0], names[1]
+            source_file = str(tmp_path / "query_a.json")
+            target_file = str(tmp_path / "query_b.json")
+            dump_schema(repository.schema(source_name), source_file)
+            dump_schema(repository.schema(target_name), target_file)
+            cold_seconds = float("inf")
+            cli_payload = None
+            for _ in range(COLD_RUNS):
+                started = time.perf_counter()
+                completed = subprocess.run(
+                    [
+                        sys.executable, "-m", "repro", "match",
+                        source_file, target_file,
+                        "--threshold", str(THRESHOLD), "--json",
+                    ],
+                    capture_output=True, text=True, check=True,
+                )
+                cold_seconds = min(cold_seconds, time.perf_counter() - started)
+                cli_payload = json.loads(completed.stdout)
+
+            # -- warm the server, then hammer it -------------------------
+            request = MatchRequest(
+                source=source_name, target=target_name, options=OPTIONS
+            )
+            warm_client = MatchServiceClient(server.url)
+            first_serving = time.perf_counter()
+            served = warm_client.match(request)
+            first_serving = time.perf_counter() - first_serving
+            assert warm_client.last_cache_status == "miss"
+
+            # Identical scores: served (by-name) vs the CLI's cold run.
+            cli_scores = {
+                (c["source_id"], c["target_id"]): c["score"]
+                for c in cli_payload["correspondences"]
+            }
+            served_scores = {c.pair: c.score for c in served.correspondences}
+            assert set(cli_scores) == set(served_scores)
+            score_drift = max(
+                (abs(cli_scores[pair] - served_scores[pair]) for pair in cli_scores),
+                default=0.0,
+            )
+
+            latencies: list[float] = []
+            latencies_lock = threading.Lock()
+
+            def client_session() -> None:
+                client = MatchServiceClient(server.url)
+                mine = []
+                for _ in range(REQUESTS_PER_CLIENT):
+                    started = time.perf_counter()
+                    client.match(request)
+                    mine.append(time.perf_counter() - started)
+                    assert client.last_cache_status == "hit"
+                with latencies_lock:
+                    latencies.extend(mine)
+
+            hammer_started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+                for future in [
+                    pool.submit(client_session) for _ in range(N_CLIENTS)
+                ]:
+                    future.result()
+            hammer_seconds = time.perf_counter() - hammer_started
+            n_requests = N_CLIENTS * REQUESTS_PER_CLIENT
+            p50 = statistics.median(latencies)
+            p95 = _percentile(latencies, 0.95)
+            cli_speedup = cold_seconds / p50
+            cache_speedup = first_serving / p50
+
+            # -- interleaved write/read invalidation sweep ---------------
+            for left, right in zip(names, names[1:]):
+                service.persist(service.match_pair(left, right, options=OPTIONS))
+            sweep_client = MatchServiceClient(server.url)
+            referee = MatchService(repository=repository)
+            corpus_request = CorpusMatchRequest(
+                source=source_name, top_k=3, options=OPTIONS
+            )
+            network_request = NetworkMatchRequest(
+                source=names[0], target=names[2], max_hops=2, options=OPTIONS
+            )
+            def same_correspondences(ours, theirs) -> bool:
+                """Same pair set and notes, scores to 1e-9 (thread-order
+                interning permutes float summation order by one ulp)."""
+                mine = {c.pair: c for c in ours}
+                reference = {c.pair: c for c in theirs}
+                return set(mine) == set(reference) and all(
+                    mine[pair].note == reference[pair].note
+                    and abs(mine[pair].score - reference[pair].score)
+                    <= SCORE_TOLERANCE
+                    for pair in mine
+                )
+
+            def corpus_is_fresh(served_response, fresh_response) -> bool:
+                """Served corpus knowledge equals freshly computed knowledge."""
+                if (
+                    served_response.candidate_names
+                    != fresh_response.candidate_names
+                ):
+                    return False
+                return all(
+                    same_correspondences(ours.correspondences, theirs.correspondences)
+                    for ours, theirs in zip(
+                        served_response.candidates, fresh_response.candidates
+                    )
+                )
+
+            def network_is_fresh(served_response, fresh_response) -> bool:
+                """Served network knowledge equals freshly computed knowledge."""
+                return served_response.paths == fresh_response.paths and (
+                    same_correspondences(
+                        served_response.correspondences,
+                        fresh_response.correspondences,
+                    )
+                )
+
+            n_stale = 0
+            n_checked = 0
+            for round_number in range(SWEEP_ROUNDS):
+                # Warm both entries, then write, then re-read: the served
+                # answers must always equal fresh direct computation.
+                sweep_client.corpus_match(corpus_request)
+                sweep_client.network_match(network_request)
+                pivot = repository.matches(
+                    source_schema=names[0], target_schema=names[1]
+                )[0]
+                repository.store_matches(
+                    names[1],
+                    names[2],
+                    [
+                        Correspondence(
+                            source_id=pivot.correspondence.target_id,
+                            target_id=f"validated_round_{round_number}",
+                            score=1.0,
+                        )
+                    ],
+                    asserted_by="validator",
+                    method=AssertionMethod.HUMAN_VALIDATED,
+                )
+                served_corpus = sweep_client.corpus_match(corpus_request)
+                served_network = sweep_client.network_match(network_request)
+                fresh_corpus = referee.corpus_match(corpus_request)
+                fresh_network = referee.network_match(network_request)
+                n_checked += 2
+                if not corpus_is_fresh(served_corpus, fresh_corpus):
+                    n_stale += 1
+                if not network_is_fresh(served_network, fresh_network):
+                    n_stale += 1
+            invalidations = server.cache.stats.invalidations
+        finally:
+            server.shutdown()
+            worker.join()
+            server.server_close()
+
+    n_elements = sum(len(g.schema) for g in corpus.schemata)
+    report = report_factory(
+        "E19", "Match-as-a-service (concurrent serving + generation-aware cache)"
+    )
+    report.row(
+        "registered corpus",
+        "(schemata; elements)",
+        f"{len(names)} ({n_elements:,} elements, SQLite)",
+    )
+    report.row(
+        "cold single-shot `repro match` process",
+        "(seconds)",
+        f"{cold_seconds:.3f}s",
+    )
+    report.row(
+        "first serving (computed, cache miss)", "(seconds)", f"{first_serving:.4f}s"
+    )
+    report.row(
+        f"warm cached p50 ({N_CLIENTS} clients x {REQUESTS_PER_CLIENT})",
+        "(seconds)",
+        f"{p50 * 1000:.2f}ms (p95 {p95 * 1000:.2f}ms)",
+    )
+    report.row(
+        "throughput under 8 concurrent clients",
+        "(requests/second)",
+        f"{n_requests / hammer_seconds:,.0f} req/s",
+    )
+    report.row(
+        "cached p50 vs cold process invocation",
+        f">= {SPEEDUP_FLOOR:.0f}x",
+        f"{cli_speedup:.0f}x",
+    )
+    report.row(
+        "cached p50 vs first (uncached) serving",
+        "> 1x",
+        f"{cache_speedup:.1f}x",
+    )
+    report.row(
+        "served-vs-CLI score drift", f"<= {SCORE_TOLERANCE:g}", f"{score_drift:.2e}"
+    )
+    report.row(
+        f"invalidation sweep ({SWEEP_ROUNDS} writes, {n_checked} re-reads)",
+        "0 stale",
+        f"{n_stale} stale ({invalidations} entries invalidated)",
+    )
+
+    assert cli_speedup >= SPEEDUP_FLOOR
+    assert cache_speedup > 1.0
+    assert score_drift <= SCORE_TOLERANCE
+    assert n_stale == 0
+    assert invalidations >= 2 * SWEEP_ROUNDS

@@ -4,9 +4,34 @@ The pinned environment ships setuptools without the ``wheel`` package, so
 PEP 660 editable installs cannot build an editable wheel.  This shim lets
 ``pip install -e . --no-use-pep517 --no-build-isolation`` (configured
 globally in pip.conf) fall back to ``setup.py develop``, which needs no
-wheel support.  All metadata lives in pyproject.toml.
+wheel support.
+
+The package version is single-sourced from ``repro.__version__`` (read
+textually, so building never imports the package or its dependencies);
+the same string is what ``repro --version`` prints and what the serving
+tier reports on ``/healthz``.
 """
 
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    init_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "src", "repro", "__init__.py"
+    )
+    with open(init_path, encoding="utf-8") as handle:
+        match = re.search(r'^__version__ = "([^"]+)"$', handle.read(), re.MULTILINE)
+    if match is None:
+        raise RuntimeError(f"__version__ not found in {init_path}")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=_version(),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+)

@@ -23,8 +23,10 @@ Quickstart::
 All matching flows through one :class:`~repro.service.MatchService` facade
 (typed requests, auto-routed exact/batch execution, JSON-serialisable
 response envelopes); ``HarmonyMatchEngine`` remains importable as the
-low-level exact engine.  See ``examples/`` for the full case-study
-walkthroughs.
+low-level exact engine.  The facade itself can be *served*:
+:mod:`repro.server` (and the ``repro serve`` CLI) runs a concurrent HTTP
+tier with generation-aware response caching over one shared service.
+See ``examples/`` for the full case-study walkthroughs.
 """
 
 from repro.batch import BatchMatchRunner, BlockingPolicy

@@ -126,12 +126,17 @@ def candidate_pairs(
     accumulated: sparse.spmatrix | None = None
     for key in policy.keys:
         kind = _KIND_ALIASES.get(key, key)
-        # Fetch both features before materialising either matrix: interning
-        # the second side may grow the shared vocabulary (and the widths
-        # must agree for the product).
-        source_feature = space.feature(source, kind)
-        target_feature = space.feature(target, kind)
-        counts = source_feature.matrix() @ target_feature.matrix().T
+        # Build both features before materialising either (building the
+        # second side may grow the shared vocabulary, and the widths must
+        # agree for the product), all under one space lock -- interning by
+        # any other thread in between would desynchronise them too.  The
+        # product runs on the immutable snapshots, outside the lock.
+        with space.lock:
+            source_feature = space.feature(source, kind)
+            target_feature = space.feature(target, kind)
+            source_matrix = source_feature.matrix()
+            target_matrix = target_feature.matrix()
+        counts = source_matrix @ target_matrix.T
         # Integer counts: "> min_shared - 1" is ">= min_shared" without the
         # inefficient sparse >= comparison.
         survivors = counts > (policy.min_shared - 0.5)

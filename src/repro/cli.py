@@ -21,6 +21,10 @@ Subcommands mirror the library's main operations:
 * ``cluster A.sql B.xsd ...``-- cluster a registry, propose COIs
 * ``search QUERY A.sql ...`` -- keyword search over a registry
 * ``casestudy``              -- regenerate the paper's section-3 study
+* ``serve --db repo.db``     -- run the match server (``repro.server``):
+  a threaded JSON API over one shared service with generation-aware
+  response caching; SIGINT/SIGTERM shut down gracefully (in-flight
+  requests drain), bad config or a port in use exits with status 2
 
 Every matching subcommand goes through one :class:`repro.service.MatchService`
 instance, so profiles and features are derived once per schema regardless of
@@ -38,6 +42,7 @@ import json
 import sys
 import time
 
+from repro import __version__
 from repro.export.report import concept_match_text, overlap_report_text
 from repro.metrics.overlap import matrix_overlap
 from repro.schema.errors import ParseError
@@ -419,10 +424,59 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import sqlite3
+
+    from repro.repository import MetadataRepository
+    from repro.server import MatchServer, serve_until_shutdown
+
+    if args.cache_size <= 0:
+        raise _fail(f"--cache-size must be positive, got {args.cache_size}")
+    try:
+        repository = MetadataRepository(path=args.db)
+    except sqlite3.Error as exc:
+        raise _fail(f"cannot open repository {args.db!r}: {exc}") from exc
+    try:
+        for name, schema in _load_registry(args.corpus).items():
+            repository.register(schema, name=name)
+        service = MatchService(
+            repository=repository, options=MatchOptions(threshold=args.threshold)
+        )
+        try:
+            server = MatchServer(
+                service,
+                host=args.host,
+                port=args.port,
+                cache_size=args.cache_size,
+                quiet=not args.access_log,
+            )
+        except OSError as exc:
+            raise _fail(
+                f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}"
+            ) from exc
+
+        def announce(started: MatchServer) -> None:
+            print(
+                f"harmonia {__version__} serving on {started.url} "
+                f"({len(repository)} schemata registered, "
+                f"cache {args.cache_size} entries); Ctrl-C to stop",
+                flush=True,
+            )
+
+        serve_until_shutdown(server, announce=announce)
+        print("harmonia: server stopped cleanly", flush=True)
+        return 0
+    finally:
+        repository.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="harmonia",
         description="Enterprise schema matching workbench (CIDR 2009 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"harmonia {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -595,6 +649,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     case_parser.add_argument("--seed", type=int, default=2009)
     case_parser.set_defaults(handler=_cmd_casestudy)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the match server (threaded JSON API with response caching)",
+    )
+    serve_parser.add_argument(
+        "corpus", nargs="*",
+        help="schema files to register before serving (optional with --db)",
+    )
+    serve_parser.add_argument(
+        "--db", default=None,
+        help="SQLite repository path (default: ephemeral in-memory registry)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 picks an ephemeral one; in use exits with status 2)",
+    )
+    serve_parser.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="response-cache LRU bound (entries)",
+    )
+    serve_parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="default selection threshold for served requests",
+    )
+    serve_parser.add_argument(
+        "--access-log", action="store_true",
+        help="log one line per request to stderr (off by default)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 from collections import Counter
 from dataclasses import dataclass
@@ -89,6 +90,11 @@ class CorpusIndex:
     repository:
         The :class:`MetadataRepository` to index.  The index never mutates
         the registry; it only reads schemata and reads/writes fingerprints.
+
+    One index may be shared across threads (the serving tier does): the
+    refresh/migration path and every read that consults the inverted index
+    are serialised by an internal lock, so a registration landing mid-query
+    can never expose half-rebuilt postings.
     """
 
     def __init__(self, repository: MetadataRepository):
@@ -99,6 +105,9 @@ class CorpusIndex:
         #: staleness signal; see :meth:`refresh`).
         self._hashes: dict[str, str] = {}
         self.last_refresh: CorpusRefresh | None = None
+        #: Guards the inverted index, the hash map, and the generation
+        #: watermark.  Reentrant: readers refresh first, under one lock.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -115,6 +124,10 @@ class CorpusIndex:
         difference.  Unchanged entries -- the common case after one
         register into a large corpus -- are not re-read at all.
         """
+        with self._lock:
+            return self._refresh_locked(force)
+
+    def _refresh_locked(self, force: bool) -> CorpusRefresh:
         started = time.perf_counter()
         if not force and not self.is_stale():
             refresh = CorpusRefresh(
@@ -128,6 +141,12 @@ class CorpusIndex:
             self.last_refresh = refresh
             return refresh
 
+        # Capture the clock BEFORE reading the registry: a register landing
+        # mid-refresh then leaves the index stamped at the older generation,
+        # so the next query refreshes again (over-refresh is safe; stamping
+        # the post-refresh clock would mark unseen registrations as indexed
+        # forever).  MappingGraph.refresh orders its clocks the same way.
+        generation = self.repository.generation
         registered = set(self.repository.schema_names())
         indexed = set(self._index.names)
         removed = indexed - registered
@@ -158,7 +177,7 @@ class CorpusIndex:
             # schema (a cold build over N schemata is N fingerprints).
             self.repository.put_fingerprints(to_persist)
         derived = len(to_persist)
-        self._built_generation = self.repository.generation
+        self._built_generation = generation
         refresh = CorpusRefresh(
             n_indexed=len(self._index),
             n_added=from_fingerprints + derived,
@@ -224,15 +243,18 @@ class CorpusIndex:
         """
         if limit <= 0:
             raise ValueError(f"limit must be positive, got {limit}")
-        self.refresh()
-        engine = SchemaSearchEngine(self._index)
-        return engine.search(SchemaQuery(query), limit=limit, exclude=exclude)
+        with self._lock:
+            self._refresh_locked(force=False)
+            engine = SchemaSearchEngine(self._index)
+            return engine.search(SchemaQuery(query), limit=limit, exclude=exclude)
 
     def __len__(self) -> int:
-        self.refresh()
-        return len(self._index)
+        with self._lock:
+            self._refresh_locked(force=False)
+            return len(self._index)
 
     @property
     def names(self) -> list[str]:
-        self.refresh()
-        return self._index.names
+        with self._lock:
+            self._refresh_locked(force=False)
+            return self._index.names

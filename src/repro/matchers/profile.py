@@ -25,6 +25,7 @@ synonym canonicalisation -- which is what the voters' bulk
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass
 from typing import Sequence
@@ -314,6 +315,15 @@ class FeatureSpace:
 
     The cache holds strong references to profiles (id-keyed); call
     :meth:`clear` between unrelated corpora to release memory.
+
+    One space may be shared across threads (the serving tier shares one
+    per process): every method takes :attr:`lock`, because interning is a
+    check-then-assign on the growing shared vocabulary and cross-profile
+    products require both sides materialised at one vocabulary width.
+    The pattern throughout (and for external callers touching raw
+    features, like the blocking stage) is *snapshot under the lock,
+    compute outside it*: materialised matrices are immutable, so the
+    lock serialises feature derivation, never the matching math.
     """
 
     _SET_KINDS = ("name", "gram", "path", "doc_sets")
@@ -325,13 +335,16 @@ class FeatureSpace:
         self._features: dict[tuple[int, str], _Feature] = {}
         self._vectors: dict[tuple[int, str], np.ndarray] = {}
         self._pinned: dict[int, object] = {}
+        #: Reentrant on purpose: pair-level methods re-enter :meth:`feature`.
+        self.lock = threading.RLock()
 
     def clear(self) -> None:
         """Drop all cached features and pinned profile references."""
-        self._interners.clear()
-        self._features.clear()
-        self._vectors.clear()
-        self._pinned.clear()
+        with self.lock:
+            self._interners.clear()
+            self._features.clear()
+            self._vectors.clear()
+            self._pinned.clear()
 
     # -- features -------------------------------------------------------
     def _interner(self, key: str) -> TokenInterner:
@@ -374,19 +387,20 @@ class FeatureSpace:
             if kind == "canonical"
             else (id(profile), kind)
         )
-        cached = self._features.get(cache_key)
-        if cached is None:
-            interner = self._interner(cache_key[1])
-            documents = self._documents(profile, kind, lexicon)
-            if kind in self._BAG_KINDS:
-                cached = _bag_feature(documents, interner)
-            else:
-                cached = _set_feature(documents, interner)
-            self._features[cache_key] = cached
-            self._pinned[id(profile)] = profile
-            if kind == "canonical":
-                self._pinned[id(lexicon)] = lexicon
-        return cached
+        with self.lock:
+            cached = self._features.get(cache_key)
+            if cached is None:
+                interner = self._interner(cache_key[1])
+                documents = self._documents(profile, kind, lexicon)
+                if kind in self._BAG_KINDS:
+                    cached = _bag_feature(documents, interner)
+                else:
+                    cached = _set_feature(documents, interner)
+                self._features[cache_key] = cached
+                self._pinned[id(profile)] = profile
+                if kind == "canonical":
+                    self._pinned[id(lexicon)] = lexicon
+            return cached
 
     def set_matrix(
         self,
@@ -395,7 +409,8 @@ class FeatureSpace:
         lexicon: SynonymLexicon | None = None,
     ) -> sparse.csr_matrix:
         """Materialised CSR feature matrix at the current vocabulary width."""
-        return self.feature(profile, kind, lexicon).matrix()
+        with self.lock:
+            return self.feature(profile, kind, lexicon).matrix()
 
     def set_sizes(
         self,
@@ -424,9 +439,16 @@ class FeatureSpace:
         the sparse product is never densified, keeping candidate-restricted
         work proportional to the candidates.
         """
-        source_feature = self.feature(source, kind, lexicon)
-        target_feature = self.feature(target, kind, lexicon)
-        product = source_feature.matrix() @ target_feature.matrix().T
+        # Build BOTH features before materialising either (building the
+        # second side may grow the vocabulary), all under the lock; the
+        # product itself is pure reads of the immutable snapshots and runs
+        # outside it, so concurrent matches don't queue behind the math.
+        with self.lock:
+            source_feature = self.feature(source, kind, lexicon)
+            target_feature = self.feature(target, kind, lexicon)
+            source_matrix = source_feature.matrix()
+            target_matrix = target_feature.matrix()
+        product = source_matrix @ target_matrix.T
         if rows is None:
             return product.toarray()
         return _gather_pairs(product, rows, cols)
@@ -434,12 +456,13 @@ class FeatureSpace:
     # -- derived per-profile vectors ------------------------------------
     def _vector(self, profile: SchemaProfile, key: str, build) -> np.ndarray:
         cache_key = (id(profile), key)
-        cached = self._vectors.get(cache_key)
-        if cached is None:
-            cached = build(profile)
-            self._vectors[cache_key] = cached
-            self._pinned[id(profile)] = profile
-        return cached
+        with self.lock:
+            cached = self._vectors.get(cache_key)
+            if cached is None:
+                cached = build(profile)
+                self._vectors[cache_key] = cached
+                self._pinned[id(profile)] = profile
+            return cached
 
     def raw_name_ids(self, profile: SchemaProfile) -> np.ndarray:
         """Interned ids of the raw (lowercased) element names."""
@@ -490,9 +513,10 @@ class FeatureSpace:
         self, profile: SchemaProfile, kind: str
     ) -> np.ndarray:
         """Per-token document frequencies of a bag feature, at current width."""
-        feature = self.feature(profile, kind)
-        width = max(len(feature.interner), 1)
-        return np.bincount(feature.indices, minlength=width).astype(np.float64)
+        with self.lock:
+            feature = self.feature(profile, kind)
+            width = max(len(feature.interner), 1)
+            return np.bincount(feature.indices, minlength=width).astype(np.float64)
 
     def tfidf_cosine(
         self,
@@ -510,13 +534,17 @@ class FeatureSpace:
         count matrices: global-vocabulary columns absent from this pair have
         zero counts on both sides and cannot contribute.
         """
-        source_feature = self.feature(source, kind)
-        target_feature = self.feature(target, kind)
-        source_counts = source_feature.matrix()
-        target_counts = target_feature.matrix()
-        df = self.document_frequencies(source, kind) + self.document_frequencies(
-            target, kind
-        )
+        # Build both features, then snapshot both count matrices and the
+        # frequency vector at one vocabulary width, all under the lock;
+        # the TF-IDF math below is lock-free.
+        with self.lock:
+            source_feature = self.feature(source, kind)
+            target_feature = self.feature(target, kind)
+            source_counts = source_feature.matrix()
+            target_counts = target_feature.matrix()
+            df = self.document_frequencies(source, kind) + self.document_frequencies(
+                target, kind
+            )
         n_documents = source_counts.shape[0] + target_counts.shape[0]
         idf = np.log((1.0 + n_documents) / (1.0 + df)) + 1.0
 

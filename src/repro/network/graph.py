@@ -33,6 +33,7 @@ rebuild-per-query loop and pins the k=1 equivalence to 1e-9.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import NamedTuple, Sequence
@@ -350,6 +351,9 @@ class MappingGraph:
         #: refreshes are O(1) instead of re-walking the whole adjacency.
         self._stats: tuple[int, int, int] = (0, 0, 0)
         self.last_refresh: GraphRefresh | None = None
+        #: Serialises rebuilds (the serving tier shares one graph across
+        #: request threads); readers see whole-graph snapshots only.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -368,23 +372,29 @@ class MappingGraph:
         stale one rebuilds from one ``repository.matches()`` scan.
         """
         started = time.perf_counter()
-        rebuilt = force or self.is_stale()
-        if rebuilt:
-            clocks = self._clocks()
-            self._nodes = frozenset(self.repository.schema_names())
-            self._adjacency = build_adjacency(self.repository.matches())
-            self._built_at = clocks
-            self._stats = (
-                len(self._nodes),
-                # Each undirected edge appears under both endpoints.
-                sum(len(n) for n in self._adjacency.values()) // 2,
-                sum(
-                    len(legs)
-                    for neighbours in self._adjacency.values()
-                    for legs in neighbours.values()
-                ),
-            )
-        n_nodes, n_edges, n_legs = self._stats
+        with self._lock:
+            rebuilt = force or self.is_stale()
+            if rebuilt:
+                clocks = self._clocks()
+                # Build into locals, publish together: a concurrent reader
+                # sees either the old graph or the new one, never a new
+                # node set over a stale adjacency.
+                nodes = frozenset(self.repository.schema_names())
+                adjacency = build_adjacency(self.repository.matches())
+                self._nodes = nodes
+                self._adjacency = adjacency
+                self._built_at = clocks
+                self._stats = (
+                    len(nodes),
+                    # Each undirected edge appears under both endpoints.
+                    sum(len(n) for n in adjacency.values()) // 2,
+                    sum(
+                        len(legs)
+                        for neighbours in adjacency.values()
+                        for legs in neighbours.values()
+                    ),
+                )
+            n_nodes, n_edges, n_legs = self._stats
         refresh = GraphRefresh(
             n_nodes=n_nodes,
             n_edges=n_edges,
@@ -395,39 +405,52 @@ class MappingGraph:
         self.last_refresh = refresh
         return refresh
 
+    def _snapshot(self, *required: str) -> tuple[frozenset[str], "Adjacency"]:
+        """A refreshed, mutually consistent (nodes, adjacency) pair.
+
+        Readers must not touch ``self._nodes`` / ``self._adjacency`` after
+        releasing the lock -- a concurrent rebuild could publish a new
+        graph between the node check and the adjacency walk.  One locked
+        capture hands back a coherent pair (the walk then runs lock-free
+        on the immutable snapshot); ``required`` names raise ``KeyError``
+        against that same snapshot.
+        """
+        with self._lock:
+            self.refresh()
+            nodes, adjacency = self._nodes, self._adjacency
+        for name in required:
+            if name not in nodes:
+                raise KeyError(f"schema {name!r} is not registered")
+        return nodes, adjacency
+
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
     @property
     def n_nodes(self) -> int:
-        self.refresh()
-        return self._stats[0]
+        with self._lock:
+            self.refresh()
+            return self._stats[0]
 
     @property
     def n_edges(self) -> int:
-        self.refresh()
-        return self._stats[1]
+        with self._lock:
+            self.refresh()
+            return self._stats[1]
 
     def nodes(self) -> list[str]:
-        self.refresh()
-        return sorted(self._nodes)
+        nodes, _ = self._snapshot()
+        return sorted(nodes)
 
     def neighbours(self, name: str) -> list[str]:
         """Schemata sharing at least one usable stored match with ``name``."""
-        self.refresh()
-        self._require_node(name)
-        return sorted(self._adjacency.get(name, ()))
+        _, adjacency = self._snapshot(name)
+        return sorted(adjacency.get(name, ()))
 
     def legs(self, source: str, target: str) -> list[MappingLeg]:
         """The traversal legs source -> target (stored either way, flipped)."""
-        self.refresh()
-        self._require_node(source)
-        self._require_node(target)
-        return list(self._adjacency.get(source, {}).get(target, ()))
-
-    def _require_node(self, name: str) -> None:
-        if name not in self._nodes:
-            raise KeyError(f"schema {name!r} is not registered")
+        _, adjacency = self._snapshot(source, target)
+        return list(adjacency.get(source, {}).get(target, ()))
 
     # ------------------------------------------------------------------
     # Routing
@@ -440,10 +463,8 @@ class MappingGraph:
             raise ValueError(f"max_hops must be >= 1, got {max_hops}")
         if source == target:
             raise ValueError(f"source and target must differ, both are {source!r}")
-        self.refresh()
-        self._require_node(source)
-        self._require_node(target)
-        return _enumerate_paths(self._adjacency, source, target, max_hops)
+        _, adjacency = self._snapshot(source, target)
+        return _enumerate_paths(adjacency, source, target, max_hops)
 
     def route(
         self,
@@ -461,11 +482,9 @@ class MappingGraph:
         the supporting path count in the note (``annotate=False`` returns
         bare correspondences, byte-compatible with ``compose_matches``).
         """
-        self.refresh()
-        self._require_node(source)
-        self._require_node(target)
+        _, adjacency = self._snapshot(source, target)
         return _route(
-            self._adjacency,
+            adjacency,
             source,
             target,
             max_hops,

@@ -102,6 +102,30 @@ class TrustPolicy:
             return False
         return True
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; inverse of :meth:`from_dict`.
+
+        Part of the serving wire protocol: requests carrying a trust gate
+        (:class:`~repro.service.requests.NetworkMatchRequest` and the reuse
+        policies nested in corpus requests) must round-trip through JSON.
+        """
+        return {
+            "min_confidence": self.min_confidence,
+            "require_human": self.require_human,
+            "trusted_asserters": sorted(self.trusted_asserters),
+            "allow_composed": self.allow_composed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrustPolicy":
+        """Rebuild a policy from :meth:`to_dict` output (defaults fill gaps)."""
+        return cls(
+            min_confidence=payload.get("min_confidence", 0.0),
+            require_human=payload.get("require_human", False),
+            trusted_asserters=frozenset(payload.get("trusted_asserters", ())),
+            allow_composed=payload.get("allow_composed", True),
+        )
+
     @classmethod
     def for_search(cls) -> "TrustPolicy":
         """Permissive: recall matters more than precision for discovery."""

@@ -184,6 +184,43 @@ class ReusePolicy:
         if not 0.0 <= self.seed_floor <= 1.0:
             raise ValueError(f"seed_floor must be in [0, 1], got {self.seed_floor}")
 
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; inverse of :meth:`from_dict`.
+
+        Part of the serving wire protocol: corpus and network requests
+        carry their reuse policy over HTTP, so the policy itself must be
+        data (the nested trust gate serialises through
+        :meth:`TrustPolicy.to_dict`).
+        """
+        return {
+            "human_weight": self.human_weight,
+            "automatic_weight": self.automatic_weight,
+            "imported_weight": self.imported_weight,
+            "composed_weight": self.composed_weight,
+            "boost": self.boost,
+            "seed_scale": self.seed_scale,
+            "seed_floor": self.seed_floor,
+            "include_composed": self.include_composed,
+            "trust": self.trust.to_dict() if self.trust is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReusePolicy":
+        """Rebuild a policy from :meth:`to_dict` output (defaults fill gaps)."""
+        trust = payload.get("trust")
+        return cls(
+            human_weight=payload.get("human_weight", 1.0),
+            automatic_weight=payload.get("automatic_weight", 0.5),
+            imported_weight=payload.get("imported_weight", 0.7),
+            composed_weight=payload.get("composed_weight", 0.35),
+            boost=payload.get("boost", 0.3),
+            seed_scale=payload.get("seed_scale", 0.8),
+            seed_floor=payload.get("seed_floor", 0.2),
+            include_composed=payload.get("include_composed", True),
+            trust=TrustPolicy.from_dict(trust) if trust is not None else None,
+        )
+
     def weight_for(self, method: AssertionMethod) -> float:
         if method is AssertionMethod.HUMAN_VALIDATED:
             return self.human_weight

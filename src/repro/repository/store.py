@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 from dataclasses import dataclass
 
 from repro.match.correspondence import (
@@ -128,7 +129,10 @@ class _SqliteBackend:
     """SQLite-backed storage; single-file, stdlib-only persistence."""
 
     def __init__(self, path: str):
-        self._connection = sqlite3.connect(path)
+        # The serving tier calls into one repository from many handler
+        # threads; MetadataRepository serialises every backend call under
+        # its own lock, so sharing the connection across threads is safe.
+        self._connection = sqlite3.connect(path, check_same_thread=False)
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS schemata ("
             " name TEXT PRIMARY KEY, payload TEXT NOT NULL)"
@@ -370,7 +374,15 @@ class _SqliteBackend:
 
 
 class MetadataRepository:
-    """Schemata + match knowledge with provenance and trust filtering."""
+    """Schemata + match knowledge with provenance and trust filtering.
+
+    One repository may be shared across threads (the serving tier binds a
+    single instance under a ``ThreadingHTTPServer``): every backend call
+    and every clock/sequence bump happens under one internal lock, so
+    concurrent registers, match stores, and reads serialise cleanly on
+    both backends (the SQLite connection is opened cross-thread-shareable
+    for exactly this reason).
+    """
 
     def __init__(self, path: str | None = None):
         """In-memory by default; pass a file path for SQLite persistence."""
@@ -381,6 +393,7 @@ class MetadataRepository:
         )
         self._generation = 0
         self._match_generation = 0
+        self._lock = threading.RLock()
 
     @property
     def generation(self) -> int:
@@ -422,21 +435,24 @@ class MetadataRepository:
         """
         schema_name = name if name is not None else schema.name
         payload = schema_to_dict(schema)
-        if self._backend.get_schema(schema_name) == payload:
+        with self._lock:
+            if self._backend.get_schema(schema_name) == payload:
+                return schema_name
+            self._backend.put_schema(schema_name, payload)
+            self._backend.delete_fingerprint(schema_name)
+            self._generation += 1
             return schema_name
-        self._backend.put_schema(schema_name, payload)
-        self._backend.delete_fingerprint(schema_name)
-        self._generation += 1
-        return schema_name
 
     def schema(self, name: str) -> Schema:
-        payload = self._backend.get_schema(name)
+        with self._lock:
+            payload = self._backend.get_schema(name)
         if payload is None:
             raise KeyError(f"schema {name!r} is not registered")
         return schema_from_dict(payload)
 
     def schema_names(self) -> list[str]:
-        return self._backend.schema_names()
+        with self._lock:
+            return self._backend.schema_names()
 
     def schema_payload(self, name: str) -> dict:
         """The stored serialised form, without rebuilding the Schema.
@@ -444,45 +460,55 @@ class MetadataRepository:
         The corpus index hashes this payload to validate fingerprints; it
         is cheaper than :meth:`schema` because no object graph is rebuilt.
         """
-        payload = self._backend.get_schema(name)
+        with self._lock:
+            payload = self._backend.get_schema(name)
         if payload is None:
             raise KeyError(f"schema {name!r} is not registered")
         return payload
 
     def unregister(self, name: str) -> None:
         """Remove a schema, its fingerprint, and every match touching it."""
-        self._backend.delete_schema(name)
-        self._generation += 1
-        # The cascade may have deleted match rows; derived match structures
-        # (the mapping graph) must notice even when no match survived.
-        self._match_generation += 1
+        with self._lock:
+            self._backend.delete_schema(name)
+            self._generation += 1
+            # The cascade may have deleted match rows; derived match
+            # structures (the mapping graph) must notice even when no
+            # match survived.
+            self._match_generation += 1
 
     def __contains__(self, name: str) -> bool:
-        return self._backend.get_schema(name) is not None
+        with self._lock:
+            return self._backend.get_schema(name) is not None
 
     def __len__(self) -> int:
-        return len(self._backend.schema_names())
+        with self._lock:
+            return len(self._backend.schema_names())
 
     # ------------------------------------------------------------------
     # Corpus fingerprints (derived data owned by repro.corpus.CorpusIndex)
     # ------------------------------------------------------------------
     def put_fingerprint(self, name: str, payload: dict) -> None:
         """Persist one schema's derived term statistics (JSON payload)."""
-        self._backend.put_fingerprint(name, payload)
+        with self._lock:
+            self._backend.put_fingerprint(name, payload)
 
     def put_fingerprints(self, payloads: dict[str, dict]) -> None:
         """Bulk variant of :meth:`put_fingerprint`; one SQLite transaction."""
-        self._backend.put_fingerprints(payloads)
+        with self._lock:
+            self._backend.put_fingerprints(payloads)
 
     def get_fingerprint(self, name: str) -> dict | None:
-        return self._backend.get_fingerprint(name)
+        with self._lock:
+            return self._backend.get_fingerprint(name)
 
     def fingerprint_names(self) -> list[str]:
-        return self._backend.fingerprint_names()
+        with self._lock:
+            return self._backend.fingerprint_names()
 
     def fingerprint_hashes(self) -> dict[str, str]:
         """name -> fingerprint content hash (the index staleness probe)."""
-        return self._backend.fingerprint_hashes()
+        with self._lock:
+            return self._backend.fingerprint_hashes()
 
     # ------------------------------------------------------------------
     # Matches as knowledge artifacts
@@ -498,26 +524,27 @@ class MetadataRepository:
         note: str = "",
     ) -> StoredMatch:
         """Assert one correspondence with provenance (sequence = logical time)."""
-        for name in (source_schema, target_schema):
-            if name not in self:
-                raise KeyError(f"schema {name!r} is not registered")
-        self._sequence += 1
-        stored = StoredMatch(
-            source_schema=source_schema,
-            target_schema=target_schema,
-            correspondence=correspondence,
-            provenance=ProvenanceRecord(
-                asserted_by=asserted_by,
-                method=method,
-                confidence=correspondence.score,
-                sequence=self._sequence,
-                context=context,
-                note=note,
-            ),
-        )
-        self._backend.add_match(stored)
-        self._match_generation += 1
-        return stored
+        with self._lock:
+            for name in (source_schema, target_schema):
+                if name not in self:
+                    raise KeyError(f"schema {name!r} is not registered")
+            self._sequence += 1
+            stored = StoredMatch(
+                source_schema=source_schema,
+                target_schema=target_schema,
+                correspondence=correspondence,
+                provenance=ProvenanceRecord(
+                    asserted_by=asserted_by,
+                    method=method,
+                    confidence=correspondence.score,
+                    sequence=self._sequence,
+                    context=context,
+                    note=note,
+                ),
+            )
+            self._backend.add_match(stored)
+            self._match_generation += 1
+            return stored
 
     def store_matches(
         self,
@@ -535,31 +562,32 @@ class MetadataRepository:
         is, and the sequence counter only advances on success.  See
         ``docs/repository.md`` for the guarantee.
         """
-        for name in (source_schema, target_schema):
-            if name not in self:
-                raise KeyError(f"schema {name!r} is not registered")
-        stored: list[StoredMatch] = []
-        for offset, correspondence in enumerate(correspondences, start=1):
-            stored.append(
-                StoredMatch(
-                    source_schema=source_schema,
-                    target_schema=target_schema,
-                    correspondence=correspondence,
-                    provenance=ProvenanceRecord(
-                        asserted_by=asserted_by,
-                        method=method,
-                        confidence=correspondence.score,
-                        sequence=self._sequence + offset,
-                        context=context,
-                        note="",
-                    ),
+        with self._lock:
+            for name in (source_schema, target_schema):
+                if name not in self:
+                    raise KeyError(f"schema {name!r} is not registered")
+            stored: list[StoredMatch] = []
+            for offset, correspondence in enumerate(correspondences, start=1):
+                stored.append(
+                    StoredMatch(
+                        source_schema=source_schema,
+                        target_schema=target_schema,
+                        correspondence=correspondence,
+                        provenance=ProvenanceRecord(
+                            asserted_by=asserted_by,
+                            method=method,
+                            confidence=correspondence.score,
+                            sequence=self._sequence + offset,
+                            context=context,
+                            note="",
+                        ),
+                    )
                 )
-            )
-        self._backend.add_matches(stored)
-        self._sequence += len(stored)
-        if stored:
-            self._match_generation += 1
-        return len(stored)
+            self._backend.add_matches(stored)
+            self._sequence += len(stored)
+            if stored:
+                self._match_generation += 1
+            return len(stored)
 
     def matches(
         self,
@@ -568,7 +596,8 @@ class MetadataRepository:
         policy: TrustPolicy | None = None,
     ) -> list[StoredMatch]:
         """Query stored matches, optionally trust-filtered."""
-        found = self._backend.all_matches()
+        with self._lock:
+            found = self._backend.all_matches()
         if source_schema is not None:
             found = [m for m in found if m.source_schema == source_schema]
         if target_schema is not None:
@@ -579,7 +608,8 @@ class MetadataRepository:
 
     def matches_touching(self, schema_name: str) -> list[StoredMatch]:
         """All matches with this schema on either side (index-backed on SQLite)."""
-        return self._backend.matches_touching(schema_name)
+        with self._lock:
+            return self._backend.matches_touching(schema_name)
 
     def matches_between(self, first: str, second: str) -> list[StoredMatch]:
         """All matches between two schemata, either orientation.
@@ -587,10 +617,12 @@ class MetadataRepository:
         The direct-priors query of the reuse layer; on the SQLite backend
         this is an indexed lookup, not a full table scan.
         """
-        return self._backend.matches_between(first, second)
+        with self._lock:
+            return self._backend.matches_between(first, second)
 
     def close(self) -> None:
-        self._backend.close()
+        with self._lock:
+            self._backend.close()
 
     def __enter__(self) -> "MetadataRepository":
         return self

@@ -1,0 +1,39 @@
+"""The serving tier: MATCH as shared, continuously available infrastructure.
+
+The paper's enterprise framing demands more than a library -- matching is
+a *service* many users and applications hit concurrently against one
+repository.  This package is that tier, stdlib-only:
+
+* :class:`MatchServer` -- a ``ThreadingHTTPServer`` JSON API over one
+  shared :class:`~repro.service.MatchService` (``/match``,
+  ``/corpus-match``, ``/network-match``, ``/schemas``, ``/healthz``,
+  ``/metrics``), with the typed request/response envelopes as the wire
+  protocol;
+* :class:`ResponseCache` -- generation-aware caching: responses are keyed
+  on the canonical request hash and invalidated by the repository's
+  ``generation`` / ``match_generation`` clocks, so repeated queries are
+  O(lookup) and writes can never be answered stale;
+* :class:`MatchServiceClient` -- the urllib client speaking the same
+  typed envelopes;
+* :func:`serve_until_shutdown` -- SIGINT/SIGTERM graceful shutdown that
+  drains in-flight requests (wrapped by the ``repro serve`` CLI).
+
+Bench E19 measures the tier (multi-client throughput, cold-vs-warm-cache
+speedup, invalidation correctness); ``docs/serving.md`` documents the
+endpoints, cache semantics, and deployment notes.
+"""
+
+from repro.server.app import MatchServer, ServerMetrics, serve_until_shutdown
+from repro.server.cache import CacheStats, ResponseCache, canonical_request_key
+from repro.server.client import MatchServerError, MatchServiceClient
+
+__all__ = [
+    "CacheStats",
+    "MatchServer",
+    "MatchServerError",
+    "MatchServiceClient",
+    "ResponseCache",
+    "ServerMetrics",
+    "canonical_request_key",
+    "serve_until_shutdown",
+]

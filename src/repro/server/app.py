@@ -1,0 +1,382 @@
+"""Match-as-a-service: the concurrent HTTP front of the MatchService.
+
+Smith et al. frame enterprise schema matching as shared infrastructure --
+"hundreds to thousands of schemata" served to many users and applications
+continuously, not a desktop tool run once.  :class:`MatchServer` is that
+serving tier, stdlib-only (``http.server.ThreadingHTTPServer``):
+
+============  ======  ====================================================
+endpoint      method  body / response
+============  ======  ====================================================
+``/match``          POST    :class:`~repro.service.requests.MatchRequest`
+                            ``.to_dict()`` in, ``MatchResponse`` envelope out
+``/corpus-match``   POST    ``CorpusMatchRequest`` in, ``CorpusMatchResponse`` out
+``/network-match``  POST    ``NetworkMatchRequest`` in, ``NetworkMatchResponse`` out
+``/schemas``        GET     the registered schema names
+``/healthz``        GET     liveness + version + repository clocks + cache stats
+``/metrics``        GET     per-endpoint request/latency/cache counters
+============  ======  ====================================================
+
+Every worker thread shares ONE :class:`~repro.service.MatchService` --
+one profile cache, one feature space, one corpus index, one mapping graph
+-- which is exactly why those caches are lock-protected.  Responses are
+cached in a generation-aware :class:`~repro.server.cache.ResponseCache`:
+repeated and near-repeated queries are one dict lookup, while any write to
+the bound repository (register, unregister, store_matches) moves a clock
+and lazily sweeps the stale entries.  The ``X-Harmonia-Cache`` response
+header says whether a POST was served ``hit`` or ``miss``.
+
+Error mapping: undecodable JSON or an invalid request body is 400, an
+unregistered schema name is 404, an unknown path is 404, anything
+unexpected is 500 -- always as an ``{"error": ...}`` JSON body.
+
+:func:`serve_until_shutdown` runs a server with SIGINT/SIGTERM graceful
+shutdown: the listener stops accepting, in-flight handler threads are
+drained (``daemon_threads = False`` + ``block_on_close``), then the socket
+closes.  The ``repro serve`` CLI wraps it; see ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from dataclasses import replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from repro import __version__
+from repro.server.cache import ResponseCache, canonical_request_key
+from repro.service import (
+    CorpusMatchRequest,
+    MatchRequest,
+    MatchService,
+    NetworkMatchRequest,
+)
+
+__all__ = ["MatchServer", "ServerMetrics", "serve_until_shutdown"]
+
+
+class ServerMetrics:
+    """Thread-safe per-endpoint counters (requests, errors, latency, cache)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, dict[str, float]] = {}
+
+    def record(
+        self,
+        endpoint: str,
+        seconds: float,
+        status: int,
+        cache: str | None = None,
+    ) -> None:
+        with self._lock:
+            counters = self._endpoints.setdefault(
+                endpoint,
+                {
+                    "requests": 0,
+                    "errors": 0,
+                    "seconds_total": 0.0,
+                    "cache_hits": 0,
+                    "cache_misses": 0,
+                },
+            )
+            counters["requests"] += 1
+            counters["seconds_total"] += seconds
+            if status >= 400:
+                counters["errors"] += 1
+            if cache == "hit":
+                counters["cache_hits"] += 1
+            elif cache == "miss":
+                counters["cache_misses"] += 1
+
+    def to_dict(self) -> dict[str, dict[str, float]]:
+        with self._lock:
+            return {
+                endpoint: dict(counters)
+                for endpoint, counters in sorted(self._endpoints.items())
+            }
+
+
+class MatchServer(ThreadingHTTPServer):
+    """The threaded JSON front of one shared :class:`MatchService`.
+
+    Parameters
+    ----------
+    service:
+        The service every handler thread shares.  Bind it to a
+        :class:`~repro.repository.store.MetadataRepository` for by-name
+        requests, ``/corpus-match``, ``/network-match``, and cache
+        invalidation on writes.
+    host / port:
+        Bind address; port ``0`` picks an ephemeral port (the actual one
+        is on :attr:`port` / :attr:`url`).  A port already in use raises
+        ``OSError`` here, which the CLI maps to exit status 2.
+    cache_size:
+        LRU bound of the response cache.
+    quiet:
+        Suppress the per-request access log (default); set False to log
+        to stderr as ``http.server`` normally does.
+    """
+
+    #: Graceful shutdown: in-flight handler threads are joined by
+    #: ``server_close`` instead of being killed with the process.
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(
+        self,
+        service: MatchService,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        cache_size: int = 1024,
+        quiet: bool = True,
+    ):
+        self.service = service
+        self.cache = ResponseCache(max_entries=cache_size)
+        self.metrics = ServerMetrics()
+        self.quiet = quiet
+        self.started_at = time.perf_counter()
+        super().__init__((host, port), MatchRequestHandler)
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def clocks(self, endpoint: str) -> tuple:
+        """The staleness watermark a response of this endpoint depends on.
+
+        ``/match`` output is a function of the registry contents only
+        (``generation``); corpus and network matching also fold stored
+        matches in (``match_generation``).  Without a repository nothing a
+        response depends on can change, so the watermark is constant.
+        """
+        repository = self.service.repository
+        if repository is None:
+            return (None, None)
+        if endpoint == "/match":
+            return (repository.generation, None)
+        return (repository.generation, repository.match_generation)
+
+    # ------------------------------------------------------------------
+    # Endpoint payloads (called by the handler; all return JSON dicts)
+    # ------------------------------------------------------------------
+    def healthz_payload(self) -> dict[str, Any]:
+        repository = self.service.repository
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": time.perf_counter() - self.started_at,
+            "repository": {
+                "bound": repository is not None,
+                "n_registered": len(repository) if repository is not None else 0,
+                "generation": (
+                    repository.generation if repository is not None else None
+                ),
+                "match_generation": (
+                    repository.match_generation if repository is not None else None
+                ),
+            },
+            "cache": {"entries": len(self.cache), **self.cache.stats.to_dict()},
+        }
+
+    def metrics_payload(self) -> dict[str, Any]:
+        return {
+            "endpoints": self.metrics.to_dict(),
+            "cache": {"entries": len(self.cache), **self.cache.stats.to_dict()},
+        }
+
+    def schemas_payload(self) -> dict[str, Any]:
+        repository = self.service.repository
+        names = sorted(repository.schema_names()) if repository is not None else []
+        return {"n_registered": len(names), "names": names}
+
+
+class _RequestError(Exception):
+    """An error with a definite HTTP status (raised by decode/execute)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class MatchRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs+paths onto the shared service, with caching."""
+
+    server: MatchServer
+    #: Keep-alive with explicit Content-Length on every response.
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: an idle keep-alive connection releases its handler
+    #: thread after this long, bounding how long graceful shutdown (which
+    #: joins every handler thread) can wait on a silent client.
+    timeout = 10
+
+    _GET_ROUTES = {
+        "/healthz": "healthz_payload",
+        "/metrics": "metrics_payload",
+        "/schemas": "schemas_payload",
+    }
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _respond(
+        self, status: int, payload: dict, cache: str | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if cache is not None:
+            self.send_header("X-Harmonia-Cache", cache)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- GET ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        started = time.perf_counter()
+        path = self.path.split("?", 1)[0]
+        route = self._GET_ROUTES.get(path)
+        if route is None:
+            status, payload = 404, {"error": f"unknown endpoint {path!r}"}
+        else:
+            status, payload = 200, getattr(self.server, route)()
+        # Record before responding: once the client has the reply, a
+        # follow-up /metrics read must already see this request counted.
+        # Unknown paths bucket under one key so a URL-sweeping client
+        # cannot grow the metrics map without bound.
+        self.server.metrics.record(
+            path if route is not None else "(unknown)",
+            time.perf_counter() - started,
+            status,
+        )
+        self._respond(status, payload)
+
+    # -- POST -----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        started = time.perf_counter()
+        path = self.path.split("?", 1)[0]
+        cache_status: str | None = None
+        try:
+            status, payload, cache_status = self._execute(path)
+        except _RequestError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except Exception as exc:  # pragma: no cover - defensive 500
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        # Record before responding (see do_GET); unknown paths bucket.
+        self.server.metrics.record(
+            path if self._post_executor(path) is not None else "(unknown)",
+            time.perf_counter() - started,
+            status,
+            cache=cache_status,
+        )
+        self._respond(status, payload, cache=cache_status)
+
+    def _execute(self, path: str) -> tuple[int, dict, str | None]:
+        executor = self._post_executor(path)
+        if executor is None:
+            # Drain the body first: with keep-alive, leaving declared
+            # Content-Length bytes unread would desynchronise the next
+            # request on this connection.
+            self._read_body()
+            raise _RequestError(404, f"unknown endpoint {path!r}")
+        request = self._decode_request(path)
+        key = canonical_request_key(path, request.to_dict())
+        # Captured BEFORE execution: a write landing mid-computation makes
+        # the stored watermark stale, so the entry invalidates on its next
+        # lookup instead of serving pre-write knowledge.
+        clocks = self.server.clocks(path)
+        cached = self.server.cache.lookup(key, clocks)
+        if cached is not None:
+            return 200, cached, "hit"
+        try:
+            envelope = executor(request).to_dict()
+        except KeyError as exc:
+            raise _RequestError(404, f"not registered: {exc}") from exc
+        except (ValueError, TypeError) as exc:
+            raise _RequestError(400, str(exc)) from exc
+        self.server.cache.store(key, envelope, clocks)
+        return 200, envelope, "miss"
+
+    def _post_executor(self, path: str) -> Callable | None:
+        service = self.server.service
+        return {
+            "/match": service.match,
+            "/corpus-match": service.corpus_match,
+            "/network-match": service.network_match,
+        }.get(path)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _decode_request(self, path: str):
+        body = self._read_body()
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _RequestError(400, f"request body is not JSON: {exc}") from exc
+        request_type = {
+            "/match": MatchRequest,
+            "/corpus-match": CorpusMatchRequest,
+            "/network-match": NetworkMatchRequest,
+        }[path]
+        try:
+            request = request_type.from_dict(payload)
+            if not isinstance(payload, Mapping) or "options" not in payload:
+                # A body that names no options inherits the SERVER's
+                # defaults (what `repro serve --threshold` configures),
+                # not the library defaults from_dict would fill in.
+                request = replace(request, options=self.server.service.options)
+            return request
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _RequestError(
+                400, f"invalid {request_type.__name__} body: {exc}"
+            ) from exc
+
+
+def serve_until_shutdown(
+    server: MatchServer,
+    install_signals: bool = True,
+    announce: Callable[[MatchServer], None] | None = None,
+) -> None:
+    """Run ``server`` until SIGINT/SIGTERM, then drain and close it.
+
+    The accept loop runs on a worker thread while this (main) thread waits
+    on a stop event set by the signal handlers -- ``shutdown()`` must not
+    be called from the thread running ``serve_forever``.  On stop, the
+    listener closes first, then every in-flight handler thread is joined
+    (``daemon_threads = False``), so accepted requests always get their
+    response before the process exits.  ``install_signals=False`` (for
+    callers not on the main thread, e.g. tests) leaves signal handlers
+    alone; trigger shutdown with ``server.shutdown()`` instead.
+    """
+    stop = threading.Event()
+    previous: dict[int, Any] = {}
+    if install_signals:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, lambda *_: stop.set())
+    worker = threading.Thread(
+        target=server.serve_forever, name="harmonia-serve", daemon=True
+    )
+    worker.start()
+    try:
+        if announce is not None:
+            announce(server)
+        stop.wait()
+    finally:
+        server.shutdown()
+        worker.join()
+        server.server_close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

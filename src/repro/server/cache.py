@@ -1,0 +1,155 @@
+"""Generation-aware response caching for the serving tier.
+
+The paper's section-5 workload is *repetitive*: the same registered pairs
+are matched again and again by different users and applications, and the
+repository changes far less often than it is queried.  The serving tier
+exploits that with a response cache that is
+
+* **keyed on the canonical request hash** -- the SHA-256 of the endpoint
+  plus the request's normalised ``to_dict()`` form, serialised with sorted
+  keys.  Two requests that differ only in JSON formatting, key order, or
+  explicitly-spelled-out defaults hash identically, so *near-repeated*
+  queries hit too;
+* **invalidated by the repository's monotone clocks** -- every entry
+  records the ``(generation, match_generation)`` pair it was computed
+  under (captured *before* execution, so a write racing the computation
+  can only over-invalidate, never serve stale).  A lookup whose current
+  clocks differ evicts the entry and recomputes: a freshly registered
+  schema or a newly stored match set can never be answered with pre-write
+  knowledge;
+* **bounded** -- least-recently-used entries are evicted beyond
+  ``max_entries``.
+
+The cache stores plain response dicts (the JSON envelopes), never live
+objects, so a hit is one lock-protected dict lookup plus serialisation.
+Cache semantics are documented for operators in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Any, NamedTuple
+
+__all__ = ["CacheStats", "ResponseCache", "canonical_request_key"]
+
+#: The staleness watermark an entry is stored under: the repository's
+#: ``(generation, match_generation)`` at compute time.  ``None`` components
+#: mean "this endpoint/service does not depend on that clock" (e.g. a
+#: repository-less service), which compares equal forever -- exactly right,
+#: since nothing those responses depend on can change.
+Clocks = tuple
+
+
+def canonical_request_key(endpoint: str, payload: dict) -> str:
+    """The cache key for one request: SHA-256 over canonical JSON.
+
+    ``payload`` should be the *normalised* request form (a parsed request's
+    ``to_dict()``), not the raw wire bytes, so equivalent requests collide.
+    """
+    canonical = json.dumps(
+        {"endpoint": endpoint, "request": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters one :class:`ResponseCache` has accumulated."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0     # entries evicted because a clock moved
+    evictions: int = 0         # entries evicted by the LRU bound
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _Entry(NamedTuple):
+    value: Any
+    clocks: Clocks
+
+
+class ResponseCache:
+    """A lock-protected, clock-validated, LRU-bounded response cache."""
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    def lookup(self, key: str, clocks: Clocks) -> Any | None:
+        """The cached value, or None on miss / clock-invalidated entry.
+
+        An entry computed under different clocks is *deleted* on sight
+        (counted as an invalidation), so one write sweeps stale answers
+        out lazily as they are asked for again.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stats = replace(self._stats, misses=self._stats.misses + 1)
+                return None
+            if entry.clocks != clocks:
+                del self._entries[key]
+                self._stats = replace(
+                    self._stats,
+                    misses=self._stats.misses + 1,
+                    invalidations=self._stats.invalidations + 1,
+                )
+                return None
+            self._entries.move_to_end(key)
+            self._stats = replace(self._stats, hits=self._stats.hits + 1)
+            return entry.value
+
+    def store(self, key: str, value: Any, clocks: Clocks) -> None:
+        """Insert (or refresh) one entry; trims LRU entries beyond the bound."""
+        with self._lock:
+            self._entries[key] = _Entry(value, clocks)
+            self._entries.move_to_end(key)
+            evicted = 0
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self._stats = replace(
+                    self._stats, evictions=self._stats.evictions + evicted
+                )
+
+    def clear(self) -> None:
+        """Drop every entry (stats survive)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        """A point-in-time snapshot of the counters."""
+        with self._lock:
+            return self._stats

@@ -1,0 +1,119 @@
+"""A stdlib client for the match server: typed requests over the wire.
+
+The client half of the serving tier's contract: it serialises the typed
+request objects (:meth:`to_dict`), POSTs them as JSON, and rebuilds the
+typed response envelopes (:meth:`from_dict`) -- so calling a remote
+:class:`~repro.server.app.MatchServer` looks exactly like calling a local
+:class:`~repro.service.MatchService`, minus the live ``result`` attachment
+(envelopes never serialise dense matrices).
+
+Only :mod:`urllib` is used; there is nothing to install.  Errors the
+server reports (4xx/5xx with an ``{"error": ...}`` body) surface as
+:class:`MatchServerError` carrying the HTTP status and message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from repro.service import (
+    CorpusMatchRequest,
+    CorpusMatchResponse,
+    MatchRequest,
+    MatchResponse,
+    NetworkMatchRequest,
+    NetworkMatchResponse,
+)
+
+__all__ = ["MatchServerError", "MatchServiceClient"]
+
+
+class MatchServerError(RuntimeError):
+    """A non-2xx server reply, with the HTTP status and the error message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"server returned {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class MatchServiceClient:
+    """One server's typed front: ``client.match(request) -> MatchResponse``.
+
+    Parameters
+    ----------
+    base_url:
+        The server root, e.g. ``http://127.0.0.1:8765`` (a
+        :attr:`MatchServer.url`).
+    timeout:
+        Per-request socket timeout in seconds.
+
+    After every request, :attr:`last_cache_status` holds the server's
+    ``X-Harmonia-Cache`` header (``"hit"`` / ``"miss"`` for POSTs, None
+    otherwise) -- how the bench distinguishes cached from computed
+    responses without touching the payload.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.last_cache_status: str | None = None
+
+    # -- transport ------------------------------------------------------
+    def get_json(self, path: str) -> dict[str, Any]:
+        """GET a JSON endpoint (raises :class:`MatchServerError` on 4xx/5xx)."""
+        return self._request("GET", path, None)
+
+    def post_json(self, path: str, payload: dict) -> dict[str, Any]:
+        """POST a JSON body, return the JSON reply (the raw envelope dict)."""
+        return self._request("POST", path, payload)
+
+    def _request(
+        self, method: str, path: str, payload: dict | None
+    ) -> dict[str, Any]:
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if data is not None else {}
+        request = urlrequest.Request(
+            self.base_url + path, data=data, method=method, headers=headers
+        )
+        self.last_cache_status = None
+        try:
+            with urlrequest.urlopen(request, timeout=self.timeout) as reply:
+                self.last_cache_status = reply.headers.get("X-Harmonia-Cache")
+                return json.loads(reply.read().decode("utf-8"))
+        except urlerror.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                message = str(exc.reason)
+            raise MatchServerError(exc.code, message) from exc
+
+    # -- operational endpoints ------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self.get_json("/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self.get_json("/metrics")
+
+    def schemas(self) -> dict[str, Any]:
+        return self.get_json("/schemas")
+
+    # -- the MATCH operations -------------------------------------------
+    def match(self, request: MatchRequest) -> MatchResponse:
+        """One MATCH through the server; the typed envelope back."""
+        return MatchResponse.from_dict(self.post_json("/match", request.to_dict()))
+
+    def corpus_match(self, request: CorpusMatchRequest) -> CorpusMatchResponse:
+        """One repository-scale top-k MATCH through the server."""
+        return CorpusMatchResponse.from_dict(
+            self.post_json("/corpus-match", request.to_dict())
+        )
+
+    def network_match(self, request: NetworkMatchRequest) -> NetworkMatchResponse:
+        """One mapping-network routing query through the server."""
+        return NetworkMatchResponse.from_dict(
+            self.post_json("/network-match", request.to_dict())
+        )

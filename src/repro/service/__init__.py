@@ -5,9 +5,11 @@ One facade (:class:`MatchService`) fronts every execution strategy: typed
 exact/batch execution inside, JSON-round-trippable :class:`MatchResponse`
 / :class:`CorpusMatchResponse` out, with optional
 :class:`~repro.repository.store.MetadataRepository` binding for the paper's
-matches-as-knowledge loop and repository-scale ``corpus_match``.  See
-``docs/architecture.md`` for the dataflow and ``docs/repository.md`` for
-the corpus subsystem.
+matches-as-knowledge loop and repository-scale ``corpus_match``.  Every
+request and response type round-trips through JSON, which makes them the
+wire protocol of the serving tier (:mod:`repro.server`).  See
+``docs/architecture.md`` for the dataflow, ``docs/repository.md`` for
+the corpus subsystem, and ``docs/serving.md`` for the serving tier.
 """
 
 from repro.service.corpus_response import CorpusCandidate, CorpusMatchResponse

@@ -7,22 +7,49 @@ registered name of a schema in the service's bound
 repository-centric view, where a match invocation over registered artifacts
 is itself an artifact.  Element-id restrictions carry the sub-tree /
 concept-at-a-time workflows through the same front door.
+
+Every request type round-trips through :meth:`to_dict`/:meth:`from_dict`
+(inline schemata serialise through the schema serialiser, by-name
+references stay plain strings), which is what makes the typed requests the
+**wire protocol** of the serving tier (:mod:`repro.server`): an HTTP body
+is ``request.to_dict()`` as JSON, nothing more.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Any, Mapping, Union
 
 from repro.repository.provenance import TrustPolicy
 from repro.repository.reuse import ReusePolicy
 from repro.schema.schema import Schema
+from repro.schema.serialize import schema_from_dict, schema_to_dict
 from repro.service.options import MatchOptions
 
 __all__ = ["SchemaRef", "MatchRequest", "CorpusMatchRequest", "NetworkMatchRequest"]
 
 #: A schema argument: inline, or the name of a repository-registered schema.
 SchemaRef = Union[Schema, str]
+
+
+def _ref_to_dict(ref: SchemaRef) -> Any:
+    """A schema reference as wire data: a plain string for a registered
+    name, an ``{"inline": <serialised schema>}`` object for a live schema."""
+    if isinstance(ref, str):
+        return ref
+    return {"inline": schema_to_dict(ref)}
+
+
+def _ref_from_dict(payload: Any) -> SchemaRef:
+    """Inverse of :func:`_ref_to_dict` (raises on malformed payloads)."""
+    if isinstance(payload, str):
+        return payload
+    if isinstance(payload, Mapping) and "inline" in payload:
+        return schema_from_dict(payload["inline"])
+    raise ValueError(
+        "schema reference must be a registered name or an {'inline': ...} "
+        f"object, got {payload!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -64,6 +91,38 @@ class MatchRequest:
         """Whether either side of the pair grid is restricted."""
         return (
             self.source_element_ids is not None or self.target_element_ids is not None
+        )
+
+    # -- serialisation (the /match wire form) ---------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "source": _ref_to_dict(self.source),
+            "target": _ref_to_dict(self.target),
+            "options": self.options.to_dict(),
+            "source_element_ids": (
+                list(self.source_element_ids)
+                if self.source_element_ids is not None
+                else None
+            ),
+            "target_element_ids": (
+                list(self.target_element_ids)
+                if self.target_element_ids is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MatchRequest":
+        """Rebuild a request from :meth:`to_dict` output (defaults fill gaps)."""
+        source_ids = payload.get("source_element_ids")
+        target_ids = payload.get("target_element_ids")
+        return cls(
+            source=_ref_from_dict(payload["source"]),
+            target=_ref_from_dict(payload["target"]),
+            options=MatchOptions.from_dict(payload.get("options", {})),
+            source_element_ids=tuple(source_ids) if source_ids is not None else None,
+            target_element_ids=tuple(target_ids) if target_ids is not None else None,
         )
 
 
@@ -134,6 +193,47 @@ class CorpusMatchRequest:
         if self.retrieval_limit is not None:
             return self.retrieval_limit
         return max(3 * self.top_k, 10)
+
+    # -- serialisation (the /corpus-match wire form) --------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict; inverse of :meth:`from_dict`.
+
+        ``reuse: null`` means reuse *off* (it is a meaningful value, not a
+        gap); an absent key falls back to the default policy on the way in.
+        """
+        return {
+            "source": _ref_to_dict(self.source),
+            "top_k": self.top_k,
+            "options": self.options.to_dict(),
+            "retrieval_limit": self.retrieval_limit,
+            "exclude": list(self.exclude),
+            "reuse": self.reuse.to_dict() if self.reuse is not None else None,
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CorpusMatchRequest":
+        """Rebuild a request from :meth:`to_dict` output (defaults fill gaps)."""
+        if "reuse" in payload:
+            reuse_payload = payload["reuse"]
+            reuse = (
+                ReusePolicy.from_dict(reuse_payload)
+                if reuse_payload is not None
+                else None
+            )
+        else:
+            reuse = ReusePolicy()
+        return cls(
+            source=_ref_from_dict(payload["source"]),
+            top_k=payload.get("top_k", 5),
+            options=MatchOptions.from_dict(payload.get("options", {})),
+            retrieval_limit=payload.get("retrieval_limit"),
+            exclude=tuple(payload.get("exclude", ())),
+            reuse=reuse,
+            executor=payload.get("executor", "serial"),
+            max_workers=payload.get("max_workers"),
+        )
 
 
 @dataclass(frozen=True)
@@ -209,3 +309,35 @@ class NetworkMatchRequest:
             raise ValueError(f"min_score must be in [0, 1], got {self.min_score}")
         if self.reuse is None:
             raise TypeError("reuse must be a ReusePolicy (the verify fold needs one)")
+
+    # -- serialisation (the /network-match wire form) -------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "max_hops": self.max_hops,
+            "hop_decay": self.hop_decay,
+            "options": self.options.to_dict(),
+            "min_score": self.min_score,
+            "trust": self.trust.to_dict() if self.trust is not None else None,
+            "verify": self.verify,
+            "reuse": self.reuse.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "NetworkMatchRequest":
+        """Rebuild a request from :meth:`to_dict` output (defaults fill gaps)."""
+        trust = payload.get("trust")
+        reuse = payload.get("reuse")
+        return cls(
+            source=payload["source"],
+            target=payload["target"],
+            max_hops=payload.get("max_hops", 2),
+            hop_decay=payload.get("hop_decay", 0.9),
+            options=MatchOptions.from_dict(payload.get("options", {})),
+            min_score=payload.get("min_score", 0.0),
+            trust=TrustPolicy.from_dict(trust) if trust is not None else None,
+            verify=payload.get("verify", False),
+            reuse=ReusePolicy.from_dict(reuse) if reuse is not None else ReusePolicy(),
+        )

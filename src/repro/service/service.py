@@ -25,10 +25,22 @@ that seam.  It
 
 The dataflow (request -> routing -> engine/batch -> response -> repository)
 is drawn in ``docs/architecture.md``.
+
+**Thread-safety.**  One service instance may be shared across threads (the
+serving tier, :mod:`repro.server`, runs one per process under a
+``ThreadingHTTPServer``): compiled-executor caches, the registered-schema
+cache, and the lazy corpus index / mapping graph singletons are guarded by
+an internal lock, so concurrent ``match_pair`` / ``corpus_match`` /
+``network_match`` calls return the serial results -- pair-for-pair, with
+scores equal to 1e-9 (thread-order token interning permutes float
+summation order by one ulp; regression-tested by a thread-pool hammer in
+``tests/test_concurrency.py``).  The lock covers cache *structure*, not
+execution: matches themselves run concurrently.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import replace
 from itertools import combinations
@@ -111,6 +123,11 @@ class MatchService:
         #: invalidated by the repository generation (see _registered_schema).
         self._registered: dict[str, Schema] = {}
         self._registered_generation: int | None = None
+        #: Guards every shared cache above (profiles, compiled engines and
+        #: runners, the registered-schema map, and the lazy corpus-index /
+        #: mapping-graph singletons).  Reentrant: locked sections resolve
+        #: schemata, which locks again.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Compiled executors (cached by options value)
@@ -123,15 +140,16 @@ class MatchService:
         the shared profile cache.
         """
         options = options if options is not None else self.options
-        engine = self._engines.get(options)
-        if engine is None:
-            engine = HarmonyMatchEngine(
-                voters=options.build_voters(),
-                merger=options.build_merger(),
-                profile_cache=self._profiles,
-            )
-            self._engines[options] = engine
-        return engine
+        with self._lock:
+            engine = self._engines.get(options)
+            if engine is None:
+                engine = HarmonyMatchEngine(
+                    voters=options.build_voters(),
+                    merger=options.build_merger(),
+                    profile_cache=self._profiles,
+                )
+                self._engines[options] = engine
+            return engine
 
     def runner(
         self,
@@ -143,21 +161,22 @@ class MatchService:
         """The batch runner for a configuration, sharing the service caches."""
         options = options if options is not None else self.options
         key = (options, executor, max_workers, keep_matrices)
-        runner = self._runners.get(key)
-        if runner is None:
-            runner = BatchMatchRunner(
-                voters=options.build_voters(),
-                merger=options.build_merger(),
-                selection=options.build_selection(),
-                space=self.space,
-                fill_value=options.fill_value,
-                executor=executor,
-                max_workers=max_workers,
-                keep_matrices=keep_matrices,
-                profile_cache=self._profiles,
-            )
-            self._runners[key] = runner
-        return runner
+        with self._lock:
+            runner = self._runners.get(key)
+            if runner is None:
+                runner = BatchMatchRunner(
+                    voters=options.build_voters(),
+                    merger=options.build_merger(),
+                    selection=options.build_selection(),
+                    space=self.space,
+                    fill_value=options.fill_value,
+                    executor=executor,
+                    max_workers=max_workers,
+                    keep_matrices=keep_matrices,
+                    profile_cache=self._profiles,
+                )
+                self._runners[key] = runner
+            return runner
 
     # ------------------------------------------------------------------
     # Schema resolution
@@ -182,16 +201,22 @@ class MatchService:
         profiles, so the profile dict cannot grow without bound -- whenever
         the repository's generation moves.
         """
-        generation = self.repository.generation
-        if self._registered_generation != generation:
-            for schema in self._registered.values():
-                self._profiles.pop(id(schema), None)
-            self._registered.clear()
-            self._registered_generation = generation
-        schema = self._registered.get(name)
+        with self._lock:
+            generation = self.repository.generation
+            if self._registered_generation != generation:
+                for schema in self._registered.values():
+                    self._profiles.pop(id(schema), None)
+                self._registered.clear()
+                self._registered_generation = generation
+            schema = self._registered.get(name)
         if schema is None:
-            schema = self.repository.schema(name)
-            self._registered[name] = schema
+            # Deserialise OUTSIDE the lock (rebuilding an object graph is
+            # the expensive part, and it is idempotent); the first insert
+            # wins so every caller shares one object -- the id-keyed
+            # profile caches depend on that.
+            built = self.repository.schema(name)
+            with self._lock:
+                schema = self._registered.setdefault(name, built)
         return schema
 
     def _resolve_registry(
@@ -414,9 +439,10 @@ class MatchService:
         """
         if self.repository is None:
             raise ValueError("corpus indexing requires a bound MetadataRepository")
-        if self._corpus_index is None:
-            self._corpus_index = CorpusIndex(self.repository)
-        return self._corpus_index
+        with self._lock:
+            if self._corpus_index is None:
+                self._corpus_index = CorpusIndex(self.repository)
+            return self._corpus_index
 
     def corpus_match(self, request: CorpusMatchRequest) -> CorpusMatchResponse:
         """Match a schema against everything registered; return the top k.
@@ -588,9 +614,10 @@ class MatchService:
         """
         if self.repository is None:
             raise ValueError("the mapping network requires a bound MetadataRepository")
-        if self._mapping_graph is None:
-            self._mapping_graph = MappingGraph(self.repository)
-        return self._mapping_graph
+        with self._lock:
+            if self._mapping_graph is None:
+                self._mapping_graph = MappingGraph(self.repository)
+            return self._mapping_graph
 
     def network_match(self, request: NetworkMatchRequest) -> NetworkMatchResponse:
         """Answer MATCH(source, target) by routing through stored mappings.
@@ -823,7 +850,8 @@ class MatchService:
         corpora should clear between them.  Compiled engines and runners
         survive (they share the same now-empty dicts).
         """
-        self._profiles.clear()
-        self.space.clear()
-        self._registered.clear()
-        self._registered_generation = None
+        with self._lock:
+            self._profiles.clear()
+            self.space.clear()
+            self._registered.clear()
+            self._registered_generation = None
