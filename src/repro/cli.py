@@ -425,6 +425,7 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
     import sqlite3
 
     from repro.repository import MetadataRepository
@@ -432,8 +433,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.cache_size <= 0:
         raise _fail(f"--cache-size must be positive, got {args.cache_size}")
+    if args.workers < 1:
+        raise _fail(f"--workers must be >= 1, got {args.workers}")
+    if args.pool_size < 1:
+        raise _fail(f"--pool-size must be >= 1, got {args.pool_size}")
+    backend = None if args.backend == "auto" else args.backend
+    if backend in ("sqlite", "pooled") and args.db is None:
+        raise _fail(f"--backend {backend} needs --db (a repository file)")
+    if args.workers > 1:
+        if args.db is None:
+            raise _fail(
+                "--workers > 1 needs --db: the worker processes share one "
+                "WAL repository file, not one address space"
+            )
+        if backend == "sqlite":
+            raise _fail(
+                "--workers > 1 requires the pooled backend "
+                "(drop --backend sqlite or use --backend pooled)"
+            )
+        if not hasattr(os, "fork"):
+            raise _fail("--workers > 1 needs os.fork (POSIX only)")
+        return _serve_process_pool(args)
     try:
-        repository = MetadataRepository(path=args.db)
+        repository = MetadataRepository(
+            path=args.db, backend=backend, pool_size=args.pool_size
+        )
     except sqlite3.Error as exc:
         raise _fail(f"cannot open repository {args.db!r}: {exc}") from exc
     try:
@@ -468,6 +492,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
     finally:
         repository.close()
+
+
+def _serve_process_pool(args: argparse.Namespace) -> int:
+    import sqlite3
+
+    from repro.repository import MetadataRepository
+    from repro.server import serve_process_pool
+
+    # Seed the corpus BEFORE forking, through a short-lived repository that
+    # is fully closed again: SQLite connections must never cross a fork, so
+    # the parent holds none while the workers start.
+    try:
+        repository = MetadataRepository(
+            path=args.db, backend="pooled", pool_size=args.pool_size
+        )
+    except sqlite3.Error as exc:
+        raise _fail(f"cannot open repository {args.db!r}: {exc}") from exc
+    try:
+        for name, schema in _load_registry(args.corpus).items():
+            repository.register(schema, name=name)
+        n_schemata = len(repository)
+    finally:
+        repository.close()
+
+    def announce(url: str, n_workers: int) -> None:
+        print(
+            f"harmonia {__version__} serving on {url} with {n_workers} "
+            f"worker processes ({n_schemata} schemata registered, pooled "
+            f"WAL store, {args.pool_size} connections/worker); "
+            f"Ctrl-C to stop",
+            flush=True,
+        )
+
+    try:
+        status = serve_process_pool(
+            args.db,
+            args.workers,
+            host=args.host,
+            port=args.port,
+            options=MatchOptions(threshold=args.threshold),
+            cache_size=args.cache_size,
+            pool_size=args.pool_size,
+            quiet=not args.access_log,
+            announce=announce,
+        )
+    except OSError as exc:
+        raise _fail(
+            f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}"
+        ) from exc
+    if status == 0:
+        print("harmonia: worker pool stopped cleanly", flush=True)
+    else:
+        print("harmonia: worker pool stopped after a worker failure", flush=True)
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -661,6 +739,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--db", default=None,
         help="SQLite repository path (default: ephemeral in-memory registry)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; > 1 preforks a pool sharing one socket and "
+             "one pooled-WAL store (needs --db)",
+    )
+    serve_parser.add_argument(
+        "--backend", choices=("auto", "sqlite", "pooled"), default="auto",
+        help="storage backend for --db (auto: legacy sqlite single-worker, "
+             "pooled WAL when --workers > 1)",
+    )
+    serve_parser.add_argument(
+        "--pool-size", type=int, default=4,
+        help="SQLite connections per pooled backend (per worker process)",
     )
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument(

@@ -129,7 +129,15 @@ class CorpusIndex:
 
     def _refresh_locked(self, force: bool) -> CorpusRefresh:
         started = time.perf_counter()
-        if not force and not self.is_stale():
+        # Capture the clock ONCE, BEFORE reading the registry (on a
+        # file-backed store each clock read is a real query, and this
+        # runs per retrieval): a register landing mid-refresh then leaves
+        # the index stamped at the older generation, so the next query
+        # refreshes again (over-refresh is safe; stamping the
+        # post-refresh clock would mark unseen registrations as indexed
+        # forever).  MappingGraph.refresh orders its clocks the same way.
+        generation = self.repository.generation
+        if not force and self._built_generation == generation:
             refresh = CorpusRefresh(
                 n_indexed=len(self._index),
                 n_added=0,
@@ -141,12 +149,6 @@ class CorpusIndex:
             self.last_refresh = refresh
             return refresh
 
-        # Capture the clock BEFORE reading the registry: a register landing
-        # mid-refresh then leaves the index stamped at the older generation,
-        # so the next query refreshes again (over-refresh is safe; stamping
-        # the post-refresh clock would mark unseen registrations as indexed
-        # forever).  MappingGraph.refresh orders its clocks the same way.
-        generation = self.repository.generation
         registered = set(self.repository.schema_names())
         indexed = set(self._index.names)
         removed = indexed - registered

@@ -359,7 +359,9 @@ class MappingGraph:
     # Lifecycle
     # ------------------------------------------------------------------
     def _clocks(self) -> tuple[int, int]:
-        return (self.repository.generation, self.repository.match_generation)
+        # One backend call for both clocks: on file-backed stores each
+        # clock read is a real query, and staleness checks run per query.
+        return self.repository.clocks()
 
     def is_stale(self) -> bool:
         """Whether the repository changed since the adjacency was built."""

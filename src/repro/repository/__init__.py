@@ -1,5 +1,13 @@
 """Enterprise metadata repository: schemata + match knowledge + provenance."""
 
+from repro.repository.backends import (
+    InMemoryBackend,
+    PooledSqliteBackend,
+    PoolStats,
+    SqliteBackend,
+    StorageBackend,
+    open_backend,
+)
 from repro.repository.provenance import AssertionMethod, ProvenanceRecord, TrustPolicy
 from repro.repository.reuse import (
     PriorAssertion,
@@ -12,13 +20,19 @@ from repro.repository.store import MetadataRepository, StoredMatch
 
 __all__ = [
     "AssertionMethod",
+    "InMemoryBackend",
     "MetadataRepository",
+    "PooledSqliteBackend",
+    "PoolStats",
     "PriorAssertion",
     "ProvenanceRecord",
     "ReuseOutcome",
     "ReusePolicy",
+    "SqliteBackend",
+    "StorageBackend",
     "StoredMatch",
     "TrustPolicy",
     "compose_matches",
+    "open_backend",
     "reuse_candidates",
 ]

@@ -6,33 +6,37 @@ commercial repository tools are available, but these ignore the importance
 of schema matches as knowledge artifacts."
 
 :class:`MetadataRepository` stores both: registered schemata and asserted
-matches with full provenance, filterable by trust policy.  Two backends
-share one interface: in-memory (default) and SQLite (persistent, stdlib
-``sqlite3``).
+matches with full provenance, filterable by trust policy.  Storage is
+pluggable behind the :class:`~repro.repository.backends.StorageBackend`
+protocol; three backends ship (see ``repro/repository/backends.py``):
+in-memory (default), single-connection SQLite (persistent, stdlib
+``sqlite3``), and pooled WAL-mode SQLite (persistent AND shareable by
+many threads and processes at once -- what ``repro serve --workers``
+opens in every worker).
 
 Beyond schemata and matches, the backends persist *corpus fingerprints* --
 per-schema term statistics that :class:`~repro.corpus.index.CorpusIndex`
 derives once and reloads on reopen, so indexing a registered corpus does
 not re-profile every schema (see ``docs/repository.md``).  The repository
-also exposes two monotone staleness clocks: :attr:`MetadataRepository.generation`
-(bumped on register/unregister -- the corpus index's rebuild trigger) and
+also exposes two monotone staleness clocks, owned by the backend:
+:attr:`MetadataRepository.generation` (bumped on register/unregister --
+the corpus index's rebuild trigger) and
 :attr:`MetadataRepository.match_generation` (bumped whenever stored
 matches change -- what the :class:`~repro.network.graph.MappingGraph`
-adjacency cache keys on).
+adjacency cache and the serving tier's response cache key on).  On the
+SQLite backends the clocks are persisted and move in the same transaction
+as the write that bumps them, so they are exact across reopens and across
+processes.
 """
 
 from __future__ import annotations
 
-import json
-import sqlite3
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
 
-from repro.match.correspondence import (
-    Correspondence,
-    MatchStatus,
-    SemanticAnnotation,
-)
+from repro.match.correspondence import Correspondence
+from repro.repository.backends import StorageBackend, open_backend
 from repro.repository.provenance import AssertionMethod, ProvenanceRecord, TrustPolicy
 from repro.schema.schema import Schema
 from repro.schema.serialize import schema_from_dict, schema_to_dict
@@ -50,363 +54,78 @@ class StoredMatch:
     provenance: ProvenanceRecord
 
 
-class _InMemoryBackend:
-    """Dict-backed storage (the default)."""
-
-    def __init__(self) -> None:
-        self.schemata: dict[str, dict] = {}
-        self.matches: list[StoredMatch] = []
-        self.fingerprints: dict[str, dict] = {}
-
-    def put_schema(self, name: str, payload: dict) -> None:
-        self.schemata[name] = payload
-
-    def get_schema(self, name: str) -> dict | None:
-        return self.schemata.get(name)
-
-    def schema_names(self) -> list[str]:
-        return list(self.schemata)
-
-    def delete_schema(self, name: str) -> None:
-        self.schemata.pop(name, None)
-        self.fingerprints.pop(name, None)
-        self.matches = [
-            match
-            for match in self.matches
-            if name not in (match.source_schema, match.target_schema)
-        ]
-
-    def add_match(self, match: StoredMatch) -> None:
-        self.matches.append(match)
-
-    def add_matches(self, matches: list[StoredMatch]) -> None:
-        self.matches.extend(matches)
-
-    def all_matches(self) -> list[StoredMatch]:
-        return list(self.matches)
-
-    def matches_touching(self, schema_name: str) -> list[StoredMatch]:
-        return [
-            match
-            for match in self.matches
-            if schema_name in (match.source_schema, match.target_schema)
-        ]
-
-    def matches_between(self, first: str, second: str) -> list[StoredMatch]:
-        pair = {(first, second), (second, first)}
-        return [
-            match
-            for match in self.matches
-            if (match.source_schema, match.target_schema) in pair
-        ]
-
-    def put_fingerprint(self, name: str, payload: dict) -> None:
-        self.fingerprints[name] = payload
-
-    def put_fingerprints(self, payloads: dict[str, dict]) -> None:
-        self.fingerprints.update(payloads)
-
-    def get_fingerprint(self, name: str) -> dict | None:
-        return self.fingerprints.get(name)
-
-    def fingerprint_names(self) -> list[str]:
-        return list(self.fingerprints)
-
-    def fingerprint_hashes(self) -> dict[str, str]:
-        return {
-            name: payload.get("hash", "")
-            for name, payload in self.fingerprints.items()
-        }
-
-    def delete_fingerprint(self, name: str) -> None:
-        self.fingerprints.pop(name, None)
-
-    def close(self) -> None:  # pragma: no cover - nothing to release
-        return None
-
-
-class _SqliteBackend:
-    """SQLite-backed storage; single-file, stdlib-only persistence."""
-
-    def __init__(self, path: str):
-        # The serving tier calls into one repository from many handler
-        # threads; MetadataRepository serialises every backend call under
-        # its own lock, so sharing the connection across threads is safe.
-        self._connection = sqlite3.connect(path, check_same_thread=False)
-        self._connection.execute(
-            "CREATE TABLE IF NOT EXISTS schemata ("
-            " name TEXT PRIMARY KEY, payload TEXT NOT NULL)"
-        )
-        self._connection.execute(
-            "CREATE TABLE IF NOT EXISTS matches ("
-            " id INTEGER PRIMARY KEY AUTOINCREMENT,"
-            " source_schema TEXT NOT NULL, target_schema TEXT NOT NULL,"
-            " source_element TEXT NOT NULL, target_element TEXT NOT NULL,"
-            " score REAL NOT NULL, status TEXT NOT NULL,"
-            " annotation TEXT NOT NULL, note TEXT NOT NULL,"
-            " corr_asserted_by TEXT NOT NULL DEFAULT '',"
-            " asserted_by TEXT NOT NULL, method TEXT NOT NULL,"
-            " confidence REAL NOT NULL, sequence INTEGER NOT NULL,"
-            " context TEXT NOT NULL, prov_note TEXT NOT NULL)"
-        )
-        # Stores created before the correspondence asserter was persisted
-        # separately lack the column; add it in place (empty = "fall back
-        # to the provenance asserter", the old read behaviour).
-        columns = {
-            row[1]
-            for row in self._connection.execute("PRAGMA table_info(matches)")
-        }
-        if "corr_asserted_by" not in columns:
-            self._connection.execute(
-                "ALTER TABLE matches ADD COLUMN"
-                " corr_asserted_by TEXT NOT NULL DEFAULT ''"
-            )
-        # Corpus-index fingerprints arrived after the first stores shipped;
-        # CREATE IF NOT EXISTS is the in-place migration (older files gain
-        # the table on open, their fingerprints rebuild lazily on demand).
-        self._connection.execute(
-            "CREATE TABLE IF NOT EXISTS corpus_fingerprints ("
-            " name TEXT PRIMARY KEY, payload TEXT NOT NULL)"
-        )
-        # Mapping-network-era migration: pair/touching queries (graph
-        # rebuilds, reuse priors, cascade deletes) would otherwise scan the
-        # whole matches table.  IF NOT EXISTS makes reopening idempotent;
-        # older files gain the indexes on first open, with no data change.
-        self._connection.execute(
-            "CREATE INDEX IF NOT EXISTS idx_matches_schema_pair"
-            " ON matches (source_schema, target_schema)"
-        )
-        self._connection.execute(
-            "CREATE INDEX IF NOT EXISTS idx_matches_target_schema"
-            " ON matches (target_schema)"
-        )
-        self._connection.commit()
-
-    def put_schema(self, name: str, payload: dict) -> None:
-        self._connection.execute(
-            "INSERT OR REPLACE INTO schemata (name, payload) VALUES (?, ?)",
-            (name, json.dumps(payload)),
-        )
-        self._connection.commit()
-
-    def get_schema(self, name: str) -> dict | None:
-        row = self._connection.execute(
-            "SELECT payload FROM schemata WHERE name = ?", (name,)
-        ).fetchone()
-        if row is None:
-            return None
-        return json.loads(row[0])
-
-    def schema_names(self) -> list[str]:
-        rows = self._connection.execute(
-            "SELECT name FROM schemata ORDER BY name"
-        ).fetchall()
-        return [row[0] for row in rows]
-
-    def delete_schema(self, name: str) -> None:
-        self._connection.execute("DELETE FROM schemata WHERE name = ?", (name,))
-        self._connection.execute(
-            "DELETE FROM corpus_fingerprints WHERE name = ?", (name,)
-        )
-        self._connection.execute(
-            "DELETE FROM matches WHERE source_schema = ? OR target_schema = ?",
-            (name, name),
-        )
-        self._connection.commit()
-
-    @staticmethod
-    def _match_row(match: StoredMatch) -> tuple:
-        correspondence = match.correspondence
-        provenance = match.provenance
-        return (
-            match.source_schema,
-            match.target_schema,
-            correspondence.source_id,
-            correspondence.target_id,
-            correspondence.score,
-            correspondence.status.value,
-            correspondence.annotation.value,
-            correspondence.note,
-            correspondence.asserted_by,
-            provenance.asserted_by,
-            provenance.method.value,
-            provenance.confidence,
-            provenance.sequence,
-            provenance.context,
-            provenance.note,
-        )
-
-    _INSERT_MATCH = (
-        "INSERT INTO matches (source_schema, target_schema, source_element,"
-        " target_element, score, status, annotation, note, corr_asserted_by,"
-        " asserted_by, method, confidence, sequence, context, prov_note)"
-        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
-    )
-
-    def add_match(self, match: StoredMatch) -> None:
-        self._connection.execute(self._INSERT_MATCH, self._match_row(match))
-        self._connection.commit()
-
-    def add_matches(self, matches: list[StoredMatch]) -> None:
-        """Bulk insert as ONE transaction: all rows commit or none do."""
-        with self._connection:
-            self._connection.executemany(
-                self._INSERT_MATCH, [self._match_row(match) for match in matches]
-            )
-
-    _SELECT_MATCHES = (
-        "SELECT source_schema, target_schema, source_element, target_element,"
-        " score, status, annotation, note, corr_asserted_by, asserted_by,"
-        " method, confidence, sequence, context, prov_note"
-        " FROM matches"
-    )
-
-    @staticmethod
-    def _stored(row: tuple) -> StoredMatch:
-        return StoredMatch(
-            source_schema=row[0],
-            target_schema=row[1],
-            correspondence=Correspondence(
-                source_id=row[2],
-                target_id=row[3],
-                score=row[4],
-                status=MatchStatus(row[5]),
-                annotation=SemanticAnnotation(row[6]),
-                note=row[7],
-                # Pre-migration rows stored only the provenance
-                # asserter; fall back to it.
-                asserted_by=row[8] or row[9],
-            ),
-            provenance=ProvenanceRecord(
-                asserted_by=row[9],
-                method=AssertionMethod(row[10]),
-                confidence=row[11],
-                sequence=row[12],
-                context=row[13],
-                note=row[14],
-            ),
-        )
-
-    def all_matches(self) -> list[StoredMatch]:
-        rows = self._connection.execute(
-            self._SELECT_MATCHES + " ORDER BY id"
-        ).fetchall()
-        return [self._stored(row) for row in rows]
-
-    def matches_touching(self, schema_name: str) -> list[StoredMatch]:
-        rows = self._connection.execute(
-            self._SELECT_MATCHES
-            + " WHERE source_schema = ? OR target_schema = ? ORDER BY id",
-            (schema_name, schema_name),
-        ).fetchall()
-        return [self._stored(row) for row in rows]
-
-    def matches_between(self, first: str, second: str) -> list[StoredMatch]:
-        rows = self._connection.execute(
-            self._SELECT_MATCHES
-            + " WHERE (source_schema = ? AND target_schema = ?)"
-            "    OR (source_schema = ? AND target_schema = ?) ORDER BY id",
-            (first, second, second, first),
-        ).fetchall()
-        return [self._stored(row) for row in rows]
-
-    def put_fingerprint(self, name: str, payload: dict) -> None:
-        self._connection.execute(
-            "INSERT OR REPLACE INTO corpus_fingerprints (name, payload)"
-            " VALUES (?, ?)",
-            (name, json.dumps(payload)),
-        )
-        self._connection.commit()
-
-    def put_fingerprints(self, payloads: dict[str, dict]) -> None:
-        """Bulk write as ONE transaction (a cold index build is N schemata)."""
-        with self._connection:
-            self._connection.executemany(
-                "INSERT OR REPLACE INTO corpus_fingerprints (name, payload)"
-                " VALUES (?, ?)",
-                [(name, json.dumps(payload)) for name, payload in payloads.items()],
-            )
-
-    def get_fingerprint(self, name: str) -> dict | None:
-        row = self._connection.execute(
-            "SELECT payload FROM corpus_fingerprints WHERE name = ?", (name,)
-        ).fetchone()
-        if row is None:
-            return None
-        return json.loads(row[0])
-
-    def fingerprint_names(self) -> list[str]:
-        rows = self._connection.execute(
-            "SELECT name FROM corpus_fingerprints ORDER BY name"
-        ).fetchall()
-        return [row[0] for row in rows]
-
-    def fingerprint_hashes(self) -> dict[str, str]:
-        """name -> content hash for every fingerprint, in one query.
-
-        The staleness probe of the corpus index; json_extract keeps it to
-        one small row per schema instead of parsing whole term bags (with
-        a Python-side fallback for SQLite builds without the JSON
-        functions).
-        """
-        try:
-            rows = self._connection.execute(
-                "SELECT name, json_extract(payload, '$.hash')"
-                " FROM corpus_fingerprints"
-            ).fetchall()
-            return {row[0]: row[1] or "" for row in rows}
-        except sqlite3.OperationalError:  # pragma: no cover - exotic builds
-            rows = self._connection.execute(
-                "SELECT name, payload FROM corpus_fingerprints"
-            ).fetchall()
-            return {
-                row[0]: json.loads(row[1]).get("hash", "") for row in rows
-            }
-
-    def delete_fingerprint(self, name: str) -> None:
-        self._connection.execute(
-            "DELETE FROM corpus_fingerprints WHERE name = ?", (name,)
-        )
-        self._connection.commit()
-
-    def close(self) -> None:
-        self._connection.close()
-
-
 class MetadataRepository:
     """Schemata + match knowledge with provenance and trust filtering.
 
     One repository may be shared across threads (the serving tier binds a
-    single instance under a ``ThreadingHTTPServer``): every backend call
-    and every clock/sequence bump happens under one internal lock, so
-    concurrent registers, match stores, and reads serialise cleanly on
-    both backends (the SQLite connection is opened cross-thread-shareable
-    for exactly this reason).
+    single instance under a ``ThreadingHTTPServer``).  The locking
+    discipline follows the backend's declaration: a backend with
+    ``serialize_calls = True`` (memory dicts; the legacy single SQLite
+    connection, opened cross-thread-shareable for exactly this purpose)
+    has every call serialised under one internal lock, while a
+    ``serialize_calls = False`` backend (the pooled WAL store, which
+    hands each caller its own connection) runs reads concurrently and
+    only composite read-modify-write operations -- register's no-op
+    check, the registered-name guards of ``store_match`` -- serialise.
+
+    Parameters
+    ----------
+    path:
+        In-memory by default; pass a file path for SQLite persistence.
+    backend:
+        ``None`` (historical default: SQLite when ``path`` is given,
+        memory otherwise), a backend name (``"memory"``, ``"sqlite"``,
+        ``"pooled"``), or a ready :class:`StorageBackend` instance.
+    pool_size / busy_timeout:
+        Pooled-backend tuning (connections per process; seconds a write
+        waits for a busy database) -- ignored by the other backends.
     """
 
-    def __init__(self, path: str | None = None):
-        """In-memory by default; pass a file path for SQLite persistence."""
-        self._backend = _SqliteBackend(path) if path is not None else _InMemoryBackend()
-        self._sequence = max(
-            (match.provenance.sequence for match in self._backend.all_matches()),
-            default=0,
+    def __init__(
+        self,
+        path: str | None = None,
+        backend: str | StorageBackend | None = None,
+        pool_size: int = 4,
+        busy_timeout: float = 30.0,
+    ):
+        self._backend = open_backend(
+            backend, path, pool_size=pool_size, busy_timeout=busy_timeout
         )
-        self._generation = 0
-        self._match_generation = 0
         self._lock = threading.RLock()
+        #: Plain reads go through this guard: the real lock for backends
+        #: that demand serialised calls, a no-op for backends that handle
+        #: their own concurrency (nullcontext is reentrant-safe: it holds
+        #: no state).
+        self._read_guard = (
+            self._lock if self._backend.serialize_calls else nullcontext()
+        )
 
+    @property
+    def backend(self) -> StorageBackend:
+        """The live storage backend (pool stats live on the pooled one)."""
+        return self._backend
+
+    def describe_backend(self) -> dict:
+        """Operational identity of the backend (kind, path, pool stats)."""
+        with self._read_guard:
+            return self._backend.describe()
+
+    # ------------------------------------------------------------------
+    # Staleness clocks (owned by the backend; see backends.py)
+    # ------------------------------------------------------------------
     @property
     def generation(self) -> int:
         """Monotone registration clock: bumped on register/unregister.
 
         Derived structures (the corpus index) compare the generation they
         were built at against the current one to detect staleness without
-        diffing the whole registry on every query.  The counter is
-        per-process (it restarts at 0 on reopen); persisted fingerprints
-        carry content hashes, so a fresh process still avoids re-deriving
-        unchanged schemata.
+        diffing the whole registry on every query.  The clock is owned by
+        the backend: in-memory it is a per-instance counter; on the
+        SQLite backends it is persisted and bumped in the same
+        transaction as the write, so it survives reopen and is visible
+        to every process sharing the database file.
         """
-        return self._generation
+        return self._backend_clocks()[0]
 
     @property
     def match_generation(self) -> int:
@@ -414,11 +133,26 @@ class MetadataRepository:
         change (store_match / store_matches, and unregister's cascade).
 
         The :class:`~repro.network.graph.MappingGraph` adjacency cache
-        compares this clock (together with :attr:`generation`) to decide
-        staleness, so warm routing queries never re-scan the store.  Like
-        :attr:`generation` it is per-process and restarts at 0 on reopen.
+        and the serving tier's :class:`~repro.server.cache.ResponseCache`
+        compare this clock (together with :attr:`generation`) to decide
+        staleness.  Persistence follows :attr:`generation`: in-memory it
+        is per-instance; on SQLite it is transactional with the write and
+        shared across processes.
         """
-        return self._match_generation
+        return self._backend_clocks()[1]
+
+    def clocks(self) -> tuple[int, int]:
+        """The ``(generation, match_generation)`` pair in ONE backend call.
+
+        Cache-invalidation checks (the mapping graph, the response cache)
+        need both clocks; this reads them together instead of paying two
+        backend round-trips per check.
+        """
+        return self._backend_clocks()
+
+    def _backend_clocks(self) -> tuple[int, int]:
+        with self._read_guard:
+            return self._backend.clocks()
 
     # ------------------------------------------------------------------
     # Schemata
@@ -440,18 +174,17 @@ class MetadataRepository:
                 return schema_name
             self._backend.put_schema(schema_name, payload)
             self._backend.delete_fingerprint(schema_name)
-            self._generation += 1
             return schema_name
 
     def schema(self, name: str) -> Schema:
-        with self._lock:
+        with self._read_guard:
             payload = self._backend.get_schema(name)
         if payload is None:
             raise KeyError(f"schema {name!r} is not registered")
         return schema_from_dict(payload)
 
     def schema_names(self) -> list[str]:
-        with self._lock:
+        with self._read_guard:
             return self._backend.schema_names()
 
     def schema_payload(self, name: str) -> dict:
@@ -460,28 +193,27 @@ class MetadataRepository:
         The corpus index hashes this payload to validate fingerprints; it
         is cheaper than :meth:`schema` because no object graph is rebuilt.
         """
-        with self._lock:
+        with self._read_guard:
             payload = self._backend.get_schema(name)
         if payload is None:
             raise KeyError(f"schema {name!r} is not registered")
         return payload
 
     def unregister(self, name: str) -> None:
-        """Remove a schema, its fingerprint, and every match touching it."""
+        """Remove a schema, its fingerprint, and every match touching it.
+
+        The backend bumps BOTH clocks with the cascade (derived match
+        structures must notice even when no match survived the delete).
+        """
         with self._lock:
             self._backend.delete_schema(name)
-            self._generation += 1
-            # The cascade may have deleted match rows; derived match
-            # structures (the mapping graph) must notice even when no
-            # match survived.
-            self._match_generation += 1
 
     def __contains__(self, name: str) -> bool:
-        with self._lock:
+        with self._read_guard:
             return self._backend.get_schema(name) is not None
 
     def __len__(self) -> int:
-        with self._lock:
+        with self._read_guard:
             return len(self._backend.schema_names())
 
     # ------------------------------------------------------------------
@@ -489,25 +221,25 @@ class MetadataRepository:
     # ------------------------------------------------------------------
     def put_fingerprint(self, name: str, payload: dict) -> None:
         """Persist one schema's derived term statistics (JSON payload)."""
-        with self._lock:
+        with self._read_guard:
             self._backend.put_fingerprint(name, payload)
 
     def put_fingerprints(self, payloads: dict[str, dict]) -> None:
         """Bulk variant of :meth:`put_fingerprint`; one SQLite transaction."""
-        with self._lock:
+        with self._read_guard:
             self._backend.put_fingerprints(payloads)
 
     def get_fingerprint(self, name: str) -> dict | None:
-        with self._lock:
+        with self._read_guard:
             return self._backend.get_fingerprint(name)
 
     def fingerprint_names(self) -> list[str]:
-        with self._lock:
+        with self._read_guard:
             return self._backend.fingerprint_names()
 
     def fingerprint_hashes(self) -> dict[str, str]:
         """name -> fingerprint content hash (the index staleness probe)."""
-        with self._lock:
+        with self._read_guard:
             return self._backend.fingerprint_hashes()
 
     # ------------------------------------------------------------------
@@ -528,7 +260,7 @@ class MetadataRepository:
             for name in (source_schema, target_schema):
                 if name not in self:
                     raise KeyError(f"schema {name!r} is not registered")
-            self._sequence += 1
+            sequence = self._backend.next_sequences(1)
             stored = StoredMatch(
                 source_schema=source_schema,
                 target_schema=target_schema,
@@ -537,13 +269,12 @@ class MetadataRepository:
                     asserted_by=asserted_by,
                     method=method,
                     confidence=correspondence.score,
-                    sequence=self._sequence,
+                    sequence=sequence,
                     context=context,
                     note=note,
                 ),
             )
-            self._backend.add_match(stored)
-            self._match_generation += 1
+            self._backend.add_matches([stored])
             return stored
 
     def store_matches(
@@ -558,35 +289,38 @@ class MetadataRepository:
         """Bulk variant of :meth:`store_match`; returns the count stored.
 
         The whole batch is written as ONE backend transaction (a single
-        commit on SQLite): either every correspondence is stored or none
-        is, and the sequence counter only advances on success.  See
+        commit on SQLite): either every correspondence is stored -- and
+        the match-generation clock moves with it -- or none is.  Sequence
+        numbers are reserved atomically up front; a batch that fails to
+        write leaves a gap in the sequence, which is harmless (sequence
+        is logical time, only monotonicity matters).  See
         ``docs/repository.md`` for the guarantee.
         """
+        batch = list(correspondences)
         with self._lock:
             for name in (source_schema, target_schema):
                 if name not in self:
                     raise KeyError(f"schema {name!r} is not registered")
-            stored: list[StoredMatch] = []
-            for offset, correspondence in enumerate(correspondences, start=1):
-                stored.append(
-                    StoredMatch(
-                        source_schema=source_schema,
-                        target_schema=target_schema,
-                        correspondence=correspondence,
-                        provenance=ProvenanceRecord(
-                            asserted_by=asserted_by,
-                            method=method,
-                            confidence=correspondence.score,
-                            sequence=self._sequence + offset,
-                            context=context,
-                            note="",
-                        ),
-                    )
+            if not batch:
+                return 0
+            first_sequence = self._backend.next_sequences(len(batch))
+            stored = [
+                StoredMatch(
+                    source_schema=source_schema,
+                    target_schema=target_schema,
+                    correspondence=correspondence,
+                    provenance=ProvenanceRecord(
+                        asserted_by=asserted_by,
+                        method=method,
+                        confidence=correspondence.score,
+                        sequence=first_sequence + offset,
+                        context=context,
+                        note="",
+                    ),
                 )
+                for offset, correspondence in enumerate(batch)
+            ]
             self._backend.add_matches(stored)
-            self._sequence += len(stored)
-            if stored:
-                self._match_generation += 1
             return len(stored)
 
     def matches(
@@ -596,7 +330,7 @@ class MetadataRepository:
         policy: TrustPolicy | None = None,
     ) -> list[StoredMatch]:
         """Query stored matches, optionally trust-filtered."""
-        with self._lock:
+        with self._read_guard:
             found = self._backend.all_matches()
         if source_schema is not None:
             found = [m for m in found if m.source_schema == source_schema]
@@ -608,7 +342,7 @@ class MetadataRepository:
 
     def matches_touching(self, schema_name: str) -> list[StoredMatch]:
         """All matches with this schema on either side (index-backed on SQLite)."""
-        with self._lock:
+        with self._read_guard:
             return self._backend.matches_touching(schema_name)
 
     def matches_between(self, first: str, second: str) -> list[StoredMatch]:
@@ -617,7 +351,7 @@ class MetadataRepository:
         The direct-priors query of the reuse layer; on the SQLite backend
         this is an indexed lookup, not a full table scan.
         """
-        with self._lock:
+        with self._read_guard:
             return self._backend.matches_between(first, second)
 
     def close(self) -> None:

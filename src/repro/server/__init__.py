@@ -16,7 +16,11 @@ repository.  This package is that tier, stdlib-only:
 * :class:`MatchServiceClient` -- the urllib client speaking the same
   typed envelopes;
 * :func:`serve_until_shutdown` -- SIGINT/SIGTERM graceful shutdown that
-  drains in-flight requests (wrapped by the ``repro serve`` CLI).
+  drains in-flight requests (wrapped by the ``repro serve`` CLI);
+* :func:`serve_process_pool` -- prefork process-pool serving: N workers
+  share one listening socket and one pooled-WAL SQLite store, with the
+  DB-backed clocks keeping every worker's response cache exact
+  (``repro serve --workers N``).
 
 Bench E19 measures the tier (multi-client throughput, cold-vs-warm-cache
 speedup, invalidation correctness); ``docs/serving.md`` documents the
@@ -26,6 +30,7 @@ endpoints, cache semantics, and deployment notes.
 from repro.server.app import MatchServer, ServerMetrics, serve_until_shutdown
 from repro.server.cache import CacheStats, ResponseCache, canonical_request_key
 from repro.server.client import MatchServerError, MatchServiceClient
+from repro.server.procpool import serve_process_pool
 
 __all__ = [
     "CacheStats",
@@ -35,5 +40,6 @@ __all__ = [
     "ResponseCache",
     "ServerMetrics",
     "canonical_request_key",
+    "serve_process_pool",
     "serve_until_shutdown",
 ]

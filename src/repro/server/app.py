@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import signal
+import socket
 import threading
 import time
 from dataclasses import replace
@@ -119,6 +120,13 @@ class MatchServer(ThreadingHTTPServer):
     quiet:
         Suppress the per-request access log (default); set False to log
         to stderr as ``http.server`` normally does.
+    listen_socket:
+        An already-bound, already-listening socket to adopt instead of
+        binding ``host:port``.  This is how process-pool workers share
+        ONE listening socket: the parent binds before forking, every
+        worker adopts the inherited socket, and the kernel's accept queue
+        load-balances connections across workers (see
+        :mod:`repro.server.procpool`).
     """
 
     #: Graceful shutdown: in-flight handler threads are joined by
@@ -133,13 +141,25 @@ class MatchServer(ThreadingHTTPServer):
         port: int = 8765,
         cache_size: int = 1024,
         quiet: bool = True,
+        listen_socket: socket.socket | None = None,
     ):
         self.service = service
         self.cache = ResponseCache(max_entries=cache_size)
         self.metrics = ServerMetrics()
         self.quiet = quiet
         self.started_at = time.perf_counter()
-        super().__init__((host, port), MatchRequestHandler)
+        if listen_socket is None:
+            super().__init__((host, port), MatchRequestHandler)
+        else:
+            address = listen_socket.getsockname()[:2]
+            super().__init__(address, MatchRequestHandler, bind_and_activate=False)
+            # Adopt the shared socket: close the unbound placeholder the
+            # TCPServer constructor made, take over the inherited one, and
+            # fill in what server_bind would have derived.  No activate --
+            # the parent already called listen().
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_name, self.server_port = address
 
     # ------------------------------------------------------------------
     @property
@@ -157,19 +177,28 @@ class MatchServer(ThreadingHTTPServer):
         (``generation``); corpus and network matching also fold stored
         matches in (``match_generation``).  Without a repository nothing a
         response depends on can change, so the watermark is constant.
+
+        The clocks come from the repository *backend* -- on a file-backed
+        store they are persisted and transactional with writes, so under
+        process-pool serving a write in ANY process moves the watermark
+        every worker reads, and no worker's cache can serve stale.
         """
         repository = self.service.repository
         if repository is None:
             return (None, None)
+        generation, match_generation = repository.clocks()
         if endpoint == "/match":
-            return (repository.generation, None)
-        return (repository.generation, repository.match_generation)
+            return (generation, None)
+        return (generation, match_generation)
 
     # ------------------------------------------------------------------
     # Endpoint payloads (called by the handler; all return JSON dicts)
     # ------------------------------------------------------------------
     def healthz_payload(self) -> dict[str, Any]:
         repository = self.service.repository
+        generation, match_generation = (
+            repository.clocks() if repository is not None else (None, None)
+        )
         return {
             "status": "ok",
             "version": __version__,
@@ -177,11 +206,10 @@ class MatchServer(ThreadingHTTPServer):
             "repository": {
                 "bound": repository is not None,
                 "n_registered": len(repository) if repository is not None else 0,
-                "generation": (
-                    repository.generation if repository is not None else None
-                ),
-                "match_generation": (
-                    repository.match_generation if repository is not None else None
+                "generation": generation,
+                "match_generation": match_generation,
+                "backend": (
+                    repository.describe_backend() if repository is not None else None
                 ),
             },
             "cache": {"entries": len(self.cache), **self.cache.stats.to_dict()},

@@ -244,9 +244,11 @@ class TestRepositoryEdgeCases:
         )
         connection.set_trace_callback(None)
         assert count == 10
-        # One transaction for the whole batch, not one commit per match.
+        # Two transactions for the whole batch -- one reserving the
+        # sequence block, ONE writing every row plus the clock bump --
+        # never one commit per match.
         commits = sum(1 for s in statements if s.strip().upper() == "COMMIT")
-        assert commits == 1
+        assert commits == 2
         assert len(repository.matches()) == 10
         repository.close()
 

@@ -1,4 +1,4 @@
-"""Metadata repository: both backends, provenance, trust, reuse."""
+"""Metadata repository: every backend, provenance, trust, reuse."""
 
 import pytest
 
@@ -22,12 +22,14 @@ def small_schema(name, elements):
     return schema
 
 
-@pytest.fixture(params=["memory", "sqlite"])
+@pytest.fixture(params=["memory", "sqlite", "pooled"])
 def repository(request, tmp_path):
     if request.param == "memory":
         repo = MetadataRepository()
     else:
-        repo = MetadataRepository(path=str(tmp_path / "repo.db"))
+        repo = MetadataRepository(
+            path=str(tmp_path / "repo.db"), backend=request.param
+        )
     yield repo
     repo.close()
 
