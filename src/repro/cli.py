@@ -437,6 +437,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise _fail(f"--workers must be >= 1, got {args.workers}")
     if args.pool_size < 1:
         raise _fail(f"--pool-size must be >= 1, got {args.pool_size}")
+    if args.refresh_interval is not None and args.refresh_interval <= 0:
+        raise _fail(
+            f"--refresh-interval must be positive, got {args.refresh_interval}"
+        )
+    if args.corpus_shards is not None and args.corpus_shards < 1:
+        raise _fail(f"--corpus-shards must be >= 1, got {args.corpus_shards}")
     backend = None if args.backend == "auto" else args.backend
     if backend in ("sqlite", "pooled") and args.db is None:
         raise _fail(f"--backend {backend} needs --db (a repository file)")
@@ -464,8 +470,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for name, schema in _load_registry(args.corpus).items():
             repository.register(schema, name=name)
         service = MatchService(
-            repository=repository, options=MatchOptions(threshold=args.threshold)
+            repository=repository,
+            options=MatchOptions(threshold=args.threshold),
+            corpus_shards=args.corpus_shards,
         )
+        if args.refresh_interval is not None:
+            service.start_corpus_refresh(args.refresh_interval)
         try:
             server = MatchServer(
                 service,
@@ -488,7 +498,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
 
         serve_until_shutdown(server, announce=announce)
+        service.stop_corpus_refresh()
         print("harmonia: server stopped cleanly", flush=True)
+        return 0
+    finally:
+        repository.close()
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json as json_module
+    import sqlite3
+
+    from repro.corpus import bulk_ingest, iter_schema_payloads
+    from repro.repository import MetadataRepository
+
+    if args.chunk_size < 1:
+        raise _fail(f"--chunk-size must be >= 1, got {args.chunk_size}")
+    if args.workers is not None and args.workers < 1:
+        raise _fail(f"--workers must be >= 1, got {args.workers}")
+    backend = None if args.backend == "auto" else args.backend
+    try:
+        repository = MetadataRepository(
+            path=args.db, backend=backend, pool_size=args.pool_size
+        )
+    except sqlite3.Error as exc:
+        raise _fail(f"cannot open repository {args.db!r}: {exc}") from exc
+    try:
+        try:
+            report = bulk_ingest(
+                repository,
+                iter_schema_payloads(args.source),
+                chunk_size=args.chunk_size,
+                executor=args.executor,
+                max_workers=args.workers,
+                fingerprint=not args.no_fingerprints,
+            )
+        except FileNotFoundError as exc:
+            raise _fail(str(exc)) from exc
+        except (ValueError, json_module.JSONDecodeError) as exc:
+            raise _fail(f"cannot ingest {args.source}: {exc}") from exc
+        if args.json:
+            print(json_module.dumps(report.to_dict(), indent=2))
+        else:
+            print(
+                f"ingested {report.n_read} schemata into {args.db} "
+                f"({report.n_written} written, {report.n_skipped} identical "
+                f"skipped, {report.n_fingerprinted} fingerprints)"
+            )
+            print(
+                f"  {report.schemata_per_second:,.0f} schemata/s "
+                f"({report.elapsed_seconds:.2f}s total: "
+                f"{report.fingerprint_seconds:.2f}s fingerprinting, "
+                f"{report.register_seconds:.2f}s registering)"
+            )
         return 0
     finally:
         repository.close()
@@ -536,6 +598,8 @@ def _serve_process_pool(args: argparse.Namespace) -> int:
             pool_size=args.pool_size,
             quiet=not args.access_log,
             announce=announce,
+            refresh_interval=args.refresh_interval,
+            corpus_shards=args.corpus_shards,
         )
     except OSError as exc:
         raise _fail(
@@ -771,7 +835,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--access-log", action="store_true",
         help="log one line per request to stderr (off by default)",
     )
+    serve_parser.add_argument(
+        "--refresh-interval", type=float, default=None,
+        help="seconds between background corpus-index refresh checks "
+             "(default: refresh synchronously on the query path)",
+    )
+    serve_parser.add_argument(
+        "--corpus-shards", type=int, default=None,
+        help="partition the corpus index into N hash-range shards "
+             "(default: one unsharded index; retrieval is exact either way)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="bulk-register a directory or JSONL of schemata into a repository",
+    )
+    ingest_parser.add_argument(
+        "source",
+        help="directory of schema *.json files, or a JSONL file "
+             "(one serialised schema -- or {name, schema} wrapper -- per line)",
+    )
+    ingest_parser.add_argument(
+        "--db", required=True,
+        help="SQLite repository path (created if missing)",
+    )
+    ingest_parser.add_argument(
+        "--backend", choices=("auto", "sqlite", "pooled"), default="auto",
+        help="storage backend for --db (auto picks the legacy single-"
+             "connection store)",
+    )
+    ingest_parser.add_argument(
+        "--pool-size", type=int, default=4,
+        help="SQLite connections for --backend pooled",
+    )
+    ingest_parser.add_argument(
+        "--chunk-size", type=int, default=256,
+        help="schemata per backend transaction",
+    )
+    ingest_parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="serial",
+        help="how to fan out fingerprint precomputation",
+    )
+    ingest_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for --executor thread/process",
+    )
+    ingest_parser.add_argument(
+        "--no-fingerprints", action="store_true",
+        help="skip fingerprint precomputation (the first corpus refresh "
+             "will derive them on the query path instead)",
+    )
+    ingest_parser.add_argument(
+        "--json", action="store_true",
+        help="print the ingest report as JSON",
+    )
+    ingest_parser.set_defaults(handler=_cmd_ingest)
 
     return parser
 

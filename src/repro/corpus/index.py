@@ -23,8 +23,20 @@ schemata".  :class:`CorpusIndex` is that stage, bound to a
   returns the ranked candidate schemata that
   ``MatchService.corpus_match`` then actually matches.
 
+**Concurrency: refresh publishes atomically.**  The index state (inverted
+index, content-hash map, generation stamp) is one immutable snapshot
+swapped by a single reference assignment, the same pattern as
+:class:`~repro.network.graph.MappingGraph`'s adjacency cache.  Readers
+with a fresh snapshot never take a lock at all; a stale reader enters the
+refresh lock, where the refresher rebuilds *aside* (cloning the published
+index, touching only the changed entries) and swaps.  A full forced
+rebuild therefore never stalls concurrent ``top_candidates`` calls: they
+keep searching the previous snapshot until the new one is published.
+
 The lifecycle (build -> persist -> stale -> incremental refresh) is
-documented with a worked example in ``docs/repository.md``.
+documented with a worked example in ``docs/repository.md``; the sharded
+variant that splits this index into independently refreshable partitions
+lives in :mod:`repro.corpus.sharding`.
 """
 
 from __future__ import annotations
@@ -48,11 +60,17 @@ __all__ = [
     "CorpusRefresh",
     "CorpusIndex",
     "payload_hash",
+    "build_fingerprint",
 ]
 
 #: Bumped whenever the term derivation changes incompatibly; fingerprints
 #: written under another version are re-derived, not trusted.
 FINGERPRINT_FORMAT_VERSION = 1
+
+#: Fingerprints persisted per backend transaction during a refresh or a
+#: bulk ingest: bounds transaction size (and write-lock hold time on the
+#: pooled backend) while keeping a cold build to a handful of commits.
+PERSIST_CHUNK = 512
 
 
 def payload_hash(payload: dict) -> str:
@@ -64,6 +82,25 @@ def payload_hash(payload: dict) -> str:
     """
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def build_fingerprint(payload: dict, content_hash: str | None = None) -> dict:
+    """Derive the persistable fingerprint for one serialised schema.
+
+    One linguistic-pipeline pass (deserialise, profile, count terms) --
+    the per-schema work the index pays exactly once.  Shared by the
+    refresh path here and by the bulk-ingestion pipeline
+    (:mod:`repro.corpus.ingest`), which precomputes fingerprints so the
+    first query over a freshly ingested corpus derives nothing.
+    """
+    schema = schema_from_dict(payload)
+    terms, _root_terms = schema_terms(schema)
+    return {
+        "format_version": FINGERPRINT_FORMAT_VERSION,
+        "hash": content_hash if content_hash is not None else payload_hash(payload),
+        "n_terms": sum(terms.values()),
+        "terms": dict(terms),
+    }
 
 
 @dataclass(frozen=True)
@@ -82,6 +119,28 @@ class CorpusRefresh:
         return self.n_added == 0 and self.n_removed == 0
 
 
+class _IndexState:
+    """One published snapshot: index + hashes + the generation stamp.
+
+    Treated as immutable after publication (the refresh path mutates only
+    private clones); readers may use a captured state without locking.
+    """
+
+    __slots__ = ("index", "hashes", "generation")
+
+    def __init__(
+        self,
+        index: SchemaIndex,
+        hashes: dict[str, str],
+        generation: int | None,
+    ):
+        self.index = index
+        #: Content hash each indexed entry was built from (the per-entry
+        #: staleness signal; see :meth:`CorpusIndex.refresh`).
+        self.hashes = hashes
+        self.generation = generation
+
+
 class CorpusIndex:
     """A lazily maintained inverted index over every registered schema.
 
@@ -91,30 +150,45 @@ class CorpusIndex:
         The :class:`MetadataRepository` to index.  The index never mutates
         the registry; it only reads schemata and reads/writes fingerprints.
 
-    One index may be shared across threads (the serving tier does): the
-    refresh/migration path and every read that consults the inverted index
-    are serialised by an internal lock, so a registration landing mid-query
-    can never expose half-rebuilt postings.
+    One index may be shared across threads (the serving tier does):
+    refreshers serialise on an internal lock and publish finished
+    snapshots atomically, so a registration landing mid-query can never
+    expose half-rebuilt postings -- and a reader whose snapshot is fresh
+    proceeds without any locking at all.
     """
 
     def __init__(self, repository: MetadataRepository):
         self.repository = repository
-        self._index = SchemaIndex()
-        self._built_generation: int | None = None
-        #: Content hash each indexed entry was built from (the per-entry
-        #: staleness signal; see :meth:`refresh`).
-        self._hashes: dict[str, str] = {}
+        self._state = _IndexState(SchemaIndex(), {}, None)
         self.last_refresh: CorpusRefresh | None = None
-        #: Guards the inverted index, the hash map, and the generation
-        #: watermark.  Reentrant: readers refresh first, under one lock.
-        self._lock = threading.RLock()
+        #: Serialises refreshers (never readers): one rebuild at a time,
+        #: published by swapping :attr:`_state`.
+        self._refresh_lock = threading.Lock()
+
+    @property
+    def _index(self) -> SchemaIndex:
+        """The published inverted index (compat accessor for tests)."""
+        return self._state.index
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def is_stale(self) -> bool:
         """Whether the registry changed since the index was last built."""
-        return self._built_generation != self.repository.generation
+        return self._state.generation != self.repository.generation
+
+    @property
+    def built_generation(self) -> int | None:
+        """The generation stamp of the published snapshot (None = never built)."""
+        return self._state.generation
+
+    def n_indexed(self) -> int:
+        """Entries in the published snapshot, WITHOUT refreshing first.
+
+        The monitoring read (``/healthz``): cheap and lock-free, possibly
+        one refresh behind -- unlike ``len(index)``, which refreshes.
+        """
+        return len(self._state.index)
 
     def refresh(self, force: bool = False) -> CorpusRefresh:
         """Bring the index in sync with the repository (incrementally).
@@ -124,7 +198,7 @@ class CorpusIndex:
         difference.  Unchanged entries -- the common case after one
         register into a large corpus -- are not re-read at all.
         """
-        with self._lock:
+        with self._refresh_lock:
             return self._refresh_locked(force)
 
     def _refresh_locked(self, force: bool) -> CorpusRefresh:
@@ -137,9 +211,10 @@ class CorpusIndex:
         # post-refresh clock would mark unseen registrations as indexed
         # forever).  MappingGraph.refresh orders its clocks the same way.
         generation = self.repository.generation
-        if not force and self._built_generation == generation:
+        state = self._state
+        if not force and state.generation == generation:
             refresh = CorpusRefresh(
-                n_indexed=len(self._index),
+                n_indexed=len(state.index),
                 n_added=0,
                 n_removed=0,
                 n_from_fingerprints=0,
@@ -150,11 +225,8 @@ class CorpusIndex:
             return refresh
 
         registered = set(self.repository.schema_names())
-        indexed = set(self._index.names)
+        indexed = set(state.index.names)
         removed = indexed - registered
-        for name in removed:
-            self._index.remove(name)
-            self._hashes.pop(name, None)
         # An indexed entry is stale when the persisted fingerprint hash no
         # longer matches the hash this index built from: re-registering
         # changed content drops the fingerprint (hash becomes absent), and
@@ -165,23 +237,77 @@ class CorpusIndex:
         stale = {
             name
             for name in indexed & registered
-            if persisted.get(name) != self._hashes.get(name)
+            if persisted.get(name) != state.hashes.get(name)
         }
+        to_build = sorted((registered - indexed) | stale)
+        if not removed and not to_build:
+            # Membership and content unchanged (a no-op generation bump,
+            # or force over a fresh index): re-stamp without cloning.
+            self._state = _IndexState(state.index, state.hashes, generation)
+            refresh = CorpusRefresh(
+                n_indexed=len(state.index),
+                n_added=0,
+                n_removed=0,
+                n_from_fingerprints=0,
+                n_derived=0,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+            self.last_refresh = refresh
+            return refresh
+
+        # Rebuild ASIDE: clone the published index (entries shared,
+        # postings copied), touch only the difference, then publish the
+        # finished snapshot in one reference swap.  Readers keep
+        # searching the old snapshot the whole time.
+        index = state.index.clone()
+        hashes = dict(state.hashes)
+        for name in removed:
+            index.remove(name)
+            hashes.pop(name, None)
+        # Batched backend reads: one bulk fetch for the fingerprints and
+        # one for the payloads, instead of two round-trips per name.
+        fingerprints = self.repository.get_fingerprints(to_build)
+        payloads = self.repository.schema_payloads(to_build)
         from_fingerprints = 0
         to_persist: dict[str, dict] = {}
-        for name in sorted((registered - indexed) | stale):
-            if self._load_fingerprint(name):
-                from_fingerprints += 1
+        for name in to_build:
+            payload = payloads.get(name)
+            if payload is None:
+                # Unregistered between the name scan and the bulk fetch;
+                # the generation stamp predates that write, so the next
+                # refresh accounts for it properly.
+                index.remove(name)
+                hashes.pop(name, None)
+                continue
+            content_hash = payload_hash(payload)
+            fingerprint = fingerprints.get(name)
+            # A fingerprint is trusted only when its format version
+            # matches and its content hash equals the hash of the stored
+            # payload -- externally edited stores fall back to
+            # re-derivation, never to silently stale postings.
+            if (
+                fingerprint is None
+                or fingerprint.get("format_version") != FINGERPRINT_FORMAT_VERSION
+                or fingerprint.get("hash") != content_hash
+            ):
+                fingerprint = build_fingerprint(payload, content_hash)
+                to_persist[name] = fingerprint
             else:
-                to_persist[name] = self._derive(name)
+                from_fingerprints += 1
+            index.add_entry(name, Counter(fingerprint["terms"]))
+            hashes[name] = content_hash
         if to_persist:
-            # One transaction for the whole rebuild, not one commit per
-            # schema (a cold build over N schemata is N fingerprints).
-            self.repository.put_fingerprints(to_persist)
+            # Chunked bulk persistence: one backend transaction per
+            # PERSIST_CHUNK fingerprints, never one commit per schema.
+            names = list(to_persist)
+            for start in range(0, len(names), PERSIST_CHUNK):
+                self.repository.put_fingerprints(
+                    {n: to_persist[n] for n in names[start : start + PERSIST_CHUNK]}
+                )
         derived = len(to_persist)
-        self._built_generation = generation
+        self._state = _IndexState(index, hashes, generation)  # atomic publish
         refresh = CorpusRefresh(
-            n_indexed=len(self._index),
+            n_indexed=len(index),
             n_added=from_fingerprints + derived,
             n_removed=len(removed),
             n_from_fingerprints=from_fingerprints,
@@ -191,41 +317,19 @@ class CorpusIndex:
         self.last_refresh = refresh
         return refresh
 
-    def _load_fingerprint(self, name: str) -> bool:
-        """Index one schema from its persisted fingerprint, if trustworthy.
+    def _fresh_state(self) -> _IndexState:
+        """The published snapshot, refreshed first if the registry moved.
 
-        A fingerprint is trusted only when its format version matches and
-        its content hash equals the hash of the stored schema payload --
-        externally edited stores fall back to re-derivation, never to
-        silently stale postings.
+        The reader fast path: a fresh snapshot is returned without taking
+        any lock (one clock read); only stale readers serialise on the
+        refresh lock.
         """
-        fingerprint = self.repository.get_fingerprint(name)
-        if (
-            fingerprint is None
-            or fingerprint.get("format_version") != FINGERPRINT_FORMAT_VERSION
-        ):
-            return False
-        payload = self.repository.schema_payload(name)
-        if fingerprint.get("hash") != payload_hash(payload):
-            return False
-        self._index.add_entry(name, Counter(fingerprint["terms"]))
-        self._hashes[name] = fingerprint["hash"]
-        return True
-
-    def _derive(self, name: str) -> dict:
-        """Profile one schema into the index; returns its fingerprint payload."""
-        payload = self.repository.schema_payload(name)
-        schema = schema_from_dict(payload)
-        terms, _root_terms = schema_terms(schema)
-        content_hash = payload_hash(payload)
-        self._index.add_entry(name, terms)
-        self._hashes[name] = content_hash
-        return {
-            "format_version": FINGERPRINT_FORMAT_VERSION,
-            "hash": content_hash,
-            "n_terms": sum(terms.values()),
-            "terms": dict(terms),
-        }
+        state = self._state
+        if state.generation == self.repository.generation:
+            return state
+        with self._refresh_lock:
+            self._refresh_locked(force=False)
+            return self._state
 
     # ------------------------------------------------------------------
     # Retrieval
@@ -245,18 +349,13 @@ class CorpusIndex:
         """
         if limit <= 0:
             raise ValueError(f"limit must be positive, got {limit}")
-        with self._lock:
-            self._refresh_locked(force=False)
-            engine = SchemaSearchEngine(self._index)
-            return engine.search(SchemaQuery(query), limit=limit, exclude=exclude)
+        state = self._fresh_state()
+        engine = SchemaSearchEngine(state.index)
+        return engine.search(SchemaQuery(query), limit=limit, exclude=exclude)
 
     def __len__(self) -> int:
-        with self._lock:
-            self._refresh_locked(force=False)
-            return len(self._index)
+        return len(self._fresh_state().index)
 
     @property
     def names(self) -> list[str]:
-        with self._lock:
-            self._refresh_locked(force=False)
-            return self._index.names
+        return self._fresh_state().index.names

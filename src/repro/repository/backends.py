@@ -85,6 +85,14 @@ class StorageBackend(Protocol):
       Each bump commits atomically with its data write.
     * ``add_matches`` is all-or-nothing: either every row of the batch
       is stored (and the clock bumped once) or none is.
+    * ``put_schemas`` is the bulk-ingestion write: ONE transaction per
+      call that upserts every payload, stores the fingerprints provided
+      alongside, drops the (now stale) stored fingerprint of every
+      payload *without* one, and bumps ``generation`` by the number of
+      payloads -- all atomically.  An empty batch is a no-op (no clock
+      movement).  ``get_schemas`` / ``get_fingerprints`` are the bulk
+      reads: present names map to their payloads, missing names are
+      simply absent (never an error).
     * ``next_sequences(count)`` atomically reserves ``count`` provenance
       sequence numbers and returns the first; allocations are unique and
       increasing across threads and (for file-backed stores) processes.
@@ -104,6 +112,12 @@ class StorageBackend(Protocol):
     # -- schemata -------------------------------------------------------
     def put_schema(self, name: str, payload: dict) -> None: ...
     def get_schema(self, name: str) -> dict | None: ...
+    def get_schemas(self, names: Sequence[str]) -> dict[str, dict]: ...
+    def put_schemas(
+        self,
+        payloads: dict[str, dict],
+        fingerprints: dict[str, dict] | None = None,
+    ) -> None: ...
     def schema_names(self) -> list[str]: ...
     def delete_schema(self, name: str) -> None: ...
 
@@ -117,6 +131,7 @@ class StorageBackend(Protocol):
     def put_fingerprint(self, name: str, payload: dict) -> None: ...
     def put_fingerprints(self, payloads: dict[str, dict]) -> None: ...
     def get_fingerprint(self, name: str) -> dict | None: ...
+    def get_fingerprints(self, names: Sequence[str]) -> dict[str, dict]: ...
     def fingerprint_names(self) -> list[str]: ...
     def fingerprint_hashes(self) -> dict[str, str]: ...
     def delete_fingerprint(self, name: str) -> None: ...
@@ -157,6 +172,28 @@ class InMemoryBackend:
 
     def get_schema(self, name: str) -> dict | None:
         return self.schemata.get(name)
+
+    def get_schemas(self, names: Sequence[str]) -> dict[str, dict]:
+        return {
+            name: self.schemata[name] for name in names if name in self.schemata
+        }
+
+    def put_schemas(
+        self,
+        payloads: dict[str, dict],
+        fingerprints: dict[str, dict] | None = None,
+    ) -> None:
+        if not payloads:
+            return
+        fingerprints = fingerprints or {}
+        for name, payload in payloads.items():
+            self.schemata[name] = payload
+            fingerprint = fingerprints.get(name)
+            if fingerprint is None:
+                self.fingerprints.pop(name, None)
+            else:
+                self.fingerprints[name] = fingerprint
+        self._generation += len(payloads)
 
     def schema_names(self) -> list[str]:
         return sorted(self.schemata)
@@ -213,6 +250,13 @@ class InMemoryBackend:
     def get_fingerprint(self, name: str) -> dict | None:
         return self.fingerprints.get(name)
 
+    def get_fingerprints(self, names: Sequence[str]) -> dict[str, dict]:
+        return {
+            name: self.fingerprints[name]
+            for name in names
+            if name in self.fingerprints
+        }
+
     def fingerprint_names(self) -> list[str]:
         return sorted(self.fingerprints)
 
@@ -251,6 +295,16 @@ _SELECT_MATCHES = (
 )
 
 _BUMP_CLOCK = "UPDATE repo_clocks SET value = value + ? WHERE name = ?"
+
+#: Names per IN-clause for the bulk reads: SQLite's default parameter
+#: limit is 999 (SQLITE_MAX_VARIABLE_NUMBER); 500 leaves headroom.
+_IN_CHUNK = 500
+
+
+def _chunked(names: Sequence[str], size: int = _IN_CHUNK):
+    ordered = list(dict.fromkeys(names))  # dedupe, keep order
+    for start in range(0, len(ordered), size):
+        yield ordered[start : start + size]
 
 
 def _ensure_sqlite_schema(connection: sqlite3.Connection) -> None:
@@ -413,6 +467,48 @@ class _SqliteQueries:
             return None
         return json.loads(rows[0][0])
 
+    def get_schemas(self, names: Sequence[str]) -> dict[str, dict]:
+        found: dict[str, dict] = {}
+        for chunk in _chunked(names):
+            marks = ",".join("?" * len(chunk))
+            rows = self._read(
+                f"SELECT name, payload FROM schemata WHERE name IN ({marks})",
+                tuple(chunk),
+            )
+            found.update((row[0], json.loads(row[1])) for row in rows)
+        return found
+
+    def put_schemas(
+        self,
+        payloads: dict[str, dict],
+        fingerprints: dict[str, dict] | None = None,
+    ) -> None:
+        """Bulk upsert as ONE transaction: every payload, every provided
+        fingerprint, every stale-fingerprint drop, and one generation bump
+        of ``len(payloads)`` commit together or not at all."""
+        if not payloads:
+            return
+        fingerprints = fingerprints or {}
+        statements: list[tuple] = []
+        for name, payload in payloads.items():
+            statements.append((
+                "INSERT OR REPLACE INTO schemata (name, payload) VALUES (?, ?)",
+                (name, json.dumps(payload)),
+            ))
+            fingerprint = fingerprints.get(name)
+            if fingerprint is None:
+                statements.append((
+                    "DELETE FROM corpus_fingerprints WHERE name = ?", (name,)
+                ))
+            else:
+                statements.append((
+                    "INSERT OR REPLACE INTO corpus_fingerprints (name, payload)"
+                    " VALUES (?, ?)",
+                    (name, json.dumps(fingerprint)),
+                ))
+        statements.append((_BUMP_CLOCK, (len(payloads), "generation")))
+        self._write(statements)
+
     def schema_names(self) -> list[str]:
         return [row[0] for row in self._read("SELECT name FROM schemata ORDER BY name")]
 
@@ -491,6 +587,23 @@ class _SqliteQueries:
         if not rows:
             return None
         return json.loads(rows[0][0])
+
+    def get_fingerprints(self, names: Sequence[str]) -> dict[str, dict]:
+        """Bulk fingerprint read (one IN-clause query per 500 names).
+
+        The corpus index's refresh path: rebuilding K entries costs
+        ``ceil(K / 500)`` queries, not K round-trips.
+        """
+        found: dict[str, dict] = {}
+        for chunk in _chunked(names):
+            marks = ",".join("?" * len(chunk))
+            rows = self._read(
+                f"SELECT name, payload FROM corpus_fingerprints"
+                f" WHERE name IN ({marks})",
+                tuple(chunk),
+            )
+            found.update((row[0], json.loads(row[1])) for row in rows)
+        return found
 
     def fingerprint_names(self) -> list[str]:
         return [

@@ -176,6 +176,71 @@ class MetadataRepository:
             self._backend.delete_fingerprint(schema_name)
             return schema_name
 
+    def bulk_register_schemas(
+        self,
+        schemata,
+        chunk_size: int = 256,
+        fingerprints: dict[str, dict] | None = None,
+    ) -> int:
+        """Register many schemata in chunked single-transaction writes.
+
+        The bulk-ingestion path (``repro ingest``; see
+        ``docs/repository.md``): where :meth:`register` pays two backend
+        write transactions per schema (the payload upsert and the
+        stale-fingerprint drop), this writes one
+        :meth:`~repro.repository.backends.StorageBackend.put_schemas`
+        transaction per ``chunk_size`` schemata -- on SQLite one ``BEGIN
+        IMMEDIATE``/``COMMIT`` per chunk, the same shape as
+        :meth:`store_matches`' one-commit batch.
+
+        ``schemata`` is an iterable of :class:`Schema` objects and/or
+        ``(name, payload_dict)`` pairs (the serialised form, as ingest
+        loaders produce).  Per-schema semantics match :meth:`register`
+        exactly: an identical already-registered payload is skipped (no
+        write, no clock movement, fingerprint kept warm); a changed or
+        new payload is upserted with its fingerprint dropped -- unless
+        ``fingerprints`` carries a precomputed fingerprint for the name,
+        which is then persisted in the same transaction (what lets a bulk
+        ingest hand the corpus index a fully warm store).  Duplicate
+        names within one call collapse to the last occurrence.  Returns
+        the number of schemata actually written.
+        """
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        fingerprints = fingerprints or {}
+        pairs: dict[str, dict] = {}
+        for item in schemata:
+            if isinstance(item, Schema):
+                pairs[item.name] = schema_to_dict(item)
+            else:
+                name, payload = item
+                pairs[name] = (
+                    schema_to_dict(payload) if isinstance(payload, Schema) else payload
+                )
+        ordered = list(pairs.items())
+        written = 0
+        with self._lock:
+            for start in range(0, len(ordered), chunk_size):
+                chunk = ordered[start : start + chunk_size]
+                existing = self._backend.get_schemas([name for name, _ in chunk])
+                payloads = {
+                    name: payload
+                    for name, payload in chunk
+                    if existing.get(name) != payload
+                }
+                if not payloads:
+                    continue
+                self._backend.put_schemas(
+                    payloads,
+                    {
+                        name: fingerprints[name]
+                        for name in payloads
+                        if name in fingerprints
+                    },
+                )
+                written += len(payloads)
+        return written
+
     def schema(self, name: str) -> Schema:
         with self._read_guard:
             payload = self._backend.get_schema(name)
@@ -198,6 +263,13 @@ class MetadataRepository:
         if payload is None:
             raise KeyError(f"schema {name!r} is not registered")
         return payload
+
+    def schema_payloads(self, names) -> dict[str, dict]:
+        """Bulk :meth:`schema_payload`: present names map to payloads,
+        missing names are absent (a mid-scan unregister is the caller's
+        race to tolerate, not an error)."""
+        with self._read_guard:
+            return self._backend.get_schemas(list(names))
 
     def unregister(self, name: str) -> None:
         """Remove a schema, its fingerprint, and every match touching it.
@@ -232,6 +304,11 @@ class MetadataRepository:
     def get_fingerprint(self, name: str) -> dict | None:
         with self._read_guard:
             return self._backend.get_fingerprint(name)
+
+    def get_fingerprints(self, names) -> dict[str, dict]:
+        """Bulk :meth:`get_fingerprint`; missing names are simply absent."""
+        with self._read_guard:
+            return self._backend.get_fingerprints(list(names))
 
     def fingerprint_names(self) -> list[str]:
         with self._read_guard:

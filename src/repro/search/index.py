@@ -82,6 +82,9 @@ class SchemaIndex:
     def __init__(self) -> None:
         self._schemata: dict[str, IndexedSchema] = {}
         self._postings: dict[str, set[str]] = {}
+        #: Running sum of every entry's n_terms: average_length in O(1)
+        #: (exact -- an integer sum, not a float accumulator).
+        self._total_terms = 0
 
     def add(self, schema: Schema, name: str | None = None) -> IndexedSchema:
         """Index one live schema; re-adding a name replaces the old entry."""
@@ -107,6 +110,7 @@ class SchemaIndex:
             root_terms=root_terms if root_terms is not None else {},
         )
         self._schemata[name] = entry
+        self._total_terms += entry.n_terms
         for term in terms:
             self._postings.setdefault(term, set()).add(name)
         return entry
@@ -115,6 +119,7 @@ class SchemaIndex:
         entry = self._schemata.pop(name, None)
         if entry is None:
             return
+        self._total_terms -= entry.n_terms
         for term in entry.terms:
             posting = self._postings.get(term)
             if posting is not None:
@@ -141,6 +146,15 @@ class SchemaIndex:
     def document_frequency(self, term: str) -> int:
         return len(self._postings.get(term, ()))
 
+    def posting(self, term: str) -> frozenset[str] | set[str]:
+        """The names using a term (the live set -- callers must not mutate).
+
+        The sharded corpus scorer walks postings directly to merge shard
+        statistics without copying; everyone else should prefer
+        :meth:`candidates`.
+        """
+        return self._postings.get(term, frozenset())
+
     def candidates(self, terms: Counter) -> set[str]:
         """Schemata sharing at least one query term (posting union)."""
         found: set[str] = set()
@@ -148,9 +162,28 @@ class SchemaIndex:
             found |= self._postings.get(term, set())
         return found
 
+    def total_terms(self) -> int:
+        """Exact sum of every entry's term count (integer, O(1))."""
+        return self._total_terms
+
     def average_length(self) -> float:
         if not self._schemata:
             return 0.0
-        return sum(entry.n_terms for entry in self._schemata.values()) / len(
-            self._schemata
-        )
+        return self._total_terms / len(self._schemata)
+
+    def clone(self) -> "SchemaIndex":
+        """A structurally independent copy sharing the (immutable) entries.
+
+        Entries are never mutated in place (re-adding a name builds a new
+        :class:`IndexedSchema`), so the copy shares them; the posting sets
+        are copied so adds/removes on either index never leak into the
+        other.  This is the rebuild-aside half of the corpus index's
+        atomic-publish refresh: clone, mutate the clone, swap.
+        """
+        copied = SchemaIndex()
+        copied._schemata = dict(self._schemata)
+        copied._postings = {
+            term: set(names) for term, names in self._postings.items()
+        }
+        copied._total_terms = self._total_terms
+        return copied

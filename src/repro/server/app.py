@@ -213,12 +213,14 @@ class MatchServer(ThreadingHTTPServer):
                 ),
             },
             "cache": {"entries": len(self.cache), **self.cache.stats.to_dict()},
+            "corpus": self.service.corpus_status(),
         }
 
     def metrics_payload(self) -> dict[str, Any]:
         return {
             "endpoints": self.metrics.to_dict(),
             "cache": {"entries": len(self.cache), **self.cache.stats.to_dict()},
+            "corpus": self.service.corpus_status(),
         }
 
     def schemas_payload(self) -> dict[str, Any]:

@@ -57,6 +57,8 @@ def _worker_main(
     pool_size: int,
     busy_timeout: float,
     quiet: bool,
+    refresh_interval: float | None = None,
+    corpus_shards: int | None = None,
 ) -> int:
     """One worker: open the shared store, serve the inherited socket.
 
@@ -75,13 +77,20 @@ def _worker_main(
         busy_timeout=busy_timeout,
     )
     try:
-        service = MatchService(repository=repository, options=options)
+        service = MatchService(
+            repository=repository, options=options, corpus_shards=corpus_shards
+        )
         server = MatchServer(
             service,
             cache_size=cache_size,
             quiet=quiet,
             listen_socket=listen_socket,
         )
+        if refresh_interval is not None:
+            # Each worker keeps its own corpus snapshots warm; the shared
+            # generation clock in the WAL store makes every worker's
+            # staleness check see writes from ANY worker.
+            service.start_corpus_refresh(refresh_interval)
         if not stop.is_set():
             accept_loop = threading.Thread(
                 target=server.serve_forever, name="harmonia-worker", daemon=True
@@ -91,6 +100,7 @@ def _worker_main(
             server.shutdown()
             accept_loop.join()
         server.server_close()
+        service.stop_corpus_refresh()
     finally:
         repository.close()
     return 0
@@ -107,6 +117,8 @@ def serve_process_pool(
     busy_timeout: float = 30.0,
     quiet: bool = True,
     announce: Callable[[str, int], None] | None = None,
+    refresh_interval: float | None = None,
+    corpus_shards: int | None = None,
 ) -> int:
     """Run ``n_workers`` prefork servers over one socket and one store.
 
@@ -147,6 +159,8 @@ def serve_process_pool(
                         pool_size,
                         busy_timeout,
                         quiet,
+                        refresh_interval,
+                        corpus_shards,
                     )
                 finally:
                     sys.stdout.flush()

@@ -49,6 +49,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.batch.runner import BatchMatchRunner, BatchPairOutcome
 from repro.corpus.index import CorpusIndex
 from repro.corpus.index import payload_hash as corpus_payload_hash
+from repro.corpus.sharding import CorpusRefreshWorker, ShardedCorpusIndex
 from repro.match.correspondence import Correspondence
 from repro.match.engine import HarmonyMatchEngine, MatchResult
 from repro.match.selection import SelectionStrategy
@@ -104,20 +105,26 @@ class MatchService:
         repository: MetadataRepository | None = None,
         auto_batch_pairs: int = DEFAULT_AUTO_BATCH_PAIRS,
         asserted_by: str = "match-service",
+        corpus_shards: int | None = None,
     ):
         self.options = options if options is not None else MatchOptions()
         self.repository = repository
         if auto_batch_pairs <= 0:
             raise ValueError(f"auto_batch_pairs must be positive, got {auto_batch_pairs}")
+        if corpus_shards is not None and corpus_shards < 1:
+            raise ValueError(f"corpus_shards must be >= 1, got {corpus_shards}")
         self.auto_batch_pairs = auto_batch_pairs
         self.asserted_by = asserted_by
+        #: None -> unsharded CorpusIndex; N -> ShardedCorpusIndex(N).
+        self.corpus_shards = corpus_shards
         #: One feature space and one profile cache, shared by every engine
         #: and runner this service compiles.
         self.space = FeatureSpace()
         self._profiles: dict[int, SchemaProfile] = {}
         self._engines: dict[MatchOptions, HarmonyMatchEngine] = {}
         self._runners: dict[tuple, BatchMatchRunner] = {}
-        self._corpus_index: CorpusIndex | None = None
+        self._corpus_index: CorpusIndex | ShardedCorpusIndex | None = None
+        self._refresh_worker: CorpusRefreshWorker | None = None
         self._mapping_graph: MappingGraph | None = None
         #: Registered schemata as stable objects, keyed by name and
         #: invalidated by the repository generation (see _registered_schema).
@@ -431,18 +438,77 @@ class MatchService:
     # ------------------------------------------------------------------
     # Repository-scale matching: retrieve, match, reuse, rank
     # ------------------------------------------------------------------
-    def corpus_index(self) -> CorpusIndex:
+    def corpus_index(self) -> CorpusIndex | ShardedCorpusIndex:
         """The service's corpus index over its bound repository (lazy).
 
         One index per service; it refreshes itself against the
         repository's generation clock, so callers never rebuild manually.
+        ``corpus_shards=N`` at construction swaps in a
+        :class:`~repro.corpus.sharding.ShardedCorpusIndex` -- same
+        retrieval contract, bit-identical scores, per-shard refresh.
         """
         if self.repository is None:
             raise ValueError("corpus indexing requires a bound MetadataRepository")
         with self._lock:
             if self._corpus_index is None:
-                self._corpus_index = CorpusIndex(self.repository)
+                if self.corpus_shards is not None:
+                    self._corpus_index = ShardedCorpusIndex(
+                        self.repository, n_shards=self.corpus_shards
+                    )
+                else:
+                    self._corpus_index = CorpusIndex(self.repository)
             return self._corpus_index
+
+    def start_corpus_refresh(self, interval: float = 1.0) -> CorpusRefreshWorker:
+        """Start (or return) the background refresh worker for this service.
+
+        The worker watches the repository's generation clock and
+        refreshes the corpus index off the request path, so
+        ``corpus_match`` queries land on warm snapshots (a query that
+        outruns the worker still refreshes synchronously -- the worker is
+        a latency optimisation, never a correctness dependency).
+        """
+        with self._lock:
+            worker = self._refresh_worker
+            if worker is None or not worker.running:
+                worker = CorpusRefreshWorker(self.corpus_index(), interval=interval)
+                worker.start()
+                self._refresh_worker = worker
+            return worker
+
+    def stop_corpus_refresh(self) -> None:
+        """Stop the background refresh worker, if one is running."""
+        with self._lock:
+            worker = self._refresh_worker
+            self._refresh_worker = None
+        if worker is not None:
+            worker.stop()
+
+    def corpus_status(self) -> dict:
+        """Corpus + refresh-worker state for /healthz and /metrics.
+
+        A monitoring read: reports the *published* snapshots without
+        triggering a refresh, so probing an idle service stays cheap and
+        never takes the refresh lock.  ``{"initialized": False}`` until
+        the first ``corpus_match`` (or explicit ``corpus_index()`` call)
+        builds the index.
+        """
+        with self._lock:
+            index = self._corpus_index
+            worker = self._refresh_worker
+        if index is None:
+            return {"initialized": False}
+        status: dict = {
+            "initialized": True,
+            "n_indexed": index.n_indexed(),
+            "stale": index.is_stale(),
+        }
+        if isinstance(index, ShardedCorpusIndex):
+            status["n_shards"] = index.n_shards
+            status["shards"] = [stats.to_dict() for stats in index.shard_stats()]
+        if worker is not None:
+            status["refresh_worker"] = worker.stats().to_dict()
+        return status
 
     def corpus_match(self, request: CorpusMatchRequest) -> CorpusMatchResponse:
         """Match a schema against everything registered; return the top k.

@@ -20,6 +20,7 @@ from repro.synthetic.corpus import (
     ClusteredCorpus,
     generate_clustered_corpus,
     generate_enterprise_corpus,
+    generate_scaled_corpus,
 )
 from repro.synthetic.domain import ConceptSpec, DomainOntology, Entity, Facet, Qualifier
 from repro.synthetic.instances import InstanceTable, generate_instances
@@ -63,6 +64,7 @@ __all__ = [
     "generate_clustered_corpus",
     "generate_enterprise_corpus",
     "generate_instances",
+    "generate_scaled_corpus",
     "generate_mapping_chain",
     "generate_pair",
     "generate_schema",

@@ -137,6 +137,71 @@ class TestSchemata:
         assert backend.schema_names() == ["orders"]
 
 
+class TestBulkSchemata:
+    """The batched ingestion surface: put_schemas / get_schemas /
+    get_fingerprints, identical on every backend."""
+
+    def test_put_and_get_many(self, backend):
+        backend.put_schemas({f"s{i}": {"v": i} for i in range(5)})
+        assert backend.get_schemas(["s0", "s3", "nope"]) == {
+            "s0": {"v": 0},
+            "s3": {"v": 3},
+        }
+        assert backend.schema_names() == [f"s{i}" for i in range(5)]
+
+    def test_bulk_reads_omit_missing_names(self, backend):
+        assert backend.get_schemas(["ghost"]) == {}
+        assert backend.get_fingerprints(["ghost"]) == {}
+
+    def test_fingerprints_land_in_the_same_batch(self, backend):
+        backend.put_schemas(
+            {"orders": {"v": 1}, "invoices": {"v": 2}},
+            fingerprints={"orders": {"hash": "h1", "terms": {"total": 1}}},
+        )
+        assert backend.get_fingerprint("orders") == {
+            "hash": "h1",
+            "terms": {"total": 1},
+        }
+        # A payload written WITHOUT a fingerprint has none.
+        assert backend.get_fingerprint("invoices") is None
+        assert backend.get_fingerprints(["orders", "invoices"]) == {
+            "orders": {"hash": "h1", "terms": {"total": 1}},
+        }
+
+    def test_rewrite_without_fingerprint_drops_the_stale_one(self, backend):
+        backend.put_schema("orders", {"v": 1})
+        backend.put_fingerprint("orders", {"hash": "old", "terms": {}})
+        backend.put_schemas({"orders": {"v": 2}})
+        assert backend.get_schema("orders") == {"v": 2}
+        assert backend.get_fingerprint("orders") is None
+
+    def test_bumps_generation_once_per_payload(self, backend):
+        generation, match_generation = backend.clocks()
+        backend.put_schemas(
+            {f"s{i}": {"v": i} for i in range(7)},
+            fingerprints={"s0": {"hash": "h", "terms": {}}},
+        )
+        assert backend.clocks() == (generation + 7, match_generation)
+
+    def test_empty_batch_is_a_noop(self, backend):
+        clocks = backend.clocks()
+        backend.put_schemas({})
+        assert backend.clocks() == clocks
+        assert backend.schema_names() == []
+
+    def test_batches_beyond_the_in_clause_chunk(self, backend):
+        # 600 names crosses the SQLite IN-clause chunking boundary (500).
+        names = [f"s{i:04d}" for i in range(600)]
+        backend.put_schemas(
+            {name: {"n": name} for name in names},
+            fingerprints={name: {"hash": name, "terms": {}} for name in names},
+        )
+        assert backend.get_schemas(names) == {name: {"n": name} for name in names}
+        fingerprints = backend.get_fingerprints(names)
+        assert len(fingerprints) == 600
+        assert fingerprints["s0599"] == {"hash": "s0599", "terms": {}}
+
+
 class TestMatches:
     def test_add_and_read_back_in_insertion_order(self, backend):
         first = _match(source_id="a.x", target_id="b.x", sequence=1)
