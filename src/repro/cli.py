@@ -429,10 +429,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import sqlite3
 
     from repro.repository import MetadataRepository
-    from repro.server import MatchServer, serve_until_shutdown
+    from repro.server import MatchServer, build_cache, serve_until_shutdown
 
     if args.cache_size <= 0:
         raise _fail(f"--cache-size must be positive, got {args.cache_size}")
+    if args.cache_tier in ("shared", "tiered") and args.cache_url is None:
+        raise _fail(f"--cache-tier {args.cache_tier} needs --cache-url")
+    if args.cache_timeout <= 0:
+        raise _fail(f"--cache-timeout must be positive, got {args.cache_timeout}")
+    if args.warm_cache < 0:
+        raise _fail(f"--warm-cache must be >= 0, got {args.warm_cache}")
     if args.workers < 1:
         raise _fail(f"--workers must be >= 1, got {args.workers}")
     if args.pool_size < 1:
@@ -483,6 +489,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 port=args.port,
                 cache_size=args.cache_size,
                 quiet=not args.access_log,
+                cache=build_cache(
+                    cache_size=args.cache_size,
+                    cache_url=args.cache_url,
+                    tier=args.cache_tier,
+                    timeout=args.cache_timeout,
+                ),
+                warm_limit=args.warm_cache,
             )
         except OSError as exc:
             raise _fail(
@@ -600,6 +613,10 @@ def _serve_process_pool(args: argparse.Namespace) -> int:
             announce=announce,
             refresh_interval=args.refresh_interval,
             corpus_shards=args.corpus_shards,
+            cache_url=args.cache_url,
+            cache_tier=args.cache_tier,
+            cache_timeout=args.cache_timeout,
+            warm_limit=args.warm_cache,
         )
     except OSError as exc:
         raise _fail(
@@ -610,6 +627,32 @@ def _serve_process_pool(args: argparse.Namespace) -> int:
     else:
         print("harmonia: worker pool stopped after a worker failure", flush=True)
     return status
+
+
+def _cmd_cache_serve(args: argparse.Namespace) -> int:
+    from repro.server import CacheServer, serve_until_shutdown
+
+    if args.cache_size <= 0:
+        raise _fail(f"--cache-size must be positive, got {args.cache_size}")
+    try:
+        server = CacheServer(
+            host=args.host, port=args.port, cache_size=args.cache_size
+        )
+    except OSError as exc:
+        raise _fail(
+            f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}"
+        ) from exc
+
+    def announce(started: CacheServer) -> None:
+        print(
+            f"harmonia {__version__} cache-serve on {started.address} "
+            f"({args.cache_size} entries); Ctrl-C to stop",
+            flush=True,
+        )
+
+    serve_until_shutdown(server, announce=announce)
+    print("harmonia: cache server stopped cleanly", flush=True)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -845,7 +888,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition the corpus index into N hash-range shards "
              "(default: one unsharded index; retrieval is exact either way)",
     )
+    serve_parser.add_argument(
+        "--cache-url", default=None, metavar="HOST:PORT",
+        help="shared cache server to mount (see `harmonia cache-serve`); "
+             "default: per-process cache only",
+    )
+    serve_parser.add_argument(
+        "--cache-tier", choices=("auto", "local", "shared", "tiered"),
+        default="auto",
+        help="cache topology: local LRU, shared remote, or tiered "
+             "local-over-shared (auto: tiered when --cache-url is given)",
+    )
+    serve_parser.add_argument(
+        "--cache-timeout", type=float, default=1.0,
+        help="seconds before a shared-cache call degrades to a miss",
+    )
+    serve_parser.add_argument(
+        "--warm-cache", type=int, default=0, metavar="N",
+        help="pre-answer the repository's N hottest recorded requests "
+             "at startup (0 disables warming)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    cache_serve_parser = subparsers.add_parser(
+        "cache-serve",
+        help="run the shared response-cache server replicas mount via "
+             "--cache-url",
+    )
+    cache_serve_parser.add_argument("--host", default="127.0.0.1")
+    cache_serve_parser.add_argument(
+        "--port", type=int, default=8901,
+        help="bind port (0 picks an ephemeral one; in use exits with "
+             "status 2)",
+    )
+    cache_serve_parser.add_argument(
+        "--cache-size", type=int, default=65536,
+        help="shared-cache LRU bound (entries)",
+    )
+    cache_serve_parser.set_defaults(handler=_cmd_cache_serve)
 
     ingest_parser = subparsers.add_parser(
         "ingest",

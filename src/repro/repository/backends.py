@@ -100,6 +100,13 @@ class StorageBackend(Protocol):
       logical time, gaps are harmless; going backwards is not.
     * ``schema_names`` / ``fingerprint_names`` return sorted names;
       ``all_matches`` returns insertion order.
+    * ``record_requests`` / ``hot_requests`` persist per-request-hash hit
+      counters -- the serving tier's cache-warming source.  Records are
+      ``(key, endpoint, payload, count)``; recording the same key again
+      ADDS to its count and refreshes endpoint/payload.  Like
+      fingerprints, request stats are derived observability data: they
+      never bump a clock.  ``hot_requests`` returns the top ``limit``
+      records ordered by count (descending), key as the tiebreak.
     """
 
     #: True = repository must serialise every call under its own lock.
@@ -136,6 +143,12 @@ class StorageBackend(Protocol):
     def fingerprint_hashes(self) -> dict[str, str]: ...
     def delete_fingerprint(self, name: str) -> None: ...
 
+    # -- request statistics (cache warming) ----------------------------
+    def record_requests(
+        self, records: Sequence[tuple[str, str, dict, int]]
+    ) -> None: ...
+    def hot_requests(self, limit: int) -> list[tuple[str, str, dict, int]]: ...
+
     # -- lifecycle ------------------------------------------------------
     def describe(self) -> dict: ...
     def close(self) -> None: ...
@@ -150,6 +163,7 @@ class InMemoryBackend:
         self.schemata: dict[str, dict] = {}
         self.matches: list["StoredMatch"] = []
         self.fingerprints: dict[str, dict] = {}
+        self.request_stats: dict[str, tuple[str, dict, int]] = {}
         self._generation = 0
         self._match_generation = 0
         self._sequence = 0
@@ -269,6 +283,24 @@ class InMemoryBackend:
     def delete_fingerprint(self, name: str) -> None:
         self.fingerprints.pop(name, None)
 
+    # -- request statistics (cache warming) ----------------------------
+    def record_requests(
+        self, records: Sequence[tuple[str, str, dict, int]]
+    ) -> None:
+        for key, endpoint, payload, count in records:
+            previous = self.request_stats.get(key)
+            total = count + (previous[2] if previous is not None else 0)
+            self.request_stats[key] = (endpoint, payload, total)
+
+    def hot_requests(self, limit: int) -> list[tuple[str, str, dict, int]]:
+        ranked = sorted(
+            self.request_stats.items(), key=lambda item: (-item[1][2], item[0])
+        )
+        return [
+            (key, endpoint, payload, count)
+            for key, (endpoint, payload, count) in ranked[:limit]
+        ]
+
     # -- lifecycle ------------------------------------------------------
     def describe(self) -> dict:
         return {"kind": "memory"}
@@ -379,6 +411,14 @@ def _ensure_sqlite_schema(connection: sqlite3.Connection) -> None:
             "INSERT OR IGNORE INTO repo_clocks (name, value)"
             " VALUES ('sequence',"
             " COALESCE((SELECT MAX(sequence) FROM matches), 0))"
+        )
+        # Distributed-cache-era migration: per-request-hash hit counters,
+        # the serving tier's cache-warming source.  Older files gain the
+        # (empty) table on open; warming simply finds nothing to warm.
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS request_stats ("
+            " key TEXT PRIMARY KEY, endpoint TEXT NOT NULL,"
+            " payload TEXT NOT NULL, count INTEGER NOT NULL)"
         )
 
 
@@ -633,6 +673,40 @@ class _SqliteQueries:
         self._write([
             ("DELETE FROM corpus_fingerprints WHERE name = ?", (name,))
         ])
+
+    # -- request statistics (cache warming) ----------------------------
+    def record_requests(
+        self, records: Sequence[tuple[str, str, dict, int]]
+    ) -> None:
+        """Bulk upsert of request-hash counters as ONE transaction.
+
+        The serving tier flushes these in amortised batches off the hot
+        path; an existing key's count grows, its endpoint/payload refresh.
+        """
+        batch = list(records)
+        if not batch:
+            return
+        self._write([
+            (
+                "INSERT INTO request_stats (key, endpoint, payload, count)"
+                " VALUES (?, ?, ?, ?)"
+                " ON CONFLICT(key) DO UPDATE SET"
+                " endpoint = excluded.endpoint, payload = excluded.payload,"
+                " count = count + excluded.count",
+                (key, endpoint, json.dumps(payload), count),
+            )
+            for key, endpoint, payload, count in batch
+        ])
+
+    def hot_requests(self, limit: int) -> list[tuple[str, str, dict, int]]:
+        rows = self._read(
+            "SELECT key, endpoint, payload, count FROM request_stats"
+            " ORDER BY count DESC, key LIMIT ?",
+            (limit,),
+        )
+        return [
+            (row[0], row[1], json.loads(row[2]), row[3]) for row in rows
+        ]
 
 
 class SqliteBackend(_SqliteQueries):

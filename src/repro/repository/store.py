@@ -92,6 +92,13 @@ class MetadataRepository:
             backend, path, pool_size=pool_size, busy_timeout=busy_timeout
         )
         self._lock = threading.RLock()
+        #: Write listeners: called with the post-write ``(generation,
+        #: match_generation)`` after every mutation, OUTSIDE the
+        #: repository lock.  The serving tier's cache nudge (see
+        #: ``repro.server.distcache``) hangs here -- listeners are a
+        #: best-effort broadcast, never a correctness dependency, so a
+        #: listener that raises is swallowed.
+        self._write_listeners: list = []
         #: Plain reads go through this guard: the real lock for backends
         #: that demand serialised calls, a no-op for backends that handle
         #: their own concurrency (nullcontext is reentrant-safe: it holds
@@ -155,6 +162,39 @@ class MetadataRepository:
             return self._backend.clocks()
 
     # ------------------------------------------------------------------
+    # Write broadcast (the distributed-cache nudge; see server/distcache)
+    # ------------------------------------------------------------------
+    def add_write_listener(self, listener) -> None:
+        """Call ``listener(clocks)`` after every mutation commits.
+
+        ``clocks`` is the post-write ``(generation, match_generation)``
+        pair.  Listeners run outside the repository lock and exceptions
+        are swallowed: the broadcast is a latency optimisation (it lets a
+        cache tier evict stale entries *proactively*); the lazy per-lookup
+        clock check remains the correctness backstop when a nudge is lost.
+        """
+        self._write_listeners.append(listener)
+
+    def remove_write_listener(self, listener) -> None:
+        """Detach a listener previously added (missing is a no-op)."""
+        try:
+            self._write_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_write(self) -> None:
+        if not self._write_listeners:
+            return
+        clocks = self._backend_clocks()
+        for listener in list(self._write_listeners):
+            try:
+                listener(clocks)
+            except Exception:
+                # Best-effort by contract: a dead cache tier must never
+                # fail (or slow) the write that tried to nudge it.
+                pass
+
+    # ------------------------------------------------------------------
     # Schemata
     # ------------------------------------------------------------------
     def register(self, schema: Schema, name: str | None = None) -> str:
@@ -174,7 +214,8 @@ class MetadataRepository:
                 return schema_name
             self._backend.put_schema(schema_name, payload)
             self._backend.delete_fingerprint(schema_name)
-            return schema_name
+        self._notify_write()
+        return schema_name
 
     def bulk_register_schemas(
         self,
@@ -239,6 +280,8 @@ class MetadataRepository:
                     },
                 )
                 written += len(payloads)
+        if written:
+            self._notify_write()
         return written
 
     def schema(self, name: str) -> Schema:
@@ -279,6 +322,7 @@ class MetadataRepository:
         """
         with self._lock:
             self._backend.delete_schema(name)
+        self._notify_write()
 
     def __contains__(self, name: str) -> bool:
         with self._read_guard:
@@ -320,6 +364,29 @@ class MetadataRepository:
             return self._backend.fingerprint_hashes()
 
     # ------------------------------------------------------------------
+    # Request statistics (derived observability data; no clock movement)
+    # ------------------------------------------------------------------
+    def record_requests(self, records) -> None:
+        """Persist per-request-hash hit counters (the cache-warming source).
+
+        ``records`` is an iterable of ``(key, endpoint, payload, count)``;
+        an existing key's count grows by ``count``.  Like fingerprints,
+        request stats bump no clock -- recording a request can never
+        invalidate a cache.
+        """
+        with self._read_guard:
+            self._backend.record_requests(list(records))
+
+    def hot_requests(self, limit: int = 64) -> list[tuple[str, str, dict, int]]:
+        """The ``limit`` hottest recorded requests, count-descending.
+
+        What a starting replica replays through its service to warm its
+        cache tier (see ``repro.server.distcache.warm_cache``).
+        """
+        with self._read_guard:
+            return self._backend.hot_requests(limit)
+
+    # ------------------------------------------------------------------
     # Matches as knowledge artifacts
     # ------------------------------------------------------------------
     def store_match(
@@ -352,7 +419,8 @@ class MetadataRepository:
                 ),
             )
             self._backend.add_matches([stored])
-            return stored
+        self._notify_write()
+        return stored
 
     def store_matches(
         self,
@@ -398,7 +466,8 @@ class MetadataRepository:
                 for offset, correspondence in enumerate(batch)
             ]
             self._backend.add_matches(stored)
-            return len(stored)
+        self._notify_write()
+        return len(stored)
 
     def matches(
         self,

@@ -20,7 +20,13 @@ repository.  This package is that tier, stdlib-only:
 * :func:`serve_process_pool` -- prefork process-pool serving: N workers
   share one listening socket and one pooled-WAL SQLite store, with the
   DB-backed clocks keeping every worker's response cache exact
-  (``repro serve --workers N``).
+  (``repro serve --workers N``);
+* :mod:`repro.server.distcache` -- the distributed cache tier: the
+  :class:`CacheBackend` protocol, a shared loopback TCP cache server
+  (``repro cache-serve``) any number of replicas mount via
+  :class:`RemoteCache` or the two-level :class:`TieredCache`, write
+  nudges that evict by clock watermark fleet-wide, and cache warming
+  from the repository's hottest recorded request hashes (bench E22).
 
 Bench E19 measures the tier (multi-client throughput, cold-vs-warm-cache
 speedup, invalidation correctness); ``docs/serving.md`` documents the
@@ -30,16 +36,32 @@ endpoints, cache semantics, and deployment notes.
 from repro.server.app import MatchServer, ServerMetrics, serve_until_shutdown
 from repro.server.cache import CacheStats, ResponseCache, canonical_request_key
 from repro.server.client import MatchServerError, MatchServiceClient
+from repro.server.distcache import (
+    CacheBackend,
+    CacheServer,
+    RemoteCache,
+    TieredCache,
+    attach_cache_nudge,
+    build_cache,
+    warm_cache,
+)
 from repro.server.procpool import serve_process_pool
 
 __all__ = [
+    "CacheBackend",
+    "CacheServer",
     "CacheStats",
     "MatchServer",
     "MatchServerError",
     "MatchServiceClient",
+    "RemoteCache",
     "ResponseCache",
     "ServerMetrics",
+    "TieredCache",
+    "attach_cache_nudge",
+    "build_cache",
     "canonical_request_key",
     "serve_process_pool",
     "serve_until_shutdown",
+    "warm_cache",
 ]

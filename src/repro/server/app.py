@@ -56,7 +56,42 @@ from repro.service import (
     NetworkMatchRequest,
 )
 
-__all__ = ["MatchServer", "ServerMetrics", "serve_until_shutdown"]
+__all__ = [
+    "MatchServer",
+    "ServerMetrics",
+    "endpoint_clocks",
+    "endpoint_executor",
+    "serve_until_shutdown",
+]
+
+
+def endpoint_clocks(repository, endpoint: str) -> tuple:
+    """The staleness watermark a response of this endpoint depends on.
+
+    ``/match`` output is a function of the registry contents only
+    (``generation``); corpus and network matching also fold stored
+    matches in (``match_generation``).  Without a repository nothing a
+    response depends on can change, so the watermark is constant.
+
+    Shared between the live request path (:meth:`MatchServer.clocks`)
+    and cache warming (:func:`repro.server.distcache.warm_cache`) so a
+    warmed entry is watermarked exactly as a served one would be.
+    """
+    if repository is None:
+        return (None, None)
+    generation, match_generation = repository.clocks()
+    if endpoint == "/match":
+        return (generation, None)
+    return (generation, match_generation)
+
+
+def endpoint_executor(service: MatchService, endpoint: str):
+    """The service method serving one POST endpoint (None if unknown)."""
+    return {
+        "/match": service.match,
+        "/corpus-match": service.corpus_match,
+        "/network-match": service.network_match,
+    }.get(endpoint)
 
 
 class ServerMetrics:
@@ -117,6 +152,21 @@ class MatchServer(ThreadingHTTPServer):
         ``OSError`` here, which the CLI maps to exit status 2.
     cache_size:
         LRU bound of the response cache.
+    cache:
+        A ready :class:`~repro.server.distcache.CacheBackend` to serve
+        from instead of a private in-process LRU -- how a replica joins
+        the distributed cache tier (``serve --cache-url`` builds a
+        :class:`~repro.server.distcache.TieredCache` here).  When given,
+        ``cache_size`` is ignored.
+    warm_limit:
+        Replay this many of the repository's hottest recorded requests
+        into the cache before serving (0 = no warming; see
+        :func:`~repro.server.distcache.warm_cache`).
+    hot_flush_every:
+        Flush accumulated request-hash counters to the repository's
+        ``request_stats`` table after this many POSTs (and always on
+        close), keeping the warming source fresh without a database
+        write per request.
     quiet:
         Suppress the per-request access log (default); set False to log
         to stderr as ``http.server`` normally does.
@@ -142,12 +192,34 @@ class MatchServer(ThreadingHTTPServer):
         cache_size: int = 1024,
         quiet: bool = True,
         listen_socket: socket.socket | None = None,
+        cache=None,
+        warm_limit: int = 0,
+        hot_flush_every: int = 64,
     ):
+        from repro.server.distcache import attach_cache_nudge, warm_cache
+
         self.service = service
-        self.cache = ResponseCache(max_entries=cache_size)
+        self.cache = cache if cache is not None else ResponseCache(
+            max_entries=cache_size
+        )
         self.metrics = ServerMetrics()
         self.quiet = quiet
         self.started_at = time.perf_counter()
+        # Hot-request tracking: per-key counters accumulate in memory and
+        # flush to the repository in batches -- the warming source for
+        # the NEXT replica to start.
+        self.hot_flush_every = hot_flush_every
+        self._hot_lock = threading.Lock()
+        self._hot_requests: dict[str, list] = {}
+        self._hot_pending = 0
+        # Nudge: writes through THIS process's repository broadcast their
+        # post-write clocks into the cache tier (shared tiers are thereby
+        # swept for the whole fleet).  Lost nudges are safe: every lookup
+        # still validates clocks.
+        self._nudge = None
+        if service.repository is not None:
+            self._nudge = attach_cache_nudge(service.repository, self.cache)
+        self.warmed_entries = warm_cache(service, self.cache, warm_limit)
         if listen_socket is None:
             super().__init__((host, port), MatchRequestHandler)
         else:
@@ -183,13 +255,71 @@ class MatchServer(ThreadingHTTPServer):
         process-pool serving a write in ANY process moves the watermark
         every worker reads, and no worker's cache can serve stale.
         """
+        return endpoint_clocks(self.service.repository, endpoint)
+
+    # ------------------------------------------------------------------
+    # Hot-request tracking (the cache-warming source)
+    # ------------------------------------------------------------------
+    def note_request(self, key: str, endpoint: str, payload: dict) -> None:
+        """Count one request hash; flush to the repository in batches."""
+        if self.service.repository is None:
+            return
+        with self._hot_lock:
+            record = self._hot_requests.get(key)
+            if record is None:
+                self._hot_requests[key] = [endpoint, payload, 1]
+            else:
+                record[2] += 1
+            self._hot_pending += 1
+            due = self._hot_pending >= self.hot_flush_every
+        if due:
+            self.flush_hot_requests()
+
+    def flush_hot_requests(self) -> None:
+        """Write accumulated request counters to the repository now.
+
+        One bulk upsert per flush, outside the counter lock; a flush that
+        fails (store closing under us at shutdown) re-queues nothing --
+        request stats are best-effort observability, never worth failing
+        a request or a shutdown over.
+        """
         repository = self.service.repository
         if repository is None:
-            return (None, None)
-        generation, match_generation = repository.clocks()
-        if endpoint == "/match":
-            return (generation, None)
-        return (generation, match_generation)
+            return
+        with self._hot_lock:
+            if not self._hot_requests:
+                return
+            batch = [
+                (key, endpoint, payload, count)
+                for key, (endpoint, payload, count) in self._hot_requests.items()
+            ]
+            self._hot_requests = {}
+            self._hot_pending = 0
+        try:
+            repository.record_requests(batch)
+        except Exception:
+            pass
+
+    def server_close(self) -> None:
+        """Flush warming counters, detach the nudge, release the cache."""
+        try:
+            self.flush_hot_requests()
+        finally:
+            if self._nudge is not None and self.service.repository is not None:
+                self.service.repository.remove_write_listener(self._nudge)
+            self.cache.close()
+            super().server_close()
+
+    def cache_payload(self) -> dict[str, Any]:
+        """The cache block of /healthz and /metrics: aggregate + per-tier."""
+        stats = self.cache.stats
+        return {
+            "entries": len(self.cache),
+            **stats.to_dict(),
+            "warm_hit_ratio": stats.hit_rate,
+            "warmed_entries": self.warmed_entries,
+            "tier": self.cache.describe(),
+        }
 
     # ------------------------------------------------------------------
     # Endpoint payloads (called by the handler; all return JSON dicts)
@@ -212,14 +342,14 @@ class MatchServer(ThreadingHTTPServer):
                     repository.describe_backend() if repository is not None else None
                 ),
             },
-            "cache": {"entries": len(self.cache), **self.cache.stats.to_dict()},
+            "cache": self.cache_payload(),
             "corpus": self.service.corpus_status(),
         }
 
     def metrics_payload(self) -> dict[str, Any]:
         return {
             "endpoints": self.metrics.to_dict(),
-            "cache": {"entries": len(self.cache), **self.cache.stats.to_dict()},
+            "cache": self.cache_payload(),
             "corpus": self.service.corpus_status(),
         }
 
@@ -321,12 +451,15 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             self._read_body()
             raise _RequestError(404, f"unknown endpoint {path!r}")
         request = self._decode_request(path)
-        key = canonical_request_key(path, request.to_dict())
+        normalised = request.to_dict()
+        key = canonical_request_key(path, normalised)
+        # Counted hit or miss: warming replays what clients actually ask.
+        self.server.note_request(key, path, normalised)
         # Captured BEFORE execution: a write landing mid-computation makes
         # the stored watermark stale, so the entry invalidates on its next
         # lookup instead of serving pre-write knowledge.
         clocks = self.server.clocks(path)
-        cached = self.server.cache.lookup(key, clocks)
+        cached = self.server.cache.get(key, clocks)
         if cached is not None:
             return 200, cached, "hit"
         try:
@@ -335,16 +468,11 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             raise _RequestError(404, f"not registered: {exc}") from exc
         except (ValueError, TypeError) as exc:
             raise _RequestError(400, str(exc)) from exc
-        self.server.cache.store(key, envelope, clocks)
+        self.server.cache.put(key, envelope, clocks)
         return 200, envelope, "miss"
 
     def _post_executor(self, path: str) -> Callable | None:
-        service = self.server.service
-        return {
-            "/match": service.match,
-            "/corpus-match": service.corpus_match,
-            "/network-match": service.network_match,
-        }.get(path)
+        return endpoint_executor(self.server.service, path)
 
     def _read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)

@@ -34,7 +34,12 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Any, NamedTuple
 
-__all__ = ["CacheStats", "ResponseCache", "canonical_request_key"]
+__all__ = [
+    "CacheStats",
+    "ResponseCache",
+    "canonical_request_key",
+    "clocks_outdated",
+]
 
 #: The staleness watermark an entry is stored under: the repository's
 #: ``(generation, match_generation)`` at compute time.  ``None`` components
@@ -60,12 +65,18 @@ def canonical_request_key(endpoint: str, payload: dict) -> str:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Counters one :class:`ResponseCache` has accumulated."""
+    """Counters one cache backend has accumulated.
+
+    ``errors`` counts transport failures talking to a *remote* tier (see
+    :mod:`repro.server.distcache`); the in-process cache never errors, so
+    it stays 0 here.
+    """
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0     # entries evicted because a clock moved
     evictions: int = 0         # entries evicted by the LRU bound
+    errors: int = 0            # degraded lookups (remote tier unreachable)
 
     @property
     def lookups(self) -> int:
@@ -81,8 +92,20 @@ class CacheStats:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "evictions": self.evictions,
+            "errors": self.errors,
             "hit_rate": self.hit_rate,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CacheStats":
+        """Rebuild from :meth:`to_dict` (the cache-server wire form)."""
+        return cls(
+            hits=payload.get("hits", 0),
+            misses=payload.get("misses", 0),
+            invalidations=payload.get("invalidations", 0),
+            evictions=payload.get("evictions", 0),
+            errors=payload.get("errors", 0),
+        )
 
 
 class _Entry(NamedTuple):
@@ -90,14 +113,39 @@ class _Entry(NamedTuple):
     clocks: Clocks
 
 
+def clocks_outdated(entry_clocks: Clocks, watermark: Clocks) -> bool:
+    """True if an entry stored under ``entry_clocks`` predates ``watermark``.
+
+    Component-wise: a ``None`` on either side means "does not depend on /
+    does not constrain that clock" and never outdates.  This is the
+    *eviction* predicate of the nudge broadcast -- per-lookup validation
+    stays exact equality (``entry.clocks != clocks``), which also catches
+    clock regressions from a restored-from-backup store.
+    """
+    return any(
+        entry is not None and mark is not None and entry < mark
+        for entry, mark in zip(entry_clocks, watermark)
+    )
+
+
 class ResponseCache:
-    """A lock-protected, clock-validated, LRU-bounded response cache."""
+    """A lock-protected, clock-validated, LRU-bounded response cache.
+
+    This is also the in-process implementation of the
+    :class:`~repro.server.distcache.CacheBackend` protocol (``get`` /
+    ``put`` / ``evict_watermark`` / ``stats`` / ``describe``), the local
+    tier of the distributed cache, and the store inside the shared
+    ``repro cache-serve`` server.
+    """
 
     def __init__(self, max_entries: int = 1024):
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        #: Per-live-entry hit counts (dropped with the entry, so the map
+        #: is bounded by max_entries) -- the ``hot_keys`` observability.
+        self._hits_by_key: dict[str, int] = {}
         self._lock = threading.Lock()
         self._stats = CacheStats()
 
@@ -115,6 +163,7 @@ class ResponseCache:
                 return None
             if entry.clocks != clocks:
                 del self._entries[key]
+                self._hits_by_key.pop(key, None)
                 self._stats = replace(
                     self._stats,
                     misses=self._stats.misses + 1,
@@ -122,6 +171,7 @@ class ResponseCache:
                 )
                 return None
             self._entries.move_to_end(key)
+            self._hits_by_key[key] = self._hits_by_key.get(key, 0) + 1
             self._stats = replace(self._stats, hits=self._stats.hits + 1)
             return entry.value
 
@@ -132,17 +182,74 @@ class ResponseCache:
             self._entries.move_to_end(key)
             evicted = 0
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                dropped, _ = self._entries.popitem(last=False)
+                self._hits_by_key.pop(dropped, None)
                 evicted += 1
             if evicted:
                 self._stats = replace(
                     self._stats, evictions=self._stats.evictions + evicted
                 )
 
+    # -- the CacheBackend protocol spellings ---------------------------
+    #: ``get``/``put`` are the protocol names (repro.server.distcache);
+    #: ``lookup``/``store`` remain as the historical in-process spelling.
+    get = lookup
+    put = store
+
+    def evict_watermark(self, watermark: Clocks) -> int:
+        """Drop every entry stored under clocks older than ``watermark``.
+
+        The receiving end of the write nudge: a repository write
+        broadcasts its post-write clocks and each tier sweeps the entries
+        that write could have changed *now*, instead of waiting for each
+        to be looked up again.  Returns the number evicted (counted as
+        invalidations).  A lost nudge costs nothing but that eagerness --
+        per-lookup clock validation remains the correctness backstop.
+        """
+        watermark = tuple(watermark)
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if clocks_outdated(entry.clocks, watermark)
+            ]
+            for key in stale:
+                del self._entries[key]
+                self._hits_by_key.pop(key, None)
+            if stale:
+                self._stats = replace(
+                    self._stats,
+                    invalidations=self._stats.invalidations + len(stale),
+                )
+            return len(stale)
+
+    def hot_keys(self, limit: int = 64) -> list[tuple[str, int]]:
+        """The ``limit`` most-hit live keys as ``(key, hits)``, hottest first."""
+        with self._lock:
+            ranked = sorted(
+                self._hits_by_key.items(), key=lambda item: (-item[1], item[0])
+            )
+            return ranked[:limit]
+
     def clear(self) -> None:
         """Drop every entry (stats survive)."""
         with self._lock:
             self._entries.clear()
+            self._hits_by_key.clear()
+
+    def describe(self) -> dict[str, Any]:
+        """Operational identity + counters (the /metrics ``tier`` block)."""
+        with self._lock:
+            return {
+                "kind": "local",
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "stats": self._stats.to_dict(),
+            }
+
+    def close(self) -> None:
+        """Nothing to release (protocol symmetry with the remote tiers)."""
+        return None
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,653 @@
+"""The distributed response-cache tier: one cache for a whole fleet.
+
+PR 5's :class:`~repro.server.cache.ResponseCache` is per-process: every
+``repro serve`` replica pays its own misses, and a ``store_matches`` on
+one replica cannot sweep another's entries -- it can only wait for the
+lazy per-lookup clock check.  This module makes the cache a *shared
+tier*, stdlib-only:
+
+* :class:`CacheBackend` -- the protocol a response cache must satisfy to
+  sit under a :class:`~repro.server.app.MatchServer`: ``get`` / ``put``
+  (clock-watermarked entries), ``evict_watermark`` (the nudge receiver),
+  ``stats`` / ``describe`` / ``hot_keys`` (observability), ``clear`` /
+  ``close``.  Three implementations ship and one contract suite
+  (``tests/test_cache_contract.py``) holds them to identical semantics;
+* :class:`~repro.server.cache.ResponseCache` -- the existing in-process
+  LRU, unchanged semantics, now speaking the protocol;
+* :class:`RemoteCache` -- the client of a shared loopback TCP cache
+  server (:class:`CacheServer`, the ``repro cache-serve`` CLI): one
+  cache process a whole prefork fleet shares, speaking newline-delimited
+  JSON.  **Degradation is built in**: every call has a bounded timeout,
+  any transport failure reads as a miss (never a wrong answer), errors
+  are counted on ``/metrics``, and the next call simply reconnects -- a
+  killed or hung cache server costs latency and hit rate, never
+  correctness;
+* :class:`TieredCache` -- local-LRU-over-shared composition: hits served
+  from process memory when possible, shared lookups populate the local
+  tier, writes and nudges go to both.
+
+**Invalidation is a broadcast plus a backstop.**  Every repository write
+bumps the DB-backed ``(generation, match_generation)`` clocks
+transactionally (PR 6); :func:`attach_cache_nudge` additionally hangs a
+write listener on the repository that calls ``evict_watermark`` with the
+post-write clocks, so entries computed under older clocks are evicted
+*everywhere, immediately* -- on the shared tier that one nudge serves
+the whole fleet.  The nudge is best-effort by contract: if it is lost
+(cache down, listener never attached, writer is an unrelated process),
+the per-lookup clock equality check still refuses every stale entry.
+Zero staleness never depends on the broadcast arriving.
+
+**Warming closes the cold-start gap.**  Serving replicas persist their
+hottest request hashes (key, endpoint, payload, hit count) into the
+repository's ``request_stats`` table; :func:`warm_cache` replays the top
+of that table through a fresh replica's service at startup so the first
+real client finds the tier already hot.
+
+Bench E22 (``benchmarks/test_e22_distcache.py``) pins the tier: N
+replicas over one pooled store, the shared tier beating per-process
+caches on aggregate warm hit ratio, scores exact to 1e-9, zero stale
+across replicas under an interleaved write/read sweep.  Topology and
+sizing notes live in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socket
+import socketserver
+import threading
+from typing import Any, Protocol, runtime_checkable
+
+from repro.server.cache import CacheStats, Clocks, ResponseCache
+
+__all__ = [
+    "CacheBackend",
+    "CacheServer",
+    "CacheUnavailable",
+    "RemoteCache",
+    "TieredCache",
+    "attach_cache_nudge",
+    "build_cache",
+    "warm_cache",
+]
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What a response cache must provide to sit under a MatchServer.
+
+    Contract highlights (the executable version is
+    ``tests/test_cache_contract.py``, run over all three backends):
+
+    * ``get(key, clocks)`` returns the cached value only if the entry was
+      stored under EXACTLY these clocks; anything else -- absent entry,
+      moved clocks, corrupt payload, unreachable tier -- is ``None``.  A
+      cache can be slow or cold, never wrong.
+    * ``put(key, value, clocks)`` watermarks the entry with the clocks it
+      was computed under (captured *before* execution by the caller).
+    * ``evict_watermark(clocks)`` drops every entry whose watermark is
+      component-wise older (``None`` never outdates) and returns the
+      count -- the receiving end of the repository write nudge.  It is an
+      optimisation hook: a backend that lost the nudge must still refuse
+      stale entries per-``get``.
+    * ``stats`` is the aggregate :class:`CacheStats`; ``describe()`` adds
+      per-tier structure for ``/metrics``; ``hot_keys(limit)`` ranks live
+      keys by hits.
+    * All methods must be thread-safe: one backend instance is shared by
+      every handler thread of a server.
+    """
+
+    def get(self, key: str, clocks: Clocks) -> Any | None: ...
+    def put(self, key: str, value: Any, clocks: Clocks) -> None: ...
+    def evict_watermark(self, watermark: Clocks) -> int: ...
+    def hot_keys(self, limit: int = 64) -> list[tuple[str, int]]: ...
+    def describe(self) -> dict: ...
+    def clear(self) -> None: ...
+    def close(self) -> None: ...
+    def __len__(self) -> int: ...
+
+    @property
+    def stats(self) -> CacheStats: ...
+
+
+class CacheUnavailable(ConnectionError):
+    """The shared cache tier could not serve a call (down, hung, garbled).
+
+    Internal to the remote backend: public methods catch it and degrade
+    (a failed ``get`` is a miss, a failed ``put``/``evict`` is dropped),
+    so callers never see cache-tier faults as request failures.
+    """
+
+
+# ----------------------------------------------------------------------
+# Wire protocol (newline-delimited JSON over TCP)
+# ----------------------------------------------------------------------
+# Request:  {"op": "get"|"put"|"evict"|"stats"|"hot"|"clear"|"ping",
+#            "key": ..., "value": ..., "clocks": [g, mg], "limit": ...}
+# Response: {"ok": true, ...} | {"ok": false, "error": "..."}
+#
+# Clocks cross the wire as JSON arrays (None components included) and are
+# normalised back to tuples server-side, so watermark comparison semantics
+# are identical local and remote.  One line in, one line out, connections
+# are persistent -- a GET round-trip is one small read/write each way.
+
+_MAX_LINE = 32 * 1024 * 1024  # defensive bound on one wire message
+
+
+def _encode(message: dict) -> bytes:
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+class _CacheRequestHandler(socketserver.StreamRequestHandler):
+    """One client connection: read JSON lines, apply ops, reply per line."""
+
+    server: "CacheServer"
+
+    def setup(self) -> None:
+        super().setup()
+        self.server._track_connection(self.connection, live=True)
+
+    def finish(self) -> None:
+        self.server._track_connection(self.connection, live=False)
+        super().finish()
+
+    def handle(self) -> None:
+        while True:
+            try:
+                line = self.rfile.readline(_MAX_LINE)
+            except (OSError, ValueError):
+                return
+            if not line:
+                return
+            try:
+                reply = self._dispatch(json.loads(line.decode("utf-8")))
+            except Exception as exc:  # malformed request: report, keep serving
+                reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            try:
+                self.wfile.write(_encode(reply))
+            except OSError:
+                return
+
+    def _dispatch(self, message: dict) -> dict:
+        cache = self.server.cache
+        op = message.get("op")
+        if op == "ping":
+            return {"ok": True}
+        if op == "get":
+            clocks = tuple(message["clocks"])
+            value = cache.get(message["key"], clocks)
+            if value is None:
+                return {"ok": True, "miss": True}
+            return {"ok": True, "value": value}
+        if op == "put":
+            cache.put(message["key"], message["value"], tuple(message["clocks"]))
+            return {"ok": True}
+        if op == "evict":
+            evicted = cache.evict_watermark(tuple(message["clocks"]))
+            return {"ok": True, "evicted": evicted}
+        if op == "stats":
+            return {
+                "ok": True,
+                "stats": cache.stats.to_dict(),
+                "entries": len(cache),
+                "max_entries": cache.max_entries,
+            }
+        if op == "hot":
+            limit = int(message.get("limit", 64))
+            return {"ok": True, "keys": cache.hot_keys(limit)}
+        if op == "clear":
+            cache.clear()
+            return {"ok": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class CacheServer(socketserver.ThreadingTCPServer):
+    """The shared cache process: one clock-validated LRU behind a socket.
+
+    ``repro cache-serve`` runs one of these in front of a whole fleet of
+    serving replicas.  The store inside is an ordinary
+    :class:`ResponseCache`, so entry semantics (exact-clock validation,
+    watermark eviction, LRU bound) are literally the same code the local
+    tier runs -- the contract suite parametrizes over both to prove it.
+
+    Handler threads are daemonic: a client that hangs mid-line cannot
+    block shutdown (cached entries are disposable state; there is nothing
+    to drain).  Port 0 picks an ephemeral port; see :attr:`address`.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8901,
+        cache_size: int = 65536,
+    ):
+        self.cache = ResponseCache(max_entries=cache_size)
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+        super().__init__((host, port), _CacheRequestHandler)
+
+    def _track_connection(self, connection, live: bool) -> None:
+        with self._connections_lock:
+            if live:
+                self._connections.add(connection)
+            else:
+                self._connections.discard(connection)
+
+    def server_close(self) -> None:
+        """Close the listener AND every live client connection.
+
+        Handler threads are daemonic and block in ``readline``; severing
+        their sockets here makes an in-process close behave like a killed
+        cache process -- clients see a dropped connection immediately and
+        degrade, instead of talking to a zombie server.
+        """
+        super().server_close()
+        with self._connections_lock:
+            lingering = list(self._connections)
+            self._connections.clear()
+        for connection in lingering:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def address(self) -> str:
+        """``host:port`` -- what ``--cache-url`` on the replicas takes."""
+        return f"{self.server_address[0]}:{self.port}"
+
+
+class RemoteCache:
+    """Client backend for one :class:`CacheServer`: the shared tier.
+
+    Connections are pooled and persistent (LIFO, so the warmest one is
+    reused); any transport failure closes the failed connection, counts
+    one error, and degrades the call -- ``get`` to a miss, ``put`` /
+    ``evict_watermark`` to a no-op -- then the next call dials fresh, so
+    a cache server restart re-attaches with no replica intervention.
+
+    ``timeout`` bounds EVERY socket operation: a hung cache server can
+    delay one request by at most the timeout, never wedge it.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float = 1.0,
+        max_connections: int = 8,
+    ):
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"cache address must be host:port, got {address!r}"
+            )
+        self.address = address
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._free: "queue.LifoQueue" = queue.LifoQueue(maxsize=max_connections)
+        self._stats_lock = threading.Lock()
+        self._errors = 0
+        self._closed = False
+
+    # -- transport ------------------------------------------------------
+    def _connect(self):
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        return sock, sock.makefile("rb")
+
+    def _call(self, message: dict) -> dict:
+        """One request/reply; raises :class:`CacheUnavailable` on any fault."""
+        if self._closed:
+            raise CacheUnavailable("cache client is closed")
+        try:
+            connection = self._free.get_nowait()
+        except queue.Empty:
+            connection = None
+        try:
+            if connection is None:
+                connection = self._connect()
+            sock, rfile = connection
+            sock.sendall(_encode(message))
+            line = rfile.readline(_MAX_LINE)
+            if not line:
+                raise OSError("cache server closed the connection")
+            reply = json.loads(line.decode("utf-8"))
+            if not isinstance(reply, dict) or not reply.get("ok"):
+                raise ValueError(f"cache server refused: {reply!r}")
+        except (OSError, ValueError) as exc:
+            # OSError covers timeouts and resets; ValueError covers
+            # garbled/poisoned replies (json, envelope, refusal).  Either
+            # way the connection is suspect: close it, count, degrade.
+            if connection is not None:
+                sock, rfile = connection
+                for closer in (rfile.close, sock.close):
+                    try:
+                        closer()
+                    except OSError:
+                        pass
+            with self._stats_lock:
+                self._errors += 1
+            raise CacheUnavailable(str(exc)) from exc
+        try:
+            self._free.put_nowait(connection)
+        except queue.Full:
+            sock.close()
+        return reply
+
+    # -- the CacheBackend protocol --------------------------------------
+    def get(self, key: str, clocks: Clocks) -> Any | None:
+        try:
+            reply = self._call(
+                {"op": "get", "key": key, "clocks": list(clocks)}
+            )
+        except CacheUnavailable:
+            return None
+        return None if reply.get("miss") else reply.get("value")
+
+    def put(self, key: str, value: Any, clocks: Clocks) -> None:
+        try:
+            self._call(
+                {"op": "put", "key": key, "value": value, "clocks": list(clocks)}
+            )
+        except CacheUnavailable:
+            pass
+
+    def evict_watermark(self, watermark: Clocks) -> int:
+        try:
+            reply = self._call({"op": "evict", "clocks": list(watermark)})
+        except CacheUnavailable:
+            return 0
+        return int(reply.get("evicted", 0))
+
+    def hot_keys(self, limit: int = 64) -> list[tuple[str, int]]:
+        try:
+            reply = self._call({"op": "hot", "limit": limit})
+        except CacheUnavailable:
+            return []
+        return [(key, hits) for key, hits in reply.get("keys", [])]
+
+    def clear(self) -> None:
+        try:
+            self._call({"op": "clear"})
+        except CacheUnavailable:
+            pass
+
+    def ping(self) -> bool:
+        """True if the shared cache answers right now (health probes)."""
+        try:
+            self._call({"op": "ping"})
+        except CacheUnavailable:
+            return False
+        return True
+
+    def _server_stats(self) -> dict | None:
+        try:
+            return self._call({"op": "stats"})
+        except CacheUnavailable:
+            return None
+
+    @property
+    def stats(self) -> CacheStats:
+        """Server-side counters plus THIS client's transport errors.
+
+        The server's counters aggregate every replica's traffic; errors
+        are inherently client-side (the server cannot count calls that
+        never reached it).
+        """
+        reply = self._server_stats()
+        with self._stats_lock:
+            errors = self._errors
+        if reply is None:
+            return CacheStats(errors=errors)
+        stats = CacheStats.from_dict(reply["stats"])
+        return CacheStats(
+            hits=stats.hits,
+            misses=stats.misses,
+            invalidations=stats.invalidations,
+            evictions=stats.evictions,
+            errors=errors,
+        )
+
+    def describe(self) -> dict:
+        reply = self._server_stats()
+        with self._stats_lock:
+            errors = self._errors
+        description = {
+            "kind": "remote",
+            "address": self.address,
+            "reachable": reply is not None,
+            "errors": errors,
+        }
+        if reply is not None:
+            description["entries"] = reply["entries"]
+            description["max_entries"] = reply["max_entries"]
+            description["stats"] = reply["stats"]
+        return description
+
+    def close(self) -> None:
+        self._closed = True
+        while True:
+            try:
+                sock, rfile = self._free.get_nowait()
+            except queue.Empty:
+                return
+            for closer in (rfile.close, sock.close):
+                try:
+                    closer()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        reply = self._server_stats()
+        return reply["entries"] if reply is not None else 0
+
+    @property
+    def errors(self) -> int:
+        with self._stats_lock:
+            return self._errors
+
+
+class TieredCache:
+    """Local-LRU-over-shared: process memory first, the fleet tier second.
+
+    * ``get`` -- the local tier answers without a network hop when it
+      can; a shared hit is copied into the local tier on the way back
+      (each replica's working set migrates to process memory);
+    * ``put`` -- written through to both tiers, so one replica's computed
+      miss warms every other replica's next lookup;
+    * ``evict_watermark`` -- swept on both tiers (one shared-tier nudge
+      serves the whole fleet).
+
+    Both member tiers validate entries against the caller's clocks on
+    every ``get``, so the composition cannot serve stale even when the
+    tiers disagree about what they hold.  Tier-level hit attribution
+    (which tier answered) is tracked here and exposed via ``describe``.
+    """
+
+    def __init__(self, local: ResponseCache, shared: "CacheBackend"):
+        self.local = local
+        self.shared = shared
+        self._lock = threading.Lock()
+        self._local_hits = 0
+        self._shared_hits = 0
+        self._misses = 0
+
+    def get(self, key: str, clocks: Clocks) -> Any | None:
+        value = self.local.get(key, clocks)
+        if value is not None:
+            with self._lock:
+                self._local_hits += 1
+            return value
+        value = self.shared.get(key, clocks)
+        if value is not None:
+            self.local.put(key, value, clocks)
+            with self._lock:
+                self._shared_hits += 1
+            return value
+        with self._lock:
+            self._misses += 1
+        return None
+
+    def put(self, key: str, value: Any, clocks: Clocks) -> None:
+        self.local.put(key, value, clocks)
+        self.shared.put(key, value, clocks)
+
+    def evict_watermark(self, watermark: Clocks) -> int:
+        return self.local.evict_watermark(watermark) + self.shared.evict_watermark(
+            watermark
+        )
+
+    def hot_keys(self, limit: int = 64) -> list[tuple[str, int]]:
+        """Shared-tier ranking (fleet-wide hotness) with a local fallback."""
+        ranked = self.shared.hot_keys(limit)
+        return ranked if ranked else self.local.hot_keys(limit)
+
+    def clear(self) -> None:
+        self.local.clear()
+        self.shared.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        """The tier as its callers experienced it.
+
+        hits/misses count this composition's ``get`` outcomes (a shared
+        hit is ONE hit here, though the member tiers saw a local miss and
+        a shared hit); invalidations/evictions/errors aggregate the
+        member tiers' own counters.
+        """
+        local, shared = self.local.stats, self.shared.stats
+        with self._lock:
+            return CacheStats(
+                hits=self._local_hits + self._shared_hits,
+                misses=self._misses,
+                invalidations=local.invalidations + shared.invalidations,
+                evictions=local.evictions + shared.evictions,
+                errors=shared.errors,
+            )
+
+    def describe(self) -> dict:
+        with self._lock:
+            attribution = {
+                "local_hits": self._local_hits,
+                "shared_hits": self._shared_hits,
+                "misses": self._misses,
+            }
+        return {
+            "kind": "tiered",
+            "attribution": attribution,
+            "local": self.local.describe(),
+            "shared": self.shared.describe(),
+        }
+
+    def close(self) -> None:
+        self.local.close()
+        self.shared.close()
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+
+def build_cache(
+    cache_size: int = 1024,
+    cache_url: str | None = None,
+    tier: str = "auto",
+    timeout: float = 1.0,
+) -> "CacheBackend":
+    """Resolve CLI/config cache options to a backend instance.
+
+    ``tier``: ``"auto"`` (tiered when a ``cache_url`` is given, local
+    otherwise), ``"local"``, ``"shared"`` (remote only, no local LRU in
+    front), or ``"tiered"``.
+    """
+    if tier == "auto":
+        tier = "tiered" if cache_url else "local"
+    if tier == "local":
+        return ResponseCache(max_entries=cache_size)
+    if cache_url is None:
+        raise ValueError(f"cache tier {tier!r} needs a cache server address")
+    remote = RemoteCache(cache_url, timeout=timeout)
+    if tier == "shared":
+        return remote
+    if tier == "tiered":
+        return TieredCache(ResponseCache(max_entries=cache_size), remote)
+    raise ValueError(
+        f"unknown cache tier {tier!r} "
+        "(expected 'auto', 'local', 'shared', or 'tiered')"
+    )
+
+
+def attach_cache_nudge(repository, cache: "CacheBackend"):
+    """Broadcast this repository's writes to a cache tier; returns the listener.
+
+    Every mutation already bumps the DB-backed clocks transactionally;
+    the listener additionally calls ``evict_watermark`` with the
+    post-write clocks so stale entries are swept proactively -- on a
+    shared tier, for every replica at once.  Detach with
+    ``repository.remove_write_listener(listener)``.
+    """
+
+    def nudge(clocks) -> None:
+        cache.evict_watermark(clocks)
+
+    repository.add_write_listener(nudge)
+    return nudge
+
+
+def warm_cache(service, cache: "CacheBackend", limit: int = 64) -> int:
+    """Replay the repository's hottest recorded requests into ``cache``.
+
+    Fetches the top ``limit`` request hashes from the repository's
+    ``request_stats`` table, re-executes each through ``service`` (under
+    clocks captured before execution, exactly like a live request), and
+    puts the response envelopes.  Requests already cached under current
+    clocks are skipped; requests that no longer execute (their schema was
+    unregistered, the payload predates an option change) are skipped too
+    -- warming is best-effort by nature.  Returns the number of entries
+    actually warmed.
+    """
+    from repro.server.app import endpoint_clocks, endpoint_executor
+    from repro.service import (
+        CorpusMatchRequest,
+        MatchRequest,
+        NetworkMatchRequest,
+    )
+
+    repository = service.repository
+    if repository is None or limit <= 0:
+        return 0
+    request_types = {
+        "/match": MatchRequest,
+        "/corpus-match": CorpusMatchRequest,
+        "/network-match": NetworkMatchRequest,
+    }
+    warmed = 0
+    for key, endpoint, payload, _count in repository.hot_requests(limit):
+        request_type = request_types.get(endpoint)
+        executor = endpoint_executor(service, endpoint)
+        if request_type is None or executor is None:
+            continue
+        clocks = endpoint_clocks(repository, endpoint)
+        if cache.get(key, clocks) is not None:
+            continue
+        try:
+            request = request_type.from_dict(payload)
+            envelope = executor(request).to_dict()
+        except Exception:
+            continue
+        cache.put(key, envelope, clocks)
+        warmed += 1
+    return warmed

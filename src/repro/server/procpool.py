@@ -14,12 +14,15 @@ classic prefork answer, stdlib-only:
   :class:`~repro.repository.backends.PooledSqliteBackend` on the same
   WAL database file (SQLite connections must never cross a fork), so all
   workers serve one shared store;
-* response caches stay per-process, but their invalidation watermarks --
-  the ``generation`` / ``match_generation`` clocks -- live in the
-  database and move transactionally with every write, so a write through
-  ANY process (or any outside writer on the same file) makes every
-  worker's stale entries invalidate on their next lookup.  Exactness is
-  measured by bench E20's interleaved write/read sweep.
+* response caches are per-process by default, but their invalidation
+  watermarks -- the ``generation`` / ``match_generation`` clocks -- live
+  in the database and move transactionally with every write, so a write
+  through ANY process (or any outside writer on the same file) makes
+  every worker's stale entries invalidate on their next lookup.
+  Exactness is measured by bench E20's interleaved write/read sweep.
+  With ``cache_url`` every worker instead joins one shared cache tier
+  (``repro cache-serve``; see :mod:`repro.server.distcache`), so a miss
+  computed by one worker is a hit for all of them -- bench E22.
 
 Shutdown: SIGTERM/SIGINT to the parent fans out as SIGTERM to every
 worker; each worker stops accepting, drains its in-flight handler
@@ -44,6 +47,7 @@ from typing import Callable
 
 from repro.repository.store import MetadataRepository
 from repro.server.app import MatchServer
+from repro.server.distcache import build_cache
 from repro.service import MatchOptions, MatchService
 
 __all__ = ["serve_process_pool"]
@@ -59,6 +63,10 @@ def _worker_main(
     quiet: bool,
     refresh_interval: float | None = None,
     corpus_shards: int | None = None,
+    cache_url: str | None = None,
+    cache_tier: str = "auto",
+    cache_timeout: float = 1.0,
+    warm_limit: int = 0,
 ) -> int:
     """One worker: open the shared store, serve the inherited socket.
 
@@ -80,11 +88,23 @@ def _worker_main(
         service = MatchService(
             repository=repository, options=options, corpus_shards=corpus_shards
         )
+        # Each worker builds its own cache tier AFTER the fork (sockets to
+        # a shared cache server must never cross one, same rule as SQLite
+        # connections); with --cache-url every worker's shared tier is the
+        # same cache process, so one worker's computed miss (or one
+        # write's nudge) serves the whole pool.
         server = MatchServer(
             service,
             cache_size=cache_size,
             quiet=quiet,
             listen_socket=listen_socket,
+            cache=build_cache(
+                cache_size=cache_size,
+                cache_url=cache_url,
+                tier=cache_tier,
+                timeout=cache_timeout,
+            ),
+            warm_limit=warm_limit,
         )
         if refresh_interval is not None:
             # Each worker keeps its own corpus snapshots warm; the shared
@@ -119,6 +139,10 @@ def serve_process_pool(
     announce: Callable[[str, int], None] | None = None,
     refresh_interval: float | None = None,
     corpus_shards: int | None = None,
+    cache_url: str | None = None,
+    cache_tier: str = "auto",
+    cache_timeout: float = 1.0,
+    warm_limit: int = 0,
 ) -> int:
     """Run ``n_workers`` prefork servers over one socket and one store.
 
@@ -161,6 +185,10 @@ def serve_process_pool(
                         quiet,
                         refresh_interval,
                         corpus_shards,
+                        cache_url,
+                        cache_tier,
+                        cache_timeout,
+                        warm_limit,
                     )
                 finally:
                     sys.stdout.flush()

@@ -356,6 +356,61 @@ class TestSequences:
             backend.next_sequences(-3)
 
 
+class TestRequestStats:
+    """The cache-warming source: counted request hashes, hottest-first.
+
+    ``record_requests`` is a bulk upsert (counts accumulate, the latest
+    endpoint/payload wins) and, like fingerprint writes, moves NO clock:
+    request statistics are observability, not repository content, so a
+    flush can never invalidate anyone's response cache.
+    """
+
+    def test_record_and_rank(self, backend):
+        backend.record_requests(
+            [
+                ("key-a", "/match", {"source": "A", "target": "B"}, 3),
+                ("key-b", "/corpus-match", {"source": "A"}, 5),
+                ("key-c", "/match", {"source": "B", "target": "C"}, 1),
+            ]
+        )
+        hot = backend.hot_requests(2)
+        assert [record[0] for record in hot] == ["key-b", "key-a"]
+        key, endpoint, payload, count = hot[0]
+        assert (endpoint, payload, count) == ("/corpus-match", {"source": "A"}, 5)
+
+    def test_counts_accumulate_and_payload_refreshes(self, backend):
+        backend.record_requests([("key-a", "/match", {"v": 1}, 2)])
+        backend.record_requests([("key-a", "/match", {"v": 2}, 3)])
+        ((key, endpoint, payload, count),) = backend.hot_requests(10)
+        assert (key, count) == ("key-a", 5)
+        assert payload == {"v": 2}
+
+    def test_ties_break_deterministically_by_key(self, backend):
+        backend.record_requests(
+            [
+                ("key-z", "/match", {}, 4),
+                ("key-a", "/match", {}, 4),
+            ]
+        )
+        assert [record[0] for record in backend.hot_requests(10)] == [
+            "key-a", "key-z",
+        ]
+
+    def test_limit_and_empty_store(self, backend):
+        assert backend.hot_requests(10) == []
+        backend.record_requests(
+            [(f"key-{index}", "/match", {}, index + 1) for index in range(5)]
+        )
+        assert len(backend.hot_requests(3)) == 3
+        backend.record_requests([])  # a no-op flush is legal
+        assert len(backend.hot_requests(10)) == 5
+
+    def test_recording_moves_no_clock(self, backend):
+        clocks_before = backend.clocks()
+        backend.record_requests([("key-a", "/match", {"source": "A"}, 1)])
+        assert backend.clocks() == clocks_before
+
+
 class TestPersistenceAcrossReopen:
     """File-backed backends must survive close/reopen -- clocks included.
 
@@ -392,6 +447,20 @@ class TestPersistenceAcrossReopen:
         reopened = _open(kind, tmp_path)
         try:
             assert reopened.next_sequences(1) == 6
+        finally:
+            reopened.close()
+
+    def test_request_stats_survive_reopen(self, kind, tmp_path):
+        """The warming source outlives the replica that recorded it --
+        that is the whole point: the NEXT server to start warms from it."""
+        store = _open(kind, tmp_path)
+        store.record_requests([("key-a", "/match", {"source": "A"}, 7)])
+        store.close()
+        reopened = _open(kind, tmp_path)
+        try:
+            assert reopened.hot_requests(10) == [
+                ("key-a", "/match", {"source": "A"}, 7)
+            ]
         finally:
             reopened.close()
 

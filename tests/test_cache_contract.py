@@ -1,0 +1,548 @@
+"""The executable CacheBackend contract, run against every cache tier.
+
+Every test in the contract class is parametrized over the three shipping
+backends -- the in-process :class:`~repro.server.cache.ResponseCache`,
+the shared TCP tier (:class:`~repro.server.distcache.CacheServer` behind
+a :class:`~repro.server.distcache.RemoteCache` client), and the
+two-level :class:`~repro.server.distcache.TieredCache` composition --
+and asserts IDENTICAL semantics: exact-clock validation on ``get``,
+component-wise watermark eviction (``None`` never outdates), a hard LRU
+bound that holds under a concurrent hammer, and stats that add up.  The
+protocol prose lives on
+:class:`~repro.server.distcache.CacheBackend`; this file is the version
+that can fail.
+
+The fault half of the contract is the remote tier's degradation rule: a
+cache that is down, hung, or poisoned (garbage on the wire) may cost a
+miss and an error counter, NEVER a wrong answer, an exception on the
+request path, or an unbounded wait.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.cache import CacheStats, ResponseCache, clocks_outdated
+from repro.server.distcache import (
+    CacheBackend,
+    CacheServer,
+    RemoteCache,
+    TieredCache,
+    build_cache,
+)
+
+BACKENDS = ("local", "remote", "tiered")
+MAX_ENTRIES = 32
+
+
+class _Rig:
+    """One cache backend plus enough plumbing to tear it down."""
+
+    def __init__(self, kind: str, max_entries: int = MAX_ENTRIES):
+        self.kind = kind
+        self.max_entries = max_entries
+        self.server: CacheServer | None = None
+        self._accept_thread: threading.Thread | None = None
+        if kind == "local":
+            self.cache: CacheBackend = ResponseCache(max_entries=max_entries)
+            self.tiers = 1
+            return
+        self.server = CacheServer(port=0, cache_size=max_entries)
+        self._accept_thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self._accept_thread.start()
+        remote = RemoteCache(self.server.address, timeout=5.0)
+        if kind == "remote":
+            self.cache = remote
+            self.tiers = 1
+        else:
+            self.cache = TieredCache(
+                ResponseCache(max_entries=max_entries), remote
+            )
+            self.tiers = 2
+
+    def close(self) -> None:
+        self.cache.close()
+        if self.server is not None:
+            self.server.shutdown()
+            self._accept_thread.join()
+            self.server.server_close()
+
+
+@pytest.fixture(params=BACKENDS)
+def rig(request):
+    built = _Rig(request.param)
+    yield built
+    built.close()
+
+
+# ----------------------------------------------------------------------
+# The contract proper: identical semantics across all three tiers
+# ----------------------------------------------------------------------
+class TestCacheContract:
+    def test_satisfies_the_runtime_protocol(self, rig):
+        assert isinstance(rig.cache, CacheBackend)
+
+    def test_get_put_roundtrip(self, rig):
+        cache = rig.cache
+        assert cache.get("k", (1, 1)) is None
+        value = {"answer": [1, 2, {"nested": "yes", "unicode": "Séma"}]}
+        cache.put("k", value, (1, 1))
+        assert cache.get("k", (1, 1)) == value
+        assert len(cache) == 1
+
+    def test_exact_clock_validation(self, rig):
+        """Any clock difference -- newer, older, regressed -- is a miss."""
+        cache = rig.cache
+        cache.put("k", {"v": 1}, (2, 2))
+        for stale_clocks in ((2, 3), (3, 2), (1, 2), (2, 1), (None, None)):
+            cache.put("k", {"v": 1}, (2, 2))
+            assert cache.get("k", stale_clocks) is None
+        # The invalidated entry is gone, not retained stale.
+        assert cache.get("k", (2, 2)) is None
+
+    def test_none_clock_components_never_invalidate(self, rig):
+        cache = rig.cache
+        cache.put("k", {"v": 1}, (None, None))
+        assert cache.get("k", (None, None)) == {"v": 1}
+        cache.put("half", {"v": 2}, (7, None))
+        assert cache.get("half", (7, None)) == {"v": 2}
+
+    def test_evict_watermark_semantics(self, rig):
+        cache = rig.cache
+        cache.put("old", {"v": 1}, (1, 1))
+        cache.put("current", {"v": 2}, (2, 2))
+        cache.put("unclocked", {"v": 3}, (None, None))
+        evicted = cache.evict_watermark((2, 2))
+        # Exactly "old" per tier: equal clocks survive, None never outdates.
+        assert evicted == rig.tiers
+        assert cache.get("old", (1, 1)) is None
+        assert cache.get("current", (2, 2)) == {"v": 2}
+        assert cache.get("unclocked", (None, None)) == {"v": 3}
+
+    def test_evict_watermark_partial_components(self, rig):
+        cache = rig.cache
+        cache.put("match-only", {"v": 1}, (3, None))
+        cache.put("full", {"v": 2}, (3, 3))
+        # A watermark that moves only match_generation leaves /match-style
+        # entries (which do not depend on it) alone.
+        evicted = cache.evict_watermark((None, 9))
+        assert evicted == rig.tiers
+        assert cache.get("match-only", (3, None)) == {"v": 1}
+        assert cache.get("full", (3, 3)) is None
+
+    def test_lru_bound_holds(self, rig):
+        cache = rig.cache
+        for index in range(rig.max_entries * 3):
+            cache.put(f"key-{index}", {"v": index}, (1, 1))
+        assert len(cache) <= rig.max_entries
+        if rig.server is not None:
+            assert len(self_cache := rig.server.cache) <= rig.max_entries
+            assert self_cache.stats.evictions > 0
+        # The newest entry survived the trim.
+        newest = rig.max_entries * 3 - 1
+        assert cache.get(f"key-{newest}", (1, 1)) == {"v": newest}
+
+    def test_lru_bound_under_thread_hammer(self, rig):
+        """Concurrent put/get/evict/clear can never burst the bound."""
+        cache = rig.cache
+
+        def hammer(worker: int) -> None:
+            for index in range(120):
+                key = f"w{worker}-k{index % 48}"
+                cache.put(key, {"worker": worker, "index": index}, (1, index % 3))
+                value = cache.get(key, (1, index % 3))
+                assert value is None or value == {
+                    "worker": worker, "index": index
+                }
+                if index % 29 == 0:
+                    cache.evict_watermark((1, 2))
+                if index % 61 == 0:
+                    cache.clear()
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for future in [pool.submit(hammer, worker) for worker in range(6)]:
+                future.result()
+        assert len(cache) <= rig.max_entries
+        stats = cache.stats
+        assert stats.lookups == stats.hits + stats.misses
+
+    def test_stats_and_describe(self, rig):
+        cache = rig.cache
+        cache.put("k", {"v": 1}, (1, 1))
+        assert cache.get("k", (1, 1)) == {"v": 1}
+        assert cache.get("absent", (1, 1)) is None
+        assert cache.get("k", (2, 2)) is None  # invalidation
+        stats = cache.stats
+        assert stats.hits >= 1
+        assert stats.misses >= 2
+        assert stats.invalidations >= 1
+        assert stats.errors == 0
+        description = cache.describe()
+        assert description["kind"] == {
+            "local": "local", "remote": "remote", "tiered": "tiered"
+        }[rig.kind]
+        if rig.kind == "remote":
+            assert description["reachable"] is True
+        if rig.kind == "tiered":
+            assert description["local"]["kind"] == "local"
+            assert description["shared"]["kind"] == "remote"
+            attribution = description["attribution"]
+            assert attribution["local_hits"] + attribution["shared_hits"] >= 1
+
+    def test_hot_keys_rank_by_hits(self, rig):
+        cache = rig.cache
+        cache.put("a", {"v": 1}, (1, 1))
+        cache.put("b", {"v": 2}, (1, 1))
+        for _ in range(3):
+            assert cache.get("a", (1, 1)) is not None
+        assert cache.get("b", (1, 1)) is not None
+        hot = cache.hot_keys(limit=8)
+        assert hot and hot[0][0] == "a"
+        assert dict(hot)["a"] >= dict(hot).get("b", 0)
+
+    def test_clear_drops_entries_keeps_counters(self, rig):
+        cache = rig.cache
+        cache.put("k", {"v": 1}, (1, 1))
+        assert cache.get("k", (1, 1)) is not None
+        hits_before = cache.stats.hits
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k", (1, 1)) is None
+        assert cache.stats.hits == hits_before
+
+
+# ----------------------------------------------------------------------
+# Tier-specific composition behaviour
+# ----------------------------------------------------------------------
+class TestTieredComposition:
+    def test_shared_hit_backfills_local(self):
+        rig = _Rig("tiered")
+        try:
+            tiered = rig.cache
+            # Plant straight into the SHARED store: the local tier is cold.
+            rig.server.cache.put("k", {"v": 1}, (1, 1))
+            assert tiered.get("k", (1, 1)) == {"v": 1}
+            assert tiered.describe()["attribution"]["shared_hits"] == 1
+            # The backfill made the next lookup a no-network local hit.
+            assert tiered.local.get("k", (1, 1)) == {"v": 1}
+            assert tiered.get("k", (1, 1)) == {"v": 1}
+            assert tiered.describe()["attribution"]["local_hits"] >= 1
+        finally:
+            rig.close()
+
+    def test_one_replicas_put_warms_another(self):
+        rig = _Rig("tiered")
+        try:
+            other = TieredCache(
+                ResponseCache(max_entries=8),
+                RemoteCache(rig.server.address, timeout=5.0),
+            )
+            rig.cache.put("k", {"v": 1}, (1, 1))
+            assert other.get("k", (1, 1)) == {"v": 1}
+            assert other.describe()["attribution"]["shared_hits"] == 1
+            other.close()
+        finally:
+            rig.close()
+
+    def test_build_cache_resolves_tiers(self):
+        local = build_cache(cache_size=4)
+        assert isinstance(local, ResponseCache)
+        server = CacheServer(port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            shared = build_cache(cache_url=server.address, tier="shared")
+            assert isinstance(shared, RemoteCache)
+            tiered = build_cache(cache_url=server.address)
+            assert isinstance(tiered, TieredCache)
+            shared.close()
+            tiered.close()
+        finally:
+            server.shutdown()
+            thread.join()
+            server.server_close()
+        with pytest.raises(ValueError, match="needs a cache server address"):
+            build_cache(tier="tiered")
+        with pytest.raises(ValueError, match="unknown cache tier"):
+            build_cache(cache_url="127.0.0.1:1", tier="bogus")
+
+
+# ----------------------------------------------------------------------
+# Fault injection: down, hung, and poisoned shared tiers degrade to misses
+# ----------------------------------------------------------------------
+class _PoisonedServer:
+    """A TCP listener whose every reply is configurable garbage."""
+
+    def __init__(self, reply: bytes | None):
+        self.reply = reply  # None = accept, read, never answer (a hang)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = "127.0.0.1:{}".format(self._listener.getsockname()[1])
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        self._listener.settimeout(0.1)
+        connections = []
+        while not self._stop.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            connections.append(connection)
+            try:
+                connection.recv(65536)
+                if self.reply == b"":
+                    connection.close()  # hang up mid-call, no reply at all
+                elif self.reply is not None:
+                    connection.sendall(self.reply)
+            except OSError:
+                pass
+        for connection in connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join()
+        self._listener.close()
+
+
+class TestFaultInjection:
+    def test_unreachable_server_degrades_to_miss(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        remote = RemoteCache(f"127.0.0.1:{dead_port}", timeout=0.5)
+        assert remote.get("k", (1, 1)) is None
+        remote.put("k", {"v": 1}, (1, 1))  # must not raise
+        assert remote.evict_watermark((1, 1)) == 0
+        assert remote.hot_keys() == []
+        assert remote.ping() is False
+        assert remote.errors >= 2
+        assert remote.stats.errors >= 2
+        assert remote.describe()["reachable"] is False
+        remote.close()
+
+    def test_poisoned_reply_is_a_miss_never_a_wrong_answer(self):
+        for poison in (
+            b"!!this is not json!!\n",
+            b'{"ok": false, "error": "cosmic rays"}\n',
+            b'"just a string"\n',
+            b"",  # connection closed without a reply
+        ):
+            server = _PoisonedServer(poison)
+            remote = RemoteCache(server.address, timeout=1.0)
+            try:
+                assert remote.get("k", (1, 1)) is None
+                assert remote.errors == 1
+            finally:
+                remote.close()
+                server.close()
+
+    def test_hung_server_is_bounded_by_the_timeout(self):
+        server = _PoisonedServer(reply=None)
+        remote = RemoteCache(server.address, timeout=0.3)
+        try:
+            started = time.perf_counter()
+            assert remote.get("k", (1, 1)) is None
+            assert time.perf_counter() - started < 3.0
+            assert remote.errors == 1
+        finally:
+            remote.close()
+            server.close()
+
+    def test_degraded_shared_tier_leaves_tiered_correct(self):
+        """Local answers keep flowing when the shared tier is poisoned."""
+        server = _PoisonedServer(b"garbage\n")
+        tiered = TieredCache(
+            ResponseCache(max_entries=8),
+            RemoteCache(server.address, timeout=0.5),
+        )
+        try:
+            tiered.put("k", {"v": 1}, (1, 1))  # shared write degrades silently
+            assert tiered.get("k", (1, 1)) == {"v": 1}  # local tier answers
+            assert tiered.get("cold", (1, 1)) is None
+            assert tiered.stats.errors >= 1
+            assert tiered.describe()["shared"]["reachable"] is False
+        finally:
+            tiered.close()
+            server.close()
+
+    def test_reattach_after_restart(self):
+        """A cache-server bounce needs no replica intervention."""
+        server = CacheServer(port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        port = server.port
+        remote = RemoteCache(server.address, timeout=1.0)
+        try:
+            remote.put("k", {"v": 1}, (1, 1))
+            assert remote.get("k", (1, 1)) == {"v": 1}
+            server.shutdown()
+            thread.join()
+            server.server_close()
+            assert remote.get("k", (1, 1)) is None  # down: degraded miss
+            errors_mid = remote.errors
+            assert errors_mid >= 1
+            server = CacheServer(port=port)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            remote.put("k2", {"v": 2}, (1, 1))  # reconnects transparently
+            assert remote.get("k2", (1, 1)) == {"v": 2}
+            assert remote.errors == errors_mid
+        finally:
+            remote.close()
+            server.shutdown()
+            thread.join()
+            server.server_close()
+
+
+# ----------------------------------------------------------------------
+# Property tests: wire round-trips and the eviction predicate
+# ----------------------------------------------------------------------
+_json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=24),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+_envelopes = st.dictionaries(st.text(max_size=8), _json_values, max_size=4)
+_clock_components = st.none() | st.integers(min_value=0, max_value=2**31)
+_clocks = st.tuples(_clock_components, _clock_components)
+
+
+@pytest.fixture(scope="module")
+def shared_server():
+    server = CacheServer(port=0, cache_size=4096)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    thread.join()
+    server.server_close()
+
+
+class TestProperties:
+    @given(stats=st.builds(
+        CacheStats,
+        hits=st.integers(min_value=0, max_value=2**40),
+        misses=st.integers(min_value=0, max_value=2**40),
+        invalidations=st.integers(min_value=0, max_value=2**40),
+        evictions=st.integers(min_value=0, max_value=2**40),
+        errors=st.integers(min_value=0, max_value=2**40),
+    ))
+    def test_stats_survive_the_wire_encoding(self, stats):
+        assert CacheStats.from_dict(stats.to_dict()) == stats
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=_envelopes, clocks=_clocks, data=st.data())
+    def test_values_survive_the_remote_roundtrip(
+        self, shared_server, value, clocks, data
+    ):
+        key = f"prop-{data.draw(st.integers(min_value=0, max_value=2**63))}"
+        remote = RemoteCache(shared_server.address, timeout=5.0)
+        try:
+            remote.put(key, value, clocks)
+            assert remote.errors == 0
+            # JSON has no tuples and conflates them with lists; envelopes
+            # are built from to_dict() so only lists occur -- and a stored
+            # {} or [] must come back as itself, not as a miss.
+            assert remote.get(key, clocks) == value
+            assert remote.get(key, (("x", "y"))) is None
+        finally:
+            remote.close()
+
+    @given(entry=_clocks, watermark=_clocks)
+    def test_eviction_predicate_matches_backends(self, entry, watermark):
+        outdated = clocks_outdated(entry, watermark)
+        # The predicate in code form: strictly-older on any component both
+        # sides actually constrain.
+        expected = any(
+            e is not None and w is not None and e < w
+            for e, w in zip(entry, watermark)
+        )
+        assert outdated == expected
+        cache = ResponseCache(max_entries=4)
+        cache.put("k", {"v": 1}, entry)
+        assert cache.evict_watermark(watermark) == (1 if expected else 0)
+
+
+# ----------------------------------------------------------------------
+# The PR's accounting audit, pinned: LRU size under concurrent put/evict
+# ----------------------------------------------------------------------
+class TestResponseCacheAccounting:
+    """Regression pin for the local tier's size/hot-key bookkeeping.
+
+    Audited for this PR: every mutation of ``_entries`` happens under one
+    lock and every eviction path (clock invalidation, LRU trim, watermark
+    sweep, clear) must also drop the per-key hit counter, or ``hot_keys``
+    leaks unbounded keys the cache no longer holds.
+    """
+
+    def test_hit_counters_never_outlive_entries(self):
+        cache = ResponseCache(max_entries=4)
+        for index in range(16):
+            key = f"k{index}"
+            cache.put(key, {"v": index}, (1, index % 2))
+            cache.get(key, (1, index % 2))
+        cache.get("k15", (9, 9))          # clock invalidation path
+        cache.evict_watermark((2, 2))     # watermark sweep path
+        assert set(cache._hits_by_key) <= set(cache._entries)
+        cache.clear()
+        assert cache._hits_by_key == {}
+
+    def test_size_accounting_under_concurrent_put_and_evict(self):
+        cache = ResponseCache(max_entries=16)
+        stop = threading.Event()
+
+        def sweeper() -> None:
+            generation = 2
+            while not stop.is_set():
+                cache.evict_watermark((generation, generation))
+                generation += 1
+
+        def writer(worker: int) -> None:
+            for index in range(400):
+                cache.put(f"w{worker}-{index % 40}", {"v": index}, (1, 1))
+                cache.get(f"w{worker}-{index % 40}", (1, 1))
+
+        sweep_thread = threading.Thread(target=sweeper, daemon=True)
+        sweep_thread.start()
+        try:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                for future in [pool.submit(writer, w) for w in range(4)]:
+                    future.result()
+        finally:
+            stop.set()
+            sweep_thread.join()
+        # The bound held, the books balance, nothing leaked.
+        assert len(cache) <= 16
+        assert len(cache._entries) == len(cache)
+        assert set(cache._hits_by_key) <= set(cache._entries)
+        stats = cache.stats
+        assert stats.lookups == stats.hits + stats.misses
+        assert min(
+            stats.hits, stats.misses, stats.invalidations, stats.evictions
+        ) >= 0

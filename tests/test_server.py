@@ -365,6 +365,7 @@ class TestCacheInvalidationOverHttp:
         # off an element that already pivots D0S0 -> D0S1, so the routed
         # D0S0 -> D0S2 answer must change.
         old_generation = repository.match_generation
+        invalidations_before = server.cache.stats.invalidations
         pivot = repository.matches(source_schema="D0S0", target_schema="D0S1")[0]
         from repro.match import Correspondence
 
@@ -383,11 +384,12 @@ class TestCacheInvalidationOverHttp:
         )
         assert repository.match_generation > old_generation
 
-        invalidations_before = server.cache.stats.invalidations
         after_corpus = client.corpus_match(corpus_request)
         assert client.last_cache_status == "miss"
         after_network = client.network_match(network_request)
         assert client.last_cache_status == "miss"
+        # Both stale entries are gone: whether the write's nudge swept them
+        # or the per-lookup clock check refused them, the counter moved.
         assert server.cache.stats.invalidations >= invalidations_before + 2
 
         # Recomputed, not stale: the fresh answers fold the new assertion.
