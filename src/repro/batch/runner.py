@@ -13,12 +13,17 @@ for a repository.  :class:`BatchMatchRunner` is the corpus-scale fast path
    :meth:`~repro.matchers.base.MatchVoter.score_pairs` API (exact same
    confidences as the per-grid path; non-vectorised voters fall back
    transparently),
-4. pairs fan out over a ``concurrent.futures`` thread or process pool.
+4. with a cascade attached, candidate scores inside the plan's ambiguity
+   band escalate to the Stage-2 oracle (budgeted, most-ambiguous-first;
+   see :mod:`repro.cascade` and ``docs/cascade.md``) -- the same staged
+   semantics as the exact engine, applied to the candidate list,
+5. pairs fan out over a ``concurrent.futures`` thread or process pool.
 
 Non-candidate pairs take ``fill_value`` (default 0.0 -- complete
-uncertainty), so selection strategies see them as unmatchable; end-to-end
-recall versus the exact engine therefore equals the measured blocking
-recall (bench E16 holds it >= 0.98 on the case study).
+uncertainty), so selection strategies see them as unmatchable -- and never
+escalate: the cascade only judges pairs Stage 1 actually scored.
+End-to-end recall versus the exact engine therefore equals the measured
+blocking recall (bench E16 holds it >= 0.98 on the case study).
 """
 
 from __future__ import annotations
@@ -32,6 +37,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.batch.blocking import BlockingPolicy, CandidateSet, candidate_pairs
+from repro.cascade.executor import CascadeExecutor
+from repro.cascade.plan import CascadePlan, CascadeReport
 from repro.match.correspondence import Correspondence
 from repro.match.engine import MatchResult
 from repro.match.matrix import MatchMatrix
@@ -77,6 +84,7 @@ class BatchPairOutcome:
     elapsed_seconds: float
     correspondences: list[Correspondence]
     matrix: MatchMatrix | None = None
+    cascade: CascadeReport | None = None
 
     @property
     def n_pairs(self) -> int:
@@ -90,7 +98,14 @@ class BatchPairOutcome:
 
 
 def _worker_match_chunk(payload: dict) -> list[BatchPairOutcome]:
-    """Process-pool entry point: rebuild a serial runner, match a chunk."""
+    """Process-pool entry point: rebuild a serial runner, match a chunk.
+
+    Cascades ship as their declarative plan: each worker compiles its own
+    executor (registry-resolved oracle, private judgement cache), so
+    custom oracle names must be registered at import time to be visible
+    here.
+    """
+    plan: CascadePlan | None = payload.get("cascade_plan")
     runner = BatchMatchRunner(
         voters=payload["voters"],
         merger=payload["merger"],
@@ -99,6 +114,7 @@ def _worker_match_chunk(payload: dict) -> list[BatchPairOutcome]:
         fill_value=payload["fill_value"],
         executor="serial",
         keep_matrices=False,
+        cascade=CascadeExecutor.from_plan(plan) if plan is not None else None,
     )
     schemata: dict[str, Schema] = payload["schemata"]
     return [
@@ -149,6 +165,12 @@ class BatchMatchRunner:
         An externally owned ``{id(schema): SchemaProfile}`` dict, letting a
         service share one profile cache across engines and batch runners;
         the runner owns a private dict when omitted.
+    cascade:
+        An optional compiled :class:`~repro.cascade.CascadeExecutor`
+        applied to every pair's merged candidate scores (see the module
+        docstring).  ``None`` keeps the fast path single-stage and
+        bit-identical to the pre-cascade runner.  Process-pool fan-out
+        ships the *plan* and recompiles per worker.
     """
 
     def __init__(
@@ -163,6 +185,7 @@ class BatchMatchRunner:
         max_workers: int | None = None,
         keep_matrices: bool = True,
         profile_cache: dict[int, SchemaProfile] | None = None,
+        cascade: CascadeExecutor | None = None,
     ):
         self._default_ensemble = voters is None
         if voters is None:
@@ -197,6 +220,7 @@ class BatchMatchRunner:
         self._profiles: dict[int, SchemaProfile] = (
             profile_cache if profile_cache is not None else {}
         )
+        self.cascade = cascade
 
     # -- caches ---------------------------------------------------------
     def profile(self, schema: Schema) -> SchemaProfile:
@@ -268,6 +292,16 @@ class BatchMatchRunner:
             n_rows = len(source_profile)
 
         merged = self._merge_candidates(source_profile, target_profile, candidates)
+        cascade_report: CascadeReport | None = None
+        if self.cascade is not None:
+            merged, cascade_report = self.cascade.escalate_pairs(
+                source_profile,
+                target_profile,
+                candidates.rows,
+                candidates.cols,
+                merged,
+                stage1_seconds=time.perf_counter() - started,
+            )
         scores = np.full((n_rows, len(target_profile)), self.fill_value)
         scores[matrix_rows, candidates.cols] = merged
         matrix = MatchMatrix(source_ids, target_profile.element_ids, scores)
@@ -278,6 +312,7 @@ class BatchMatchRunner:
             elapsed_seconds=time.perf_counter() - started,
             voter_names=[voter.name for voter in self.voters],
             n_candidates=candidates.n_candidates,
+            cascade=cascade_report,
         )
 
     def _merge_candidates(
@@ -324,6 +359,7 @@ class BatchMatchRunner:
             elapsed_seconds=result.elapsed_seconds,
             correspondences=result.candidates(selection),
             matrix=result.matrix if self.keep_matrices else None,
+            cascade=result.cascade,
         )
 
     def _run_pairs(
@@ -372,6 +408,9 @@ class BatchMatchRunner:
                         "selection": selection,
                         "blocking": self.blocking,
                         "fill_value": self.fill_value,
+                        "cascade_plan": (
+                            self.cascade.plan if self.cascade is not None else None
+                        ),
                     }
                 )
             outcome_lists = list(pool.map(_worker_match_chunk, payloads))

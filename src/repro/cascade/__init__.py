@@ -1,0 +1,57 @@
+"""Staged cheap->oracle cascade execution (see ``docs/cascade.md``).
+
+Voter execution used to be single-stage: every voter over every pair, one
+merge.  This package refactors that into a *cascade*: Stage 1 is the cheap
+ensemble exactly as before, and pairs whose merged confidence lands inside
+an ambiguity band escalate -- most ambiguous first, under a per-request
+budget -- to a pluggable Stage-2 :class:`OracleVoter`, with judgements
+cached under the server's canonical-hash key discipline.
+
+* :class:`CascadePlan` -- the declarative configuration (band, budget,
+  oracle name, blend weight); embeds in
+  :class:`~repro.service.options.MatchOptions` and travels over the wire;
+* :class:`CascadeStage` / :class:`CascadeReport` -- per-stage timing and
+  oracle spend accounting, serialised inside response envelopes;
+* :class:`OracleVoter` -- the pluggable judgement protocol, with
+  :class:`ThesaurusOracle` (offline reference) and
+  :class:`RecordedOracle` (deterministic record/replay for tests, benches
+  and offline-first LLM traces);
+* :class:`CascadeExecutor` -- the shared escalation semantics both the
+  exact engine and the batch runner call into;
+* :class:`CascadeCounters` -- service-level spend totals for ``/healthz``
+  and ``/metrics``.
+"""
+
+from repro.cascade.executor import (
+    ORACLE_CACHE_CLOCKS,
+    CascadeCounters,
+    CascadeExecutor,
+)
+from repro.cascade.oracle import (
+    OracleVoter,
+    RecordedOracle,
+    ThesaurusOracle,
+    build_oracle,
+    element_view,
+    oracle_names,
+    oracle_request_key,
+    register_oracle,
+)
+from repro.cascade.plan import CascadePlan, CascadeReport, CascadeStage
+
+__all__ = [
+    "CascadePlan",
+    "CascadeStage",
+    "CascadeReport",
+    "OracleVoter",
+    "RecordedOracle",
+    "ThesaurusOracle",
+    "CascadeExecutor",
+    "CascadeCounters",
+    "ORACLE_CACHE_CLOCKS",
+    "element_view",
+    "oracle_request_key",
+    "register_oracle",
+    "build_oracle",
+    "oracle_names",
+]

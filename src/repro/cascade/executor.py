@@ -1,0 +1,281 @@
+"""Budgeted Stage-2 escalation over Stage-1 merged confidences.
+
+The :class:`CascadeExecutor` is the piece both execution paths share: the
+exact engine hands it a merged confidence *grid*, the batch runner a merged
+candidate *list*, and it applies the same semantics to either:
+
+1. **band** -- pairs with ``|c| < band`` are ambiguous;
+2. **order** -- most ambiguous first (ascending ``|c|``), with pair
+   position as the deterministic tie-break, so the escalation set is a
+   pure function of the inputs;
+3. **budget** -- at most ``plan.budget`` pairs are judged per request
+   (cache hits count against the budget too -- budgets bound *escalations*,
+   so warm caches change cost, never which pairs escalate);
+4. **cache** -- judgements are looked up / stored under
+   :func:`~repro.cascade.oracle.oracle_request_key` with clock-free
+   watermarks (a judgement depends only on element content, so it can
+   never go stale) through any
+   :class:`~repro.server.distcache.CacheBackend`;
+5. **blend** -- escalated scores become
+   ``(1 - weight) * cheap + weight * oracle``, clipped to [-1, 1].
+
+With no executor attached the engine and runner never enter this module --
+the zero-cascade paths stay bit-identical to the pre-cascade pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.cascade.oracle import (
+    OracleVoter,
+    build_oracle,
+    element_view,
+    oracle_request_key,
+)
+from repro.cascade.plan import CascadePlan, CascadeReport, CascadeStage
+from repro.matchers.profile import SchemaProfile
+
+__all__ = ["CascadeExecutor", "CascadeCounters", "ORACLE_CACHE_CLOCKS"]
+
+#: Oracle-cache entries are content-addressed: ``None`` clock components
+#: mean "no dependency on that clock" (see ``repro.server.cache``), so a
+#: judgement stored once validates forever and survives repository writes.
+ORACLE_CACHE_CLOCKS: tuple = (None, None)
+
+
+class CascadeCounters:
+    """Thread-safe oracle spend accounting, aggregated across requests.
+
+    One instance per :class:`~repro.service.MatchService`; every cascaded
+    invocation folds its :class:`~repro.cascade.plan.CascadeReport` in, and
+    the server surfaces the totals on ``/healthz`` and ``/metrics``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.ambiguous = 0
+        self.escalated = 0
+        self.oracle_calls = 0
+        self.oracle_cache_hits = 0
+        self.truncated = 0
+
+    def record(self, report: CascadeReport) -> None:
+        with self._lock:
+            self.requests += 1
+            self.ambiguous += report.n_ambiguous
+            self.escalated += report.n_escalated
+            self.oracle_calls += report.oracle_calls
+            self.oracle_cache_hits += report.oracle_cache_hits
+            self.truncated += 1 if report.truncated else 0
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "ambiguous": self.ambiguous,
+                "escalated": self.escalated,
+                "oracle_calls": self.oracle_calls,
+                "oracle_cache_hits": self.oracle_cache_hits,
+                "truncated": self.truncated,
+            }
+
+
+class CascadeExecutor:
+    """One compiled cascade: a plan bound to a live oracle, cache, counters.
+
+    Parameters
+    ----------
+    plan:
+        The declarative :class:`CascadePlan`.
+    oracle:
+        A live :class:`OracleVoter`; resolved from the plan's registry
+        name when omitted.
+    cache:
+        Any ``get``/``put`` cache backend (the in-process
+        :class:`~repro.server.cache.ResponseCache`, a
+        :class:`~repro.server.distcache.RemoteCache`, or a
+        :class:`~repro.server.distcache.TieredCache`); ``None`` disables
+        judgement caching.
+    counters:
+        A shared :class:`CascadeCounters` to fold reports into (the
+        service passes its own; standalone executors may omit).
+    """
+
+    def __init__(
+        self,
+        plan: CascadePlan,
+        oracle: OracleVoter | None = None,
+        cache: Any | None = None,
+        counters: CascadeCounters | None = None,
+    ):
+        self.plan = plan
+        self.oracle = oracle if oracle is not None else build_oracle(plan.oracle)
+        self.cache = cache
+        self.counters = counters
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: CascadePlan,
+        cache: Any | None = None,
+        counters: CascadeCounters | None = None,
+    ) -> "CascadeExecutor":
+        """Compile a plan with a registry-resolved oracle and a default
+        in-process judgement cache (pass ``cache`` explicitly -- e.g. a
+        distcache tier -- to share judgements across replicas)."""
+        if cache is None:
+            from repro.server.cache import ResponseCache
+
+            cache = ResponseCache(max_entries=4096)
+        return cls(plan, cache=cache, counters=counters)
+
+    # ------------------------------------------------------------------
+    def escalate_pairs(
+        self,
+        source_profile: SchemaProfile,
+        target_profile: SchemaProfile,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        scores: np.ndarray,
+        stage1_seconds: float,
+    ) -> tuple[np.ndarray, CascadeReport]:
+        """Escalate a candidate list (the batch path).
+
+        ``rows`` / ``cols`` are profile positions aligned with the 1-D
+        ``scores``; returns the blended scores (a copy when anything
+        escalates) and the report.
+        """
+        started = time.perf_counter()
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        ambiguous = np.nonzero(np.abs(scores) < self.plan.band)[0]
+        # Most ambiguous first; (row, col) position breaks |c| ties
+        # deterministically.  lexsort keys are least-significant first.
+        order = np.lexsort(
+            (cols[ambiguous], rows[ambiguous], np.abs(scores[ambiguous]))
+        )
+        selected = ambiguous[order]
+        truncated = False
+        budget = self.plan.budget
+        if budget is not None and selected.size > budget:
+            selected = selected[:budget]
+            truncated = True
+
+        blended = scores
+        oracle_calls = cache_hits = 0
+        escalated_pairs: list[tuple[str, str]] = []
+        if selected.size:
+            blended = scores.copy()
+            views = [
+                (
+                    element_view(source_profile, int(rows[index])),
+                    element_view(target_profile, int(cols[index])),
+                )
+                for index in selected
+            ]
+            keys = [
+                oracle_request_key(self.oracle.name, source, target)
+                for source, target in views
+            ]
+            verdicts: list[float | None] = [None] * selected.size
+            misses: list[int] = []
+            for position, key in enumerate(keys):
+                cached = (
+                    self.cache.get(key, ORACLE_CACHE_CLOCKS)
+                    if self.cache is not None
+                    else None
+                )
+                if cached is not None:
+                    verdicts[position] = float(cached)
+                    cache_hits += 1
+                else:
+                    misses.append(position)
+            if misses:
+                answers = self.oracle.judge([views[position] for position in misses])
+                oracle_calls = len(misses)
+                for position, answer in zip(misses, answers):
+                    verdict = float(np.clip(answer, -1.0, 1.0))
+                    verdicts[position] = verdict
+                    if self.cache is not None:
+                        self.cache.put(keys[position], verdict, ORACLE_CACHE_CLOCKS)
+            weight = self.plan.weight
+            for position, index in enumerate(selected):
+                blended[index] = float(
+                    np.clip(
+                        (1.0 - weight) * scores[index] + weight * verdicts[position],
+                        -1.0,
+                        1.0,
+                    )
+                )
+                escalated_pairs.append(
+                    (
+                        source_profile.element_ids[int(rows[index])],
+                        target_profile.element_ids[int(cols[index])],
+                    )
+                )
+
+        report = CascadeReport(
+            plan=self.plan,
+            n_ambiguous=int(ambiguous.size),
+            n_escalated=int(selected.size),
+            oracle_calls=oracle_calls,
+            oracle_cache_hits=cache_hits,
+            truncated=truncated,
+            stages=(
+                CascadeStage("cheap", int(scores.size), stage1_seconds),
+                CascadeStage(
+                    "oracle",
+                    int(selected.size),
+                    time.perf_counter() - started,
+                    oracle_calls=oracle_calls,
+                ),
+            ),
+            escalated_pairs=tuple(escalated_pairs),
+        )
+        if self.counters is not None:
+            self.counters.record(report)
+        return blended, report
+
+    def escalate_grid(
+        self,
+        source_profile: SchemaProfile,
+        target_profile: SchemaProfile,
+        row_positions: np.ndarray | None,
+        col_positions: np.ndarray | None,
+        merged: np.ndarray,
+        stage1_seconds: float,
+    ) -> tuple[np.ndarray, CascadeReport]:
+        """Escalate a merged grid (the exact path).
+
+        ``row_positions`` / ``col_positions`` are the profile positions the
+        grid axes correspond to (``None`` = the full profile).
+        """
+        row_positions = (
+            np.asarray(row_positions, dtype=int)
+            if row_positions is not None
+            else np.arange(len(source_profile))
+        )
+        col_positions = (
+            np.asarray(col_positions, dtype=int)
+            if col_positions is not None
+            else np.arange(len(target_profile))
+        )
+        n_rows, n_cols = merged.shape
+        grid_rows, grid_cols = np.meshgrid(
+            np.arange(n_rows), np.arange(n_cols), indexing="ij"
+        )
+        flat, report = self.escalate_pairs(
+            source_profile,
+            target_profile,
+            row_positions[grid_rows.ravel()],
+            col_positions[grid_cols.ravel()],
+            merged.ravel(),
+            stage1_seconds,
+        )
+        return flat.reshape(merged.shape), report

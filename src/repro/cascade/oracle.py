@@ -1,0 +1,301 @@
+"""The Stage-2 oracle protocol: expensive judgement behind a pluggable seam.
+
+An :class:`OracleVoter` answers the question the cheap ensemble could not:
+given two schema elements whose merged confidence fell inside the ambiguity
+band, how confident are we -- in the same (-1, +1) dialect every voter
+speaks -- that they correspond?  The protocol is deliberately minimal and
+*content-addressed*:
+
+* an oracle sees :func:`element_view` dicts (raw name, stemmed name and
+  documentation terms, data type, depth) -- a JSON-ready projection of the
+  pair, never live schema objects, so any judgement source (a synonym
+  lexicon, a recorded trace, a remote LLM) plugs in behind the same seam;
+* :func:`oracle_request_key` hashes a query exactly like the server's
+  response cache hashes a request (SHA-256 over canonical JSON), so oracle
+  judgements cache under the same key discipline -- and through the same
+  :class:`~repro.server.distcache.CacheBackend` tiers -- as responses;
+* oracles register by name (:func:`register_oracle` / :func:`build_oracle`)
+  so a :class:`~repro.cascade.plan.CascadePlan` stays declarative data.
+
+Two implementations ship: :class:`ThesaurusOracle`, the offline reference
+judge (abbreviation-expanded, synonym-canonicalised token evidence over
+names *and* documentation plus a data-type gate -- strictly more context
+than any single cheap voter spends per pair), and :class:`RecordedOracle`,
+the deterministic record/replay oracle tests and benches use in place of a
+live LLM (see ``docs/cascade.md`` for wrapping a real one offline-first).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.matchers.profile import SchemaProfile
+from repro.schema.datatypes import DataType
+from repro.text.abbrev import AbbreviationTable
+from repro.text.thesaurus import SynonymLexicon
+from repro.voting.confidence import saturation
+
+__all__ = [
+    "OracleVoter",
+    "RecordedOracle",
+    "ThesaurusOracle",
+    "element_view",
+    "oracle_request_key",
+    "register_oracle",
+    "build_oracle",
+    "oracle_names",
+]
+
+
+def element_view(profile: SchemaProfile, position: int) -> dict[str, Any]:
+    """The content-addressed projection of one element an oracle judges.
+
+    Deliberately contains no element ids or schema names: two elements with
+    identical content hash identically, so oracle-cache entries are
+    shareable across schema copies and replicas.
+    """
+    return {
+        "name": profile.raw_names[position],
+        "name_terms": list(profile.name_terms[position]),
+        "doc_terms": list(profile.doc_terms[position]),
+        "data_type": profile.data_types[position].value,
+        "depth": int(profile.depths[position]),
+    }
+
+
+def oracle_request_key(oracle: str, source: Mapping, target: Mapping) -> str:
+    """The oracle-cache key for one judgement: SHA-256 over canonical JSON.
+
+    Same recipe as :func:`repro.server.cache.canonical_request_key`
+    (canonical separators, sorted keys), with the oracle name standing in
+    for the endpoint -- two oracles never share judgements.
+    """
+    canonical = json.dumps(
+        {"oracle": oracle, "source": dict(source), "target": dict(target)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class OracleVoter(ABC):
+    """Base class for Stage-2 oracles (see module docstring).
+
+    Subclasses implement :meth:`judge`, mapping a batch of
+    ``(source_view, target_view)`` pairs to confidences in [-1, 1].
+    Batching is the unit of cost: a wrapped LLM sends one prompt per batch,
+    the reference oracles loop.
+    """
+
+    #: Short stable identifier (registry key, cache-key component).
+    name: str = "oracle"
+    #: Oracles sit above every cheap voter in the cascade's cost model.
+    cost_tier: str = "oracle"
+
+    @abstractmethod
+    def judge(
+        self, pairs: Sequence[tuple[Mapping, Mapping]]
+    ) -> list[float]:
+        """Confidences in [-1, 1], aligned with ``pairs``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ThesaurusOracle(OracleVoter):
+    """The offline reference oracle: spend more per pair, not more pairs.
+
+    Where the cheap thesaurus voter canonicalises *name* terms only, this
+    judge expands every name term through the abbreviation table, folds
+    both expansions and documentation terms through the synonym lexicon,
+    and gates the verdict on data-type agreement -- exactly the extra
+    evidence that separates a near-miss decoy (same-looking name, wrong
+    container and wrong documentation) from a true correspondence.
+    """
+
+    name = "thesaurus"
+
+    def __init__(
+        self,
+        lexicon: SynonymLexicon | None = None,
+        abbreviations: AbbreviationTable | None = None,
+        neutral: float = 0.3,
+        tau: float = 4.0,
+    ):
+        self.lexicon = lexicon if lexicon is not None else SynonymLexicon.default()
+        self.abbreviations = (
+            abbreviations if abbreviations is not None else AbbreviationTable.default()
+        )
+        if not 0.0 < neutral < 1.0:
+            raise ValueError(f"neutral must be in (0, 1), got {neutral}")
+        self.neutral = neutral
+        self.tau = tau
+
+    def _expand(self, terms: Sequence[str]) -> frozenset[str]:
+        expanded: set[str] = set()
+        for term in terms:
+            expanded.add(self.lexicon.canonical(term))
+            for word in self.abbreviations.expand(term):
+                expanded.add(self.lexicon.canonical(word))
+        return frozenset(expanded)
+
+    @staticmethod
+    def _jaccard(left: frozenset[str], right: frozenset[str]) -> float:
+        if not left or not right:
+            return 0.0
+        union = len(left | right)
+        return len(left & right) / union if union else 0.0
+
+    def judge(
+        self, pairs: Sequence[tuple[Mapping, Mapping]]
+    ) -> list[float]:
+        verdicts: list[float] = []
+        for source, target in pairs:
+            source_names = self._expand(source.get("name_terms", ()))
+            target_names = self._expand(target.get("name_terms", ()))
+            source_docs = self._expand(source.get("doc_terms", ()))
+            target_docs = self._expand(target.get("doc_terms", ()))
+            name_sim = self._jaccard(source_names, target_names)
+            doc_sim = self._jaccard(source_docs, target_docs)
+            if source_docs and target_docs:
+                similarity = 0.65 * name_sim + 0.35 * doc_sim
+            else:
+                similarity = name_sim
+            # Data-type gate: agreeing concrete types corroborate, clashing
+            # ones contradict, unknown/complex stays neutral.
+            left = source.get("data_type", DataType.UNKNOWN.value)
+            right = target.get("data_type", DataType.UNKNOWN.value)
+            vague = (DataType.UNKNOWN.value, DataType.COMPLEX.value)
+            if left not in vague and right not in vague:
+                similarity = min(1.0, similarity + 0.1) if left == right else similarity * 0.6
+            # Calibrate around ``neutral`` (the voters' piecewise-linear
+            # mapping), damped by the evidence mass actually compared.
+            if similarity >= self.neutral:
+                raw = (similarity - self.neutral) / (1.0 - self.neutral)
+            else:
+                raw = (similarity - self.neutral) / self.neutral
+            evidence = float(
+                len(source_names) + len(target_names)
+                + 0.5 * (len(source_docs) + len(target_docs))
+            )
+            verdicts.append(float(raw) * saturation(evidence, self.tau))
+        return verdicts
+
+
+class RecordedOracle(OracleVoter):
+    """Deterministic record/replay oracle for tests and benches.
+
+    Keys recordings by the content hash of each ``(source, target)`` view
+    pair, so a recording made in one process replays bit-identically in
+    another.  Three modes:
+
+    * **replay** -- ``RecordedOracle(recording)`` answers from the
+      recording; unknown pairs return ``default`` (or raise when
+      ``strict=True``);
+    * **record** -- ``RecordedOracle(inner=live_oracle)`` delegates misses
+      to ``inner`` and captures the answers (``.recording`` serialises via
+      :meth:`to_dict` -- the offline-first trace of a real LLM run);
+    * **synthetic** -- construct the recording dict directly (benches
+      recording a ground-truth-derived judge at a chosen fidelity).
+    """
+
+    name = "recorded"
+
+    def __init__(
+        self,
+        recording: Mapping[str, float] | None = None,
+        inner: OracleVoter | None = None,
+        default: float = 0.0,
+        strict: bool = False,
+    ):
+        self.recording: dict[str, float] = dict(recording) if recording else {}
+        self.inner = inner
+        if not -1.0 <= default <= 1.0:
+            raise ValueError(f"default must be in [-1, 1], got {default}")
+        self.default = default
+        self.strict = strict
+
+    @staticmethod
+    def pair_key(source: Mapping, target: Mapping) -> str:
+        """The recording key for one pair (oracle-name-independent)."""
+        return oracle_request_key("recorded", source, target)
+
+    def judge(
+        self, pairs: Sequence[tuple[Mapping, Mapping]]
+    ) -> list[float]:
+        verdicts: list[float] = []
+        missing: list[int] = []
+        for index, (source, target) in enumerate(pairs):
+            key = self.pair_key(source, target)
+            if key in self.recording:
+                verdicts.append(self.recording[key])
+            else:
+                verdicts.append(self.default)
+                missing.append(index)
+        if missing and self.inner is not None:
+            answers = self.inner.judge([pairs[index] for index in missing])
+            for index, answer in zip(missing, answers):
+                key = self.pair_key(*pairs[index])
+                self.recording[key] = float(answer)
+                verdicts[index] = float(answer)
+        elif missing and self.strict:
+            raise KeyError(
+                f"RecordedOracle has no recording for {len(missing)} pair(s) "
+                "and no inner oracle to delegate to"
+            )
+        return verdicts
+
+    def to_dict(self) -> dict[str, Any]:
+        """The recording as a JSON-compatible trace."""
+        return {"default": self.default, "recording": dict(self.recording)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RecordedOracle":
+        return cls(
+            recording=payload.get("recording", {}),
+            default=payload.get("default", 0.0),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The oracle registry: CascadePlan.oracle names resolve here.
+# ---------------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[[], OracleVoter]] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_oracle(name: str, factory: Callable[[], OracleVoter]) -> None:
+    """Register (or replace) an oracle factory under ``name``.
+
+    Tests and benches use this to mount :class:`RecordedOracle` traces
+    behind a plan-addressable name.  Registration is per-process: a
+    process-pool worker resolves names against *its* registry, so custom
+    oracles used with ``executor="process"`` must register at import time.
+    """
+    if not name:
+        raise ValueError("oracle name must be non-empty")
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = factory
+
+
+def build_oracle(name: str) -> OracleVoter:
+    """Instantiate the oracle registered under ``name``."""
+    with _REGISTRY_LOCK:
+        factory = _REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise ValueError(f"unknown oracle {name!r}; registered: {known}")
+    return factory()
+
+
+def oracle_names() -> tuple[str, ...]:
+    """The currently registered oracle names, sorted."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+register_oracle("thesaurus", ThesaurusOracle)

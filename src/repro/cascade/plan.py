@@ -1,0 +1,180 @@
+"""The cascade plan: staged cheap->oracle matching as declarative data.
+
+A :class:`CascadePlan` describes *when* and *how far* a match invocation may
+escalate beyond the cheap voter ensemble: pairs whose Stage-1 merged
+confidence lands inside the ambiguity band ``|c| < band`` are candidates for
+a Stage-2 :class:`~repro.cascade.oracle.OracleVoter`, most-ambiguous first,
+up to a per-request ``budget`` of escalations.  Like
+:class:`~repro.service.options.MatchOptions` (which embeds a plan), it is a
+frozen, hashable, JSON-round-trippable value -- the plan travels over the
+wire inside every request, keys compiled engines and runners, and
+differentiates response-cache keys so cascaded and plain responses never
+collide.
+
+:class:`CascadeStage` and :class:`CascadeReport` are the *result* half: what
+one cascaded invocation actually did (per-stage pair counts and timing,
+oracle calls vs cache hits, whether the budget truncated the band).  They
+serialise inside :class:`~repro.service.response.MatchResponse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["CascadePlan", "CascadeStage", "CascadeReport"]
+
+
+@dataclass(frozen=True)
+class CascadePlan:
+    """One cascade configuration, as a value.
+
+    Parameters
+    ----------
+    band:
+        The ambiguity band: Stage-1 merged confidences with ``|c| < band``
+        are escalation candidates.  Must lie in (0, 1].
+    budget:
+        Per-request cap on *escalated pairs* (oracle judgements, whether
+        served by the oracle cache or a live call); ``None`` means
+        unlimited.  Escalation order is deterministic -- most ambiguous
+        (smallest ``|c|``) first, pair position breaking ties -- so the
+        same inputs always escalate the same set.
+    oracle:
+        Oracle name, resolved through the registry in
+        :mod:`repro.cascade.oracle` (``"thesaurus"`` is the built-in
+        reference implementation; tests and benches register
+        :class:`~repro.cascade.oracle.RecordedOracle` factories).
+    weight:
+        Blend weight of the oracle's confidence for escalated pairs:
+        ``final = (1 - weight) * cheap + weight * oracle``, clipped to
+        [-1, 1].  Must lie in (0, 1].
+    """
+
+    band: float = 0.25
+    budget: int | None = 64
+    oracle: str = "thesaurus"
+    weight: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.band <= 1.0:
+            raise ValueError(f"band must be in (0, 1], got {self.band}")
+        if self.budget is not None:
+            if int(self.budget) != self.budget or self.budget < 0:
+                raise ValueError(
+                    f"budget must be None or a non-negative integer, got {self.budget}"
+                )
+            object.__setattr__(self, "budget", int(self.budget))
+        if not isinstance(self.oracle, str) or not self.oracle:
+            raise ValueError(f"oracle must be a non-empty name, got {self.oracle!r}")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError(f"weight must be in (0, 1], got {self.weight}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "band": self.band,
+            "budget": self.budget,
+            "oracle": self.oracle,
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CascadePlan":
+        """Rebuild a plan from :meth:`to_dict` output (defaults fill gaps)."""
+        return cls(
+            band=payload.get("band", 0.25),
+            budget=payload.get("budget", 64),
+            oracle=payload.get("oracle", "thesaurus"),
+            weight=payload.get("weight", 0.6),
+        )
+
+
+@dataclass(frozen=True)
+class CascadeStage:
+    """What one stage of a cascaded invocation did.
+
+    ``name`` is ``"cheap"`` (the Stage-1 voter ensemble over every scored
+    pair) or ``"oracle"`` (the Stage-2 escalation); ``n_pairs`` is the
+    number of pairs that stage scored; ``oracle_calls`` counts live oracle
+    invocations (0 for the cheap stage, and <= ``n_pairs`` for the oracle
+    stage -- the rest were oracle-cache hits).
+    """
+
+    name: str
+    n_pairs: int
+    elapsed_seconds: float
+    oracle_calls: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "n_pairs": self.n_pairs,
+            "elapsed_seconds": self.elapsed_seconds,
+            "oracle_calls": self.oracle_calls,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CascadeStage":
+        return cls(
+            name=payload["name"],
+            n_pairs=payload["n_pairs"],
+            elapsed_seconds=payload["elapsed_seconds"],
+            oracle_calls=payload.get("oracle_calls", 0),
+        )
+
+
+@dataclass(frozen=True)
+class CascadeReport:
+    """One cascaded invocation's spend accounting (see module docstring).
+
+    ``escalated_pairs`` (the exact ``(source_id, target_id)`` escalation
+    set, in escalation order) is carried for in-process consumers and
+    determinism tests but -- like ``MatchResponse.result`` -- is not part
+    of the serialised form or of equality: the wire carries the counts.
+    """
+
+    plan: CascadePlan
+    n_ambiguous: int               # Stage-1 pairs inside the band
+    n_escalated: int               # of which: actually judged (<= budget)
+    oracle_calls: int              # of which: live oracle invocations
+    oracle_cache_hits: int         # of which: served by the oracle cache
+    truncated: bool                # did the budget cut the band?
+    stages: tuple[CascadeStage, ...]
+    escalated_pairs: tuple[tuple[str, str], ...] = field(
+        default=(), compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        object.__setattr__(self, "escalated_pairs", tuple(self.escalated_pairs))
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return sum(stage.elapsed_seconds for stage in self.stages)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "plan": self.plan.to_dict(),
+            "n_ambiguous": self.n_ambiguous,
+            "n_escalated": self.n_escalated,
+            "oracle_calls": self.oracle_calls,
+            "oracle_cache_hits": self.oracle_cache_hits,
+            "truncated": self.truncated,
+            "stages": [stage.to_dict() for stage in self.stages],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CascadeReport":
+        return cls(
+            plan=CascadePlan.from_dict(payload["plan"]),
+            n_ambiguous=payload["n_ambiguous"],
+            n_escalated=payload["n_escalated"],
+            oracle_calls=payload["oracle_calls"],
+            oracle_cache_hits=payload["oracle_cache_hits"],
+            truncated=payload["truncated"],
+            stages=tuple(
+                CascadeStage.from_dict(entry) for entry in payload["stages"]
+            ),
+        )

@@ -3,7 +3,9 @@
 Subcommands mirror the library's main operations:
 
 * ``match A.sql B.xsd``      -- run a MATCH through the service (auto-routed
-  exact/batch; ``--json`` emits the response envelope)
+  exact/batch; ``--json`` emits the response envelope; ``--cascade``
+  escalates ambiguous pairs to a Stage-2 oracle under ``--band`` /
+  ``--oracle-budget``)
 * ``batch A.sql B.xsd ...``  -- corpus fast path: one source vs a corpus,
   or ``--all-pairs`` over the whole registry
 * ``corpus-match A.sql B.xsd C.sql ...`` -- repository-scale top-k match:
@@ -43,6 +45,7 @@ import sys
 import time
 
 from repro import __version__
+from repro.cascade import CascadePlan
 from repro.export.report import concept_match_text, overlap_report_text
 from repro.metrics.overlap import matrix_overlap
 from repro.schema.errors import ParseError
@@ -98,11 +101,50 @@ def _load_registry(paths: list[str]) -> dict[str, Schema]:
     return registry
 
 
+def _cascade_plan(args: argparse.Namespace) -> CascadePlan | None:
+    """Build the Stage-2 escalation plan from ``--cascade``/``--band``/
+    ``--oracle-budget`` (None when ``--cascade`` was not given)."""
+    if args.cascade is None:
+        return None
+    return CascadePlan(
+        band=args.band, budget=args.oracle_budget, oracle=args.cascade
+    )
+
+
+def _add_cascade_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cascade",
+        nargs="?",
+        const="thesaurus",
+        default=None,
+        metavar="ORACLE",
+        help="escalate ambiguous pairs to a Stage-2 oracle "
+        "(optionally named; default oracle: thesaurus)",
+    )
+    parser.add_argument(
+        "--band",
+        type=float,
+        default=0.25,
+        help="ambiguity band: pairs with |confidence| below this escalate "
+        "(default: 0.25; only with --cascade)",
+    )
+    parser.add_argument(
+        "--oracle-budget",
+        type=int,
+        default=None,
+        help="max escalated pairs per match (default: unlimited; "
+        "only with --cascade)",
+    )
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
     source = _load(args.source)
     target = _load(args.target)
     service = MatchService()
-    options = MatchOptions(threshold=args.threshold, execution=args.route)
+    options = MatchOptions(
+        threshold=args.threshold, execution=args.route,
+        cascade=_cascade_plan(args),
+    )
     response = service.match_pair(source, target, options=options)
     if args.json:
         print(response.to_json(indent=2))
@@ -112,6 +154,14 @@ def _cmd_match(args: argparse.Namespace) -> int:
         f"{response.n_pairs} pairs in {response.elapsed_seconds:.2f}s "
         f"[route={response.route}]"
     )
+    if response.cascade is not None:
+        report = response.cascade
+        print(
+            f"  cascade: {report.n_escalated}/{report.n_ambiguous} ambiguous "
+            f"pairs escalated, {report.oracle_calls} oracle calls "
+            f"({report.oracle_cache_hits} cached)"
+            + (" [budget exhausted]" if report.truncated else "")
+        )
     candidates = response.correspondences
     for candidate in candidates[: args.limit]:
         print(
@@ -197,7 +247,9 @@ def _cmd_corpus_match(args: argparse.Namespace) -> int:
         request = CorpusMatchRequest(
             source=source,
             top_k=args.top_k,
-            options=MatchOptions(threshold=args.threshold),
+            options=MatchOptions(
+                threshold=args.threshold, cascade=_cascade_plan(args)
+            ),
             retrieval_limit=args.retrieval_limit,
             reuse=None if args.no_reuse else ReusePolicy(),
             executor=args.executor,
@@ -216,6 +268,13 @@ def _cmd_corpus_match(args: argparse.Namespace) -> int:
         f"(retrieval {response.retrieval_seconds:.2f}s, "
         f"reuse {'on' if response.reuse_applied else 'off'})"
     )
+    totals = response.cascade_totals()
+    if totals is not None:
+        print(
+            f"  cascade: {totals['n_escalated']}/{totals['n_ambiguous']} "
+            f"ambiguous pairs escalated, {totals['oracle_calls']} oracle calls "
+            f"({totals['oracle_cache_hits']} cached)"
+        )
     for rank, candidate in enumerate(response.candidates, start=1):
         print(
             f"{rank}. {candidate.target_name}: match score "
@@ -681,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the MatchResponse envelope as JSON",
     )
+    _add_cascade_arguments(match_parser)
     match_parser.set_defaults(handler=_cmd_match)
 
     batch_parser = subparsers.add_parser(
@@ -739,6 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the CorpusMatchResponse envelope as JSON",
     )
+    _add_cascade_arguments(corpus_parser)
     corpus_parser.set_defaults(handler=_cmd_corpus_match)
 
     network_parser = subparsers.add_parser(

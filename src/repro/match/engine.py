@@ -10,9 +10,16 @@ The engine is stateless apart from a profile cache, so one engine instance
 serves repeated (incremental) match operations over the same schemata --
 exactly the concept-at-a-time workflow of section 3.3.
 
-This is the *exact* reference path; corpus-scale workloads go through the
-blocked, feature-cached fast path in :mod:`repro.batch`.  The full
-dataflow of both is drawn in ``docs/architecture.md``.
+Execution is *staged*: Stage 1 above is the cheap ensemble, scoring the
+full (restricted) pair grid exactly; with a
+:class:`~repro.cascade.CascadeExecutor` attached, pairs whose merged
+confidence lands inside the plan's ambiguity band escalate to the Stage-2
+oracle under a per-request budget (see ``docs/cascade.md``).  Without one,
+the pipeline is single-stage and bit-identical to the pre-cascade engine.
+This per-grid path is the exact reference; corpus-scale workloads go
+through the blocked, feature-cached fast path in :mod:`repro.batch`, which
+stages the same way over its candidate lists.  The full dataflow of both
+is drawn in ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ import time
 
 import numpy as np
 
+from repro.cascade.executor import CascadeExecutor
+from repro.cascade.plan import CascadeReport
 from repro.match.correspondence import Correspondence, CorrespondenceSet
 from repro.match.matrix import MatchMatrix
 from repro.match.selection import SelectionStrategy, ThresholdSelection
@@ -42,12 +51,15 @@ class MatchResult:
         matrix: MatchMatrix,
         elapsed_seconds: float,
         voter_names: list[str],
+        cascade: CascadeReport | None = None,
     ):
         self.source = source
         self.target = target
         self.matrix = matrix
         self.elapsed_seconds = elapsed_seconds
         self.voter_names = voter_names
+        #: Stage-2 spend accounting when a cascade ran (None otherwise).
+        self.cascade = cascade
 
     @property
     def n_pairs(self) -> int:
@@ -114,6 +126,12 @@ class HarmonyMatchEngine:
         An externally owned ``{id(schema): SchemaProfile}`` dict, letting a
         service share one profile cache across engines and batch runners;
         the engine owns a private dict when omitted.
+    cascade:
+        An optional compiled :class:`~repro.cascade.CascadeExecutor`; when
+        given, Stage-1 merged scores inside its ambiguity band escalate to
+        the Stage-2 oracle (budgeted, most-ambiguous-first).  ``None``
+        keeps the pipeline single-stage and bit-identical to the
+        pre-cascade engine.
     """
 
     def __init__(
@@ -121,6 +139,7 @@ class HarmonyMatchEngine:
         voters: list[MatchVoter] | None = None,
         merger: VoteMerger | None = None,
         profile_cache: dict[int, SchemaProfile] | None = None,
+        cascade: CascadeExecutor | None = None,
     ):
         if voters is None:
             self.voters = default_voters()
@@ -137,6 +156,7 @@ class HarmonyMatchEngine:
         self._profiles: dict[int, SchemaProfile] = (
             profile_cache if profile_cache is not None else {}
         )
+        self.cascade = cascade
 
     def profile(self, schema: Schema) -> SchemaProfile:
         """Profile a schema once; later calls reuse the cache."""
@@ -185,6 +205,17 @@ class HarmonyMatchEngine:
         )
         merged = self.merger.merge(stacked)
 
+        cascade_report: CascadeReport | None = None
+        if self.cascade is not None:
+            merged, cascade_report = self.cascade.escalate_grid(
+                source_profile,
+                target_profile,
+                source_positions,
+                target_positions,
+                merged,
+                stage1_seconds=time.perf_counter() - started,
+            )
+
         source_ids = (
             list(source_element_ids)
             if source_element_ids is not None
@@ -203,6 +234,7 @@ class HarmonyMatchEngine:
             matrix,
             elapsed_seconds=elapsed,
             voter_names=[voter.name for voter in self.voters],
+            cascade=cascade_report,
         )
 
     def explain(

@@ -11,16 +11,29 @@ A voter looks at all (restricted) source x target element pairs and returns a
 Keeping all three lets the engine merge confidences while explanations and
 ablations can still reach the raw ingredients.
 
+Staged execution
+----------------
+Every :class:`MatchVoter` here sits in the ``"cheap"`` cost tier (see
+:attr:`MatchVoter.cost_tier`): Stage 1 of the cascade runs the whole cheap
+ensemble over every scored pair -- on the per-grid path via
+:meth:`MatchVoter.vote`, on the corpus-scale batch path via the bulk APIs
+below -- and merges once.  Pairs whose merged confidence lands inside a
+configured ambiguity band then escalate to a Stage-2
+:class:`~repro.cascade.OracleVoter` (cost tier ``"oracle"``), budgeted and
+most-ambiguous-first; see :mod:`repro.cascade` and ``docs/cascade.md``.
+With no cascade configured, Stage 1 is the entire pipeline.
+
 Bulk fast path
 --------------
 For corpus-scale batch matching, voters additionally expose
 :meth:`MatchVoter.score_block` (full confidence matrix from cached
 :class:`~repro.matchers.profile.FeatureSpace` matrices) and
 :meth:`MatchVoter.score_pairs` (confidences for an explicit candidate pair
-list, as produced by :mod:`repro.batch.blocking`).  Vectorised voters
-implement :meth:`MatchVoter.fast_ratios`; everything else transparently
-falls back to the per-grid :meth:`MatchVoter.vote` path, so both APIs are
-total over any voter ensemble.
+list, as produced by :mod:`repro.batch.blocking` -- the pairs Stage 1
+scores; everything blocked out takes the fill value and never escalates).
+Vectorised voters implement :meth:`MatchVoter.fast_ratios`; everything
+else transparently falls back to the per-grid :meth:`MatchVoter.vote`
+path, so both APIs are total over any voter ensemble.
 """
 
 from __future__ import annotations
@@ -114,6 +127,12 @@ class MatchVoter(ABC):
 
     #: Short stable identifier used in reports, ablations and provenance.
     name: str = "voter"
+
+    #: Cascade cost tier.  Every ensemble voter is ``"cheap"`` (Stage 1,
+    #: runs over every scored pair); Stage-2 oracles declare ``"oracle"``
+    #: (see :class:`repro.cascade.OracleVoter`) and are only consulted for
+    #: pairs escalated out of the ambiguity band.
+    cost_tier: str = "cheap"
 
     def __init__(
         self,

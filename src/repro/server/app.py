@@ -344,6 +344,7 @@ class MatchServer(ThreadingHTTPServer):
             },
             "cache": self.cache_payload(),
             "corpus": self.service.corpus_status(),
+            "cascade": self.service.cascade_status(),
         }
 
     def metrics_payload(self) -> dict[str, Any]:
@@ -351,6 +352,7 @@ class MatchServer(ThreadingHTTPServer):
             "endpoints": self.metrics.to_dict(),
             "cache": self.cache_payload(),
             "corpus": self.service.corpus_status(),
+            "cascade": self.service.cascade_status(),
         }
 
     def schemas_payload(self) -> dict[str, Any]:

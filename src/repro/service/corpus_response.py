@@ -13,6 +13,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro.cascade.plan import CascadeReport
 from repro.match.correspondence import Correspondence
 from repro.service.options import MatchOptions
 
@@ -39,6 +40,7 @@ class CorpusCandidate:
     n_boosted: int                 # correspondences boosted by prior assertions
     n_seeded: int                  # prior-only pairs seeded back in
     correspondences: tuple[Correspondence, ...]
+    cascade: CascadeReport | None = None   # per-candidate oracle spend
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "correspondences", tuple(self.correspondences))
@@ -60,6 +62,7 @@ class CorpusCandidate:
             "elapsed_seconds": self.elapsed_seconds,
             "reuse": {"boosted": self.n_boosted, "seeded": self.n_seeded},
             "correspondences": [c.to_dict() for c in self.correspondences],
+            "cascade": self.cascade.to_dict() if self.cascade is not None else None,
         }
 
     @classmethod
@@ -77,6 +80,11 @@ class CorpusCandidate:
             correspondences=tuple(
                 Correspondence.from_dict(entry)
                 for entry in payload["correspondences"]
+            ),
+            cascade=(
+                CascadeReport.from_dict(payload["cascade"])
+                if payload.get("cascade") is not None
+                else None
             ),
         )
 
@@ -117,6 +125,28 @@ class CorpusMatchResponse:
     def candidate_names(self) -> tuple[str, ...]:
         return tuple(candidate.target_name for candidate in self.candidates)
 
+    @property
+    def oracle_calls(self) -> int:
+        """Total live oracle invocations across the ranked candidates."""
+        return sum(
+            candidate.cascade.oracle_calls
+            for candidate in self.candidates
+            if candidate.cascade is not None
+        )
+
+    def cascade_totals(self) -> dict[str, int] | None:
+        """Summed oracle spend across candidates (None without a cascade)."""
+        reports = [c.cascade for c in self.candidates if c.cascade is not None]
+        if not reports:
+            return None
+        return {
+            "n_ambiguous": sum(r.n_ambiguous for r in reports),
+            "n_escalated": sum(r.n_escalated for r in reports),
+            "oracle_calls": sum(r.oracle_calls for r in reports),
+            "oracle_cache_hits": sum(r.oracle_cache_hits for r in reports),
+            "truncated": sum(1 for r in reports if r.truncated),
+        }
+
     # -- serialisation --------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """Canonical JSON-compatible dict; inverse of :meth:`from_dict`."""
@@ -133,6 +163,8 @@ class CorpusMatchResponse:
             "options": self.options.to_dict(),
             "reuse_applied": self.reuse_applied,
             "candidates": [candidate.to_dict() for candidate in self.candidates],
+            # Derived: summed oracle spend (rebuilt from candidates on read).
+            "cascade_totals": self.cascade_totals(),
         }
 
     @classmethod

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
+from repro.cascade.plan import CascadePlan
 from repro.match.selection import (
     HungarianSelection,
     SelectionStrategy,
@@ -124,6 +125,15 @@ class MatchOptions:
         the per-grid engine), ``batch`` (always the blocked fast path).
     fill_value:
         Score assigned to blocked-out pairs on the batch path.
+    cascade:
+        Optional :class:`~repro.cascade.CascadePlan`: Stage-1 merged
+        confidences inside the plan's ambiguity band escalate to its
+        Stage-2 oracle (budgeted, most-ambiguous-first; see
+        ``docs/cascade.md``).  ``None`` (the default) keeps execution
+        single-stage and bit-identical to the pre-cascade pipeline.
+        Because the plan serialises inside these options -- and the
+        options inside every request -- cascaded and plain requests can
+        never share a response-cache key.
     """
 
     voters: tuple[str, ...] | None = None
@@ -134,6 +144,7 @@ class MatchOptions:
     top_k: int = 1
     execution: str = "auto"
     fill_value: float = 0.0
+    cascade: CascadePlan | None = None
 
     def __post_init__(self) -> None:
         if self.voters is not None:
@@ -175,6 +186,8 @@ class MatchOptions:
             )
         if not -1.0 <= self.fill_value <= 1.0:
             raise ValueError(f"fill_value must be in [-1, 1], got {self.fill_value}")
+        if self.cascade is not None and not isinstance(self.cascade, CascadePlan):
+            object.__setattr__(self, "cascade", CascadePlan.from_dict(self.cascade))
 
     # -- compilation ----------------------------------------------------
     @property
@@ -249,6 +262,7 @@ class MatchOptions:
             "top_k": self.top_k,
             "execution": self.execution,
             "fill_value": self.fill_value,
+            "cascade": self.cascade.to_dict() if self.cascade is not None else None,
         }
 
     @classmethod
@@ -256,6 +270,7 @@ class MatchOptions:
         """Rebuild options from :meth:`to_dict` output (defaults fill gaps)."""
         voters = payload.get("voters")
         weights = payload.get("merger_weights")
+        cascade = payload.get("cascade")
         return cls(
             voters=tuple(voters) if voters is not None else None,
             merger=payload.get("merger", "conviction_linear"),
@@ -265,4 +280,5 @@ class MatchOptions:
             top_k=payload.get("top_k", 1),
             execution=payload.get("execution", "auto"),
             fill_value=payload.get("fill_value", 0.0),
+            cascade=CascadePlan.from_dict(cascade) if cascade is not None else None,
         )

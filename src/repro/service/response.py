@@ -20,6 +20,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.cascade.plan import CascadeReport
 from repro.match.correspondence import Correspondence
 from repro.match.engine import MatchResult
 from repro.repository.provenance import ProvenanceRecord
@@ -47,6 +48,8 @@ class MatchResponse:
     options: MatchOptions
     correspondences: tuple[Correspondence, ...]
     provenance: ProvenanceRecord
+    #: Per-stage timing and oracle spend when a cascade ran (None otherwise).
+    cascade: CascadeReport | None = None
     #: Live result for in-process consumers; never serialised, never compared.
     result: MatchResult | None = field(default=None, compare=False, repr=False)
 
@@ -85,6 +88,7 @@ class MatchResponse:
             "options": self.options.to_dict(),
             "correspondences": [c.to_dict() for c in self.correspondences],
             "provenance": self.provenance.to_dict(),
+            "cascade": self.cascade.to_dict() if self.cascade is not None else None,
         }
 
     @classmethod
@@ -110,6 +114,11 @@ class MatchResponse:
                 for entry in payload["correspondences"]
             ),
             provenance=ProvenanceRecord.from_dict(payload["provenance"]),
+            cascade=(
+                CascadeReport.from_dict(payload["cascade"])
+                if payload.get("cascade") is not None
+                else None
+            ),
         )
 
     def to_json(self, indent: int | None = None) -> str:

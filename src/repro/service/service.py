@@ -47,6 +47,8 @@ from itertools import combinations
 from typing import Iterable, Mapping, Sequence
 
 from repro.batch.runner import BatchMatchRunner, BatchPairOutcome
+from repro.cascade.executor import CascadeCounters, CascadeExecutor
+from repro.cascade.plan import CascadePlan
 from repro.corpus.index import CorpusIndex
 from repro.corpus.index import payload_hash as corpus_payload_hash
 from repro.corpus.sharding import CorpusRefreshWorker, ShardedCorpusIndex
@@ -97,6 +99,13 @@ class MatchService:
         The auto-routing shape threshold (see the module constant).
     asserted_by:
         The asserter recorded on response provenance and persisted matches.
+    oracle_cache:
+        The judgement cache cascaded requests share: any
+        :class:`~repro.server.distcache.CacheBackend` (pass a
+        :class:`~repro.server.distcache.TieredCache` to share oracle
+        judgements across replicas, exactly like response caching).  A
+        private in-process :class:`~repro.server.cache.ResponseCache` is
+        created lazily when omitted and a cascade first compiles.
     """
 
     def __init__(
@@ -106,6 +115,7 @@ class MatchService:
         auto_batch_pairs: int = DEFAULT_AUTO_BATCH_PAIRS,
         asserted_by: str = "match-service",
         corpus_shards: int | None = None,
+        oracle_cache=None,
     ):
         self.options = options if options is not None else MatchOptions()
         self.repository = repository
@@ -123,6 +133,11 @@ class MatchService:
         self._profiles: dict[int, SchemaProfile] = {}
         self._engines: dict[MatchOptions, HarmonyMatchEngine] = {}
         self._runners: dict[tuple, BatchMatchRunner] = {}
+        #: Compiled cascades (plan -> executor), all sharing the service's
+        #: oracle cache and spend counters.
+        self._cascades: dict[CascadePlan, CascadeExecutor] = {}
+        self._oracle_cache = oracle_cache
+        self.cascade_counters = CascadeCounters()
         self._corpus_index: CorpusIndex | ShardedCorpusIndex | None = None
         self._refresh_worker: CorpusRefreshWorker | None = None
         self._mapping_graph: MappingGraph | None = None
@@ -139,6 +154,53 @@ class MatchService:
     # ------------------------------------------------------------------
     # Compiled executors (cached by options value)
     # ------------------------------------------------------------------
+    def oracle_cache(self):
+        """The shared oracle-judgement cache (created lazily)."""
+        with self._lock:
+            if self._oracle_cache is None:
+                from repro.server.cache import ResponseCache
+
+                self._oracle_cache = ResponseCache(max_entries=4096)
+            return self._oracle_cache
+
+    def cascade_executor(
+        self, plan: CascadePlan | None
+    ) -> CascadeExecutor | None:
+        """The compiled cascade for a plan (None plan -> no cascade).
+
+        Executors cache by plan value and share the service's oracle
+        cache and :class:`~repro.cascade.CascadeCounters`, so every
+        engine/runner compiled from the same plan reuses one oracle and
+        one judgement cache.
+        """
+        if plan is None:
+            return None
+        with self._lock:
+            executor = self._cascades.get(plan)
+            if executor is None:
+                executor = CascadeExecutor(
+                    plan,
+                    cache=self.oracle_cache(),
+                    counters=self.cascade_counters,
+                )
+                self._cascades[plan] = executor
+            return executor
+
+    def cascade_status(self) -> dict:
+        """Oracle budget/spend/cache state for /healthz and /metrics.
+
+        Always present (zeroed counters before any cascaded request), so
+        fleet monitoring can assert on the block unconditionally; the
+        ``oracle_cache`` sub-block appears once a cascade has compiled.
+        """
+        status = self.cascade_counters.to_dict()
+        status["compiled_plans"] = len(self._cascades)
+        with self._lock:
+            cache = self._oracle_cache
+        if cache is not None and hasattr(cache, "describe"):
+            status["oracle_cache"] = cache.describe()
+        return status
+
     def engine(self, options: MatchOptions | None = None) -> HarmonyMatchEngine:
         """The exact engine for a configuration, sharing the service caches.
 
@@ -154,6 +216,7 @@ class MatchService:
                     voters=options.build_voters(),
                     merger=options.build_merger(),
                     profile_cache=self._profiles,
+                    cascade=self.cascade_executor(options.cascade),
                 )
                 self._engines[options] = engine
             return engine
@@ -181,6 +244,7 @@ class MatchService:
                     max_workers=max_workers,
                     keep_matrices=keep_matrices,
                     profile_cache=self._profiles,
+                    cascade=self.cascade_executor(options.cascade),
                 )
                 self._runners[key] = runner
             return runner
@@ -650,6 +714,7 @@ class MatchService:
                     n_boosted=n_boosted,
                     n_seeded=n_seeded,
                     correspondences=correspondences,
+                    cascade=outcome.cascade,
                 )
             )
         candidates.sort(
@@ -806,6 +871,7 @@ class MatchService:
             options=options,
             correspondences=correspondences,
             provenance=self._provenance(correspondences, route),
+            cascade=result.cascade,
             result=result,
         )
 
@@ -832,6 +898,7 @@ class MatchService:
             options=options,
             correspondences=correspondences,
             provenance=self._provenance(correspondences, route),
+            cascade=outcome.cascade,
             result=None,
         )
 

@@ -13,12 +13,25 @@ Facet order per concept is fixed by a concept-key-seeded shuffle, so any two
 schemata built over the same ontology agree on which facets of a concept are
 "first" -- which keeps multi-schema (N-way) ground truth consistent without
 global coordination.
+
+Two hard-mode knobs dial difficulty past the paper's baseline (both default
+off, leaving the historical RNG stream untouched):
+
+* ``PairSpec.decoys`` plants near-miss columns in the target: re-renderings
+  of ground-truth facet tokens hosted under *wrong* (target-only) concept
+  roots, so a matcher sees two lexically similar candidates of which only
+  one is correct.  Planted ids are reported in
+  :attr:`SchemaPair.decoy_target_ids`.
+* ``PairSpec.abbrev_gradient`` adds naming drift on the shared concepts
+  only: the source abbreviates harder, the target substitutes more
+  synonyms, so exactly the elements that carry ground truth get harder to
+  match lexically.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.schema.datatypes import DataType
 from repro.schema.element import ElementKind
@@ -172,6 +185,8 @@ class SchemaPair:
     target: GeneratedSchema
     shared_concepts: list[str]
     truth_pairs: set[tuple[str, str]]        # (source element id, target element id)
+    decoy_target_ids: set[str] = field(default_factory=set)
+    # target elements planted as near-miss decoys (never in truth_pairs)
 
     @property
     def matched_target_ids(self) -> set[str]:
@@ -214,6 +229,8 @@ class PairSpec:
     target_doc_coverage: float = 0.75
     source_name: str = "SA"
     target_name: str = "SB"
+    decoys: int = 0                          # near-miss columns planted in the target
+    abbrev_gradient: float = 0.0             # extra shared-concept naming drift
 
     def __post_init__(self) -> None:
         if self.n_shared_concepts > min(self.n_source_concepts, self.n_target_concepts):
@@ -226,6 +243,19 @@ class PairSpec:
             raise ValueError("source_elements must exceed source concept count")
         if self.target_elements <= self.n_target_concepts:
             raise ValueError("target_elements must exceed target concept count")
+        if self.decoys < 0:
+            raise ValueError(f"decoys must be >= 0, got {self.decoys}")
+        if self.decoys > 0 and self.n_shared_concepts == 0:
+            raise ValueError("decoys mimic matched facets; need shared concepts")
+        if self.decoys > 0 and self.n_target_concepts == self.n_shared_concepts:
+            raise ValueError(
+                "decoys need a target-only concept to host them; "
+                "raise n_target_concepts above n_shared_concepts"
+            )
+        if not 0.0 <= self.abbrev_gradient <= 1.0:
+            raise ValueError(
+                f"abbrev_gradient must be in [0, 1], got {self.abbrev_gradient}"
+            )
 
 
 def _kinds(schema_kind: str) -> tuple[ElementKind, ElementKind, dict[str, str]]:
@@ -243,16 +273,21 @@ def _build_schema(
     style: NamingStyle,
     doc_coverage: float,
     rng: random.Random,
+    style_of: dict[str, NamingStyle] | None = None,
 ) -> GeneratedSchema:
+    """Build one side.  ``style_of`` maps concept keys to per-concept style
+    overrides (the abbreviation-gradient hook); ``None`` keeps the build --
+    and the RNG stream -- identical to the single-style behaviour."""
     root_kind, child_kind, declared_map = _kinds(kind)
     schema = Schema(name, kind=kind)
     concept_of_root: dict[str, str] = {}
     facet_of_element: dict[str, tuple[str, tuple[str, ...]]] = {}
 
     for spec, facets in concept_facets:
-        root_name = render_name(spec.tokens, style, rng)
+        concept_style = style if style_of is None else style_of.get(spec.key, style)
+        root_name = render_name(spec.tokens, concept_style, rng)
         root_doc = (
-            perturb_gloss(spec.gloss, style, rng)
+            perturb_gloss(spec.gloss, concept_style, rng)
             if rng.random() < doc_coverage
             else ""
         )
@@ -265,9 +300,9 @@ def _build_schema(
         concept_of_root[root.element_id] = spec.key
         facet_of_element[root.element_id] = (spec.key, ())
         for facet in facets:
-            child_name = render_name(facet.tokens, style, rng)
+            child_name = render_name(facet.tokens, concept_style, rng)
             child_doc = (
-                perturb_gloss(spec.fill(facet.gloss), style, rng)
+                perturb_gloss(spec.fill(facet.gloss), concept_style, rng)
                 if rng.random() < doc_coverage
                 else ""
             )
@@ -420,6 +455,33 @@ def generate_pair(
     rng.shuffle(source_concepts)
     rng.shuffle(target_concepts)
 
+    # Abbreviation gradient: extra drift on exactly the shared concepts --
+    # the source abbreviates harder, the target synonym-substitutes harder.
+    # style_of stays None at gradient zero so the RNG stream (and therefore
+    # every historical pair) is unchanged.
+    source_style_of: dict[str, NamingStyle] | None = None
+    target_style_of: dict[str, NamingStyle] | None = None
+    if spec.abbrev_gradient > 0.0:
+        gradient = spec.abbrev_gradient
+        source_style_of = {
+            key: replace(
+                spec.source_style,
+                abbreviate_probability=min(
+                    1.0, spec.source_style.abbreviate_probability + gradient
+                ),
+            )
+            for key in shared
+        }
+        target_style_of = {
+            key: replace(
+                spec.target_style,
+                synonym_probability=min(
+                    1.0, spec.target_style.synonym_probability + gradient
+                ),
+            )
+            for key in shared
+        }
+
     source = _build_schema(
         spec.source_name,
         spec.source_kind,
@@ -427,6 +489,7 @@ def generate_pair(
         spec.source_style,
         spec.source_doc_coverage,
         random.Random(f"{seed}::source"),
+        style_of=source_style_of,
     )
     target = _build_schema(
         spec.target_name,
@@ -435,7 +498,45 @@ def generate_pair(
         spec.target_style,
         spec.target_doc_coverage,
         random.Random(f"{seed}::target"),
+        style_of=target_style_of,
     )
+
+    # --- decoys: near-miss columns under wrong target roots ---------------------
+    decoy_target_ids: set[str] = set()
+    if spec.decoys > 0:
+        decoy_rng = random.Random(f"{seed}::decoys")
+        _, child_kind, declared_map = _kinds(spec.target_kind)
+        mimicable = [
+            (key, facet)
+            for key in shared
+            for facet in matched_facets_of[key]
+        ]
+        for _ in range(spec.decoys):
+            concept_key, facet = decoy_rng.choice(mimicable)
+            host_key = decoy_rng.choice(target_only)
+            name = render_name(facet.tokens, spec.target_style, decoy_rng)
+            documentation = (
+                perturb_gloss(
+                    concept_spec(concept_key).fill(facet.gloss),
+                    spec.target_style,
+                    decoy_rng,
+                )
+                if decoy_rng.random() < spec.target_doc_coverage
+                else ""
+            )
+            decoy = target.schema.add_child(
+                target.root_of_concept(host_key),
+                name,
+                kind=child_kind,
+                documentation=documentation,
+                data_type=_DATA_TYPE[facet.type_family],
+                declared_type=declared_map[facet.type_family],
+            )
+            # Identity under the *host* concept: never matches the source
+            # side, so the truth loop below cannot pair a decoy.
+            target.facet_of_element[decoy.element_id] = (host_key, facet.tokens)
+            decoy_target_ids.add(decoy.element_id)
+        target.schema.validate()
 
     # --- ground truth -----------------------------------------------------------
     truth_pairs: set[tuple[str, str]] = set()
@@ -456,4 +557,5 @@ def generate_pair(
         target=target,
         shared_concepts=list(shared),
         truth_pairs=truth_pairs,
+        decoy_target_ids=decoy_target_ids,
     )

@@ -219,6 +219,31 @@ class TestCacheContract:
         assert cache.get("k", (1, 1)) is None
         assert cache.stats.hits == hits_before
 
+    def test_cascaded_and_plain_requests_never_share_a_key(self, rig):
+        """The cascade plan serialises inside the options, the options
+        inside the request -- so a cascaded /match and its plain twin key
+        separately in every backend, and differently-planned cascades do
+        too."""
+        from repro.cascade import CascadePlan
+        from repro.server.cache import canonical_request_key
+        from repro.service import MatchOptions, MatchRequest
+
+        def key_for(options):
+            request = MatchRequest(source="SA", target="SB", options=options)
+            return canonical_request_key("/match", request.to_dict())
+
+        plain = key_for(MatchOptions())
+        cascaded = key_for(MatchOptions(cascade=CascadePlan(band=0.3, budget=8)))
+        recascaded = key_for(MatchOptions(cascade=CascadePlan(band=0.3, budget=9)))
+        assert len({plain, cascaded, recascaded}) == 3
+
+        cache = rig.cache
+        cache.put(plain, {"route": "plain"}, (1, 1))
+        cache.put(cascaded, {"route": "cascaded"}, (1, 1))
+        assert cache.get(plain, (1, 1)) == {"route": "plain"}
+        assert cache.get(cascaded, (1, 1)) == {"route": "cascaded"}
+        assert cache.get(recascaded, (1, 1)) is None
+
 
 # ----------------------------------------------------------------------
 # Tier-specific composition behaviour

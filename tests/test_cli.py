@@ -185,6 +185,63 @@ class TestCliService:
         assert main(["match", sql, xsd, "--route", "batch"]) == 0
         assert "[route=batch]" in capsys.readouterr().out
 
+    def test_match_cascade_json_envelope(self, schema_files, capsys):
+        import json
+
+        from repro.service import MatchResponse
+
+        sql, xsd = schema_files
+        assert main(["match", sql, xsd, "--cascade", "--oracle-budget", "8",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        response = MatchResponse.from_dict(payload)
+        report = response.cascade
+        assert report is not None
+        assert report.plan.oracle == "thesaurus"     # --cascade's default
+        assert report.plan.budget == 8
+        assert report.n_escalated <= 8
+        assert report.oracle_calls <= 8
+        assert response.options.cascade == report.plan
+
+    def test_match_cascade_text_summary(self, schema_files, capsys):
+        sql, xsd = schema_files
+        assert main(["match", sql, xsd, "--cascade", "--band", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "cascade:" in out
+        assert "oracle calls" in out
+
+    def test_match_without_cascade_has_no_report(self, schema_files, capsys):
+        import json
+
+        sql, xsd = schema_files
+        assert main(["match", sql, xsd, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cascade"] is None
+        assert payload["options"]["cascade"] is None
+
+    def test_corpus_match_cascade_totals(self, schema_files, capsys):
+        import json
+
+        from repro.service import CorpusMatchResponse
+
+        sql, xsd = schema_files
+        assert main(["corpus-match", sql, xsd, "--cascade",
+                     "--oracle-budget", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        response = CorpusMatchResponse.from_dict(payload)
+        assert response.oracle_calls <= 5 * len(response.candidates)
+        totals = response.cascade_totals()
+        assert totals is not None
+        assert totals == payload["cascade_totals"]
+        for candidate in response.candidates:
+            assert candidate.cascade is not None
+            assert candidate.cascade.n_escalated <= 5
+
+    def test_unknown_cascade_oracle_is_an_error(self, schema_files):
+        sql, xsd = schema_files
+        with pytest.raises(ValueError, match="unknown oracle"):
+            main(["match", sql, xsd, "--cascade", "no_such_oracle"])
+
     def test_missing_file_exits_2(self, tmp_path):
         with pytest.raises(SystemExit) as excinfo:
             main(["match", str(tmp_path / "missing.sql"), str(tmp_path / "b.xsd")])

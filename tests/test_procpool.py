@@ -174,6 +174,35 @@ class TestProcessPoolServing:
         assert expected  # the write really changed the answer
         assert pool.stop() == 0
 
+    def test_workers_report_cascade_stats_post_fork(self, pool):
+        """The /metrics regression for the cascade tier: each prefork worker
+        owns its own CascadeCounters (forked before any request), so after
+        cascaded traffic the fleet's /metrics responses must carry live
+        per-worker oracle-spend counters -- and at least one worker must
+        report the spend it actually served."""
+        from repro.cascade import CascadePlan
+        from repro.service import MatchOptions
+
+        source, target = pool.names[0], pool.names[1]
+        options = MatchOptions(cascade=CascadePlan(band=0.4, budget=6))
+        for _ in range(6):
+            served = pool.client.match(
+                MatchRequest(source=source, target=target, options=options)
+            )
+            assert served.cascade is not None
+            assert served.cascade.oracle_calls <= 6
+        # The kernel load-balances connections across workers; sample the
+        # fleet until a worker that served cascaded traffic answers.
+        samples = [pool.client.metrics()["cascade"] for _ in range(8)]
+        for counters in samples:
+            assert counters["oracle_calls"] <= counters["escalated"]
+            assert counters["escalated"] <= counters["ambiguous"]
+            assert counters["requests"] >= 0
+        assert any(counters["requests"] >= 1 for counters in samples), (
+            "no sampled worker reported cascade spend"
+        )
+        assert pool.stop() == 0
+
     def test_sigint_also_drains_cleanly(self, pool):
         pool.client.health()
         assert pool.stop(signal.SIGINT) == 0

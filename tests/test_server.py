@@ -328,6 +328,36 @@ class TestMatchServer:
         assert endpoints["/match"]["cache_hits"] == 1
         assert endpoints["/match"]["cache_misses"] == 1
 
+    def test_cascade_counters_on_health_and_metrics(self, served):
+        from repro.cascade import CascadePlan
+
+        _, client, _ = served
+        # Always present, zeroed before any cascaded request -- monitoring
+        # asserts on the block unconditionally.
+        before = client.metrics()["cascade"]
+        assert before["requests"] == 0
+        assert before["oracle_calls"] == 0
+
+        request = MatchRequest(
+            source="D0S0",
+            target="D0S1",
+            options=MatchOptions(cascade=CascadePlan(band=0.4, budget=10)),
+        )
+        response = client.match(request)
+        assert response.cascade is not None
+        assert response.cascade.n_escalated <= 10
+
+        for payload in (client.health(), client.metrics()):
+            counters = payload["cascade"]
+            assert counters["requests"] == 1
+            assert counters["escalated"] <= 10
+            assert counters["oracle_calls"] <= counters["escalated"]
+            assert counters["compiled_plans"] == 1
+            assert counters["oracle_cache_hits"] >= 0
+        # The cached-response replay does not double-count oracle spend.
+        client.match(request)
+        assert client.metrics()["cascade"]["requests"] == 1
+
 
 class TestCacheInvalidationOverHttp:
     """Satellite contract: writes mid-session evict entries keyed under the

@@ -21,6 +21,7 @@ from hypothesis import strategies as st
 
 from repro import default_service, quick_match
 from repro.baselines.engines import baseline_engines, baseline_options
+from repro.cascade import CascadePlan, CascadeReport, CascadeStage
 from repro.match import (
     Correspondence,
     HarmonyMatchEngine,
@@ -268,6 +269,36 @@ def _score_strategy():
     return st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
 
 
+def _cascade_plan_strategy():
+    return st.builds(
+        CascadePlan,
+        band=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        budget=st.one_of(st.none(), st.integers(min_value=0, max_value=1000)),
+        oracle=st.sampled_from(("thesaurus", "recorded", "custom_llm")),
+        weight=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+
+
+def _cascade_report_strategy():
+    stage = st.builds(
+        CascadeStage,
+        name=st.sampled_from(("cheap", "oracle")),
+        n_pairs=st.integers(min_value=0, max_value=100_000),
+        elapsed_seconds=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        oracle_calls=st.integers(min_value=0, max_value=1000),
+    )
+    return st.builds(
+        CascadeReport,
+        plan=_cascade_plan_strategy(),
+        n_ambiguous=st.integers(min_value=0, max_value=100_000),
+        n_escalated=st.integers(min_value=0, max_value=1000),
+        oracle_calls=st.integers(min_value=0, max_value=1000),
+        oracle_cache_hits=st.integers(min_value=0, max_value=1000),
+        truncated=st.booleans(),
+        stages=st.lists(stage, min_size=0, max_size=3).map(tuple),
+    )
+
+
 def _options_strategy():
     return st.one_of(
         st.just(MatchOptions()),
@@ -284,6 +315,7 @@ def _options_strategy():
             top_k=st.integers(min_value=1, max_value=5),
             execution=st.sampled_from(("auto", "exact", "batch")),
             fill_value=_score_strategy(),
+            cascade=st.one_of(st.none(), _cascade_plan_strategy()),
         ),
     )
 
@@ -325,6 +357,7 @@ def _response_strategy():
             context=st.text(max_size=10),
             note=st.text(max_size=10),
         ),
+        cascade=st.one_of(st.none(), _cascade_report_strategy()),
     )
 
 

@@ -194,6 +194,110 @@ class TestGeneratePair:
         assert small_pair.target.schema.kind == "xml"
 
 
+class TestHardMode:
+    """The decoy / abbreviation-gradient knobs that make E23's hard tier."""
+
+    def test_defaults_leave_generation_bit_identical(self, small_pair):
+        explicit = generate_pair(
+            PairSpec(decoys=0, abbrev_gradient=0.0), seed=42
+        )
+        assert explicit.truth_pairs == small_pair.truth_pairs
+        assert [e.name for e in explicit.target.schema] == [
+            e.name for e in small_pair.target.schema
+        ]
+        assert [e.name for e in explicit.source.schema] == [
+            e.name for e in small_pair.source.schema
+        ]
+        assert explicit.decoy_target_ids == set()
+
+    def test_decoys_are_planted_and_never_truth(self):
+        pair = generate_pair(PairSpec(decoys=15), seed=42)
+        assert len(pair.decoy_target_ids) == 15
+        assert pair.decoy_target_ids <= {
+            e.element_id for e in pair.target.schema
+        }
+        assert not pair.decoy_target_ids & pair.matched_target_ids
+        # Decoys live under target-only concept roots, as non-root children.
+        shared = set(pair.shared_concepts)
+        for decoy_id in pair.decoy_target_ids:
+            parent = pair.target.schema.parent(decoy_id)
+            assert parent is not None
+            assert pair.target.concept_of_root[parent.element_id] not in shared
+        # The baseline ground truth is untouched.
+        base = generate_pair(PairSpec(), seed=42)
+        assert pair.truth_pairs == base.truth_pairs
+
+    def test_decoys_are_deterministic(self):
+        first = generate_pair(PairSpec(decoys=10), seed=3)
+        second = generate_pair(PairSpec(decoys=10), seed=3)
+        assert first.decoy_target_ids == second.decoy_target_ids
+        assert [e.name for e in first.target.schema] == [
+            e.name for e in second.target.schema
+        ]
+
+    def test_abbrev_gradient_drifts_shared_concepts_only(self):
+        base = generate_pair(PairSpec(), seed=11)
+        hard = generate_pair(PairSpec(abbrev_gradient=0.8), seed=11)
+
+        # Ground truth is preserved at the *identity* level (element ids
+        # derive from the drifted surface names, so compare concept+facet).
+        def identities(pair):
+            return {
+                (
+                    pair.source.facet_of_element[source_id],
+                    pair.target.facet_of_element[target_id],
+                )
+                for source_id, target_id in pair.truth_pairs
+            }
+
+        assert identities(hard) == identities(base)
+        assert len(hard.truth_pairs) == len(base.truth_pairs)
+
+        # Shared-concept renderings drift...
+        def names_by_identity(generated):
+            return {
+                identity: generated.schema.element(element_id).name
+                for element_id, identity in generated.facet_of_element.items()
+            }
+
+        base_names = names_by_identity(base.source)
+        hard_names = names_by_identity(hard.source)
+        truth_identities = {s for s, _ in identities(base)}
+        changed = sum(
+            1
+            for identity in truth_identities
+            if base_names[identity] != hard_names[identity]
+        )
+        assert changed > 0
+        # ...and the matching task measurably hardens.
+        from repro.match import HarmonyMatchEngine
+
+        def truth_score_mean(pair):
+            result = HarmonyMatchEngine().match(
+                pair.source.schema, pair.target.schema
+            )
+            scores = [
+                result.matrix.score(source_id, target_id)
+                for source_id, target_id in pair.truth_pairs
+            ]
+            return sum(scores) / len(scores)
+
+        assert truth_score_mean(hard) < truth_score_mean(base)
+
+    def test_hard_mode_validation(self):
+        with pytest.raises(ValueError):
+            PairSpec(decoys=-1)
+        with pytest.raises(ValueError):
+            PairSpec(abbrev_gradient=1.5)
+        with pytest.raises(ValueError):
+            PairSpec(
+                n_source_concepts=5,
+                n_target_concepts=5,
+                n_shared_concepts=5,
+                decoys=3,
+            )
+
+
 class TestCaseStudy:
     def test_paper_counts(self):
         pair = case_study()
