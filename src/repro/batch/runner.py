@@ -28,6 +28,7 @@ blocking recall (bench E16 holds it >= 0.98 on the case study).
 
 from __future__ import annotations
 
+import contextvars
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -46,6 +47,7 @@ from repro.match.selection import SelectionStrategy, ThresholdSelection
 from repro.matchers import DEFAULT_VOTER_WEIGHTS, MatchVoter, default_voters
 from repro.matchers.profile import FeatureSpace, SchemaProfile, build_profile
 from repro.schema.schema import Schema
+from repro.telemetry import current_trace, span
 from repro.voting.merger import ConvictionLinearMerger, VoteMerger
 
 __all__ = ["BatchMatchResult", "BatchPairOutcome", "BatchMatchRunner"]
@@ -271,6 +273,15 @@ class BatchMatchRunner:
         parent/children context -- both of which keep scores stable as the
         restriction changes.
         """
+        with span("runner.batch"):
+            return self._match_pair(source, target, source_element_ids)
+
+    def _match_pair(
+        self,
+        source: Schema,
+        target: Schema,
+        source_element_ids: list[str] | None = None,
+    ) -> BatchMatchResult:
         started = time.perf_counter()
         source_profile = self.profile(source)
         target_profile = self.profile(target)
@@ -377,6 +388,26 @@ class BatchMatchRunner:
                 self._pair_outcome(schemata[a], schemata[b], selection, a, b)
                 for a, b in pairs
             ]
+        if current_trace() is not None:
+            # Context variables don't follow work into pool threads by
+            # themselves: copy the caller's context once per task (a single
+            # Context object cannot run concurrently) so every fanned-out
+            # pair records its spans into the caller's trace, correctly
+            # parented.
+            contexts = [contextvars.copy_context() for _ in pairs]
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(
+                    pool.map(
+                        lambda task: task[0].run(
+                            self._pair_outcome,
+                            schemata[task[1][0]],
+                            schemata[task[1][1]],
+                            selection,
+                            *task[1],
+                        ),
+                        zip(contexts, pairs),
+                    )
+                )
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             return list(
                 pool.map(

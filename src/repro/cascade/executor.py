@@ -39,6 +39,7 @@ from repro.cascade.oracle import (
 )
 from repro.cascade.plan import CascadePlan, CascadeReport, CascadeStage
 from repro.matchers.profile import SchemaProfile
+from repro.telemetry import span
 
 __all__ = ["CascadeExecutor", "CascadeCounters", "ORACLE_CACHE_CLOCKS"]
 
@@ -149,8 +150,28 @@ class CascadeExecutor:
 
         ``rows`` / ``cols`` are profile positions aligned with the 1-D
         ``scores``; returns the blended scores (a copy when anything
-        escalates) and the report.
+        escalates) and the report.  (``escalate_grid`` funnels through
+        here too, so this is the single traced escalation site.)
         """
+        with span("cascade.escalate") as escalate_span:
+            blended, report = self._escalate_pairs(
+                source_profile, target_profile, rows, cols, scores,
+                stage1_seconds,
+            )
+            escalate_span.annotate(
+                escalated=report.n_escalated, oracle_calls=report.oracle_calls
+            )
+            return blended, report
+
+    def _escalate_pairs(
+        self,
+        source_profile: SchemaProfile,
+        target_profile: SchemaProfile,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        scores: np.ndarray,
+        stage1_seconds: float,
+    ) -> tuple[np.ndarray, CascadeReport]:
         started = time.perf_counter()
         rows = np.asarray(rows, dtype=int)
         cols = np.asarray(cols, dtype=int)

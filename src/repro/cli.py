@@ -508,6 +508,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.corpus_shards is not None and args.corpus_shards < 1:
         raise _fail(f"--corpus-shards must be >= 1, got {args.corpus_shards}")
+    if args.slow_ms < 0:
+        raise _fail(f"--slow-ms must be >= 0, got {args.slow_ms}")
+    if args.trace_sample is not None and not 0.0 <= args.trace_sample <= 1.0:
+        raise _fail(f"--trace-sample must be in [0, 1], got {args.trace_sample}")
     backend = None if args.backend == "auto" else args.backend
     if backend in ("sqlite", "pooled") and args.db is None:
         raise _fail(f"--backend {backend} needs --db (a repository file)")
@@ -555,6 +559,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     timeout=args.cache_timeout,
                 ),
                 warm_limit=args.warm_cache,
+                trace_log=args.trace_log,
+                slow_ms=args.slow_ms,
+                trace_sample=args.trace_sample,
             )
         except OSError as exc:
             raise _fail(
@@ -676,6 +683,9 @@ def _serve_process_pool(args: argparse.Namespace) -> int:
             cache_tier=args.cache_tier,
             cache_timeout=args.cache_timeout,
             warm_limit=args.warm_cache,
+            trace_log=args.trace_log,
+            slow_ms=args.slow_ms,
+            trace_sample=args.trace_sample,
         )
     except OSError as exc:
         raise _fail(
@@ -711,6 +721,31 @@ def _cmd_cache_serve(args: argparse.Namespace) -> int:
 
     serve_until_shutdown(server, announce=announce)
     print("harmonia: cache server stopped cleanly", flush=True)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.telemetry import (
+        format_trace_summary,
+        read_trace_log,
+        summarize_trace_log,
+    )
+
+    try:
+        summary = summarize_trace_log(read_trace_log(args.path))
+    except OSError as exc:
+        raise _fail(f"cannot read trace log {args.path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise _fail(str(exc)) from exc
+    if args.json:
+        print(json_module.dumps(summary, indent=2))
+        return 0
+    if not summary["n_traces"]:
+        print(f"no traces in {args.path}")
+        return 0
+    print(format_trace_summary(summary))
     return 0
 
 
@@ -969,7 +1004,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-answer the repository's N hottest recorded requests "
              "at startup (0 disables warming)",
     )
+    serve_parser.add_argument(
+        "--trace-log", default=None, metavar="PATH",
+        help="append slow-request traces (one JSON span tree per line) to "
+             "this file; summarise with `harmonia trace PATH`",
+    )
+    serve_parser.add_argument(
+        "--slow-ms", type=float, default=250.0, metavar="MS",
+        help="requests slower than this land in --trace-log (0 logs every "
+             "sampled request)",
+    )
+    serve_parser.add_argument(
+        "--trace-sample", type=float, default=None, metavar="RATE",
+        help="fraction of requests to trace server-side, in [0, 1] "
+             "(default: trace all; client opt-in via options.trace is "
+             "always honoured)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="summarise a --trace-log file: per-stage time breakdown",
+    )
+    trace_parser.add_argument("path", help="trace JSONL file to summarise")
+    trace_parser.add_argument(
+        "--json", action="store_true",
+        help="print the summary as JSON instead of the table",
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     cache_serve_parser = subparsers.add_parser(
         "cache-serve",

@@ -36,6 +36,7 @@ from repro.match.selection import SelectionStrategy, ThresholdSelection
 from repro.matchers import DEFAULT_VOTER_WEIGHTS, MatchVoter, default_voters
 from repro.matchers.profile import SchemaProfile, build_profile
 from repro.schema.schema import Schema
+from repro.telemetry import span
 from repro.voting.merger import ConvictionLinearMerger, VoteMerger
 
 __all__ = ["MatchResult", "HarmonyMatchEngine"]
@@ -180,6 +181,18 @@ class HarmonyMatchEngine:
         this is how the sub-tree and depth filters become *match-time*
         restrictions rather than mere display filters.
         """
+        with span("engine.score"):
+            return self._match(
+                source, target, source_element_ids, target_element_ids
+            )
+
+    def _match(
+        self,
+        source: Schema,
+        target: Schema,
+        source_element_ids: list[str] | None = None,
+        target_element_ids: list[str] | None = None,
+    ) -> MatchResult:
         started = time.perf_counter()
         source_profile = self.profile(source)
         target_profile = self.profile(target)

@@ -40,6 +40,7 @@ from repro.repository.backends import StorageBackend, open_backend
 from repro.repository.provenance import AssertionMethod, ProvenanceRecord, TrustPolicy
 from repro.schema.schema import Schema
 from repro.schema.serialize import schema_from_dict, schema_to_dict
+from repro.telemetry import span
 
 __all__ = ["StoredMatch", "MetadataRepository"]
 
@@ -209,12 +210,13 @@ class MetadataRepository:
         """
         schema_name = name if name is not None else schema.name
         payload = schema_to_dict(schema)
-        with self._lock:
-            if self._backend.get_schema(schema_name) == payload:
-                return schema_name
-            self._backend.put_schema(schema_name, payload)
-            self._backend.delete_fingerprint(schema_name)
-        self._notify_write()
+        with span("repository.write", op="register"):
+            with self._lock:
+                if self._backend.get_schema(schema_name) == payload:
+                    return schema_name
+                self._backend.put_schema(schema_name, payload)
+                self._backend.delete_fingerprint(schema_name)
+            self._notify_write()
         return schema_name
 
     def bulk_register_schemas(
@@ -285,11 +287,12 @@ class MetadataRepository:
         return written
 
     def schema(self, name: str) -> Schema:
-        with self._read_guard:
-            payload = self._backend.get_schema(name)
-        if payload is None:
-            raise KeyError(f"schema {name!r} is not registered")
-        return schema_from_dict(payload)
+        with span("repository.read", op="schema"):
+            with self._read_guard:
+                payload = self._backend.get_schema(name)
+            if payload is None:
+                raise KeyError(f"schema {name!r} is not registered")
+            return schema_from_dict(payload)
 
     def schema_names(self) -> list[str]:
         with self._read_guard:
@@ -301,11 +304,12 @@ class MetadataRepository:
         The corpus index hashes this payload to validate fingerprints; it
         is cheaper than :meth:`schema` because no object graph is rebuilt.
         """
-        with self._read_guard:
-            payload = self._backend.get_schema(name)
-        if payload is None:
-            raise KeyError(f"schema {name!r} is not registered")
-        return payload
+        with span("repository.read", op="schema_payload"):
+            with self._read_guard:
+                payload = self._backend.get_schema(name)
+            if payload is None:
+                raise KeyError(f"schema {name!r} is not registered")
+            return payload
 
     def schema_payloads(self, names) -> dict[str, dict]:
         """Bulk :meth:`schema_payload`: present names map to payloads,
@@ -320,9 +324,10 @@ class MetadataRepository:
         The backend bumps BOTH clocks with the cascade (derived match
         structures must notice even when no match survived the delete).
         """
-        with self._lock:
-            self._backend.delete_schema(name)
-        self._notify_write()
+        with span("repository.write", op="unregister"):
+            with self._lock:
+                self._backend.delete_schema(name)
+            self._notify_write()
 
     def __contains__(self, name: str) -> bool:
         with self._read_guard:
@@ -442,7 +447,7 @@ class MetadataRepository:
         ``docs/repository.md`` for the guarantee.
         """
         batch = list(correspondences)
-        with self._lock:
+        with span("repository.write", op="store_matches"), self._lock:
             for name in (source_schema, target_schema):
                 if name not in self:
                     raise KeyError(f"schema {name!r} is not registered")
@@ -476,7 +481,7 @@ class MetadataRepository:
         policy: TrustPolicy | None = None,
     ) -> list[StoredMatch]:
         """Query stored matches, optionally trust-filtered."""
-        with self._read_guard:
+        with span("repository.read", op="matches"), self._read_guard:
             found = self._backend.all_matches()
         if source_schema is not None:
             found = [m for m in found if m.source_schema == source_schema]

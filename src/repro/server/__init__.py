@@ -28,6 +28,14 @@ repository.  This package is that tier, stdlib-only:
   nudges that evict by clock watermark fleet-wide, and cache warming
   from the repository's hottest recorded request hashes (bench E22).
 
+The tier is fully instrumented by :mod:`repro.telemetry`: every POST runs
+under an (optional) span tree surfaced via ``X-Harmonia-Trace`` and the
+envelope's ``trace`` block, ``/metrics`` reports per-endpoint and per-span
+latency histograms (p50/p95/p99), slow requests export as JSONL trace
+logs (``repro serve --trace-log``), and prefork pools aggregate all
+workers' counters through one mmap-backed fleet-stats file -- see
+``docs/observability.md``.
+
 Bench E19 measures the tier (multi-client throughput, cold-vs-warm-cache
 speedup, invalidation correctness); ``docs/serving.md`` documents the
 endpoints, cache semantics, and deployment notes.

@@ -39,6 +39,7 @@ closes.  The ``repro serve`` CLI wraps it; see ``docs/serving.md``.
 from __future__ import annotations
 
 import json
+import os
 import signal
 import socket
 import threading
@@ -54,6 +55,16 @@ from repro.service import (
     MatchRequest,
     MatchService,
     NetworkMatchRequest,
+)
+from repro.telemetry import (
+    BUCKET_BOUNDS_SECONDS,
+    FleetStats,
+    StatsBoard,
+    Trace,
+    TraceLogWriter,
+    Tracer,
+    activate_trace,
+    span,
 )
 
 __all__ = [
@@ -95,11 +106,20 @@ def endpoint_executor(service: MatchService, endpoint: str):
 
 
 class ServerMetrics:
-    """Thread-safe per-endpoint counters (requests, errors, latency, cache)."""
+    """Thread-safe per-endpoint metrics over a telemetry stats board.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._endpoints: dict[str, dict[str, float]] = {}
+    The flat counters of earlier versions (requests, errors,
+    seconds_total, cache_hits, cache_misses) are preserved per endpoint,
+    now joined by a fixed-bucket latency histogram (``latency`` block
+    with p50/p95/p99) and per-span-kind histograms.  Storage is a
+    :class:`repro.telemetry.StatsBoard` -- a private in-memory region for
+    a threaded server, or a worker's region of the shared fleet stats
+    file under prefork serving, which is what lets any worker's
+    ``/metrics`` report exact fleet totals.
+    """
+
+    def __init__(self, board: StatsBoard | None = None) -> None:
+        self.board = board if board is not None else StatsBoard()
 
     def record(
         self,
@@ -108,32 +128,16 @@ class ServerMetrics:
         status: int,
         cache: str | None = None,
     ) -> None:
-        with self._lock:
-            counters = self._endpoints.setdefault(
-                endpoint,
-                {
-                    "requests": 0,
-                    "errors": 0,
-                    "seconds_total": 0.0,
-                    "cache_hits": 0,
-                    "cache_misses": 0,
-                },
-            )
-            counters["requests"] += 1
-            counters["seconds_total"] += seconds
-            if status >= 400:
-                counters["errors"] += 1
-            if cache == "hit":
-                counters["cache_hits"] += 1
-            elif cache == "miss":
-                counters["cache_misses"] += 1
+        self.board.record_endpoint(
+            endpoint, seconds, error=status >= 400, cache=cache
+        )
+
+    def record_trace(self, payload: Mapping[str, Any]) -> None:
+        """Fold one serialised trace into the per-span-kind histograms."""
+        self.board.record_trace(payload)
 
     def to_dict(self) -> dict[str, dict[str, float]]:
-        with self._lock:
-            return {
-                endpoint: dict(counters)
-                for endpoint, counters in sorted(self._endpoints.items())
-            }
+        return self.board.snapshot()["endpoints"]
 
 
 class MatchServer(ThreadingHTTPServer):
@@ -170,6 +174,21 @@ class MatchServer(ThreadingHTTPServer):
     quiet:
         Suppress the per-request access log (default); set False to log
         to stderr as ``http.server`` normally does.
+    trace_log / slow_ms:
+        When ``trace_log`` names a path, requests slower than ``slow_ms``
+        milliseconds append their serialised span tree there as JSONL
+        (``repro trace`` summarizes the file).  Server-side traces are
+        sampled through the service's tracer whether or not the client
+        opted in via ``MatchOptions.trace``.
+    trace_sample:
+        Replace the service's tracer with one sampling this fraction of
+        requests (applies to both client opt-ins and the slow-request
+        log); ``None`` keeps the service's tracer as-is.
+    fleet / fleet_index:
+        A :class:`repro.telemetry.FleetStats` mapping (and this worker's
+        region index) under prefork serving: metrics record into the
+        shared region and ``/metrics`` reports per-worker blocks plus
+        exact fleet totals.  ``None`` keeps metrics process-private.
     listen_socket:
         An already-bound, already-listening socket to adopt instead of
         binding ``host:port``.  This is how process-pool workers share
@@ -195,6 +214,11 @@ class MatchServer(ThreadingHTTPServer):
         cache=None,
         warm_limit: int = 0,
         hot_flush_every: int = 64,
+        trace_log: str | None = None,
+        slow_ms: float = 250.0,
+        trace_sample: float | None = None,
+        fleet: FleetStats | None = None,
+        fleet_index: int = 0,
     ):
         from repro.server.distcache import attach_cache_nudge, warm_cache
 
@@ -202,9 +226,26 @@ class MatchServer(ThreadingHTTPServer):
         self.cache = cache if cache is not None else ResponseCache(
             max_entries=cache_size
         )
-        self.metrics = ServerMetrics()
+        if trace_sample is not None:
+            service.tracer = Tracer(sample_rate=trace_sample)
+        self.trace_writer = (
+            TraceLogWriter(trace_log, slow_ms=slow_ms)
+            if trace_log is not None
+            else None
+        )
+        self.fleet = fleet
+        self.fleet_index = fleet_index
+        if fleet is not None:
+            board = fleet.worker_board(fleet_index)
+            board.set_pid(os.getpid())
+            self.metrics = ServerMetrics(board)
+        else:
+            self.metrics = ServerMetrics()
         self.quiet = quiet
         self.started_at = time.perf_counter()
+        # Operators correlate this with external logs; it never enters a
+        # duration computation (uptime uses perf_counter above).
+        self.started_at_unix = time.time()  # wall clock on purpose
         # Hot-request tracking: per-key counters accumulate in memory and
         # flush to the repository in batches -- the warming source for
         # the NEXT replica to start.
@@ -307,8 +348,33 @@ class MatchServer(ThreadingHTTPServer):
         finally:
             if self._nudge is not None and self.service.repository is not None:
                 self.service.repository.remove_write_listener(self._nudge)
+            if self.trace_writer is not None:
+                self.trace_writer.close()
+            if self.fleet is not None:
+                self.fleet.close()
             self.cache.close()
             super().server_close()
+
+    def sync_gauges(self) -> None:
+        """Mirror cache/cascade/corpus gauges into the fleet stats region.
+
+        A no-op without a fleet mapping: the threaded server reads those
+        blocks live, only prefork workers need them published where other
+        workers can sum them.
+        """
+        if self.fleet is None:
+            return
+        stats = self.cache.stats.to_dict()
+        stats["entries"] = len(self.cache)
+        corpus = self.service.corpus_status()
+        self.metrics.board.set_gauges(
+            cache=stats,
+            cascade=self.service.cascade_status(),
+            corpus={
+                "initialized": 1 if corpus.get("initialized") else 0,
+                "n_indexed": corpus.get("n_indexed", 0),
+            },
+        )
 
     def cache_payload(self) -> dict[str, Any]:
         """The cache block of /healthz and /metrics: aggregate + per-tier."""
@@ -333,6 +399,7 @@ class MatchServer(ThreadingHTTPServer):
             "status": "ok",
             "version": __version__,
             "uptime_seconds": time.perf_counter() - self.started_at,
+            "started_at_unix": self.started_at_unix,
             "repository": {
                 "bound": repository is not None,
                 "n_registered": len(repository) if repository is not None else 0,
@@ -348,12 +415,19 @@ class MatchServer(ThreadingHTTPServer):
         }
 
     def metrics_payload(self) -> dict[str, Any]:
-        return {
-            "endpoints": self.metrics.to_dict(),
+        self.sync_gauges()
+        snapshot = self.metrics.board.snapshot()
+        payload = {
+            "endpoints": snapshot["endpoints"],
+            "spans": snapshot["spans"],
+            "latency_bucket_bounds": list(BUCKET_BOUNDS_SECONDS),
             "cache": self.cache_payload(),
             "corpus": self.service.corpus_status(),
             "cascade": self.service.cascade_status(),
         }
+        if self.fleet is not None:
+            payload["fleet"] = self.fleet.payload()
+        return payload
 
     def schemas_payload(self) -> dict[str, Any]:
         repository = self.service.repository
@@ -393,7 +467,11 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _respond(
-        self, status: int, payload: dict, cache: str | None = None
+        self,
+        status: int,
+        payload: dict,
+        cache: str | None = None,
+        trace_id: str | None = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
@@ -401,6 +479,8 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if cache is not None:
             self.send_header("X-Harmonia-Cache", cache)
+        if trace_id is not None:
+            self.send_header("X-Harmonia-Trace", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -429,22 +509,60 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         path = self.path.split("?", 1)[0]
         cache_status: str | None = None
+        ambient: Trace | None = None
         try:
-            status, payload, cache_status = self._execute(path)
+            status, payload, cache_status, ambient = self._execute(path)
         except _RequestError as exc:
             status, payload = exc.status, {"error": exc.message}
         except Exception as exc:  # pragma: no cover - defensive 500
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        # Record before responding (see do_GET); unknown paths bucket.
-        self.server.metrics.record(
-            path if self._post_executor(path) is not None else "(unknown)",
-            time.perf_counter() - started,
-            status,
-            cache=cache_status,
+        elapsed = time.perf_counter() - started
+        endpoint = (
+            path if self._post_executor(path) is not None else "(unknown)"
         )
-        self._respond(status, payload, cache=cache_status)
+        # Record before responding (see do_GET); unknown paths bucket.
+        self.server.metrics.record(endpoint, elapsed, status, cache=cache_status)
+        # The trace to report.  A cache hit replays the STORED envelope's
+        # trace (that is the execution the response describes -- the
+        # ambient hit-path trace is a lone cache.get and is never folded
+        # anywhere).  On fresh executions the ambient trace is preferred:
+        # the envelope's trace block is a snapshot taken BEFORE the
+        # response was cached, so only the ambient copy (the same trace,
+        # serialised later) carries the cache.put span.
+        trace_payload: dict | None = None
+        envelope_trace = (
+            payload.get("trace")
+            if status == 200 and isinstance(payload, Mapping)
+            else None
+        )
+        if cache_status == "hit" and envelope_trace:
+            trace_payload = envelope_trace
+        elif ambient is not None and len(ambient):
+            trace_payload = ambient.to_dict()
+        elif envelope_trace:
+            trace_payload = envelope_trace
+        if trace_payload is not None and cache_status != "hit":
+            # Fresh executions only: a cache hit replays a STORED trace --
+            # folding it into histograms or the slow log again would count
+            # work that did not run.
+            self.server.metrics.record_trace(trace_payload)
+            if self.server.trace_writer is not None:
+                self.server.trace_writer.maybe_write(
+                    endpoint, trace_payload, elapsed
+                )
+        self.server.sync_gauges()
+        self._respond(
+            status,
+            payload,
+            cache=cache_status,
+            trace_id=(
+                trace_payload.get("trace_id") if trace_payload is not None else None
+            ),
+        )
 
-    def _execute(self, path: str) -> tuple[int, dict, str | None]:
+    def _execute(
+        self, path: str
+    ) -> tuple[int, dict, str | None, "Trace | None"]:
         executor = self._post_executor(path)
         if executor is None:
             # Drain the body first: with keep-alive, leaving declared
@@ -461,17 +579,29 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         # the stored watermark stale, so the entry invalidates on its next
         # lookup instead of serving pre-write knowledge.
         clocks = self.server.clocks(path)
-        cached = self.server.cache.get(key, clocks)
-        if cached is not None:
-            return 200, cached, "hit"
-        try:
-            envelope = executor(request).to_dict()
-        except KeyError as exc:
-            raise _RequestError(404, f"not registered: {exc}") from exc
-        except (ValueError, TypeError) as exc:
-            raise _RequestError(400, str(exc)) from exc
-        self.server.cache.put(key, envelope, clocks)
-        return 200, envelope, "miss"
+        # Server-side sampling: with a slow-request log configured, open a
+        # trace for this request whether or not the client opted in -- the
+        # service reuses it, and every span site below records into it.
+        ambient: Trace | None = None
+        if (
+            self.server.trace_writer is not None
+            and self.server.service.tracer.sample()
+        ):
+            ambient = Trace()
+        with activate_trace(ambient):
+            with span("cache.get"):
+                cached = self.server.cache.get(key, clocks)
+            if cached is not None:
+                return 200, cached, "hit", ambient
+            try:
+                envelope = executor(request).to_dict()
+            except KeyError as exc:
+                raise _RequestError(404, f"not registered: {exc}") from exc
+            except (ValueError, TypeError) as exc:
+                raise _RequestError(400, str(exc)) from exc
+            with span("cache.put"):
+                self.server.cache.put(key, envelope, clocks)
+        return 200, envelope, "miss", ambient
 
     def _post_executor(self, path: str) -> Callable | None:
         return endpoint_executor(self.server.service, path)

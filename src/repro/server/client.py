@@ -15,6 +15,7 @@ server reports (4xx/5xx with an ``{"error": ...}`` body) surface as
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 from typing import Any
 from urllib import error as urlerror
 from urllib import request as urlrequest
@@ -54,13 +55,18 @@ class MatchServiceClient:
     After every request, :attr:`last_cache_status` holds the server's
     ``X-Harmonia-Cache`` header (``"hit"`` / ``"miss"`` for POSTs, None
     otherwise) -- how the bench distinguishes cached from computed
-    responses without touching the payload.
+    responses without touching the payload -- and :attr:`last_trace_id`
+    holds ``X-Harmonia-Trace`` when the request was traced.  The typed
+    MATCH helpers also stamp both onto the returned envelope
+    (``response.cache_status`` / ``response.trace_id``), so callers do not
+    have to reach back into the client for per-response transport facts.
     """
 
     def __init__(self, base_url: str, timeout: float = 60.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.last_cache_status: str | None = None
+        self.last_trace_id: str | None = None
 
     # -- transport ------------------------------------------------------
     def get_json(self, path: str) -> dict[str, Any]:
@@ -80,9 +86,11 @@ class MatchServiceClient:
             self.base_url + path, data=data, method=method, headers=headers
         )
         self.last_cache_status = None
+        self.last_trace_id = None
         try:
             with urlrequest.urlopen(request, timeout=self.timeout) as reply:
                 self.last_cache_status = reply.headers.get("X-Harmonia-Cache")
+                self.last_trace_id = reply.headers.get("X-Harmonia-Trace")
                 return json.loads(reply.read().decode("utf-8"))
         except urlerror.HTTPError as exc:
             try:
@@ -102,18 +110,37 @@ class MatchServiceClient:
         return self.get_json("/schemas")
 
     # -- the MATCH operations -------------------------------------------
+    def _stamp(self, response):
+        """Copy this reply's transport headers onto the envelope.
+
+        ``cache_status`` / ``trace_id`` are transport-only fields (never
+        serialised, excluded from equality), so stamping keeps the
+        envelope round-trip identical to the wire payload.
+        """
+        return replace(
+            response,
+            cache_status=self.last_cache_status,
+            trace_id=self.last_trace_id,
+        )
+
     def match(self, request: MatchRequest) -> MatchResponse:
         """One MATCH through the server; the typed envelope back."""
-        return MatchResponse.from_dict(self.post_json("/match", request.to_dict()))
+        return self._stamp(
+            MatchResponse.from_dict(self.post_json("/match", request.to_dict()))
+        )
 
     def corpus_match(self, request: CorpusMatchRequest) -> CorpusMatchResponse:
         """One repository-scale top-k MATCH through the server."""
-        return CorpusMatchResponse.from_dict(
-            self.post_json("/corpus-match", request.to_dict())
+        return self._stamp(
+            CorpusMatchResponse.from_dict(
+                self.post_json("/corpus-match", request.to_dict())
+            )
         )
 
     def network_match(self, request: NetworkMatchRequest) -> NetworkMatchResponse:
         """One mapping-network routing query through the server."""
-        return NetworkMatchResponse.from_dict(
-            self.post_json("/network-match", request.to_dict())
+        return self._stamp(
+            NetworkMatchResponse.from_dict(
+                self.post_json("/network-match", request.to_dict())
+            )
         )

@@ -49,6 +49,7 @@ from repro.repository.store import MetadataRepository
 from repro.server.app import MatchServer
 from repro.server.distcache import build_cache
 from repro.service import MatchOptions, MatchService
+from repro.telemetry import FleetStats
 
 __all__ = ["serve_process_pool"]
 
@@ -67,6 +68,11 @@ def _worker_main(
     cache_tier: str = "auto",
     cache_timeout: float = 1.0,
     warm_limit: int = 0,
+    trace_log: str | None = None,
+    slow_ms: float = 250.0,
+    trace_sample: float | None = None,
+    fleet_path: str | None = None,
+    fleet_index: int = 0,
 ) -> int:
     """One worker: open the shared store, serve the inherited socket.
 
@@ -93,6 +99,13 @@ def _worker_main(
         # connections); with --cache-url every worker's shared tier is the
         # same cache process, so one worker's computed miss (or one
         # write's nudge) serves the whole pool.
+        #
+        # Stats follow the same post-fork rebuild rule: the parent created
+        # the zeroed fleet-stats file BEFORE forking, and each worker maps
+        # it here, binding its metrics board to its own page-aligned
+        # region.  Any worker answering /metrics reads all regions and
+        # reports fleet totals.
+        fleet = FleetStats.attach(fleet_path) if fleet_path is not None else None
         server = MatchServer(
             service,
             cache_size=cache_size,
@@ -105,6 +118,11 @@ def _worker_main(
                 timeout=cache_timeout,
             ),
             warm_limit=warm_limit,
+            trace_log=trace_log,
+            slow_ms=slow_ms,
+            trace_sample=trace_sample,
+            fleet=fleet,
+            fleet_index=fleet_index,
         )
         if refresh_interval is not None:
             # Each worker keeps its own corpus snapshots warm; the shared
@@ -143,6 +161,9 @@ def serve_process_pool(
     cache_tier: str = "auto",
     cache_timeout: float = 1.0,
     warm_limit: int = 0,
+    trace_log: str | None = None,
+    slow_ms: float = 250.0,
+    trace_sample: float | None = None,
 ) -> int:
     """Run ``n_workers`` prefork servers over one socket and one store.
 
@@ -160,6 +181,11 @@ def serve_process_pool(
         raise RuntimeError("process-pool serving needs os.fork (POSIX)")
 
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    # One stats file, one page-aligned region per worker, created BEFORE
+    # the forks so every child maps the same inode.  Workers write their
+    # own region; /metrics on any worker reads them all.
+    fleet_path = db_path + ".fleet-stats"
+    FleetStats.create(fleet_path, n_workers)
     try:
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((host, port))
@@ -167,7 +193,7 @@ def serve_process_pool(
         bound_port = listener.getsockname()[1]
 
         workers: list[int] = []
-        for _ in range(n_workers):
+        for fleet_index in range(n_workers):
             pid = os.fork()
             if pid == 0:
                 # The child never returns into the caller's stack: serve,
@@ -189,6 +215,11 @@ def serve_process_pool(
                         cache_tier,
                         cache_timeout,
                         warm_limit,
+                        trace_log,
+                        slow_ms,
+                        trace_sample,
+                        fleet_path,
+                        fleet_index,
                     )
                 finally:
                     sys.stdout.flush()
@@ -237,3 +268,4 @@ def serve_process_pool(
     finally:
         # Idempotent: already closed in the normal path.
         listener.close()
+        FleetStats.remove(fleet_path)

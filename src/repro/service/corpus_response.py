@@ -10,7 +10,7 @@ stay readable and a future HTTP layer is a thin shim.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.cascade.plan import CascadeReport
@@ -108,6 +108,12 @@ class CorpusMatchResponse:
     options: MatchOptions
     reuse_applied: bool
     candidates: tuple[CorpusCandidate, ...]
+    #: Serialised span tree when the request opted in (``options.trace``).
+    trace: dict[str, Any] | None = None
+    #: Transport facts stamped by :class:`repro.server.MatchServiceClient`
+    #: from response headers; never serialised, never compared.
+    cache_status: str | None = field(default=None, compare=False, repr=False)
+    trace_id: str | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "candidates", tuple(self.candidates))
@@ -165,6 +171,7 @@ class CorpusMatchResponse:
             "candidates": [candidate.to_dict() for candidate in self.candidates],
             # Derived: summed oracle spend (rebuilt from candidates on read).
             "cascade_totals": self.cascade_totals(),
+            "trace": self.trace,
         }
 
     @classmethod
@@ -187,6 +194,7 @@ class CorpusMatchResponse:
                 CorpusCandidate.from_dict(entry)
                 for entry in payload["candidates"]
             ),
+            trace=payload.get("trace"),
         )
 
     def to_json(self, indent: int | None = None) -> str:

@@ -9,7 +9,7 @@ service envelope, so routed answers persist and replay.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.match.correspondence import Correspondence
@@ -49,6 +49,12 @@ class NetworkMatchResponse:
     graph_seconds: float
     options: MatchOptions
     correspondences: tuple[Correspondence, ...]
+    #: Serialised span tree when the request opted in (``options.trace``).
+    trace: dict[str, Any] | None = None
+    #: Transport facts stamped by :class:`repro.server.MatchServiceClient`
+    #: from response headers; never serialised, never compared.
+    cache_status: str | None = field(default=None, compare=False, repr=False)
+    trace_id: str | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "paths", tuple(self.paths))
@@ -88,6 +94,7 @@ class NetworkMatchResponse:
             "graph_seconds": self.graph_seconds,
             "options": self.options.to_dict(),
             "correspondences": [c.to_dict() for c in self.correspondences],
+            "trace": self.trace,
         }
 
     @classmethod
@@ -121,6 +128,7 @@ class NetworkMatchResponse:
                 Correspondence.from_dict(entry)
                 for entry in payload["correspondences"]
             ),
+            trace=payload.get("trace"),
         )
 
     def to_json(self, indent: int | None = None) -> str:

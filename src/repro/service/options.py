@@ -134,6 +134,14 @@ class MatchOptions:
         Because the plan serialises inside these options -- and the
         options inside every request -- cascaded and plain requests can
         never share a response-cache key.
+    trace:
+        Opt into span-tree tracing for this request: the service records
+        a :class:`repro.telemetry.Trace` and attaches its serialised tree
+        to the response envelope.  ``False`` (the default) keeps the
+        no-op disabled path.  Like ``cascade``, the flag serialises
+        inside the options, so traced and untraced requests never share
+        a response-cache key (a cached traced envelope legitimately
+        carries its stored trace).
     """
 
     voters: tuple[str, ...] | None = None
@@ -145,6 +153,7 @@ class MatchOptions:
     execution: str = "auto"
     fill_value: float = 0.0
     cascade: CascadePlan | None = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.voters is not None:
@@ -188,6 +197,7 @@ class MatchOptions:
             raise ValueError(f"fill_value must be in [-1, 1], got {self.fill_value}")
         if self.cascade is not None and not isinstance(self.cascade, CascadePlan):
             object.__setattr__(self, "cascade", CascadePlan.from_dict(self.cascade))
+        object.__setattr__(self, "trace", bool(self.trace))
 
     # -- compilation ----------------------------------------------------
     @property
@@ -263,6 +273,7 @@ class MatchOptions:
             "execution": self.execution,
             "fill_value": self.fill_value,
             "cascade": self.cascade.to_dict() if self.cascade is not None else None,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -281,4 +292,5 @@ class MatchOptions:
             execution=payload.get("execution", "auto"),
             fill_value=payload.get("fill_value", 0.0),
             cascade=CascadePlan.from_dict(cascade) if cascade is not None else None,
+            trace=payload.get("trace", False),
         )

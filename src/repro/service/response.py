@@ -50,8 +50,15 @@ class MatchResponse:
     provenance: ProvenanceRecord
     #: Per-stage timing and oracle spend when a cascade ran (None otherwise).
     cascade: CascadeReport | None = None
+    #: Serialised span tree when the request opted in (``options.trace``).
+    trace: dict[str, Any] | None = None
     #: Live result for in-process consumers; never serialised, never compared.
     result: MatchResult | None = field(default=None, compare=False, repr=False)
+    #: Transport facts stamped by :class:`repro.server.MatchServiceClient`
+    #: from response headers (``X-Harmonia-Cache`` / ``X-Harmonia-Trace``);
+    #: never serialised, never compared.
+    cache_status: str | None = field(default=None, compare=False, repr=False)
+    trace_id: str | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "voter_names", tuple(self.voter_names))
@@ -89,6 +96,7 @@ class MatchResponse:
             "correspondences": [c.to_dict() for c in self.correspondences],
             "provenance": self.provenance.to_dict(),
             "cascade": self.cascade.to_dict() if self.cascade is not None else None,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -119,6 +127,7 @@ class MatchResponse:
                 if payload.get("cascade") is not None
                 else None
             ),
+            trace=payload.get("trace"),
         )
 
     def to_json(self, indent: int | None = None) -> str:

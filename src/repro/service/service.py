@@ -71,6 +71,7 @@ from repro.service.requests import (
     SchemaRef,
 )
 from repro.service.response import MatchResponse
+from repro.telemetry import Tracer, request_trace, span
 
 __all__ = ["MatchService"]
 
@@ -106,6 +107,11 @@ class MatchService:
         judgements across replicas, exactly like response caching).  A
         private in-process :class:`~repro.server.cache.ResponseCache` is
         created lazily when omitted and a cascade first compiles.
+    tracer:
+        The :class:`~repro.telemetry.Tracer` gating span-tree tracing for
+        requests that opt in via ``MatchOptions.trace`` (a default
+        always-sample tracer when omitted).  The serving tier replaces it
+        to apply the ``--trace-sample`` knob.
     """
 
     def __init__(
@@ -116,6 +122,7 @@ class MatchService:
         asserted_by: str = "match-service",
         corpus_shards: int | None = None,
         oracle_cache=None,
+        tracer: Tracer | None = None,
     ):
         self.options = options if options is not None else MatchOptions()
         self.repository = repository
@@ -125,6 +132,7 @@ class MatchService:
             raise ValueError(f"corpus_shards must be >= 1, got {corpus_shards}")
         self.auto_batch_pairs = auto_batch_pairs
         self.asserted_by = asserted_by
+        self.tracer = tracer if tracer is not None else Tracer()
         #: None -> unsharded CorpusIndex; N -> ShardedCorpusIndex(N).
         self.corpus_shards = corpus_shards
         #: One feature space and one profile cache, shared by every engine
@@ -209,6 +217,10 @@ class MatchService:
         the shared profile cache.
         """
         options = options if options is not None else self.options
+        if options.trace:
+            # Tracing is a request concern, not an execution configuration:
+            # traced and untraced requests share one compiled engine.
+            options = replace(options, trace=False)
         with self._lock:
             engine = self._engines.get(options)
             if engine is None:
@@ -230,6 +242,8 @@ class MatchService:
     ) -> BatchMatchRunner:
         """The batch runner for a configuration, sharing the service caches."""
         options = options if options is not None else self.options
+        if options.trace:
+            options = replace(options, trace=False)
         key = (options, executor, max_workers, keep_matrices)
         with self._lock:
             runner = self._runners.get(key)
@@ -352,17 +366,37 @@ class MatchService:
     # The MATCH operation
     # ------------------------------------------------------------------
     def match(self, request: MatchRequest) -> MatchResponse:
-        """Execute one typed MATCH request (route, run, envelope)."""
+        """Execute one typed MATCH request (route, run, envelope).
+
+        When the request opts in (``options.trace``) and the tracer
+        samples it, the returned envelope carries the serialised span
+        tree; otherwise every instrumentation site below is a no-op.
+        """
+        with request_trace(self.tracer, request.options.trace) as trace:
+            with span("service.match"):
+                response = self._match(request)
+            if trace is not None:
+                response = replace(response, trace=trace.to_dict())
+            return response
+
+    def _match(self, request: MatchRequest) -> MatchResponse:
         source = self.resolve(request.source)
         target = self.resolve(request.target)
-        route, reason = self.route_pair(request, source, target)
+        with span("route.compile") as compile_span:
+            route, reason = self.route_pair(request, source, target)
+            executor = (
+                self.runner(request.options)
+                if route == "batch"
+                else self.engine(request.options)
+            )
+            compile_span.annotate(route=route)
         source_ids = (
             list(request.source_element_ids)
             if request.source_element_ids is not None
             else None
         )
         if route == "batch":
-            result = self.runner(request.options).match_pair(
+            result = executor.match_pair(
                 source, target, source_element_ids=source_ids
             )
             n_candidates = result.n_candidates
@@ -372,21 +406,22 @@ class MatchService:
                 if request.target_element_ids is not None
                 else None
             )
-            result = self.engine(request.options).match(
+            result = executor.match(
                 source,
                 target,
                 source_element_ids=source_ids,
                 target_element_ids=target_ids,
             )
             n_candidates = result.n_pairs
-        return self._envelope(
-            result,
-            request.options,
-            route,
-            reason,
-            n_candidates,
-            selection=None,
-        )
+        with span("envelope.build"):
+            return self._envelope(
+                result,
+                request.options,
+                route,
+                reason,
+                n_candidates,
+                selection=None,
+            )
 
     def match_pair(
         self,
@@ -603,6 +638,14 @@ class MatchService:
         """
         if self.repository is None:
             raise ValueError("corpus_match requires a bound MetadataRepository")
+        with request_trace(self.tracer, request.options.trace) as trace:
+            with span("service.corpus_match"):
+                response = self._corpus_match(request)
+            if trace is not None:
+                response = replace(response, trace=trace.to_dict())
+            return response
+
+    def _corpus_match(self, request: CorpusMatchRequest) -> CorpusMatchResponse:
         started = time.perf_counter()
         source = self.resolve(request.source)
         # A by-name request is identified by its registered name; an inline
@@ -614,53 +657,56 @@ class MatchService:
         if source_name is not None:
             excluded.add(source_name)
 
-        index = self.corpus_index()
-        retrieval_started = time.perf_counter()
-        limit = request.effective_retrieval_limit
-        # An INLINE query's registered copies are dropped besides the name
-        # exclusions (an identical copy is the query itself and would
-        # waste the top rank on a self-match).  A by-name query keeps
-        # content-identical siblings: two distinct registered systems with
-        # identical schemata are the paper's consolidation case, and the
-        # sibling is the best possible candidate, not a copy.  Identity is
-        # decided by the corpus index's persisted content hashes (one map
-        # fetch, no payload parsing); the fetch widens until `limit`
-        # survivors are found or the index is exhausted.
-        source_hash = (
-            corpus_payload_hash(schema_to_dict(source))
-            if source_name is None
-            else None
-        )
-        identical: list[str] = []
-        hits: list = []
-        fetch_limit = limit + len(excluded) + 1
-        while True:
-            fetched = index.top_candidates(source, limit=fetch_limit)
-            content_hashes = (
-                self.repository.fingerprint_hashes()
-                if source_hash is not None
-                else {}
+        with span("corpus.retrieve") as retrieve_span:
+            index = self.corpus_index()
+            retrieval_started = time.perf_counter()
+            limit = request.effective_retrieval_limit
+            # An INLINE query's registered copies are dropped besides the
+            # name exclusions (an identical copy is the query itself and
+            # would waste the top rank on a self-match).  A by-name query
+            # keeps content-identical siblings: two distinct registered
+            # systems with identical schemata are the paper's consolidation
+            # case, and the sibling is the best possible candidate, not a
+            # copy.  Identity is decided by the corpus index's persisted
+            # content hashes (one map fetch, no payload parsing); the fetch
+            # widens until `limit` survivors are found or the index is
+            # exhausted.
+            source_hash = (
+                corpus_payload_hash(schema_to_dict(source))
+                if source_name is None
+                else None
             )
-            identical.clear()
-            hits.clear()
-            for hit in fetched:
-                if len(hits) == limit:
+            identical: list[str] = []
+            hits: list = []
+            fetch_limit = limit + len(excluded) + 1
+            while True:
+                fetched = index.top_candidates(source, limit=fetch_limit)
+                content_hashes = (
+                    self.repository.fingerprint_hashes()
+                    if source_hash is not None
+                    else {}
+                )
+                identical.clear()
+                hits.clear()
+                for hit in fetched:
+                    if len(hits) == limit:
+                        break
+                    if hit.schema_name in excluded:
+                        continue
+                    if source_hash is not None and source_hash == (
+                        content_hashes.get(hit.schema_name)
+                        or corpus_payload_hash(
+                            self.repository.schema_payload(hit.schema_name)
+                        )
+                    ):
+                        identical.append(hit.schema_name)
+                        continue
+                    hits.append(hit)
+                if len(hits) >= limit or len(fetched) < fetch_limit:
                     break
-                if hit.schema_name in excluded:
-                    continue
-                if source_hash is not None and source_hash == (
-                    content_hashes.get(hit.schema_name)
-                    or corpus_payload_hash(
-                        self.repository.schema_payload(hit.schema_name)
-                    )
-                ):
-                    identical.append(hit.schema_name)
-                    continue
-                hits.append(hit)
-            if len(hits) >= limit or len(fetched) < fetch_limit:
-                break
-            fetch_limit *= 2
-        retrieval_seconds = time.perf_counter() - retrieval_started
+                fetch_limit *= 2
+            retrieval_seconds = time.perf_counter() - retrieval_started
+            retrieve_span.annotate(n_retrieved=len(hits))
         n_registered = len(index)
         if source_name is None and identical:
             # The inline query schema lives in the registry (under any
@@ -672,12 +718,13 @@ class MatchService:
             for hit in hits
         }
         retrieval_score = {hit.schema_name: hit.score for hit in hits}
-        runner = self.runner(
-            request.options,
-            executor=request.executor,
-            max_workers=request.max_workers,
-            keep_matrices=False,
-        )
+        with span("route.compile", route="batch"):
+            runner = self.runner(
+                request.options,
+                executor=request.executor,
+                max_workers=request.max_workers,
+                keep_matrices=False,
+            )
         outcomes = runner.match_corpus(
             source, registry, selection=request.options.build_selection()
         )
@@ -689,37 +736,39 @@ class MatchService:
         )
         prior_pool = self.repository.matches() if reuse_applied else None
         candidates: list[CorpusCandidate] = []
-        for outcome in outcomes:
-            correspondences = tuple(outcome.correspondences)
-            n_boosted = n_seeded = 0
-            if reuse_applied:
-                reused = request.reuse.rematch(
-                    self.repository,
-                    source_name,
-                    outcome.target_name,
-                    correspondences,
-                    pool=prior_pool,
+        with span("envelope.build"):
+            for outcome in outcomes:
+                correspondences = tuple(outcome.correspondences)
+                n_boosted = n_seeded = 0
+                if reuse_applied:
+                    with span("reuse.apply", target=outcome.target_name):
+                        reused = request.reuse.rematch(
+                            self.repository,
+                            source_name,
+                            outcome.target_name,
+                            correspondences,
+                            pool=prior_pool,
+                        )
+                    correspondences = reused.correspondences
+                    n_boosted, n_seeded = reused.n_boosted, reused.n_seeded
+                candidates.append(
+                    CorpusCandidate(
+                        target_name=outcome.target_name,
+                        retrieval_score=retrieval_score[outcome.target_name],
+                        match_score=sum(max(0.0, c.score) for c in correspondences),
+                        n_source=outcome.n_source,
+                        n_target=outcome.n_target,
+                        n_candidates=outcome.n_candidates,
+                        elapsed_seconds=outcome.elapsed_seconds,
+                        n_boosted=n_boosted,
+                        n_seeded=n_seeded,
+                        correspondences=correspondences,
+                        cascade=outcome.cascade,
+                    )
                 )
-                correspondences = reused.correspondences
-                n_boosted, n_seeded = reused.n_boosted, reused.n_seeded
-            candidates.append(
-                CorpusCandidate(
-                    target_name=outcome.target_name,
-                    retrieval_score=retrieval_score[outcome.target_name],
-                    match_score=sum(max(0.0, c.score) for c in correspondences),
-                    n_source=outcome.n_source,
-                    n_target=outcome.n_target,
-                    n_candidates=outcome.n_candidates,
-                    elapsed_seconds=outcome.elapsed_seconds,
-                    n_boosted=n_boosted,
-                    n_seeded=n_seeded,
-                    correspondences=correspondences,
-                    cascade=outcome.cascade,
-                )
+            candidates.sort(
+                key=lambda c: (-c.match_score, -c.retrieval_score, c.target_name)
             )
-        candidates.sort(
-            key=lambda c: (-c.match_score, -c.retrieval_score, c.target_name)
-        )
         return CorpusMatchResponse(
             source_name=source_name if source_name is not None else source.name,
             n_registered=n_registered,
@@ -771,18 +820,30 @@ class MatchService:
         """
         if self.repository is None:
             raise ValueError("network_match requires a bound MetadataRepository")
+        with request_trace(self.tracer, request.options.trace) as trace:
+            with span("service.network_match"):
+                response = self._network_match(request)
+            if trace is not None:
+                response = replace(response, trace=trace.to_dict())
+            return response
+
+    def _network_match(
+        self, request: NetworkMatchRequest
+    ) -> NetworkMatchResponse:
         started = time.perf_counter()
         for name in (request.source, request.target):
             if name not in self.repository:
                 raise KeyError(f"schema {name!r} is not registered")
-        graph = self.mapping_graph()
-        route = graph.route(
-            request.source,
-            request.target,
-            max_hops=request.max_hops,
-            hop_decay=request.hop_decay,
-            policy=request.trust,
-        )
+        with span("network.route") as route_span:
+            graph = self.mapping_graph()
+            route = graph.route(
+                request.source,
+                request.target,
+                max_hops=request.max_hops,
+                hop_decay=request.hop_decay,
+                policy=request.trust,
+            )
+            route_span.annotate(n_paths=len(route.paths))
         graph_seconds = time.perf_counter() - started
         composed = tuple(
             c for c in route.correspondences if c.score >= request.min_score
@@ -790,7 +851,8 @@ class MatchService:
         n_boosted = n_seeded = 0
         correspondences = composed
         if request.verify:
-            runner = self.runner(request.options, keep_matrices=False)
+            with span("route.compile", route="batch"):
+                runner = self.runner(request.options, keep_matrices=False)
             result = runner.match_pair(
                 self._registered_schema(request.source),
                 self._registered_schema(request.target),
@@ -802,13 +864,14 @@ class MatchService:
             reuse = request.reuse
             if request.trust is not None and reuse.trust is None:
                 reuse = replace(reuse, trust=request.trust)
-            priors = reuse.priors(
-                self.repository,
-                request.source,
-                request.target,
-                composed=route.correspondences,
-            )
-            outcome = reuse.apply(fresh, priors)
+            with span("reuse.apply"):
+                priors = reuse.priors(
+                    self.repository,
+                    request.source,
+                    request.target,
+                    composed=route.correspondences,
+                )
+                outcome = reuse.apply(fresh, priors)
             correspondences = outcome.correspondences
             n_boosted, n_seeded = outcome.n_boosted, outcome.n_seeded
         refresh = graph.last_refresh

@@ -1,0 +1,79 @@
+"""End-to-end observability: span trees, latency histograms, fleet stats.
+
+The paper's managed-workflow argument, applied to this repo's own
+serving stack: you cannot tune a match pipeline you cannot see.  Four
+stdlib-only pieces:
+
+* :mod:`repro.telemetry.tracer` -- per-request span trees with a no-op
+  disabled path (one context-variable read per instrumentation site);
+* :mod:`repro.telemetry.histogram` -- fixed-bucket latency histograms
+  whose bucket counts merge exactly;
+* :mod:`repro.telemetry.board` -- fixed-slot per-worker stats regions
+  over one mmapped file, so any prefork worker reports fleet totals;
+* :mod:`repro.telemetry.tracelog` -- the slow-request JSONL log and the
+  ``repro trace`` summariser.
+"""
+
+from repro.telemetry.board import (
+    BOARD_ENDPOINTS,
+    BOARD_SPAN_KINDS,
+    REGION_BYTES,
+    FleetStats,
+    StatsBoard,
+    aggregate_snapshots,
+)
+from repro.telemetry.histogram import (
+    BUCKET_BOUNDS_SECONDS,
+    N_BUCKETS,
+    LatencyHistogram,
+    bucket_index,
+    estimate_quantile,
+    summarize_counts,
+)
+from repro.telemetry.tracelog import (
+    TraceLogWriter,
+    format_trace_summary,
+    read_trace_log,
+    summarize_trace_log,
+)
+from repro.telemetry.tracer import (
+    SPAN_KINDS,
+    Span,
+    Trace,
+    Tracer,
+    activate_trace,
+    current_trace,
+    request_trace,
+    span,
+    stage_totals,
+    validate_trace,
+)
+
+__all__ = [
+    "BOARD_ENDPOINTS",
+    "BOARD_SPAN_KINDS",
+    "BUCKET_BOUNDS_SECONDS",
+    "N_BUCKETS",
+    "REGION_BYTES",
+    "FleetStats",
+    "LatencyHistogram",
+    "SPAN_KINDS",
+    "Span",
+    "StatsBoard",
+    "Trace",
+    "TraceLogWriter",
+    "Tracer",
+    "activate_trace",
+    "aggregate_snapshots",
+    "bucket_index",
+    "current_trace",
+    "estimate_quantile",
+    "format_trace_summary",
+    "read_trace_log",
+    "request_trace",
+    "span",
+    "stage_totals",
+    "summarize_counts",
+    "summarize_trace_log",
+    "validate_trace",
+]

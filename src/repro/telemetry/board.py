@@ -1,0 +1,376 @@
+"""The stats board: fixed-slot counters any process can read, sum, trust.
+
+The prefork pool (:mod:`repro.server.procpool`) gives every worker its
+own interpreter -- and, before this module, its own invisible counters:
+``/metrics`` answered by whichever worker accepted the connection showed
+one N-th of the fleet.  The cross-worker channel follows the same
+post-fork discipline as the store and the caches: the parent creates ONE
+stats file sized for the pool before forking, each worker mmaps its own
+fixed-offset region after forking, and any worker answers ``/metrics``
+by reading every region and summing.
+
+The region layout is deliberately binary and fixed (little-endian u64
+slots: per-endpoint request/error/cache counters plus latency bucket
+counts, per-span-kind histograms, and gauge blocks for the cache /
+cascade / corpus subsystems).  Fixed slots are what make the two halves
+of the contract hold:
+
+* a worker records one request with a handful of in-place 8-byte adds
+  under its own lock -- no serialisation, no syscall past the page
+  cache, cheap enough for the per-request path;
+* fleet totals are *exact* sums: histogram bucket counts add, counters
+  add, and the reader computes per-worker and fleet blocks from one
+  pass over the same bytes, so ``totals == sum(workers)`` by
+  construction (asserted under a multi-client hammer in bench E24).
+
+:class:`StatsBoard` over a private ``bytearray`` is the threaded
+server's metrics storage too -- one code path, with or without a fleet.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import threading
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.telemetry.histogram import (
+    N_BUCKETS,
+    bucket_index,
+    summarize_counts,
+)
+from repro.telemetry.tracer import SPAN_KINDS
+
+__all__ = [
+    "BOARD_ENDPOINTS",
+    "BOARD_SPAN_KINDS",
+    "REGION_BYTES",
+    "FleetStats",
+    "StatsBoard",
+    "aggregate_snapshots",
+]
+
+#: Every endpoint the server records; unknown paths bucket under
+#: ``(unknown)`` (the server already enforces that), so the set is closed
+#: and each gets a fixed slot range.
+BOARD_ENDPOINTS: tuple[str, ...] = (
+    "/match",
+    "/corpus-match",
+    "/network-match",
+    "/healthz",
+    "/metrics",
+    "/schemas",
+    "(unknown)",
+)
+
+#: Span kinds with board slots; unlisted kinds fold into ``(other)``.
+BOARD_SPAN_KINDS: tuple[str, ...] = SPAN_KINDS + ("(other)",)
+
+_ENDPOINT_FIELDS = ("requests", "errors", "cache_hits", "cache_misses")
+_ENDPOINT_SLOTS = len(_ENDPOINT_FIELDS) + 1 + N_BUCKETS  # + seconds_ns
+_SPAN_SLOTS = 2 + N_BUCKETS  # count, seconds_ns, buckets
+
+_CACHE_GAUGES = ("hits", "misses", "invalidations", "evictions", "errors", "entries")
+_CASCADE_GAUGES = (
+    "requests", "ambiguous", "escalated", "oracle_calls",
+    "oracle_cache_hits", "truncated",
+)
+_CORPUS_GAUGES = ("initialized", "n_indexed")
+
+_PID_SLOT = 0
+_ENDPOINT_BASE = 1
+_SPAN_BASE = _ENDPOINT_BASE + len(BOARD_ENDPOINTS) * _ENDPOINT_SLOTS
+_GAUGE_BASE = _SPAN_BASE + len(BOARD_SPAN_KINDS) * _SPAN_SLOTS
+_TOTAL_SLOTS = _GAUGE_BASE + len(_CACHE_GAUGES) + len(_CASCADE_GAUGES) + len(
+    _CORPUS_GAUGES
+)
+
+#: One worker's region, page-aligned so regions never share a cache line.
+REGION_BYTES = ((_TOTAL_SLOTS * 8 + 4095) // 4096) * 4096
+
+_ENDPOINT_INDEX = {name: i for i, name in enumerate(BOARD_ENDPOINTS)}
+_SPAN_INDEX = {name: i for i, name in enumerate(BOARD_SPAN_KINDS)}
+
+_U64 = struct.Struct("<Q")
+
+
+class StatsBoard:
+    """Fixed-slot metrics over any writable buffer (bytearray or mmap)."""
+
+    def __init__(self, buffer=None):
+        self._buf = buffer if buffer is not None else bytearray(REGION_BYTES)
+        if len(self._buf) < _TOTAL_SLOTS * 8:
+            raise ValueError(
+                f"stats buffer needs {_TOTAL_SLOTS * 8} bytes, got {len(self._buf)}"
+            )
+        self._lock = threading.Lock()
+
+    # -- slot primitives (callers hold the lock) ------------------------
+    def _get(self, slot: int) -> int:
+        return _U64.unpack_from(self._buf, slot * 8)[0]
+
+    def _set(self, slot: int, value: int) -> None:
+        _U64.pack_into(self._buf, slot * 8, value & 0xFFFFFFFFFFFFFFFF)
+
+    def _add(self, slot: int, delta: int) -> None:
+        self._set(slot, self._get(slot) + delta)
+
+    # -- writers --------------------------------------------------------
+    def set_pid(self, pid: int) -> None:
+        with self._lock:
+            self._set(_PID_SLOT, pid)
+
+    def record_endpoint(
+        self,
+        endpoint: str,
+        seconds: float,
+        error: bool = False,
+        cache: str | None = None,
+    ) -> None:
+        base = _ENDPOINT_BASE + _ENDPOINT_INDEX.get(
+            endpoint, _ENDPOINT_INDEX["(unknown)"]
+        ) * _ENDPOINT_SLOTS
+        with self._lock:
+            self._add(base + 0, 1)
+            if error:
+                self._add(base + 1, 1)
+            if cache == "hit":
+                self._add(base + 2, 1)
+            elif cache == "miss":
+                self._add(base + 3, 1)
+            self._add(base + 4, int(seconds * 1e9))
+            self._add(base + 5 + bucket_index(seconds), 1)
+
+    def record_span(self, kind: str, seconds: float) -> None:
+        base = _SPAN_BASE + _SPAN_INDEX.get(kind, _SPAN_INDEX["(other)"]) * _SPAN_SLOTS
+        with self._lock:
+            self._add(base + 0, 1)
+            self._add(base + 1, int(seconds * 1e9))
+            self._add(base + 2 + bucket_index(seconds), 1)
+
+    def record_trace(self, payload: Mapping[str, Any]) -> None:
+        """Fold one serialised trace's spans into the per-kind histograms."""
+        for record in payload.get("spans", ()):
+            self.record_span(
+                record.get("kind", "(other)"), float(record.get("seconds", 0.0))
+            )
+
+    def set_gauges(
+        self,
+        cache: Mapping[str, Any] | None = None,
+        cascade: Mapping[str, Any] | None = None,
+        corpus: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Overwrite the gauge blocks with the subsystems' live values.
+
+        Gauges are owned by live objects (cache stats, cascade counters,
+        corpus index); the board mirrors them so OTHER workers can read
+        and sum them.  Absolute writes, not deltas.
+        """
+        with self._lock:
+            slot = _GAUGE_BASE
+            for names, values in (
+                (_CACHE_GAUGES, cache),
+                (_CASCADE_GAUGES, cascade),
+                (_CORPUS_GAUGES, corpus),
+            ):
+                for name in names:
+                    if values is not None:
+                        self._set(slot, int(values.get(name, 0) or 0))
+                    slot += 1
+
+    # -- reader ---------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Decode the whole region (endpoints with zero requests omitted)."""
+        with self._lock:
+            raw = bytes(self._buf[: _TOTAL_SLOTS * 8])
+        slots = list(struct.unpack(f"<{_TOTAL_SLOTS}Q", raw))
+        endpoints: dict[str, Any] = {}
+        for name, position in _ENDPOINT_INDEX.items():
+            base = _ENDPOINT_BASE + position * _ENDPOINT_SLOTS
+            requests = slots[base]
+            if requests == 0:
+                continue
+            seconds_total = slots[base + 4] / 1e9
+            counts = slots[base + 5: base + 5 + N_BUCKETS]
+            endpoints[name] = {
+                "requests": requests,
+                "errors": slots[base + 1],
+                "cache_hits": slots[base + 2],
+                "cache_misses": slots[base + 3],
+                "seconds_total": seconds_total,
+                "latency": summarize_counts(counts, seconds_total),
+            }
+        spans: dict[str, Any] = {}
+        for name, position in _SPAN_INDEX.items():
+            base = _SPAN_BASE + position * _SPAN_SLOTS
+            count = slots[base]
+            if count == 0:
+                continue
+            seconds_total = slots[base + 1] / 1e9
+            counts = slots[base + 2: base + 2 + N_BUCKETS]
+            spans[name] = summarize_counts(counts, seconds_total)
+        slot = _GAUGE_BASE
+        gauges: dict[str, dict[str, int]] = {}
+        for block, names in (
+            ("cache", _CACHE_GAUGES),
+            ("cascade", _CASCADE_GAUGES),
+            ("corpus", _CORPUS_GAUGES),
+        ):
+            gauges[block] = {
+                name: slots[slot + offset] for offset, name in enumerate(names)
+            }
+            slot += len(names)
+        return {
+            "pid": slots[_PID_SLOT],
+            "endpoints": dict(sorted(endpoints.items())),
+            "spans": dict(sorted(spans.items())),
+            **gauges,
+        }
+
+
+def _sum_summaries(summaries: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    counts = [0] * N_BUCKETS
+    seconds_total = 0.0
+    for summary in summaries:
+        for index, count in enumerate(summary.get("buckets", ())):
+            counts[index] += count
+        seconds_total += summary.get("seconds_total", 0.0)
+    return summarize_counts(counts, seconds_total)
+
+
+def aggregate_snapshots(snapshots: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Exact fleet totals: counters and bucket counts summed, quantiles
+    recomputed from the summed buckets."""
+    endpoints: dict[str, Any] = {}
+    names = sorted({n for snap in snapshots for n in snap.get("endpoints", {})})
+    for name in names:
+        blocks = [
+            snap["endpoints"][name]
+            for snap in snapshots
+            if name in snap.get("endpoints", {})
+        ]
+        endpoints[name] = {
+            "requests": sum(b["requests"] for b in blocks),
+            "errors": sum(b["errors"] for b in blocks),
+            "cache_hits": sum(b["cache_hits"] for b in blocks),
+            "cache_misses": sum(b["cache_misses"] for b in blocks),
+            "seconds_total": sum(b["seconds_total"] for b in blocks),
+            "latency": _sum_summaries(b["latency"] for b in blocks),
+        }
+    spans: dict[str, Any] = {}
+    kinds = sorted({k for snap in snapshots for k in snap.get("spans", {})})
+    for kind in kinds:
+        spans[kind] = _sum_summaries(
+            snap["spans"][kind] for snap in snapshots if kind in snap.get("spans", {})
+        )
+    totals: dict[str, Any] = {"endpoints": endpoints, "spans": spans}
+    for block in ("cache", "cascade"):
+        keys = sorted({k for snap in snapshots for k in snap.get(block, {})})
+        totals[block] = {
+            key: sum(snap.get(block, {}).get(key, 0) for snap in snapshots)
+            for key in keys
+        }
+    corpus_blocks = [snap.get("corpus", {}) for snap in snapshots]
+    totals["corpus"] = {
+        "workers_initialized": sum(
+            1 for block in corpus_blocks if block.get("initialized")
+        ),
+        # Every worker indexes the same shared repository; the fleet view
+        # is the largest published snapshot, not a meaningless sum.
+        "n_indexed": max(
+            (block.get("n_indexed", 0) for block in corpus_blocks), default=0
+        ),
+    }
+    return totals
+
+
+class FleetStats:
+    """The per-pool stats file: one fixed region per prefork worker.
+
+    Lifecycle mirrors the pool's other shared resources: the parent calls
+    :meth:`create` BEFORE forking (so the file exists and has its final
+    size when any worker starts), each worker calls :meth:`attach` AFTER
+    forking and records into :meth:`worker_board` of its own index, and
+    any worker's ``/metrics`` handler calls :meth:`payload` to read every
+    region and sum.
+    """
+
+    def __init__(self, path: str, file, mapped: mmap.mmap):
+        self.path = path
+        self._file = file
+        self._mmap = mapped
+        self._views: list[memoryview] = []
+        self.n_workers = len(mapped) // REGION_BYTES
+
+    @classmethod
+    def create(cls, path: str, n_workers: int) -> None:
+        """Parent-side: (re)create the zeroed file sized for the pool."""
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * (n_workers * REGION_BYTES))
+
+    @classmethod
+    def attach(cls, path: str) -> "FleetStats":
+        """Worker-side: map the shared file created by the parent."""
+        file = open(path, "r+b")
+        try:
+            mapped = mmap.mmap(file.fileno(), 0)
+        except Exception:
+            file.close()
+            raise
+        return cls(path, file, mapped)
+
+    def worker_board(self, index: int) -> StatsBoard:
+        """The live board over this worker's region (records in place)."""
+        if not 0 <= index < self.n_workers:
+            raise ValueError(
+                f"worker index {index} out of range for {self.n_workers} regions"
+            )
+        view = memoryview(self._mmap)[
+            index * REGION_BYTES: (index + 1) * REGION_BYTES
+        ]
+        self._views.append(view)
+        return StatsBoard(buffer=view)
+
+    def snapshots(self) -> list[dict[str, Any]]:
+        """Decode every ATTACHED worker region (pid slot set)."""
+        results = []
+        for index in range(self.n_workers):
+            region = bytes(
+                self._mmap[index * REGION_BYTES: (index + 1) * REGION_BYTES]
+            )
+            snapshot = StatsBoard(buffer=bytearray(region)).snapshot()
+            if snapshot["pid"]:
+                results.append(snapshot)
+        return results
+
+    def payload(self) -> dict[str, Any]:
+        """The ``fleet`` block of ``/metrics``: per-worker + exact totals."""
+        workers = self.snapshots()
+        return {
+            "n_workers": self.n_workers,
+            "workers": workers,
+            "totals": aggregate_snapshots(workers),
+        }
+
+    def close(self) -> None:
+        # Boards handed out via worker_board hold memoryview exports over
+        # the mapping; release them or mmap.close() raises BufferError.
+        for view in self._views:
+            view.release()
+        self._views.clear()
+        try:
+            self._mmap.close()
+        finally:
+            self._file.close()
+
+    @staticmethod
+    def remove(path: str) -> None:
+        """Parent-side cleanup after the pool drains (missing file is fine)."""
+        try:
+            os.remove(path)
+        except OSError:
+            pass

@@ -1,0 +1,182 @@
+"""The slow-request trace log: JSONL span trees above a latency threshold.
+
+Histograms (:mod:`repro.telemetry.board`) answer "how slow"; the trace
+log answers "slow WHERE".  When a request's wall time crosses the
+``--slow-ms`` threshold the server appends its full serialised span tree
+as one JSON line, so an operator can run ``repro trace server.jsonl``
+the morning after and read a per-stage breakdown of exactly the requests
+that hurt.
+
+One line per trace, written with a single ``write()`` + flush: small
+appends to an ``O_APPEND`` file interleave at line granularity, which is
+what lets every prefork worker share one log path without a cross-
+process lock.  The summariser computes EXACT percentiles from the raw
+span durations -- slow traces are few by construction, so there is no
+need for the bucket ladder here.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Iterable, Iterator, Mapping
+
+__all__ = [
+    "TraceLogWriter",
+    "format_trace_summary",
+    "read_trace_log",
+    "summarize_trace_log",
+]
+
+
+class TraceLogWriter:
+    """Appends serialised traces for requests slower than ``slow_ms``."""
+
+    def __init__(self, path: str, slow_ms: float = 250.0) -> None:
+        if slow_ms < 0:
+            raise ValueError(f"slow_ms must be >= 0, got {slow_ms}")
+        self.path = str(path)
+        self.slow_seconds = slow_ms / 1000.0
+        self._lock = threading.Lock()
+        self._file = None
+
+    def maybe_write(
+        self,
+        endpoint: str,
+        trace_payload: Mapping[str, Any],
+        elapsed_seconds: float,
+    ) -> bool:
+        """Append the trace if the request was slow enough; report whether
+        a line was written."""
+        if elapsed_seconds < self.slow_seconds:
+            return False
+        record = {
+            "endpoint": endpoint,
+            "elapsed_seconds": elapsed_seconds,
+            **trace_payload,
+        }
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._file is None:
+                # Lazy append-mode open: the file exists only once
+                # something slow actually happened.
+                self._file = open(self.path, "a", encoding="utf-8")
+            self._file.write(line)
+            self._file.flush()
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+def read_trace_log(path: str) -> Iterator[dict[str, Any]]:
+    """Yield trace records from a JSONL log (blank lines skipped)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON ({error})"
+                ) from error
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{line_number}: expected a JSON object, "
+                    f"got {type(record).__name__}"
+                )
+            yield record
+
+
+def _exact_percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank-with-interpolation percentile over raw durations."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] + (sorted_values[high] - sorted_values[low]) * fraction
+
+
+def summarize_trace_log(
+    records: Iterable[Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Per-stage time breakdown across every trace in the log.
+
+    ``share`` is each stage's fraction of the summed span time (spans
+    nest, so shares can describe overlapping time; the table is an
+    attribution of where spans ran, not a partition of wall time).
+    """
+    durations: dict[str, list[float]] = {}
+    endpoints: dict[str, int] = {}
+    n_traces = 0
+    total_elapsed = 0.0
+    for record in records:
+        n_traces += 1
+        total_elapsed += float(record.get("elapsed_seconds", 0.0))
+        endpoint = record.get("endpoint", "(unknown)")
+        endpoints[endpoint] = endpoints.get(endpoint, 0) + 1
+        for span in record.get("spans", ()):
+            kind = span.get("kind", "(other)")
+            durations.setdefault(kind, []).append(float(span.get("seconds", 0.0)))
+    span_seconds = sum(sum(values) for values in durations.values())
+    stages: dict[str, Any] = {}
+    for kind in sorted(
+        durations, key=lambda name: sum(durations[name]), reverse=True
+    ):
+        values = sorted(durations[kind])
+        seconds_total = sum(values)
+        stages[kind] = {
+            "spans": len(values),
+            "seconds_total": seconds_total,
+            "share": (seconds_total / span_seconds) if span_seconds > 0 else 0.0,
+            "p50": _exact_percentile(values, 0.50),
+            "p95": _exact_percentile(values, 0.95),
+            "max": values[-1],
+        }
+    return {
+        "n_traces": n_traces,
+        "total_seconds": total_elapsed,
+        "endpoints": dict(sorted(endpoints.items())),
+        "stages": stages,
+    }
+
+
+def format_trace_summary(summary: Mapping[str, Any]) -> str:
+    """Render the summary as the fixed-width table ``repro trace`` prints."""
+    lines = [
+        f"traces: {summary['n_traces']}   "
+        f"total elapsed: {summary['total_seconds']:.3f}s",
+    ]
+    endpoints = summary.get("endpoints", {})
+    if endpoints:
+        lines.append(
+            "endpoints: "
+            + ", ".join(f"{name} x{count}" for name, count in endpoints.items())
+        )
+    stages = summary.get("stages", {})
+    if not stages:
+        lines.append("(no spans recorded)")
+        return "\n".join(lines)
+    header = (
+        f"{'stage':<24} {'spans':>6} {'total_s':>9} {'share':>7} "
+        f"{'p50_ms':>9} {'p95_ms':>9} {'max_ms':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for kind, stage in stages.items():
+        lines.append(
+            f"{kind:<24} {stage['spans']:>6} {stage['seconds_total']:>9.3f} "
+            f"{stage['share'] * 100:>6.1f}% "
+            f"{stage['p50'] * 1000:>9.2f} {stage['p95'] * 1000:>9.2f} "
+            f"{stage['max'] * 1000:>9.2f}"
+        )
+    return "\n".join(lines)
